@@ -1,0 +1,64 @@
+"""Ablation — Eq. 3 sensitivity: PSCAN reach vs loss parameters (DESIGN.md).
+
+Section III-B bounds the PSCAN segment count by the optical budget.
+This sweep maps how the maximum node count responds to waveguide loss,
+ring through-loss and modulator pitch — the levers a physical designer
+actually has — and confirms the paper's note that bends only "slightly
+decrease N".
+"""
+
+from repro.photonics import SegmentLossModel, SerpentineLayout
+
+from conftest import emit, once
+
+
+def test_ablation_loss_budget(benchmark):
+    def run():
+        rows = []
+        for wloss in (0.05, 0.1, 0.2):
+            for ring in (0.01, 0.02, 0.05):
+                for pitch in (0.25, 0.5, 1.0):
+                    model = SegmentLossModel(
+                        waveguide_loss_db_per_mm=wloss,
+                        ring_through_loss_db=ring,
+                        modulator_pitch_mm=pitch,
+                    )
+                    rows.append((wloss, ring, pitch, model.max_segments))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'wg dB/mm':>8} {'ring dB':>8} {'pitch mm':>8} {'max N':>6}"]
+    for wloss, ring, pitch, n in rows:
+        lines.append(f"{wloss:>8.2f} {ring:>8.2f} {pitch:>8.2f} {n:>6}")
+    emit("Ablation: Eq. 3 — max PSCAN segments vs loss parameters", lines)
+
+    by_key = {(w, r, p): n for w, r, p, n in rows}
+    # Each loss lever monotonically reduces reach.
+    assert by_key[(0.05, 0.01, 0.25)] > by_key[(0.2, 0.01, 0.25)]
+    assert by_key[(0.05, 0.01, 0.25)] > by_key[(0.05, 0.05, 0.25)]
+    assert by_key[(0.05, 0.01, 0.25)] > by_key[(0.05, 0.01, 1.0)]
+
+
+def test_ablation_bend_loss(benchmark):
+    """Bends 'slightly decrease N' (Section III-B): quantify it."""
+
+    def run():
+        out = []
+        for nodes in (64, 256, 1024):
+            layout = SerpentineLayout.square(nodes)
+            straight_db = layout.straight_length_mm * 0.1
+            bend_db = layout.bend_loss_db()
+            out.append((nodes, straight_db, bend_db))
+        return out
+
+    rows = once(benchmark, run)
+    lines = [f"{'nodes':>6} {'straight dB':>12} {'bends dB':>9} {'bend share':>10}"]
+    for nodes, s_db, b_db in rows:
+        lines.append(
+            f"{nodes:>6} {s_db:>12.1f} {b_db:>9.1f} {b_db / (s_db + b_db):>9.1%}"
+        )
+    emit("Ablation: bend-loss share of the serpentine budget", lines)
+
+    # Bends are a minor but non-zero contributor at every scale.
+    for _nodes, s_db, b_db in rows:
+        assert 0 < b_db < 0.5 * s_db

@@ -1,0 +1,55 @@
+"""Ablation — memory-interface count on the mesh transpose (DESIGN.md).
+
+Section V-C fixes a single memory port "while a single port for 1024
+processors may be unrealistic ... the trends shown here apply to systems
+with more memory ports."  This ablation checks that claim on the flit
+simulator: with 1, 2 and 4 corner interfaces, the transpose speeds up by
+roughly the port count (the sink stays the bottleneck), so the PSCAN
+comparison *per port* is unchanged.
+"""
+
+from repro.mesh import (
+    MeshConfig,
+    MeshNetwork,
+    MeshTopology,
+    make_transpose_gather,
+    make_transpose_gather_multi_mc,
+)
+
+from conftest import emit, once
+
+
+def run_with_ports(ports: int):
+    topo = MeshTopology.square(36)
+    net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1))
+    corners = topo.corners()[:ports]
+    for c in corners:
+        net.add_memory_interface(c)
+    if ports == 1:
+        wl = make_transpose_gather(topo, cols=32, memory_node=corners[0])
+    else:
+        wl = make_transpose_gather_multi_mc(topo, cols=32, memory_nodes=corners)
+    for p in wl.packets:
+        net.inject(p)
+    stats = net.run()
+    delivered = sorted(r.payload for r in net.sunk if r.payload is not None)
+    assert delivered == list(range(wl.total_elements))
+    return stats
+
+
+def test_ablation_memory_ports(benchmark):
+    def run():
+        return {ports: run_with_ports(ports) for ports in (1, 2, 4)}
+
+    results = once(benchmark, run)
+    base = results[1].cycles
+    lines = [f"{'ports':>5} {'cycles':>7} {'speedup':>8}"]
+    for ports, stats in results.items():
+        lines.append(f"{ports:>5} {stats.cycles:>7} {base / stats.cycles:>7.2f}x")
+    emit("Ablation: transpose vs memory-interface count", lines)
+
+    # More ports help, roughly proportionally (sink-bound scaling).
+    assert results[2].cycles < results[1].cycles
+    assert results[4].cycles < results[2].cycles
+    speedup4 = base / results[4].cycles
+    assert 2.0 < speedup4 <= 4.6

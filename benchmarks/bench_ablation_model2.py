@@ -1,0 +1,56 @@
+"""Ablation — Model I vs Model II delivery on P-sync (paper future note).
+
+Section VI-B: "these simulations use a Model I delivery mode.  It is
+likely that the performance would improve further under P-sync if a Model
+II delivery mode was used."  This ablation runs the LLMORE phase
+simulator with a Model II P-sync variant: the scatter/load phases overlap
+with compute per Eq. 11 instead of strictly preceding it.
+"""
+
+from repro.llmore import Fft2dApp, psync_machine, simulate_fft2d
+from repro.analysis import total_time_model2
+
+from conftest import emit, once
+
+
+def model2_total_ns(app, machine, k):
+    """Eq.-11 total for delivery split into k blocks per core, overlapping
+    compute, for one FFT phase (scatter + row FFTs)."""
+    from repro.llmore.mapping import BlockRowMap
+
+    mapping = BlockRowMap(app.rows, app.cols, machine.cores)
+    active = mapping.active_cores
+    t_c = app.multiplies_for_phase("row_fft") * machine.multiply_ns / active
+    t_ck = t_c / k
+    # Per-block delivery time for one core's block share.
+    phase_bits = app.total_bits
+    t_d_total = phase_bits / machine.aggregate_memory_gbps
+    t_dk = t_d_total / (active * k)
+    return total_time_model2(active, k, t_dk, t_ck)
+
+
+def test_ablation_model1_vs_model2(benchmark):
+    app = Fft2dApp()
+    machine = psync_machine(256)
+
+    def run():
+        base = simulate_fft2d(app, machine)
+        model1_phase = base.phases["scatter"] + base.phases["row_fft"]
+        model2 = {k: model2_total_ns(app, machine, k) for k in (1, 2, 4, 8, 16)}
+        return base, model1_phase, model2
+
+    base, model1_phase, model2 = once(benchmark, run)
+
+    lines = [
+        f"Model I scatter+rowFFT: {model1_phase:,.0f} ns",
+        f"{'k':>3} {'Model II total (ns)':>20} {'speedup':>8}",
+    ]
+    for k, t in model2.items():
+        lines.append(f"{k:>3} {t:>20,.0f} {model1_phase / t:>7.2f}x")
+    emit("Ablation: Model I vs Model II delivery on P-sync (256 cores)", lines)
+
+    # Overlap always helps, and more blocks help more (up to start-up).
+    assert model2[2] < model2[1] <= model1_phase * 1.01
+    assert model2[16] < model2[2]
+    # The paper's expectation: Model II improves P-sync further.
+    assert model1_phase / model2[16] > 1.2

@@ -1,0 +1,49 @@
+"""Ablation — striping one SCA across parallel waveguides (DESIGN.md /
+paper Section VIII scalability).
+
+Sweeps the waveguide count W for a fixed transpose gather: burst time
+scales ~1/W while flight time is fixed, so speedup saturates below W —
+bandwidth multiplies, distance does not.  Every configuration must keep
+the coalesced order exact and every sub-burst gapless.
+"""
+
+from repro.core.multibus import MultiBusPscan
+from repro.core.schedule import gather_schedule, transpose_order
+
+from conftest import emit, once
+
+ROWS, COLS = 8, 32
+
+
+def run_width(w: int):
+    positions = {i: i * 5.0 for i in range(ROWS)}
+    sched = gather_schedule(transpose_order(ROWS, COLS))
+    data = {i: [100 * i + c for c in range(COLS)] for i in range(ROWS)}
+    expected = [100 * r + c for c in range(COLS) for r in range(ROWS)]
+    bus = MultiBusPscan(w, waveguide_length_mm=50.0, positions_mm=positions)
+    execution = bus.execute_gather(sched, data, receiver_mm=50.0)
+    assert execution.stream == expected
+    assert execution.all_gapless
+    return execution
+
+
+def test_ablation_multibus(benchmark):
+    def run():
+        return {w: run_width(w) for w in (1, 2, 4, 8)}
+
+    results = once(benchmark, run)
+    base = results[1].duration_ns
+    lines = [f"{'W':>3} {'duration (ns)':>13} {'speedup':>8}"]
+    for w, execution in results.items():
+        lines.append(
+            f"{w:>3} {execution.duration_ns:>13.2f} "
+            f"{base / execution.duration_ns:>7.2f}x"
+        )
+    emit("Ablation: SCA striped over W parallel waveguides", lines)
+
+    durations = [results[w].duration_ns for w in (1, 2, 4, 8)]
+    # Monotone improvement ...
+    assert durations == sorted(durations, reverse=True)
+    # ... sub-linear: flight time is irreducible.
+    assert base / results[8].duration_ns < 8.0
+    assert base / results[8].duration_ns > 3.0

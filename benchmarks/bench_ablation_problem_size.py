@@ -1,0 +1,34 @@
+"""Ablation — problem-size dependence of the Fig. 13 conclusions.
+
+The paper evaluates one matrix (1024 x 1024).  This sweep varies the
+matrix size and checks how the mesh's peak core count and P-sync's
+advantage move: bigger problems amortize reorganization better, so the
+advantage *grows* with n — the paper's headline gets stronger, not
+weaker, on larger workloads.
+"""
+
+from repro.analysis.crossover import crossover_cores, sweep_problem_size
+
+from conftest import emit, once
+
+
+def test_ablation_problem_size(benchmark):
+    def run():
+        return sweep_problem_size(sizes=(256, 512, 1024, 2048)), crossover_cores(2.0)
+
+    sweep, cross2x = once(benchmark, run)
+    lines = [
+        f"{'n':>5} {'mesh peak cores':>15} {'peak GFLOPS':>11} {'adv @4096':>10}"
+    ]
+    for p in sweep.points:
+        lines.append(
+            f"{p.n:>5} {p.mesh_peak_cores:>15} {p.mesh_peak_gflops:>11.1f} "
+            f"{p.advantage_at_4096:>9.2f}x"
+        )
+    lines.append(f"2x crossover at the paper's problem size: {cross2x} cores")
+    emit("Ablation: Fig. 13 shape vs problem size", lines)
+
+    assert sweep.peak_moves_out_with_n
+    advantages = [p.advantage_at_4096 for p in sweep.points]
+    assert advantages == sorted(advantages)
+    assert cross2x is not None and cross2x > 256

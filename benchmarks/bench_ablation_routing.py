@@ -1,0 +1,54 @@
+"""Ablation — routing policy under the transpose load (DESIGN.md).
+
+The paper assumes minimal adaptive routing (Section V-C2).  This ablation
+compares it with deterministic XY dimension-order routing on the same
+transpose gather: with a single hot memory sink the sink serializes
+everything, so adaptivity shouldn't change completion time much — which
+is itself a finding worth pinning: the transpose bottleneck is the
+memory interface, not path selection.
+"""
+
+from repro.mesh import (
+    MeshConfig,
+    MeshNetwork,
+    MeshTopology,
+    MinimalAdaptiveRouting,
+    XYRouting,
+    make_transpose_gather,
+)
+
+from conftest import emit, once
+
+
+def run_policy(policy):
+    topo = MeshTopology.square(36)
+    net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1), routing=policy)
+    net.add_memory_interface((0, 0))
+    wl = make_transpose_gather(topo, cols=32)
+    for p in wl.packets:
+        net.inject(p)
+    stats = net.run()
+    delivered = sorted(r.payload for r in net.sunk if r.payload is not None)
+    assert delivered == list(range(wl.total_elements))
+    return stats
+
+
+def test_ablation_routing_policy(benchmark):
+    def run():
+        return {
+            "xy": run_policy(XYRouting()),
+            "adaptive": run_policy(MinimalAdaptiveRouting()),
+        }
+
+    results = once(benchmark, run)
+    lines = [f"{'policy':>9} {'cycles':>7} {'mean latency':>13} {'flit hops':>10}"]
+    for name, stats in results.items():
+        lines.append(
+            f"{name:>9} {stats.cycles:>7} {stats.mean_packet_latency:>13.1f} "
+            f"{stats.flit_hops:>10}"
+        )
+    emit("Ablation: XY vs minimal adaptive routing (transpose gather)", lines)
+
+    xy, ad = results["xy"].cycles, results["adaptive"].cycles
+    # Sink-bound: policies land within 25% of each other.
+    assert abs(xy - ad) / max(xy, ad) < 0.25

@@ -1,0 +1,36 @@
+"""Ablation — robustness of the Fig. 13 conclusions to calibration.
+
+The mesh reorganization model behind Figs. 13/14 has calibrated
+congestion parameters; this bench sweeps them (with memory-controller
+count) and reports which calibrations preserve the paper's three
+qualitative claims.  The conclusions should be — and are — properties of
+the architecture comparison, not of one lucky calibration.
+"""
+
+from repro.analysis.sensitivity import sweep_sensitivity
+
+from conftest import emit, once
+
+
+def test_ablation_calibration_sensitivity(benchmark):
+    report = once(benchmark, sweep_sensitivity)
+
+    lines = [
+        f"{'alpha':>5} {'exp':>4} {'MCs':>3} {'peak':>5} {'adv@4096':>9} {'holds':>6}"
+    ]
+    for p in report.points:
+        lines.append(
+            f"{p.congestion_alpha:>5.1f} {p.congestion_exponent:>4.1f} "
+            f"{p.memory_controllers:>3} {p.mesh_peak_cores:>5} "
+            f"{p.psync_advantage_4096:>8.1f}x "
+            f"{'yes' if p.paper_conclusions_hold else 'NO':>6}"
+        )
+    lines.append(
+        f"conclusions hold under {report.fraction_holding:.0%} of the "
+        f"calibration grid"
+    )
+    emit("Ablation: Fig. 13 conclusions vs mesh-model calibration", lines)
+
+    assert report.fraction_holding >= 0.85
+    # P-sync's convergence is calibration-independent.
+    assert all(p.psync_converges for p in report.points)

@@ -1,0 +1,48 @@
+"""Ablation — open-loop synchronization margins (paper Section III-A).
+
+PSCAN's correctness rests on exact clock/data co-flight.  This bench
+quantifies the engineering budget: the timing window per bit, the
+clock/data path-mismatch allowance, and the velocity-mismatch budget vs
+span — then *measures* the executor's failure threshold by injecting a
+calibrated clock-velocity error and bisecting to the desync point,
+which must land on the analytic window.
+"""
+
+import pytest
+
+from repro.analysis.skew import SkewBudget, find_failure_threshold
+
+from conftest import emit, once
+
+
+def test_ablation_skew_budget(benchmark):
+    def run():
+        budget = SkewBudget()
+        rows = []
+        for span in (20.0, 70.0, 140.0, 640.0):
+            rows.append((span, budget.velocity_error_budget(span)))
+        measured, analytic = find_failure_threshold()
+        return budget, rows, measured, analytic
+
+    budget, rows, measured, analytic = once(benchmark, run)
+
+    lines = [
+        f"bit period {budget.bit_period_ns} ns, alignment window "
+        f"+-{budget.alignment_window:.0%} -> timing budget "
+        f"+-{budget.timing_budget_ns * 1000:.0f} ps",
+        f"clock/data path mismatch allowance: "
+        f"{budget.path_mismatch_budget_mm():.2f} mm",
+        f"{'span (mm)':>9} {'max dv/v':>9}",
+    ]
+    for span, dv in rows:
+        lines.append(f"{span:>9.0f} {dv:>9.4f}")
+    lines.append(
+        f"injected-desync threshold: measured {measured:.4f}, "
+        f"analytic {analytic:.4f}"
+    )
+    emit("Ablation: open-loop synchronization margins", lines)
+
+    assert measured == pytest.approx(analytic, rel=0.10)
+    # Longer spans tighten the velocity budget inversely.
+    budgets = [dv for _s, dv in rows]
+    assert budgets == sorted(budgets, reverse=True)

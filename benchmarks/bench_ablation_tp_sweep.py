@@ -1,0 +1,45 @@
+"""Ablation — memory reorder cost t_p beyond the paper's {1, 4} (DESIGN.md).
+
+Table III evaluates t_p = 1 and t_p = 4.  This sweep runs the flit-level
+transpose for t_p in {1, 2, 4, 8} and checks that completion time becomes
+an affine function of t_p once the sink saturates — the congestion-free
+regime of the Table III decomposition (cycles ~ elements * (1 + t_p)).
+"""
+
+import numpy as np
+
+from repro.analysis import measure_mesh_transpose
+
+from conftest import emit, once
+
+
+def test_ablation_tp_sweep(benchmark):
+    def run():
+        return {
+            tp: measure_mesh_transpose(
+                processors=36, row_samples=32, reorder_cycles=tp
+            )
+            for tp in (1, 2, 4, 8)
+        }
+
+    results = once(benchmark, run)
+    lines = [f"{'t_p':>3} {'cycles':>8} {'multiplier':>10} {'cyc/elem':>9}"]
+    elements = 36 * 32
+    for tp, m in results.items():
+        lines.append(
+            f"{tp:>3} {m.mesh_cycles:>8} {m.multiplier:>9.2f}x "
+            f"{m.mesh_cycles / elements:>9.2f}"
+        )
+    emit("Ablation: transpose completion vs reorder cost t_p", lines)
+
+    tps = np.array([1, 2, 4, 8], dtype=float)
+    cycles = np.array([results[int(t)].mesh_cycles for t in tps], dtype=float)
+    # Monotone in t_p.
+    assert list(cycles) == sorted(cycles)
+    # Affine fit once sink-bound: residuals of a linear fit stay small.
+    coeffs = np.polyfit(tps[1:], cycles[1:], 1)
+    fit = np.polyval(coeffs, tps[1:])
+    rel_err = np.abs(fit - cycles[1:]) / cycles[1:]
+    assert rel_err.max() < 0.05
+    # Slope approaches 'elements' cycles per unit t_p (one flit per elem).
+    assert 0.8 * elements < coeffs[0] < 1.3 * elements

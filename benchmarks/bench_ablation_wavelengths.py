@@ -1,0 +1,53 @@
+"""Ablation — WDM wavelength count (DESIGN.md).
+
+The paper's PSCAN uses 32 wavelengths x 10 Gb/s.  This ablation sweeps
+the channel count, checking (a) spectral feasibility against the ring
+FSR/crosstalk physics, (b) the energy cost per bit, and (c) which Table-I
+balanced operating points each bus can serve.
+"""
+
+from repro.analysis.bandwidth import feasible_k
+from repro.energy import PhotonicEnergyModel
+from repro.photonics import WdmPlan
+from repro.photonics.spectrum import paper_spectral_plan
+
+from conftest import emit, once
+
+
+def test_ablation_wavelength_count(benchmark):
+    spectral = paper_spectral_plan()
+
+    def run():
+        rows = []
+        for wavelengths in (8, 16, 32, 64):
+            plan = WdmPlan(data_wavelengths=wavelengths)
+            fits = spectral.supports(wavelengths + plan.clock_wavelengths)
+            model = PhotonicEnergyModel(wavelengths=wavelengths)
+            energy = model.energy_per_bit_pj(256)
+            feasible = [p.row.k for p in feasible_k(plan) if p.feasible]
+            rows.append((wavelengths, plan.aggregate_bandwidth_gbps, fits,
+                         energy, max(feasible, default=0)))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [
+        f"{'lambdas':>7} {'Gb/s':>6} {'fits FSR':>8} {'pJ/bit@256':>10} "
+        f"{'max bal. k':>10}"
+    ]
+    for wl, bw, fits, energy, kmax in rows:
+        lines.append(
+            f"{wl:>7} {bw:>6.0f} {'yes' if fits else 'NO':>8} "
+            f"{energy:>10.3f} {kmax:>10}"
+        )
+    emit("Ablation: WDM wavelength count", lines)
+
+    by_wl = {r[0]: r for r in rows}
+    # The paper's 32+1 fits the spectral plan; 64+1 does not (FSR bound).
+    assert by_wl[32][2] is True
+    assert by_wl[64][2] is False
+    # More wavelengths enable more aggressive (larger-k) balanced points.
+    assert by_wl[64][4] > by_wl[32][4]
+    # Per-bit energy falls with channel count at fixed static overheads
+    # until tuning grows; it must stay within a sane band throughout.
+    energies = [r[3] for r in rows]
+    assert all(0.05 < e < 3.0 for e in energies)

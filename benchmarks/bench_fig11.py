@@ -1,0 +1,30 @@
+"""Fig. 11 — FFT compute efficiency vs k: P-sync vs electronic mesh.
+
+"Global synchrony and pre-scheduled communication allow P-sync to achieve
+near ideal FFT compute efficiency as k increases.  Such efficiency gains
+in the mesh are limited by the increased overhead of routing smaller
+packets."
+"""
+
+from repro.analysis import figure11_curves
+
+from conftest import emit, once
+
+
+def test_fig11_curves(benchmark):
+    curves = once(benchmark, figure11_curves)
+
+    lines = [f"{'k':>3} {'P-sync (ideal) %':>17} {'mesh %':>8}"]
+    for k, ideal, mesh in zip(curves.k_values, curves.psync, curves.mesh):
+        bar_i = "#" * round(40 * ideal)
+        lines.append(f"{k:>3} {100 * ideal:>16.2f} {100 * mesh:>8.2f}   |{bar_i}")
+    emit("Fig. 11: FFT compute efficiency vs k", lines)
+
+    # Shape claims:
+    assert curves.psync_monotonic             # P-sync keeps improving
+    assert curves.psync[-1] > 0.99            # approaches ideal
+    assert curves.mesh_peak_k == 8            # mesh peaks at k = 8
+    mesh_by_k = dict(zip(curves.k_values, curves.mesh))
+    assert mesh_by_k[64] < mesh_by_k[8]       # then falls off
+    # P-sync dominates the mesh everywhere.
+    assert all(i >= m for i, m in zip(curves.psync, curves.mesh))

@@ -1,0 +1,42 @@
+"""Fig. 13 — simulated 2D-FFT performance vs core count (Section VI-B).
+
+LLMORE-style phase simulation of the 1024 x 1024 2D FFT on the electronic
+mesh, P-sync and an ideal machine, 4 to 4096 cores, Model I delivery,
+four shared memory controllers, equal link bandwidths.
+"""
+
+from repro.llmore import figure13_sweep
+
+from conftest import emit, once
+
+
+def test_fig13_gflops_sweep(benchmark):
+    sweep = once(benchmark, figure13_sweep)
+
+    lines = [f"{'cores':>6} {'mesh':>8} {'P-sync':>8} {'ideal':>8}  (GFLOPS)"]
+    for p in sweep.points:
+        lines.append(
+            f"{p.cores:>6} {p.mesh.gflops:>8.1f} {p.psync.gflops:>8.1f} "
+            f"{p.ideal.gflops:>8.1f}"
+        )
+    lines.append(
+        f"mesh peak at {sweep.mesh_peak_cores} cores; "
+        f"P-sync advantage @1024: {sweep.psync_advantage(1024):.1f}x, "
+        f"@4096: {sweep.psync_advantage(4096):.1f}x"
+    )
+    emit("Fig. 13: simulated 2D FFT GFLOPS vs cores", lines)
+
+    # The paper's three shape claims:
+    # 1. "performance of the electronic mesh ... peaks around 256 cores
+    #    and decreases for larger numbers of cores".
+    assert sweep.mesh_peak_cores == 256
+    g = dict(zip(sweep.cores, sweep.mesh_gflops))
+    assert g[4096] < g[1024] < g[256]
+    # 2. "the performance of the P-sync architecture converges to ideal".
+    assert sweep.psync_converges_to_ideal
+    # 3. "two to ten times better than the electronic mesh" for P > 256.
+    for cores in (1024, 4096):
+        assert 2.0 <= sweep.psync_advantage(cores) <= 10.0
+    # Ideal saturates due to the 4 memory controllers.
+    ideal = dict(zip(sweep.cores, sweep.ideal_gflops))
+    assert ideal[4096] / ideal[1024] < 1.1

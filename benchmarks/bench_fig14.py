@@ -1,0 +1,37 @@
+"""Fig. 14 — % of runtime spent reorganizing data (Section VI-B).
+
+Same sweep as Fig. 13; the y-axis is the reorganization (transpose) phase
+as a fraction of total runtime.  The mesh's share grows with core count;
+P-sync's "levels off to a significantly more reasonable percentage".
+"""
+
+from repro.llmore import figure14_sweep
+
+from conftest import emit, once
+
+
+def test_fig14_reorg_fraction(benchmark):
+    sweep = once(benchmark, figure14_sweep)
+
+    lines = [f"{'cores':>6} {'mesh %':>7} {'P-sync %':>9}"]
+    for p in sweep.points:
+        lines.append(
+            f"{p.cores:>6} {100 * p.mesh.reorg_fraction:>7.1f} "
+            f"{100 * p.psync.reorg_fraction:>9.1f}"
+        )
+    emit("Fig. 14: % runtime in data reorganization", lines)
+
+    mesh_fr = sweep.mesh_reorg_fractions
+    psync_fr = sweep.psync_reorg_fractions
+
+    # Mesh share grows monotonically and dominates at scale.
+    assert mesh_fr == sorted(mesh_fr)
+    assert mesh_fr[-1] > 0.8
+    # P-sync share levels off (last two sweep points equal) and stays
+    # far below the mesh's.
+    assert abs(psync_fr[-1] - psync_fr[-2]) / psync_fr[-1] < 0.05
+    assert psync_fr[-1] < 0.5
+    # At scale the mesh always spends a larger share reorganizing.
+    for p in sweep.points:
+        if p.cores >= 64:
+            assert p.mesh.reorg_fraction > p.psync.reorg_fraction

@@ -1,0 +1,53 @@
+"""Fig. 5 — energy per bit: electronic mesh vs PSCAN (Section III-C).
+
+Both networks carry an equivalent 320 Gb/s gather to memory on a fixed
+2 cm x 2 cm chip; the electronic mesh uses four 80 Gb/s corner memory
+interfaces, the PSCAN one 32-wavelength bus.  The paper's claim: "PSCAN
+achieves at least a 5.2x improvement for the networks simulated."
+"""
+
+from repro.energy import (
+    ElectronicEnergyModel,
+    PhotonicEnergyModel,
+    figure5_sweep,
+)
+
+from conftest import emit, once
+
+
+def test_fig5_energy_per_bit(benchmark):
+    comparison = once(benchmark, figure5_sweep)
+    emit("Fig. 5: energy per bit (gather), mesh vs PSCAN", [
+        comparison.as_table(),
+        f"minimum PSCAN improvement: {comparison.min_improvement:.2f}x "
+        f"(paper: >= 5.2x)",
+    ])
+    assert comparison.min_improvement >= 5.2
+    # Electronic energy grows with node count (more router hops).
+    elec = [r.electronic_pj_per_bit for r in comparison.rows]
+    assert elec == sorted(elec)
+
+
+def test_fig5_breakdowns(benchmark):
+    """Component-level view of both models at 256 nodes."""
+
+    def run():
+        e = ElectronicEnergyModel()
+        p = PhotonicEnergyModel()
+        from repro.mesh import MeshTopology
+
+        return e.gather_energy(MeshTopology.square(256)), p.gather_energy(256)
+
+    elec, phot = once(benchmark, run)
+    emit("Fig. 5 detail: per-bit energy breakdown at 256 nodes", [
+        f"mesh:  router {elec.router_pj_per_bit:.3f} + wire "
+        f"{elec.wire_pj_per_bit:.3f} = {elec.total_pj_per_bit:.3f} pJ/bit "
+        f"(mean {elec.mean_hops:.1f} hops, {elec.mean_distance_mm:.1f} mm)",
+        f"pscan: laser {phot.laser_pj_per_bit:.3f} + mod "
+        f"{phot.modulator_pj_per_bit:.3f} + rx {phot.receiver_pj_per_bit:.3f}"
+        f" + serdes {phot.serdes_pj_per_bit:.3f} + tuning "
+        f"{phot.tuning_pj_per_bit:.3f} + rpt {phot.repeater_pj_per_bit:.3f}"
+        f" = {phot.total_pj_per_bit:.3f} pJ/bit "
+        f"({phot.segments} segment(s), {phot.total_loss_db:.1f} dB loss)",
+    ])
+    assert elec.total_pj_per_bit > phot.total_pj_per_bit

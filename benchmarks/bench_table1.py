@@ -1,0 +1,48 @@
+"""Table I — compute efficiency for zero latency (paper Section V-B1).
+
+Regenerates every column for k = 1..64 (1024-point FFTs, 256 processors,
+2 ns multiplies, 64-bit samples) and checks each row against the printed
+paper values.
+"""
+
+import pytest
+
+from repro.analysis import table1
+
+from conftest import emit, once
+
+#: (k, S_b, t_ck ns, t_cf ns, W_p Gb/s, eta %) as printed in the paper.
+PAPER = [
+    (1, 1024, 40960, 0, 409.6, 50.00),
+    (2, 512, 18432, 4096, 455.1, 68.97),
+    (4, 256, 8192, 8192, 512.0, 83.33),
+    (8, 128, 3584, 12288, 585.1, 91.95),
+    (16, 64, 1536, 16384, 682.7, 96.39),
+    (32, 32, 640, 20480, 819.2, 98.46),
+    (64, 16, 256, 24576, 1024.0, 99.38),
+]
+
+
+def test_table1(benchmark):
+    rows = once(benchmark, table1)
+
+    lines = [
+        f"{'k':>3} {'S_b':>5} {'t_ck(ns)':>9} {'t_cf(ns)':>9} "
+        f"{'W_p(Gb/s)':>10} {'eta(%)':>7}   [paper eta]"
+    ]
+    for ours, paper in zip(rows, PAPER):
+        lines.append(
+            f"{ours.k:>3} {ours.block_size:>5} {ours.t_ck_ns:>9.0f} "
+            f"{ours.t_cf_ns:>9.0f} {ours.bandwidth_gbps:>10.1f} "
+            f"{100 * ours.efficiency:>7.2f}   [{paper[5]:.2f}]"
+        )
+    emit("Table I: compute efficiency for zero latency", lines)
+
+    for ours, paper in zip(rows, PAPER):
+        k, s_b, t_ck, t_cf, w_p, eta = paper
+        assert ours.k == k
+        assert ours.block_size == s_b
+        assert ours.t_ck_ns == pytest.approx(t_ck)
+        assert ours.t_cf_ns == pytest.approx(t_cf)
+        assert ours.bandwidth_gbps == pytest.approx(w_p, abs=0.05)
+        assert 100 * ours.efficiency == pytest.approx(eta, abs=0.005)

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper, prints the
+rows/series in the paper's layout (so the output can be compared side by
+side with the PDF), and asserts the shape claims the paper's text makes.
+Timing is recorded by pytest-benchmark; the heavy event-driven simulations
+run a single round.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a labelled block that survives pytest's capture with -s."""
+    bar = "=" * max(len(title), 40)
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""LLMORE-style code generation: from a data map to executable CPs.
+
+The paper's LLMORE "generat[es] optimized code on target architectures"
+and Section IV describes the result on P-sync: chains of communication
+programs — load, drive, next-load — delivered to every processor.  This
+example compiles the full 2D-FFT communication side from a block-row
+map, shows the generated chain for one processor (including its exact
+bit-level encoding), and executes the whole program on the event
+simulator to prove the generated code is real.
+
+Run:  python examples/codegen_flow.py
+"""
+
+import numpy as np
+
+from repro.core.encoding import encode_cp
+from repro.llmore import (
+    BlockRowMap,
+    execute_generated_flow,
+    generate_fft_programs,
+)
+
+ROWS = COLS = 16
+
+
+def main() -> None:
+    mapping = BlockRowMap(rows=ROWS, cols=COLS, cores=ROWS)
+    program = generate_fft_programs(mapping)
+
+    print(f"Compiled 2D-FFT communication for {ROWS} processors "
+          f"({ROWS}x{COLS} samples)\n")
+    print(f"  load schedule     : {program.load_schedule.total_cycles} cycles")
+    print(f"  transpose schedule: {program.transpose_schedule.total_cycles} cycles")
+    print(f"  next-load schedule: {program.next_load_schedule.total_cycles} cycles")
+    print(f"  total control state: {program.total_control_bits} bits "
+          f"({program.total_control_bits // ROWS} per processor)\n")
+
+    pid = 3
+    chain = program.chains[pid]
+    print(f"Processor {pid}'s CP chain:")
+    for entry in chain.entries:
+        cp = entry.program
+        wire = encode_cp(cp)
+        slots = ", ".join(
+            f"[{s.start_cycle}..{s.end_cycle}) {s.role.value}" for s in cp
+        )
+        print(f"  {entry.kind.value:>9}: {slots}")
+        print(f"             encodes to {len(wire)} bytes: {wire.hex()}")
+
+    rng = np.random.default_rng(42)
+    matrix = rng.normal(size=(ROWS, COLS)) + 1j * rng.normal(size=(ROWS, COLS))
+    out = execute_generated_flow(program, matrix)
+
+    expected = np.fft.fft(matrix, axis=1).T
+    exact = np.allclose(out["memory_image"], expected)
+    print(f"\nexecuted on the event simulator:")
+    print(f"  gather gapless : {out['gather_gapless']}")
+    print(f"  bus cycles     : {out['bus_cycles']}")
+    print(f"  numerics exact : {exact}")
+    if not exact:
+        raise SystemExit("generated program produced wrong data!")
+    print("\nGenerated code, executed — the Section VIII 'generation of "
+          "distributed\ncommunication programs' future-work item, closed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Domain scenario: a SAR corner turn on P-sync.
+
+Synthetic-aperture radar image formation compresses pulses along range,
+then along azimuth — requiring a full matrix transpose ("corner turn")
+between the two stages.  The paper's introduction names exactly this
+pattern (via its reference [5]) as a motivating workload.
+
+This example forms a toy SAR image end-to-end on a simulated P-sync
+machine: range FFTs on the processors, an SCA corner turn through the
+photonic bus, azimuth FFTs, and verifies the result against a direct
+NumPy computation.  It also quantifies what a DRAM-based corner turn
+would cost in row activations — the inefficiency the SCA removes.
+
+Run:  python examples/corner_turn_radar.py
+"""
+
+import numpy as np
+
+from repro.core import PsyncConfig, PsyncMachine
+from repro.fft import fft
+from repro.memory import DramBank, DramConfig
+
+PULSES = 16          # azimuth samples (one per processor)
+RANGE_BINS = 64      # samples per pulse
+
+
+def synthesize_returns(rng) -> np.ndarray:
+    """Raw pulse returns with two point targets plus noise."""
+    t = np.arange(RANGE_BINS) / RANGE_BINS
+    pulses = []
+    for p in range(PULSES):
+        phase = 2 * np.pi * (0.1 * p)
+        echo = (
+            np.exp(1j * (2 * np.pi * 8 * t + phase))
+            + 0.5 * np.exp(1j * (2 * np.pi * 21 * t - 2 * phase))
+        )
+        noise = 0.05 * (rng.normal(size=RANGE_BINS) + 1j * rng.normal(size=RANGE_BINS))
+        pulses.append(echo + noise)
+    return np.array(pulses)
+
+
+def dram_corner_turn_cost() -> tuple[int, int]:
+    """Cycles for row-major vs column-major readout of the pulse matrix."""
+    cfg = DramConfig(row_switch_cycles=8)
+    words_per_row = cfg.words_per_row
+
+    row_major = DramBank(cfg)
+    sequential = row_major.access(0, PULSES * RANGE_BINS).cycles
+
+    col_major = DramBank(cfg)
+    strided = 0
+    for c in range(RANGE_BINS):
+        for p in range(PULSES):
+            strided += col_major.access(p * RANGE_BINS + c, 1).cycles
+    return sequential, strided
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    raw = synthesize_returns(rng)
+
+    machine = PsyncMachine(PsyncConfig(processors=PULSES))
+    print("SAR corner turn on", machine.describe()["layout"],
+          f"({PULSES} pulses x {RANGE_BINS} range bins)\n")
+
+    # Stage 1: range compression — each processor FFTs its own pulse.
+    for pid in range(PULSES):
+        machine.local_memory[pid] = list(fft(raw[pid]))
+
+    # Stage 2: the corner turn — an SCA gather delivering the matrix
+    # column-major (range-bin-major) to memory, reorganized in flight.
+    schedule = machine.transpose_gather_schedule(row_length=RANGE_BINS)
+    execution, _cycles = machine.gather_to_dram(schedule)
+    print(f"SCA corner turn: {schedule.total_cycles} bus cycles, "
+          f"gapless={execution.is_gapless}, "
+          f"utilization={execution.bus_utilization:.0%}")
+
+    # Stage 3: azimuth compression — FFT each range bin across pulses.
+    turned = np.array(
+        machine.memory.bank.read_values(0, PULSES * RANGE_BINS)
+    ).reshape(RANGE_BINS, PULSES)
+    image = fft(turned)
+
+    # Oracle: direct 2D computation.
+    expected = np.fft.fft(np.fft.fft(raw, axis=1).T, axis=1)
+    assert np.allclose(image, expected), "SAR image mismatch!"
+    peak = np.unravel_index(np.argmax(np.abs(image)), image.shape)
+    print(f"image formed: {image.shape[0]}x{image.shape[1]}, "
+          f"peak response at range-bin {peak[0]}, doppler {peak[1]} (exact)\n")
+
+    # What the SCA saved: DRAM row thrashing of a memory-side corner turn.
+    seq, strided = dram_corner_turn_cost()
+    print("DRAM-side corner turn (no SCA):")
+    print(f"  row-major readout   : {seq} cycles")
+    print(f"  column-major readout: {strided} cycles "
+          f"({strided / seq:.1f}x worse — the row-precharge thrash the "
+          f"in-flight reorganization avoids)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fig.-5 energy study: where do the picojoules go?
+
+Sweeps square network sizes on the fixed 2 cm x 2 cm chip and prints the
+per-bit gather energy for the electronic mesh and the PSCAN, with full
+component breakdowns — the data behind the paper's ">= 5.2x" claim.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro.energy import (
+    ElectronicEnergyModel,
+    PhotonicEnergyModel,
+    figure5_sweep,
+)
+from repro.mesh import MeshTopology
+
+
+def main() -> None:
+    comparison = figure5_sweep()
+    print("Fig. 5 — energy per bit, 320 Gb/s gather to memory\n")
+    print(comparison.as_table())
+    print(f"\nPSCAN improvement: {comparison.min_improvement:.1f}x (min) to "
+          f"{comparison.max_improvement:.1f}x (max); paper claims >= 5.2x\n")
+
+    electronic = ElectronicEnergyModel()
+    photonic = PhotonicEnergyModel()
+
+    print("Component breakdowns:")
+    for nodes in (16, 256, 1024):
+        e = electronic.gather_energy(MeshTopology.square(nodes))
+        p = photonic.gather_energy(nodes)
+        print(f"\n  {nodes} nodes")
+        print(f"    mesh : {e.mean_hops:5.1f} mean hops x "
+              f"{electronic.router_pj_per_bit_per_hop:.3f} pJ/bit/router "
+              f"+ {e.mean_distance_mm:.1f} mm wire")
+        print(f"           router {e.router_pj_per_bit:6.3f} + wire "
+              f"{e.wire_pj_per_bit:6.3f} = {e.total_pj_per_bit:6.3f} pJ/bit")
+        print(f"    PSCAN: {p.total_loss_db:.1f} dB serpentine loss, "
+              f"{p.segments} segment(s)")
+        print(f"           laser {p.laser_pj_per_bit:.3f} + mod "
+              f"{p.modulator_pj_per_bit:.3f} + rx {p.receiver_pj_per_bit:.3f}"
+              f" + serdes {p.serdes_pj_per_bit:.3f} + tuning "
+              f"{p.tuning_pj_per_bit:.3f} + repeaters "
+              f"{p.repeater_pj_per_bit:.3f} = {p.total_pj_per_bit:.3f} pJ/bit")
+
+    print("\nSensitivity: doubling waveguide loss")
+    lossy = PhotonicEnergyModel(waveguide_loss_db_per_mm=0.06)
+    for nodes in (256, 1024):
+        base = photonic.energy_per_bit_pj(nodes)
+        worse = lossy.energy_per_bit_pj(nodes)
+        print(f"  {nodes:>5} nodes: {base:.3f} -> {worse:.3f} pJ/bit "
+              f"({worse / base:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Large 1-D FFTs as 2-D problems on P-sync (paper Section II).
+
+"Large 1D vector FFTs are typically implemented as 2D matrix FFTs to
+improve overall performance.  Therefore, the optimization of the 2D FFT
+is generalizable to the 1D case."
+
+This example computes a 4096-point 1-D FFT with Bailey's four-step
+method on a simulated P-sync machine: the column FFTs and row FFTs run
+on the processors, and the method's *two* data reorganizations (the
+implicit transposes) run as SCA gathers — exactly the non-local pattern
+the paper accelerates.  The result is checked against numpy.
+
+Run:  python examples/large_1d_fft.py
+"""
+
+import numpy as np
+
+from repro.core import PsyncConfig, PsyncMachine
+from repro.fft import fft
+
+N = 4096
+ROWS = 16          # one matrix row per processor
+COLS = N // ROWS
+
+
+def sca_transpose(machine: PsyncMachine, matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Transpose ``matrix`` (rows on processors) via an SCA gather."""
+    rows, cols = matrix.shape
+    for pid in range(rows):
+        machine.local_memory[pid] = list(matrix[pid])
+    schedule = machine.transpose_gather_schedule(row_length=cols)
+    execution = machine.gather(schedule)
+    assert execution.is_gapless
+    out = np.array(execution.stream, dtype=np.complex128).reshape(cols, rows)
+    return out, schedule.total_cycles
+
+
+def main() -> None:
+    rng = np.random.default_rng(4096)
+    x = rng.normal(size=N) + 1j * rng.normal(size=N)
+
+    print(f"{N}-point 1-D FFT as a {ROWS}x{COLS} four-step problem "
+          f"on {ROWS} P-sync processors\n")
+
+    total_sca_cycles = 0
+
+    # Step 0: view the vector as a rows x cols matrix (row-major).
+    a = x.reshape(ROWS, COLS)
+
+    # Step 1: length-ROWS FFTs along columns.  Columns live across
+    # processors, so transpose in flight first, FFT locally, and keep the
+    # transposed orientation (cols x rows).
+    m1 = PsyncMachine(PsyncConfig(processors=ROWS))
+    at, cycles = sca_transpose(m1, a)          # SCA #1: corner turn
+    total_sca_cycles += cycles
+    at = fft(at)                               # length-ROWS FFTs, local
+
+    # Step 2: twiddle multiply W_N^(r*c) — elementwise, fully local.
+    r = np.arange(ROWS).reshape(1, ROWS)
+    c = np.arange(COLS).reshape(COLS, 1)
+    at = at * np.exp(-2j * np.pi * r * c / N)
+
+    # Step 3: transpose back so each processor holds one original row.
+    m2 = PsyncMachine(PsyncConfig(processors=COLS))
+    a2, cycles = sca_transpose(m2, at)         # SCA #2: corner turn back
+    total_sca_cycles += cycles
+
+    # Step 4: length-COLS FFTs along rows, local again.
+    a2 = fft(a2)
+
+    # Read-out: the transform lands transposed; flatten (cols x rows)
+    # row-major — Bailey's final "read out by columns".
+    result = a2.T.reshape(N).copy()
+
+    expected = np.fft.fft(x)
+    ok = np.allclose(result, expected)
+    print(f"numerics exact vs numpy.fft : {ok}")
+    if not ok:
+        raise SystemExit("four-step flow mismatch!")
+
+    print(f"SCA reorganization           : {total_sca_cycles} bus cycles total "
+          f"(= {total_sca_cycles / N:.1f} cycles/sample over both corner turns)")
+    print(f"compute                      : 2 x {N} log-N butterflies + twiddles,"
+          f" all on local data")
+    print("\nEvery non-local access in the four-step method became an SCA;"
+          "\nall computation ran on processor-local data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Figs. 13/14 scaling study: the 2D FFT from 4 to 4096 cores.
+
+Runs the LLMORE-style phase simulator over the core sweep and prints the
+GFLOPS curves (Fig. 13) and the data-reorganization share of runtime
+(Fig. 14) with ASCII sparklines, plus the phase breakdown at the mesh's
+peak and at full scale.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.llmore import Fft2dApp, figure13_sweep
+
+
+def bar(value: float, scale: float, width: int = 36) -> str:
+    return "#" * max(1, int(width * value / scale))
+
+
+def main() -> None:
+    app = Fft2dApp()
+    sweep = figure13_sweep(app)
+    top = max(sweep.ideal_gflops)
+
+    print("Fig. 13 — simulated 2D FFT performance "
+          f"({app.rows}x{app.cols} samples, 4 memory controllers)\n")
+    print(f"{'cores':>6} {'mesh':>7} {'P-sync':>7} {'ideal':>7}  (GFLOPS)")
+    for p in sweep.points:
+        print(f"{p.cores:>6} {p.mesh.gflops:>7.1f} {p.psync.gflops:>7.1f} "
+              f"{p.ideal.gflops:>7.1f}  mesh:{bar(p.mesh.gflops, top, 18):<18} "
+              f"psync:{bar(p.psync.gflops, top, 18)}")
+    print(f"\n  mesh peaks at {sweep.mesh_peak_cores} cores; "
+          f"P-sync advantage {sweep.psync_advantage(1024):.1f}x @1024, "
+          f"{sweep.psync_advantage(4096):.1f}x @4096")
+
+    print("\nFig. 14 — % of runtime reorganizing data\n")
+    print(f"{'cores':>6} {'mesh':>6} {'P-sync':>7}")
+    for p in sweep.points:
+        print(f"{p.cores:>6} {100 * p.mesh.reorg_fraction:>5.1f}% "
+              f"{100 * p.psync.reorg_fraction:>6.1f}%   "
+              f"mesh:{bar(p.mesh.reorg_fraction, 1.0, 20):<20} "
+              f"psync:{bar(p.psync.reorg_fraction, 1.0, 20)}")
+
+    for cores in (256, 4096):
+        point = next(p for p in sweep.points if p.cores == cores)
+        print(f"\nPhase breakdown at {cores} cores (ns):")
+        print(f"{'phase':>12} {'mesh':>12} {'P-sync':>12}")
+        for phase in point.mesh.phases:
+            print(f"{phase:>12} {point.mesh.phases[phase]:>12,.0f} "
+                  f"{point.psync.phases[phase]:>12,.0f}")
+
+
+if __name__ == "__main__":
+    main()

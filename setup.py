@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Offline environments without the ``wheel`` package cannot build editable
+installs through PEP 517; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) fall back to ``setup.py develop``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

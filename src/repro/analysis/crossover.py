@@ -1,0 +1,99 @@
+"""Crossover analysis: where does P-sync's advantage materialize?
+
+Fig. 13 fixes the problem at 1024 x 1024 samples and sweeps cores; the
+paper states the advantage is "two to ten times" past 256 cores.  This
+module answers the adjacent questions a system designer asks:
+
+* :func:`crossover_cores` — the smallest core count at which P-sync's
+  advantage reaches a target factor;
+* :func:`sweep_problem_size` — how the mesh's peak core count and the
+  advantage move with matrix size (bigger problems push the knee out,
+  because compute amortizes the reorganization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llmore.app import Fft2dApp
+from ..llmore.machine import mesh_machine, psync_machine
+from ..llmore.simulate import simulate_fft2d
+from ..util.errors import ConfigError
+
+__all__ = ["ProblemSizePoint", "crossover_cores", "sweep_problem_size"]
+
+_CORES = (4, 16, 64, 256, 1024, 4096)
+
+
+def crossover_cores(
+    advantage: float = 2.0,
+    app: Fft2dApp | None = None,
+    core_counts: tuple[int, ...] = _CORES,
+) -> int | None:
+    """Smallest core count where psync/mesh GFLOPS >= ``advantage``.
+
+    Returns None when the target is never reached on the sweep.
+    """
+    if advantage <= 0:
+        raise ConfigError("advantage must be > 0")
+    app = app or Fft2dApp()
+    for cores in core_counts:
+        mesh = simulate_fft2d(app, mesh_machine(cores)).gflops
+        psync = simulate_fft2d(app, psync_machine(cores)).gflops
+        if psync / mesh >= advantage:
+            return cores
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class ProblemSizePoint:
+    """One matrix size's scaling character."""
+
+    n: int
+    mesh_peak_cores: int
+    advantage_at_4096: float
+    mesh_peak_gflops: float
+    psync_gflops_at_4096: float
+
+
+@dataclass
+class ProblemSizeSweep:
+    """Results over matrix sizes."""
+
+    points: list[ProblemSizePoint] = field(default_factory=list)
+
+    @property
+    def peak_moves_out_with_n(self) -> bool:
+        """True when bigger problems peak at >= as many cores."""
+        peaks = [p.mesh_peak_cores for p in self.points]
+        return all(b >= a for a, b in zip(peaks, peaks[1:]))
+
+
+def sweep_problem_size(
+    sizes: tuple[int, ...] = (256, 512, 1024, 2048),
+    core_counts: tuple[int, ...] = _CORES,
+) -> ProblemSizeSweep:
+    """Evaluate the Fig.-13 shape across matrix sizes."""
+    if not sizes:
+        raise ConfigError("need at least one size")
+    sweep = ProblemSizeSweep()
+    for n in sizes:
+        app = Fft2dApp(rows=n, cols=n)
+        mesh_g = {
+            c: simulate_fft2d(app, mesh_machine(c)).gflops for c in core_counts
+        }
+        psync_g = {
+            c: simulate_fft2d(app, psync_machine(c)).gflops for c in core_counts
+        }
+        peak = max(core_counts, key=lambda c: mesh_g[c])
+        top = core_counts[-1]
+        sweep.points.append(
+            ProblemSizePoint(
+                n=n,
+                mesh_peak_cores=peak,
+                advantage_at_4096=psync_g[top] / mesh_g[top],
+                mesh_peak_gflops=mesh_g[peak],
+                psync_gflops_at_4096=psync_g[top],
+            )
+        )
+    return sweep

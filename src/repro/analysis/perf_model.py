@@ -1,0 +1,148 @@
+"""Generalized performance model (paper Section V-A, Eqs. 4-16).
+
+Model I: a processor receives *all* its data before computing; deliveries
+to the ``P`` processors are serialized through one memory path.
+
+Model II: data arrives in ``k`` round-robin blocks per processor,
+overlapping delivery with computation.  Model I is the ``k = 1`` special
+case.
+
+The total-time expression (Eq. 11)::
+
+    T = P*t_dk + (k - 1) * max(t_ck, P*t_dk) + t_ck        (+ t_cf)
+
+with the two regimes of Eqs. 15-16: compute-bound (``P*t_dk <= t_ck``)
+and communication-bound (``P*t_dk > t_ck``).  Efficiency peaks when
+computation and communication are balanced, ``P*t_dk = t_ck`` (Eq. 19).
+
+``t_cf`` extends the paper's equations with the FFT's final compute-only
+phase (Section V-B1); pass 0 to recover the bare model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "DeliveryModel",
+    "total_time_model2",
+    "efficiency_model1",
+    "efficiency_model2",
+    "delivery_time",
+    "balanced_block_delivery_time",
+    "is_compute_bound",
+]
+
+
+def delivery_time(latency_ns: float, block_bits: float, bandwidth_gbps: float) -> float:
+    """Eq. 9: ``t_d = lambda + S_b*S_s / W_p`` (bits / (Gb/s) = ns)."""
+    if bandwidth_gbps <= 0:
+        raise ConfigError("bandwidth must be > 0")
+    if latency_ns < 0 or block_bits < 0:
+        raise ConfigError("latency and block size must be >= 0")
+    return latency_ns + block_bits / bandwidth_gbps
+
+
+def total_time_model2(
+    processors: int,
+    k: int,
+    t_dk_ns: float,
+    t_ck_ns: float,
+    t_cf_ns: float = 0.0,
+) -> float:
+    """Eq. 11 (plus final phase): total time of the blocked computation."""
+    _check(processors, k, t_dk_ns, t_ck_ns, t_cf_ns)
+    p_tdk = processors * t_dk_ns
+    return p_tdk + (k - 1) * max(t_ck_ns, p_tdk) + t_ck_ns + t_cf_ns
+
+
+def efficiency_model1(processors: int, t_d_ns: float, t_c_ns: float) -> float:
+    """Eq. 7: ``eta = t_c / (P*t_d + t_c)``."""
+    _check(processors, 1, t_d_ns, t_c_ns, 0.0)
+    if t_c_ns == 0:
+        return 0.0
+    return t_c_ns / (processors * t_d_ns + t_c_ns)
+
+
+def efficiency_model2(
+    processors: int,
+    k: int,
+    t_dk_ns: float,
+    t_ck_ns: float,
+    t_cf_ns: float = 0.0,
+) -> float:
+    """Eqs. 12-16 with the final phase: useful compute time over total time.
+
+    Useful compute is ``k*t_ck + t_cf``; the denominator is Eq. 11's
+    total.  With ``k = 1, t_cf = 0`` this reduces exactly to Eq. 7.
+    """
+    total = total_time_model2(processors, k, t_dk_ns, t_ck_ns, t_cf_ns)
+    if total == 0:
+        return 0.0
+    return (k * t_ck_ns + t_cf_ns) / total
+
+
+def is_compute_bound(processors: int, t_dk_ns: float, t_ck_ns: float) -> bool:
+    """Case 1 vs Case 2 (Eqs. 15-16): True when ``P*t_dk <= t_ck``."""
+    _check(processors, 1, t_dk_ns, t_ck_ns, 0.0)
+    return processors * t_dk_ns <= t_ck_ns
+
+
+def balanced_block_delivery_time(processors: int, t_ck_ns: float) -> float:
+    """Eq. 19 solved for ``t_dk``: the delivery time that balances compute.
+
+    ``P = t_ck / t_dk  =>  t_dk = t_ck / P``.  This is the operating point
+    Table I assumes (its ``W_p`` column is the bandwidth delivering a
+    block in exactly this time).
+    """
+    _check(processors, 1, 0.0, t_ck_ns, 0.0)
+    return t_ck_ns / processors
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryModel:
+    """A named (P, k, t_dk, t_ck, t_cf) operating point."""
+
+    processors: int
+    k: int
+    t_dk_ns: float
+    t_ck_ns: float
+    t_cf_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check(self.processors, self.k, self.t_dk_ns, self.t_ck_ns, self.t_cf_ns)
+
+    @property
+    def total_time_ns(self) -> float:
+        """Eq. 11 total time."""
+        return total_time_model2(
+            self.processors, self.k, self.t_dk_ns, self.t_ck_ns, self.t_cf_ns
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """Eqs. 12-16 efficiency."""
+        return efficiency_model2(
+            self.processors, self.k, self.t_dk_ns, self.t_ck_ns, self.t_cf_ns
+        )
+
+    @property
+    def compute_bound(self) -> bool:
+        """True in Eq. 15's regime."""
+        return is_compute_bound(self.processors, self.t_dk_ns, self.t_ck_ns)
+
+    @property
+    def balanced(self) -> bool:
+        """True at the Eq. 19 optimum (within float tolerance)."""
+        return abs(self.processors * self.t_dk_ns - self.t_ck_ns) < 1e-9
+
+
+def _check(processors: int, k: int, t_dk: float, t_ck: float, t_cf: float) -> None:
+    if processors < 1:
+        raise ConfigError(f"processors must be >= 1, got {processors}")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if t_dk < 0 or t_ck < 0 or t_cf < 0:
+        raise ConfigError("times must be >= 0")

@@ -1,0 +1,111 @@
+"""Queueing-theoretic view of the hot memory sink (Section V-C2 support).
+
+The mesh transpose funnels every element into one memory interface with
+deterministic service (1 header-decode cycle + t_p reorder cycles).
+Before the sink saturates, the station behaves like M/D/1 and the
+Pollaczek-Khinchine formula relates utilization to queueing dilation;
+after saturation, credit backpressure regulates arrivals and the open
+queue model no longer applies (waits are bounded by buffer depth).
+
+Two uses:
+
+* forward — given an offered load, predict the queueing dilation;
+* inverse — given a measured/published dilation (Table III implies 1.68x
+  at t_p = 1 and 1.25x at t_p = 4), recover the utilization the sink must
+  have been running at.  The paper's factors imply ~0.58 and ~0.33:
+  slower service (t_p = 4) throttles the network *harder* via
+  backpressure, so the queue in front of the sink is emptier relative to
+  its service time — consistent with "the sink is busier, the network
+  contributes relatively less" (see transpose_model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+
+__all__ = ["SinkQueueModel", "md1_mean_wait", "implied_utilization"]
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Pollaczek-Khinchine mean waiting time for M/D/1.
+
+    ``W = rho * s / (2 * (1 - rho))`` with utilization
+    ``rho = arrival_rate * service_time``.  Units follow the inputs
+    (cycles here).  Raises for an unstable queue (rho >= 1).
+    """
+    if arrival_rate <= 0 or service_time <= 0:
+        raise ConfigError("arrival_rate and service_time must be > 0")
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        raise ConfigError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def implied_utilization(dilation: float) -> float:
+    """Invert the M/D/1 dilation: which rho produces this slowdown?
+
+    ``dilation = 1 + rho / (2 * (1 - rho))``, solved for rho:
+    ``rho = 2*(dilation - 1) / (2*dilation - 1)``.
+    """
+    if dilation <= 1.0:
+        raise ConfigError(f"dilation must be > 1, got {dilation}")
+    return 2.0 * (dilation - 1.0) / (2.0 * dilation - 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class SinkQueueModel:
+    """The transpose sink as a deterministic-service queue (pre-saturation).
+
+    ``offered_load`` is the utilization rho the network presents; under
+    backpressure it is bounded below 1 and *decreases* as service slows
+    (a slower sink throttles injection earlier).
+    """
+
+    reorder_cycles: int = 1
+    header_cycles: int = 1
+    offered_load: float = 0.58
+
+    def __post_init__(self) -> None:
+        if self.reorder_cycles < 1 or self.header_cycles < 0:
+            raise ConfigError("bad service parameters")
+        if not (0.0 < self.offered_load < 1.0):
+            raise ConfigError("offered_load must be in (0, 1)")
+
+    @property
+    def service_cycles(self) -> int:
+        """Deterministic per-element service: header decode + reorder."""
+        return self.header_cycles + self.reorder_cycles
+
+    @property
+    def arrival_rate(self) -> float:
+        """Elements per cycle arriving at the sink."""
+        return self.offered_load / self.service_cycles
+
+    @property
+    def mean_wait_cycles(self) -> float:
+        """P-K mean queueing delay per element."""
+        return md1_mean_wait(self.arrival_rate, float(self.service_cycles))
+
+    @property
+    def dilation(self) -> float:
+        """Completion-time dilation vs pure service: 1 + W/s."""
+        return 1.0 + self.mean_wait_cycles / self.service_cycles
+
+    def predicted_transpose_cycles(self, elements: int) -> float:
+        """Sink-bound transpose estimate: elements x service x dilation."""
+        if elements < 1:
+            raise ConfigError("elements must be >= 1")
+        return elements * self.service_cycles * self.dilation
+
+    @classmethod
+    def from_paper_dilation(
+        cls, dilation: float, reorder_cycles: int, header_cycles: int = 1
+    ) -> "SinkQueueModel":
+        """Build the model whose offered load reproduces ``dilation``."""
+        return cls(
+            reorder_cycles=reorder_cycles,
+            header_cycles=header_cycles,
+            offered_load=implied_utilization(dilation),
+        )

@@ -1,0 +1,125 @@
+"""Robustness of the Figs. 13/14 conclusions to calibration choices.
+
+The LLMORE-substitute's mesh reorganization model has two calibrated
+knobs (`congestion_alpha`, `congestion_exponent`) and two architectural
+ones (memory controllers, link bandwidth).  The paper's conclusions —
+mesh peaks then declines, P-sync converges to ideal with a 2-10x
+advantage — should not hinge on the exact calibration.  This module
+sweeps the knobs and reports where each conclusion holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..llmore.app import Fft2dApp
+from ..llmore.machine import MachineModel, ReorgMechanism, mesh_machine, psync_machine
+from ..llmore.simulate import simulate_fft2d
+from ..util.errors import ConfigError
+
+__all__ = ["SensitivityPoint", "SensitivityReport", "sweep_sensitivity"]
+
+_CORES = (4, 16, 64, 256, 1024, 4096)
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityPoint:
+    """One calibration of the mesh model, with the derived conclusions."""
+
+    congestion_alpha: float
+    congestion_exponent: float
+    memory_controllers: int
+    mesh_peak_cores: int
+    psync_advantage_4096: float
+    mesh_declines_after_peak: bool
+    psync_converges: bool
+
+    @property
+    def paper_conclusions_hold(self) -> bool:
+        """All three qualitative Fig. 13 claims under this calibration."""
+        return (
+            64 <= self.mesh_peak_cores <= 1024
+            and self.mesh_declines_after_peak
+            and self.psync_converges
+            and self.psync_advantage_4096 >= 2.0
+        )
+
+
+@dataclass
+class SensitivityReport:
+    """The full sweep."""
+
+    points: list[SensitivityPoint] = field(default_factory=list)
+
+    @property
+    def fraction_holding(self) -> float:
+        """Share of calibrations under which the conclusions survive."""
+        if not self.points:
+            return 0.0
+        return sum(p.paper_conclusions_hold for p in self.points) / len(self.points)
+
+    def holding(self) -> list[SensitivityPoint]:
+        """The calibrations where all conclusions hold."""
+        return [p for p in self.points if p.paper_conclusions_hold]
+
+
+def _evaluate(
+    app: Fft2dApp,
+    alpha: float,
+    exponent: float,
+    mcs: int,
+) -> SensitivityPoint:
+    def mesh_at(cores: int) -> MachineModel:
+        base = mesh_machine(cores)
+        return replace(
+            base,
+            congestion_alpha=alpha,
+            congestion_exponent=exponent,
+            memory_controllers=mcs,
+        )
+
+    def psync_at(cores: int) -> MachineModel:
+        return replace(psync_machine(cores), memory_controllers=mcs)
+
+    def ideal_at(cores: int) -> MachineModel:
+        return MachineModel(
+            name="ideal",
+            cores=cores,
+            mechanism=ReorgMechanism.IDEAL,
+            memory_controllers=mcs,
+        )
+
+    mesh_g = {c: simulate_fft2d(app, mesh_at(c)).gflops for c in _CORES}
+    psync_g = {c: simulate_fft2d(app, psync_at(c)).gflops for c in _CORES}
+    ideal_g = {c: simulate_fft2d(app, ideal_at(c)).gflops for c in _CORES}
+
+    peak = max(_CORES, key=lambda c: mesh_g[c])
+    after = [c for c in _CORES if c > peak]
+    declines = all(mesh_g[c] < mesh_g[peak] for c in after) if after else False
+    return SensitivityPoint(
+        congestion_alpha=alpha,
+        congestion_exponent=exponent,
+        memory_controllers=mcs,
+        mesh_peak_cores=peak,
+        psync_advantage_4096=psync_g[4096] / mesh_g[4096],
+        mesh_declines_after_peak=declines,
+        psync_converges=psync_g[4096] >= 0.9 * ideal_g[4096],
+    )
+
+
+def sweep_sensitivity(
+    app: Fft2dApp | None = None,
+    alphas: tuple[float, ...] = (0.5, 1.0, 2.0),
+    exponents: tuple[float, ...] = (0.7, 0.9, 1.1),
+    memory_controllers: tuple[int, ...] = (2, 4, 8),
+) -> SensitivityReport:
+    """Evaluate the Fig. 13 conclusions over a calibration grid."""
+    if not alphas or not exponents or not memory_controllers:
+        raise ConfigError("all sweep axes need at least one value")
+    app = app or Fft2dApp()
+    report = SensitivityReport()
+    for alpha in alphas:
+        for exponent in exponents:
+            for mcs in memory_controllers:
+                report.points.append(_evaluate(app, alpha, exponent, mcs))
+    return report

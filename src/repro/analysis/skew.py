@@ -1,0 +1,153 @@
+"""Skew tolerance of the PSCAN (paper Section III-A).
+
+PSCAN synchronization is open-loop: data alignment relies on the clock
+and data wavelengths experiencing *identical* flight.  Any mismatch —
+path-length error between parallel clock/data waveguides, group-velocity
+dispersion between wavelengths, response-time variation between nodes —
+shows up as a timing offset at the receiver.  The bus tolerates offsets
+up to a fraction of the bit period (the executor's alignment window);
+beyond that, words land on the wrong cycle.
+
+This module computes the tolerance budget in engineering units (ps of
+timing, mm of path mismatch, m/s of velocity error) and provides an
+experiment that *injects* a calibrated mismatch into the executor and
+finds the empirical failure threshold — which must agree with the
+analytic window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import ConfigError
+
+__all__ = ["SkewBudget", "find_failure_threshold"]
+
+
+@dataclass(frozen=True, slots=True)
+class SkewBudget:
+    """Alignment budget of one PSCAN configuration.
+
+    ``alignment_window`` is the +- fraction of a bus cycle within which
+    an arrival is still attributed to the right cycle (the executor uses
+    0.25; a real SerDes eye is similar).
+    """
+
+    bit_period_ns: float = 0.1
+    alignment_window: float = 0.25
+    response_jitter_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bit_period_ns <= 0:
+            raise ConfigError("bit_period_ns must be > 0")
+        if not (0.0 < self.alignment_window < 0.5):
+            raise ConfigError("alignment_window must be in (0, 0.5)")
+        if self.response_jitter_ns < 0:
+            raise ConfigError("response_jitter_ns must be >= 0")
+
+    @property
+    def timing_budget_ns(self) -> float:
+        """Total +- timing slack after node response jitter."""
+        slack = self.alignment_window * self.bit_period_ns - self.response_jitter_ns
+        return max(0.0, slack)
+
+    def path_mismatch_budget_mm(
+        self,
+        velocity_mm_per_ns: float = constants.LIGHT_SPEED_SI_MM_PER_NS,
+    ) -> float:
+        """Max clock/data waveguide length mismatch (mm).
+
+        A 0.1 ns bus cycle with a 25 % window tolerates ~1.75 mm of path
+        mismatch at 7 cm/ns — a real but achievable fabrication budget,
+        which is why the paper highlights that the parallel-waveguide
+        variant "must deal with ensuring waveguide lengths remain
+        uniform" (Section III-A).
+        """
+        if velocity_mm_per_ns <= 0:
+            raise ConfigError("velocity must be > 0")
+        return self.timing_budget_ns * velocity_mm_per_ns
+
+    def velocity_error_budget(self, span_mm: float) -> float:
+        """Max fractional group-velocity mismatch over a flight span.
+
+        The clock and data wavelengths ride different group indices;
+        over ``span_mm`` the walk-off is ``span/v * dv/v``.  Returns the
+        tolerable ``dv/v``.
+        """
+        if span_mm <= 0:
+            raise ConfigError("span_mm must be > 0")
+        flight_ns = span_mm / constants.LIGHT_SPEED_SI_MM_PER_NS
+        if flight_ns == 0:
+            return float("inf")
+        return self.timing_budget_ns / flight_ns
+
+    def max_span_mm(self, velocity_fraction_error: float) -> float:
+        """Longest single segment at a given fractional velocity error."""
+        if velocity_fraction_error <= 0:
+            raise ConfigError("velocity_fraction_error must be > 0")
+        return (
+            self.timing_budget_ns
+            * constants.LIGHT_SPEED_SI_MM_PER_NS
+            / velocity_fraction_error
+        )
+
+
+def find_failure_threshold(
+    span_mm: float = 70.0,
+    nodes: int = 4,
+    steps: int = 24,
+) -> tuple[float, float]:
+    """Empirically find the executor's skew-failure threshold.
+
+    Injects a clock-vs-data velocity mismatch into a Pscan (the clock
+    thinks light is slightly slower than it is) and bisects the smallest
+    fractional error that makes the gather fail.  Returns
+    ``(measured_threshold, analytic_threshold)``; they must agree within
+    the search resolution.
+    """
+    from ..core.pscan import Pscan
+    from ..core.schedule import block_interleave_order, gather_schedule
+    from ..photonics.clocking import PhotonicClock
+    from ..photonics.waveguide import Waveguide
+    from ..sim.engine import Simulator
+    from ..util.errors import CollisionError, ScheduleError
+
+    def attempt(fraction: float) -> bool:
+        """True when the gather still succeeds at this velocity error."""
+        sim = Simulator()
+        wg = Waveguide(length_mm=span_mm)
+        pitch = span_mm / (nodes + 1)
+        positions = {i: (i + 1) * pitch for i in range(nodes)}
+        pscan = Pscan(sim, wg, positions)
+        pscan.clock = PhotonicClock(
+            period_ns=pscan.clock.period_ns,
+            velocity_mm_per_ns=(
+                constants.LIGHT_SPEED_SI_MM_PER_NS * (1.0 - fraction)
+            ),
+        )
+        sched = gather_schedule(block_interleave_order(nodes, 2))
+        data = {i: [0, 1] for i in range(nodes)}
+        try:
+            pscan.execute_gather(sched, data, receiver_mm=span_mm)
+            return True
+        except (CollisionError, ScheduleError):
+            return False
+
+    budget = SkewBudget()
+    # A velocity mismatch skews an arrival by (x_receiver - x_node) *
+    # (1/v_true - 1/v_clock): the worst-affected path is the *furthest
+    # transmitter's* distance to the receiver, not the waveguide length
+    # (the node's own clock error partially cancels in flight).
+    pitch = span_mm / (nodes + 1)
+    worst_path_mm = span_mm - pitch
+    analytic = budget.velocity_error_budget(worst_path_mm)
+
+    lo, hi = 0.0, analytic * 4
+    for _ in range(steps):
+        mid = (lo + hi) / 2
+        if attempt(mid):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2, analytic

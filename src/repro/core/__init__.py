@@ -1,0 +1,90 @@
+"""The paper's primary contribution: CPs, schedules, SCA, PSCAN, P-sync."""
+
+from .arbiter import ArbitrationResult, Message, TdmArbiter
+from .cp import CommunicationProgram, Role, Slot
+from .encoding import (
+    ChainEntry,
+    ChainEntryKind,
+    CpChain,
+    decode_cp,
+    encode_cp,
+    encoded_size_bits,
+)
+from .flowtiming import FlowTiming, run_fft2d_flow
+from .headnode import HeadNode, StreamPlan
+from .multibus import MultiBusPscan, StripedExecution
+from .overlap import OverlapResult, run_model2_overlap
+from .processor import (
+    ExecutionReport,
+    Instruction,
+    Op,
+    Processor,
+    ProcessorConfig,
+    compile_fft_program,
+)
+from .segments import (
+    PscanSegment,
+    RepeaterModel,
+    SegmentedBusPlan,
+    plan_segments,
+)
+from .pscan import Arrival, Pscan, ScaExecution
+from .psync import PsyncConfig, PsyncMachine
+from .sca import ModulationInterval, ScaTiming, sca_timing
+from .schedule import (
+    GlobalSchedule,
+    block_interleave_order,
+    control_then_data_order,
+    gather_schedule,
+    round_robin_order,
+    scatter_schedule,
+    transpose_order,
+)
+
+__all__ = [
+    "Role",
+    "Slot",
+    "CommunicationProgram",
+    "GlobalSchedule",
+    "gather_schedule",
+    "scatter_schedule",
+    "round_robin_order",
+    "block_interleave_order",
+    "transpose_order",
+    "control_then_data_order",
+    "ScaTiming",
+    "ModulationInterval",
+    "sca_timing",
+    "Pscan",
+    "ScaExecution",
+    "Arrival",
+    "HeadNode",
+    "StreamPlan",
+    "PsyncConfig",
+    "PsyncMachine",
+    "encode_cp",
+    "decode_cp",
+    "encoded_size_bits",
+    "CpChain",
+    "ChainEntry",
+    "ChainEntryKind",
+    "plan_segments",
+    "SegmentedBusPlan",
+    "PscanSegment",
+    "RepeaterModel",
+    "OverlapResult",
+    "run_model2_overlap",
+    "FlowTiming",
+    "run_fft2d_flow",
+    "TdmArbiter",
+    "Message",
+    "ArbitrationResult",
+    "MultiBusPscan",
+    "StripedExecution",
+    "Processor",
+    "ProcessorConfig",
+    "Instruction",
+    "Op",
+    "ExecutionReport",
+    "compile_fft_program",
+]

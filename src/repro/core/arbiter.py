@@ -1,0 +1,188 @@
+"""Mixed traffic on the PSCAN: TDM arbitration for non-SCA messages.
+
+Paper Section IV: "the PSCAN physical layer was deliberately designed to
+be generic, such that it could be shared with other traffic besides SCA
+and SCA⁻¹ transactions" — and Section VIII lists "compatibility with
+other transfer modes" as future work.  This module implements the
+simplest such mode: point-to-point messages between processors, time-
+division multiplexed into bus cycles *not* claimed by a collective.
+
+Because the bus is directional, a message can only flow downstream
+(sender position < receiver position); upstream replies need a second,
+counter-directional waveguide (the usual NoC convention — P-sync's Fig. 6
+shows separate SCA and SCA⁻¹ buses), which the arbiter models as a
+mirrored channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..util.errors import ScheduleError
+from .schedule import GlobalSchedule, gather_schedule
+
+__all__ = ["Message", "TdmArbiter", "ArbitrationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A point-to-point message of ``words`` bus words."""
+
+    source: int
+    dest: int
+    words: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise ScheduleError("node ids must be >= 0")
+        if self.source == self.dest:
+            raise ScheduleError("message to self")
+        if self.words < 1:
+            raise ScheduleError("message must carry >= 1 word")
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """Cycles granted to one message on one channel."""
+
+    message: Message
+    channel: str            # "downstream" or "upstream"
+    start_cycle: int
+    words: int
+
+    @property
+    def end_cycle(self) -> int:
+        """One past the last granted cycle."""
+        return self.start_cycle + self.words
+
+
+@dataclass
+class ArbitrationResult:
+    """Outcome of arbitrating a message batch around collective traffic."""
+
+    allocations: list[Allocation] = field(default_factory=list)
+    #: Total cycles of the downstream channel's schedule (incl. gaps used).
+    downstream_span: int = 0
+    upstream_span: int = 0
+
+    def cycles_for(self, message: Message) -> Allocation:
+        """The allocation granted to ``message``."""
+        for alloc in self.allocations:
+            if alloc.message is message:
+                return alloc
+        raise ScheduleError(f"message {message} was not allocated")
+
+    @property
+    def channel_loads(self) -> dict[str, int]:
+        """Words granted per channel."""
+        loads = {"downstream": 0, "upstream": 0}
+        for alloc in self.allocations:
+            loads[alloc.channel] += alloc.words
+        return loads
+
+
+class TdmArbiter:
+    """First-come-first-served TDM allocator over the PSCAN's spare cycles.
+
+    Parameters
+    ----------
+    positions_mm:
+        Node positions on the (downstream) waveguide; the upstream
+        channel mirrors them.
+    reserved:
+        An optional collective schedule whose cycles are off-limits on
+        the downstream channel (SCA/SCA⁻¹ has priority).
+    """
+
+    def __init__(
+        self,
+        positions_mm: dict[int, float],
+        reserved: GlobalSchedule | None = None,
+    ) -> None:
+        if not positions_mm:
+            raise ScheduleError("need at least one node")
+        self.positions_mm = dict(positions_mm)
+        self._reserved: set[int] = set()
+        if reserved is not None:
+            for cp in reserved.programs.values():
+                for slot in cp:
+                    self._reserved.update(slot.cycles())
+
+    def channel_of(self, message: Message) -> str:
+        """Which waveguide carries the message (directionality)."""
+        for node in (message.source, message.dest):
+            if node not in self.positions_mm:
+                raise ScheduleError(f"unknown node {node}")
+        if self.positions_mm[message.source] < self.positions_mm[message.dest]:
+            return "downstream"
+        return "upstream"
+
+    def arbitrate(self, messages: list[Message]) -> ArbitrationResult:
+        """Grant contiguous cycle runs to each message, FCFS.
+
+        Downstream grants skip reserved (collective) cycles; upstream is
+        unreserved.  Within one channel, grants never overlap — one
+        driver per cycle, the same invariant the SCA compiler enforces.
+        """
+        result = ArbitrationResult()
+        cursors = {"downstream": 0, "upstream": 0}
+        for message in messages:
+            channel = self.channel_of(message)
+            start = cursors[channel]
+            if channel == "downstream":
+                start = self._next_free_run(start, message.words)
+            result.allocations.append(
+                Allocation(
+                    message=message,
+                    channel=channel,
+                    start_cycle=start,
+                    words=message.words,
+                )
+            )
+            cursors[channel] = start + message.words
+        result.downstream_span = cursors["downstream"]
+        result.upstream_span = cursors["upstream"]
+        return result
+
+    def _next_free_run(self, start: int, length: int) -> int:
+        """First cycle >= start beginning a reserved-free run of ``length``."""
+        cycle = start
+        guard = 0
+        while True:
+            run = range(cycle, cycle + length)
+            conflict = next((c for c in run if c in self._reserved), None)
+            if conflict is None:
+                return cycle
+            cycle = conflict + 1
+            guard += 1
+            if guard > len(self._reserved) + 1:
+                raise ScheduleError("arbiter failed to find a free run")
+
+    def to_gather_schedule(
+        self, result: ArbitrationResult, channel: str = "downstream"
+    ) -> GlobalSchedule:
+        """Compile one channel's grants into an executable schedule.
+
+        The grants become DRIVE slots of the senders; word indices are
+        per-sender sequential, so the same executor that runs SCAs runs
+        mixed traffic.  Reserved collective cycles appear as gaps — this
+        schedule intentionally does *not* validate full utilization.
+        """
+        order_map: dict[int, tuple[int, int]] = {}
+        word_counters: dict[int, int] = {}
+        for alloc in result.allocations:
+            if alloc.channel != channel:
+                continue
+            sender = alloc.message.source
+            for i in range(alloc.words):
+                w = word_counters.get(sender, 0)
+                order_map[alloc.start_cycle + i] = (sender, w)
+                word_counters[sender] = w + 1
+        if not order_map:
+            return gather_schedule([])
+        # Compact to a dense order (gaps removed) for execution; the
+        # original cycle numbers stay available via the allocations.
+        dense = [order_map[c] for c in sorted(order_map)]
+        return gather_schedule(dense)

@@ -1,0 +1,189 @@
+"""Communication Programs (paper Sections III and IV).
+
+A Communication Program (CP) is the explicit, pre-compiled schedule that a
+P-sync node's waveguide interface executes: *which bus cycles this node
+drives (or listens to) and which local words move on those cycles*.  All
+CPs on a PSCAN are linked into a global schedule such that exactly one
+node drives the bus on any cycle (Section IV).
+
+The paper notes CPs are tiny ("approximately 96-bits" for FFT) because a
+regular access pattern compresses to a few loop descriptors.  We model a
+CP as a list of :class:`Slot` entries and provide the compressed
+*descriptor* encoding to substantiate the size claim
+(:meth:`CommunicationProgram.encoded_bits`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..util.errors import ScheduleError
+
+__all__ = ["Role", "Slot", "CommunicationProgram"]
+
+
+class Role(enum.Enum):
+    """What a node does with the waveguide during a slot."""
+
+    DRIVE = "drive"     #: modulate data onto the bus (SCA contributor / head node)
+    LISTEN = "listen"   #: detect data from the bus (SCA receiver / SCA⁻¹ target)
+
+
+@dataclass(frozen=True, slots=True)
+class Slot:
+    """A contiguous run of bus cycles with one role.
+
+    ``word_offset`` is the index into the node's local buffer of the first
+    word moved in this slot; successive cycles move successive words.
+    """
+
+    start_cycle: int
+    length: int
+    role: Role = Role.DRIVE
+    word_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ScheduleError(f"slot start must be >= 0, got {self.start_cycle}")
+        if self.length <= 0:
+            raise ScheduleError(f"slot length must be > 0, got {self.length}")
+        if self.word_offset < 0:
+            raise ScheduleError(f"word offset must be >= 0, got {self.word_offset}")
+
+    @property
+    def end_cycle(self) -> int:
+        """One past the last cycle of the slot."""
+        return self.start_cycle + self.length
+
+    def cycles(self) -> range:
+        """The bus cycles this slot occupies."""
+        return range(self.start_cycle, self.end_cycle)
+
+    def overlaps(self, other: "Slot") -> bool:
+        """True when the two slots share any bus cycle."""
+        return self.start_cycle < other.end_cycle and other.start_cycle < self.end_cycle
+
+    def word_for_cycle(self, cycle: int) -> int:
+        """Local-buffer word index moved on ``cycle``."""
+        if not (self.start_cycle <= cycle < self.end_cycle):
+            raise ScheduleError(f"cycle {cycle} outside slot {self}")
+        return self.word_offset + (cycle - self.start_cycle)
+
+
+@dataclass
+class CommunicationProgram:
+    """The per-node schedule of waveguide slots.
+
+    Slots must be non-overlapping; they are kept sorted by start cycle.
+    A node may both DRIVE and LISTEN in one program (e.g. a processor that
+    receives an SCA⁻¹ block and later contributes to an SCA), as long as
+    the cycles are disjoint.
+    """
+
+    node_id: int
+    slots: list[Slot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ScheduleError(f"node_id must be >= 0, got {self.node_id}")
+        ordered = sorted(self.slots, key=lambda s: s.start_cycle)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.overlaps(b):
+                raise ScheduleError(
+                    f"node {self.node_id}: slots {a} and {b} overlap"
+                )
+        self.slots = ordered
+
+    def add_slot(self, slot: Slot) -> None:
+        """Insert a slot, re-validating non-overlap."""
+        for existing in self.slots:
+            if existing.overlaps(slot):
+                raise ScheduleError(
+                    f"node {self.node_id}: new slot {slot} overlaps {existing}"
+                )
+        self.slots.append(slot)
+        self.slots.sort(key=lambda s: s.start_cycle)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total bus cycles this node is active (drive + listen)."""
+        return sum(s.length for s in self.slots)
+
+    @property
+    def drive_cycles(self) -> int:
+        """Bus cycles this node drives."""
+        return sum(s.length for s in self.slots if s.role is Role.DRIVE)
+
+    @property
+    def listen_cycles(self) -> int:
+        """Bus cycles this node listens."""
+        return sum(s.length for s in self.slots if s.role is Role.LISTEN)
+
+    @property
+    def first_cycle(self) -> int | None:
+        """First active cycle, or None for an empty program."""
+        return self.slots[0].start_cycle if self.slots else None
+
+    @property
+    def last_cycle(self) -> int | None:
+        """Last active cycle, or None for an empty program."""
+        return max((s.end_cycle - 1 for s in self.slots), default=None)
+
+    def role_at(self, cycle: int) -> Role | None:
+        """Role on ``cycle``, or None when idle."""
+        for slot in self.slots:
+            if slot.start_cycle <= cycle < slot.end_cycle:
+                return slot.role
+        return None
+
+    def slot_at(self, cycle: int) -> Slot | None:
+        """The slot covering ``cycle``, or None when idle."""
+        for slot in self.slots:
+            if slot.start_cycle <= cycle < slot.end_cycle:
+                return slot
+        return None
+
+    # -- descriptor encoding -------------------------------------------------
+
+    #: Bits for each field of a compressed slot descriptor:
+    #: (start_cycle, length, role, word_offset).
+    DESCRIPTOR_FIELD_BITS = (20, 10, 1, 17)
+
+    def encoded_bits(self) -> int:
+        """Size of the CP encoded as fixed-width slot descriptors.
+
+        A strided pattern (one slot, or a handful) encodes in well under
+        128 bits, matching the paper's "approximately 96-bits" claim for
+        the FFT (Section IV).  Runs of equal-length, equally-spaced slots
+        compress to a single (base, stride, count) descriptor.
+        """
+        if not self.slots:
+            return 0
+        per_slot = sum(self.DESCRIPTOR_FIELD_BITS)
+        runs = self._arithmetic_runs()
+        # Each run: one slot descriptor + stride + count (16 bits each).
+        return runs * (per_slot + 32)
+
+    def _arithmetic_runs(self) -> int:
+        """Number of (base, stride, count) runs covering the slot list."""
+        if not self.slots:
+            return 0
+        runs = 1
+        prev_stride: int | None = None
+        for a, b in zip(self.slots, self.slots[1:]):
+            same_shape = a.length == b.length and a.role is b.role
+            stride = b.start_cycle - a.start_cycle
+            if same_shape and (prev_stride is None or stride == prev_stride):
+                prev_stride = stride
+            else:
+                runs += 1
+                prev_stride = None
+        return runs

@@ -1,0 +1,160 @@
+"""End-to-end event-driven timing of the 2D-FFT flow on P-sync.
+
+Where :mod:`repro.llmore.simulate` *models* the five phases with closed
+forms, this module *executes* them: the SCA⁻¹ delivery and SCA transpose
+run on the PSCAN event simulator (real waveguide timing), and the
+compute phases use the paper's multiply-count clock model.  The result
+is a fully measured micro-scale version of a Fig. 13 data point, with
+per-phase wall-clock in nanoseconds and the realized efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fft.radix2 import compute_time_ns, fft
+from ..util import constants
+from ..util.errors import ConfigError
+from .psync import PsyncConfig, PsyncMachine
+from .schedule import gather_schedule, round_robin_order, scatter_schedule, transpose_order
+
+__all__ = ["FlowTiming", "run_fft2d_flow"]
+
+
+@dataclass
+class FlowTiming:
+    """Measured phase times of one 2D-FFT execution on P-sync."""
+
+    processors: int
+    rows: int
+    cols: int
+    phases_ns: dict[str, float] = field(default_factory=dict)
+    #: The numerical result (cols x rows transposed-spectrum memory image
+    #: after the column phase is folded back to rows x cols).
+    result: np.ndarray | None = None
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end wall clock."""
+        return sum(self.phases_ns.values())
+
+    @property
+    def compute_ns(self) -> float:
+        """Total modeled compute time."""
+        return self.phases_ns.get("row_fft", 0.0) + self.phases_ns.get(
+            "col_fft", 0.0
+        )
+
+    @property
+    def communication_ns(self) -> float:
+        """Total measured communication time."""
+        return self.total_ns - self.compute_ns
+
+    @property
+    def efficiency(self) -> float:
+        """Compute time over total time (the Fig. 13 efficiency notion)."""
+        total = self.total_ns
+        return self.compute_ns / total if total else 0.0
+
+    @property
+    def reorg_fraction(self) -> float:
+        """Fig. 14's quantity: transpose share of the total runtime."""
+        total = self.total_ns
+        return self.phases_ns.get("transpose", 0.0) / total if total else 0.0
+
+
+def _compute_phase_ns(
+    n: int, multiply_ns: float, compute_model: str
+) -> float:
+    """Time of one n-point FFT under the chosen compute model.
+
+    ``"multiplies"`` is the paper's Table I clock (2 N log2 N multiplies
+    x multiply_ns, everything else hidden); ``"instructions"`` runs the
+    Fig.-7 execution unit's compiled butterfly program in-order, so
+    loads, stores, adds and twiddle immediates all cost cycles.
+    """
+    if compute_model == "multiplies":
+        return compute_time_ns(n, multiply_ns)
+    if compute_model == "instructions":
+        from .processor import Processor, ProcessorConfig, compile_fft_program
+
+        processor = Processor(ProcessorConfig())
+        processor.load_data(np.zeros(n, dtype=np.complex128))
+        report = processor.run(compile_fft_program(n))
+        # One cycle slot = one real multiply = multiply_ns (the CMUL's 4
+        # slots are the paper's 4 real multiplies per butterfly).
+        return report.cycles * multiply_ns
+    raise ConfigError(f"unknown compute_model {compute_model!r}")
+
+
+def run_fft2d_flow(
+    rows: int,
+    cols: int,
+    matrix: np.ndarray | None = None,
+    multiply_ns: float = constants.FLOAT_MULTIPLY_NS,
+    word_granular_clock: bool = False,
+    compute_model: str = "multiplies",
+) -> FlowTiming:
+    """Execute scatter -> row FFTs -> SCA transpose -> load -> column FFTs.
+
+    One processor per matrix row (the machine is rebuilt between the two
+    compute phases, mirroring the paper's two FFT phases on the same
+    fabric).  Data movement is measured on the event simulator; compute
+    time is the paper's ``2 N log2 N`` multiplies x ``multiply_ns`` per
+    FFT, divided across the (fully parallel) processors — i.e. the time
+    of one row FFT per phase, since each processor owns one row.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+    if matrix is None:
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(rows, cols)) + 1j * rng.normal(size=(rows, cols))
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    if matrix.shape != (rows, cols):
+        raise ConfigError(f"matrix shape {matrix.shape} != ({rows}, {cols})")
+
+    timing = FlowTiming(processors=rows, rows=rows, cols=cols)
+
+    # Phase 1: scatter rows to processors (SCA⁻¹, Model I order).
+    machine = PsyncMachine(
+        PsyncConfig(processors=rows, word_granular_clock=word_granular_clock)
+    )
+    load_sched = scatter_schedule(round_robin_order(rows, cols, block=cols))
+    burst = [matrix[r, c] for r in range(rows) for c in range(cols)]
+    load_exec = machine.scatter(load_sched, burst)
+    timing.phases_ns["scatter"] = load_exec.duration_ns
+
+    # Phase 2: row FFTs (parallel; one row per processor).
+    for pid in range(rows):
+        machine.local_memory[pid] = list(
+            fft(np.array(machine.local_memory[pid], dtype=np.complex128))
+        )
+    timing.phases_ns["row_fft"] = _compute_phase_ns(cols, multiply_ns, compute_model)
+
+    # Phase 3: SCA transpose into memory.
+    t_sched = gather_schedule(transpose_order(rows, cols))
+    t_exec, _cycles = machine.gather_to_dram(t_sched)
+    if not t_exec.is_gapless:
+        raise ConfigError("transpose SCA was not gapless — schedule bug")
+    timing.phases_ns["transpose"] = t_exec.duration_ns
+
+    # Phase 4: load the transposed matrix back (cols rows of length rows).
+    transposed = np.array(
+        machine.memory.bank.read_values(0, rows * cols), dtype=np.complex128
+    ).reshape(cols, rows)
+    machine2 = PsyncMachine(
+        PsyncConfig(processors=cols, word_granular_clock=word_granular_clock)
+    )
+    load2_sched = scatter_schedule(round_robin_order(cols, rows, block=rows))
+    burst2 = [transposed[r, c] for r in range(cols) for c in range(rows)]
+    load2_exec = machine2.scatter(load2_sched, burst2)
+    timing.phases_ns["load"] = load2_exec.duration_ns
+
+    # Phase 5: column FFTs (rows of the transposed matrix).
+    spectra = fft(transposed)
+    timing.phases_ns["col_fft"] = _compute_phase_ns(rows, multiply_ns, compute_model)
+
+    timing.result = spectra.T.copy()  # back to rows x cols orientation
+    return timing

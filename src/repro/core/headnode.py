@@ -1,0 +1,159 @@
+"""Head node: the data-serving processor of a P-sync machine (Section IV).
+
+The head node "understands the memory layout (via its own program) and
+performs requests to the memory such that data is streamed out on the
+SCA⁻¹ waveguide".  Its communication program is a chain of memory
+requests timed so that each word is available exactly when its bus cycle
+comes up — data arrives "just-in-time".
+
+The model answers the quantitative question: *can the DRAM keep the bus
+fed?*  Streaming stalls whenever a row switch costs more cycles than the
+bus slack, and the head node accounts for those stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..memory.dram import DramBank, DramConfig
+from ..photonics.wdm import WdmPlan, paper_pscan_plan
+from ..util.errors import MemoryModelError
+from ..util.validation import require_positive
+
+__all__ = ["StreamPlan", "HeadNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamPlan:
+    """Timing summary for streaming a burst out of memory onto the bus."""
+
+    words: int
+    bus_cycles: int
+    dram_cycles: int
+    stall_cycles: int
+    row_switches: int
+
+    @property
+    def total_bus_cycles(self) -> int:
+        """Bus cycles including stalls (what the SCA⁻¹ actually takes)."""
+        return self.bus_cycles + self.stall_cycles
+
+    @property
+    def streaming_efficiency(self) -> float:
+        """Fraction of bus cycles carrying data (1.0 = never starved)."""
+        total = self.total_bus_cycles
+        return self.bus_cycles / total if total else 0.0
+
+
+@dataclass
+class HeadNode:
+    """Streams linear address ranges from DRAM onto the SCA⁻¹ bus.
+
+    Parameters
+    ----------
+    bank:
+        The DRAM bank data is served from.
+    wdm:
+        The bus wavelength plan (sets bits per bus cycle).
+    word_bits:
+        Bits per streamed word (an FFT sample is 64 bits in the paper).
+    dram_words_per_bus_cycle:
+        DRAM interface rate relative to the bus: how many words the open
+        row can supply per bus cycle.  1.0 means rate-matched.
+    """
+
+    bank: DramBank = field(default_factory=lambda: DramBank(DramConfig()))
+    wdm: WdmPlan = field(default_factory=paper_pscan_plan)
+    word_bits: int = 64
+    dram_words_per_bus_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("dram_words_per_bus_cycle", self.dram_words_per_bus_cycle)
+        if self.word_bits <= 0:
+            raise MemoryModelError(f"word_bits must be > 0, got {self.word_bits}")
+
+    def bus_cycles_per_word(self) -> int:
+        """Bus cycles to put one word on the waveguide (ceil)."""
+        bits = self.wdm.bits_per_cycle
+        return max(1, -(-self.word_bits // bits))
+
+    def plan_stream(self, start_address: int, words: int) -> StreamPlan:
+        """Compute the stall-aware timing of streaming ``words`` words.
+
+        Walks the address range row by row: transferring a word costs
+        ``1/dram_words_per_bus_cycle`` bus cycles on the DRAM side and
+        ``bus_cycles_per_word`` on the bus side; a row switch adds the
+        bank's ``row_switch_cycles``.  Whenever the cumulative DRAM time
+        exceeds the cumulative bus time, the difference is a stall.
+        """
+        if words <= 0:
+            raise MemoryModelError(f"words must be > 0, got {words}")
+        cfg = self.bank.config
+        per_row = cfg.words_per_row
+        bus_per_word = self.bus_cycles_per_word()
+        dram_per_word = 1.0 / self.dram_words_per_bus_cycle
+
+        # The first row activation is start-up latency, not a stall: the
+        # head node's CP simply schedules the burst to begin after it.
+        current_row = cfg.row_of(start_address)
+        dram_time = float(cfg.row_switch_cycles)
+        bus_time = dram_time
+        stall = 0.0
+        switches = 1
+        for i in range(words):
+            addr = start_address + i
+            row = cfg.row_of(addr)
+            if row != current_row:
+                dram_time += cfg.row_switch_cycles
+                switches += 1
+                current_row = row
+            dram_time += dram_per_word
+            bus_time += bus_per_word
+            if dram_time > bus_time:
+                stall += dram_time - bus_time
+                bus_time = dram_time
+        return StreamPlan(
+            words=words,
+            bus_cycles=int(round(words * bus_per_word)),
+            dram_cycles=int(round(dram_time)),
+            stall_cycles=int(round(stall)),
+            row_switches=switches,
+        )
+
+    def fetch_burst(self, start_address: int, words: int) -> tuple[StreamPlan, list[Any]]:
+        """Read the words (with DRAM timing) and return (plan, values)."""
+        plan = self.plan_stream(start_address, words)
+        _result, values = self.bank.read(start_address, words)
+        return plan, values
+
+    def load(self, start_address: int, values: list[Any]) -> None:
+        """Populate the DRAM bank (setup helper; no timing recorded)."""
+        self.bank.write(start_address, values)
+
+    @classmethod
+    def with_banked_rate(
+        cls,
+        banks: int,
+        wdm: WdmPlan | None = None,
+        word_bits: int = 64,
+        probe_words: int = 4096,
+    ) -> "HeadNode":
+        """A head node whose DRAM rate reflects a banked memory system.
+
+        Measures a :class:`~repro.memory.banked.BankedDram` streaming
+        ``probe_words`` sequential words and uses the achieved
+        words-per-cycle as the head node's ``dram_words_per_bus_cycle``
+        — the link between the bank-count analysis
+        (:func:`~repro.memory.banked.banks_needed_for_rate`) and the
+        just-in-time streaming guarantee of Section IV.
+        """
+        from ..memory.banked import BankedDram
+
+        banked = BankedDram(banks=banks)
+        report = banked.stream_read(0, probe_words)
+        return cls(
+            wdm=wdm or paper_pscan_plan(),
+            word_bits=word_bits,
+            dram_words_per_bus_cycle=report.words_per_cycle,
+        )

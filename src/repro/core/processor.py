@@ -1,0 +1,223 @@
+"""The P-sync processing element (paper Fig. 7).
+
+"The computation core in that processor consists of a local Data Memory,
+an Execution Unit, and a Computation Instruction Memory."  This module
+implements that core at instruction granularity: a small ISA, an
+in-order execution unit with per-operation latencies, and a compiler
+that emits the radix-2 butterfly program for local FFT stages.
+
+Two uses:
+
+* executing the compiled program produces the *numerically exact* FFT of
+  the data memory — the instruction stream is real, not a cost model;
+* the cycle count grounds the paper's Table I abstraction ("only
+  multiplies are counted", 2 ns each): running the program shows what
+  fraction of cycles the multiplier actually dominates, and the
+  multiply-only clock model is recovered as the ``multiply_cycles``
+  component of the report.
+
+Registers hold complex samples; a complex multiply is accounted as the
+paper's 4 real multiplies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.validation import is_power_of_two
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "ProcessorConfig",
+    "ExecutionReport",
+    "Processor",
+    "compile_fft_program",
+]
+
+
+class Op(enum.Enum):
+    """The execution unit's operation set."""
+
+    LOAD = "load"      #: reg <- data_memory[addr]
+    STORE = "store"    #: data_memory[addr] <- reg
+    CMUL = "cmul"      #: reg_d <- reg_a * reg_b   (4 real multiplies)
+    CADD = "cadd"      #: reg_d <- reg_a + reg_b
+    CSUB = "csub"      #: reg_d <- reg_a - reg_b
+    LIMM = "limm"      #: reg <- immediate (twiddle constants)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Op
+    dest: int = 0
+    src_a: int = 0
+    src_b: int = 0
+    address: int = 0
+    immediate: complex = 0j
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorConfig:
+    """Timing of the execution unit (cycles per operation).
+
+    Defaults follow the Table I assumptions: a 500 MHz multiplier tile
+    (2 ns per real multiply) fully pipelined four-wide for the complex
+    product — i.e. one CMUL costs ``multiply_cycles`` of multiplier
+    occupancy at the paper's accounting.
+    """
+
+    registers: int = 16
+    load_cycles: int = 1
+    store_cycles: int = 1
+    add_cycles: int = 1
+    multiply_cycles: int = 4   # 4 real multiplies, one per cycle slot
+    limm_cycles: int = 1
+    clock_ghz: float = 0.5     # 2 ns per cycle slot: the paper's multiplier
+
+    def __post_init__(self) -> None:
+        if self.registers < 4:
+            raise ConfigError("need at least 4 registers")
+        for name in ("load_cycles", "store_cycles", "add_cycles",
+                     "multiply_cycles", "limm_cycles"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock_ghz must be > 0")
+
+    def cycles_for(self, op: Op) -> int:
+        """Latency of one operation."""
+        return {
+            Op.LOAD: self.load_cycles,
+            Op.STORE: self.store_cycles,
+            Op.CADD: self.add_cycles,
+            Op.CSUB: self.add_cycles,
+            Op.CMUL: self.multiply_cycles,
+            Op.LIMM: self.limm_cycles,
+        }[op]
+
+
+@dataclass
+class ExecutionReport:
+    """Cycle accounting of one program run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    multiply_cycles: int = 0
+    memory_cycles: int = 0
+    add_cycles: int = 0
+    op_counts: dict[Op, int] = field(default_factory=dict)
+
+    @property
+    def multiply_fraction(self) -> float:
+        """Share of cycles spent in the multiplier — how good Table I's
+        'only multiplies' approximation is for this program."""
+        return self.multiply_cycles / self.cycles if self.cycles else 0.0
+
+    def time_ns(self, clock_ghz: float) -> float:
+        """Wall-clock of the run at the given core clock."""
+        return self.cycles / clock_ghz
+
+
+class Processor:
+    """In-order, single-issue execution unit over a local data memory."""
+
+    def __init__(self, config: ProcessorConfig | None = None) -> None:
+        self.config = config or ProcessorConfig()
+        self.registers = np.zeros(self.config.registers, dtype=np.complex128)
+        self.data_memory = np.zeros(0, dtype=np.complex128)
+
+    def load_data(self, values) -> None:
+        """Fill the local data memory."""
+        self.data_memory = np.asarray(values, dtype=np.complex128).copy()
+
+    def run(self, program: list[Instruction]) -> ExecutionReport:
+        """Execute a program; returns the cycle report.
+
+        Semantics are exact (the data memory really transforms); timing
+        is in-order with per-op latencies — the paper's abstraction plus
+        the load/store/add cycles it deliberately ignores.
+        """
+        cfg = self.config
+        regs = self.registers
+        report = ExecutionReport()
+        for inst in program:
+            cost = cfg.cycles_for(inst.op)
+            report.instructions += 1
+            report.cycles += cost
+            report.op_counts[inst.op] = report.op_counts.get(inst.op, 0) + 1
+            if inst.op is Op.LOAD:
+                self._check_addr(inst.address)
+                regs[inst.dest] = self.data_memory[inst.address]
+                report.memory_cycles += cost
+            elif inst.op is Op.STORE:
+                self._check_addr(inst.address)
+                self.data_memory[inst.address] = regs[inst.src_a]
+                report.memory_cycles += cost
+            elif inst.op is Op.CMUL:
+                regs[inst.dest] = regs[inst.src_a] * regs[inst.src_b]
+                report.multiply_cycles += cost
+            elif inst.op is Op.CADD:
+                regs[inst.dest] = regs[inst.src_a] + regs[inst.src_b]
+                report.add_cycles += cost
+            elif inst.op is Op.CSUB:
+                regs[inst.dest] = regs[inst.src_a] - regs[inst.src_b]
+                report.add_cycles += cost
+            elif inst.op is Op.LIMM:
+                regs[inst.dest] = inst.immediate
+            else:  # pragma: no cover - Op is closed
+                raise ConfigError(f"unknown op {inst.op}")
+        return report
+
+    def _check_addr(self, address: int) -> None:
+        if not (0 <= address < self.data_memory.shape[0]):
+            raise ConfigError(
+                f"address {address} outside data memory of "
+                f"{self.data_memory.shape[0]} words"
+            )
+
+
+def compile_fft_program(
+    n: int, stages: tuple[int, int] | None = None
+) -> list[Instruction]:
+    """Emit the butterfly program for stages ``[lo, hi)`` of an n-point FFT.
+
+    The data memory is assumed to hold the samples in bit-reversed order
+    (the network interface delivers them that way; see
+    :class:`~repro.fft.blocks.BlockedFft`).  Register allocation:
+    r0 = even operand, r1 = odd operand, r2 = twiddle, r3 = product.
+    """
+    if not is_power_of_two(n):
+        raise ConfigError(f"n must be a power of two, got {n}")
+    total_stages = int(math.log2(n))
+    lo, hi = stages if stages is not None else (0, total_stages)
+    if not (0 <= lo <= hi <= total_stages):
+        raise ConfigError(f"stages [{lo}, {hi}) invalid for n={n}")
+
+    program: list[Instruction] = []
+    for s in range(lo, hi):
+        half = 1 << s
+        span = half * 2
+        for group in range(0, n, span):
+            for j in range(half):
+                tw = complex(np.exp(-2j * np.pi * j / span))
+                a = group + j
+                b = group + j + half
+                program.extend([
+                    Instruction(Op.LOAD, dest=0, address=a),
+                    Instruction(Op.LOAD, dest=1, address=b),
+                    Instruction(Op.LIMM, dest=2, immediate=tw),
+                    Instruction(Op.CMUL, dest=3, src_a=1, src_b=2),
+                    Instruction(Op.CADD, dest=4, src_a=0, src_b=3),
+                    Instruction(Op.CSUB, dest=5, src_a=0, src_b=3),
+                    Instruction(Op.STORE, src_a=4, address=a),
+                    Instruction(Op.STORE, src_a=5, address=b),
+                ])
+    return program

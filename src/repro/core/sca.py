@@ -1,0 +1,201 @@
+"""SCA / SCA⁻¹ transaction timing (paper Section III).
+
+The central physical fact (Fig. 3/4): a data bit for bus cycle ``n``
+modulated by the node at position ``x_i`` leaves that node at
+
+    t_mod(n, i) = t0 + n*T + x_i/v + d_response
+
+(the node reacts ``d_response`` after seeing clock edge ``n`` fly past)
+and reaches a downstream observer at position ``x_r`` at
+
+    t_arr(n) = t0 + n*T + x_r/v + d_response
+
+— **independent of which node drove it**.  That cancellation is why
+spatially separate transmitters can splice a gapless burst in flight, and
+why an upstream node may modulate *simultaneously in absolute time* with a
+downstream one without collision (Fig. 4, time t4).
+
+This module computes those times for a compiled
+:class:`~repro.core.schedule.GlobalSchedule`, exposes the per-node
+modulation intervals (the Fig.-4 waveform), and summarizes transaction
+latency/utilization.  The event-driven counterpart that *executes* the
+schedule is :mod:`repro.core.pscan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..photonics.clocking import PhotonicClock
+from ..util.errors import ScheduleError
+from .cp import Role
+from .schedule import GlobalSchedule
+
+__all__ = ["ModulationInterval", "ScaTiming", "sca_timing"]
+
+
+@dataclass(frozen=True, slots=True)
+class ModulationInterval:
+    """One node's contiguous drive (or listen) window in absolute time."""
+
+    node_id: int
+    start_ns: float
+    end_ns: float
+    start_cycle: int
+    n_cycles: int
+    role: Role
+
+    @property
+    def duration_ns(self) -> float:
+        """Length of the window."""
+        return self.end_ns - self.start_ns
+
+    def overlaps_in_time(self, other: "ModulationInterval", eps_ns: float = 1e-9) -> bool:
+        """True when the two windows overlap in *absolute* time.
+
+        ``eps_ns`` absorbs float rounding so exactly abutting windows do
+        not count as overlapping.
+        """
+        return (
+            self.start_ns < other.end_ns - eps_ns
+            and other.start_ns < self.end_ns - eps_ns
+        )
+
+
+@dataclass
+class ScaTiming:
+    """Computed timing of one SCA or SCA⁻¹ transaction."""
+
+    schedule: GlobalSchedule
+    clock: PhotonicClock
+    #: Waveguide position of each node, mm (node id -> position).
+    positions_mm: dict[int, float]
+    #: Observation point (receiver for gather, driver for scatter), mm.
+    observer_mm: float
+    #: Node response delay between clock detection and modulation, ns.
+    response_ns: float
+    intervals: list[ModulationInterval] = field(default_factory=list)
+    #: Arrival time at the observer of each bus cycle's word, ns.
+    arrival_times_ns: list[float] = field(default_factory=list)
+
+    @property
+    def first_arrival_ns(self) -> float:
+        """When the burst's first word reaches the observer."""
+        if not self.arrival_times_ns:
+            raise ScheduleError("empty transaction has no arrivals")
+        return self.arrival_times_ns[0]
+
+    @property
+    def last_arrival_ns(self) -> float:
+        """When the burst's last word reaches the observer."""
+        if not self.arrival_times_ns:
+            raise ScheduleError("empty transaction has no arrivals")
+        return self.arrival_times_ns[-1]
+
+    @property
+    def burst_duration_ns(self) -> float:
+        """Observer-side duration from first to one period past last word."""
+        return self.last_arrival_ns - self.first_arrival_ns + self.clock.period_ns
+
+    @property
+    def is_gapless(self) -> bool:
+        """True when consecutive arrivals are exactly one period apart."""
+        period = self.clock.period_ns
+        return all(
+            abs((b - a) - period) < 1e-9
+            for a, b in zip(self.arrival_times_ns, self.arrival_times_ns[1:])
+        )
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of the burst window carrying data (1.0 when gapless)."""
+        if not self.arrival_times_ns:
+            return 0.0
+        n = len(self.arrival_times_ns)
+        return n * self.clock.period_ns / self.burst_duration_ns
+
+    def simultaneous_pairs(self) -> list[tuple[int, int]]:
+        """Pairs of distinct nodes whose drive windows overlap in absolute time.
+
+        Non-empty results demonstrate the Fig.-4 property: simultaneous
+        modulation without collision, possible because of flight-time
+        separation along the waveguide.
+        """
+        pairs: list[tuple[int, int]] = []
+        for i, a in enumerate(self.intervals):
+            for b in self.intervals[i + 1:]:
+                if a.node_id != b.node_id and a.overlaps_in_time(b):
+                    pairs.append((a.node_id, b.node_id))
+        return pairs
+
+
+def sca_timing(
+    schedule: GlobalSchedule,
+    clock: PhotonicClock,
+    positions_mm: dict[int, float],
+    observer_mm: float,
+    response_ns: float = 0.01,
+) -> ScaTiming:
+    """Compute absolute-time behaviour of a compiled schedule.
+
+    Parameters
+    ----------
+    schedule:
+        A validated gather or scatter schedule.
+    clock:
+        The distributed photonic clock.
+    positions_mm:
+        Waveguide position of every node appearing in the schedule.
+    observer_mm:
+        Where arrivals are measured: the gather receiver (must be
+        downstream of all contributors) or the scatter observation point.
+    response_ns:
+        Common node response skew between clock detection and modulation
+        (Section III-A: "a common skew ... constant skew").
+    """
+    if response_ns < 0:
+        raise ScheduleError(f"response_ns must be >= 0, got {response_ns}")
+    active_role = Role.DRIVE if schedule.kind == "gather" else Role.LISTEN
+    for node_id in schedule.programs:
+        if node_id not in positions_mm:
+            raise ScheduleError(f"no waveguide position for node {node_id}")
+        if schedule.kind == "gather" and positions_mm[node_id] > observer_mm:
+            raise ScheduleError(
+                f"gather contributor {node_id} at {positions_mm[node_id]} mm is "
+                f"downstream of the receiver at {observer_mm} mm"
+            )
+
+    timing = ScaTiming(
+        schedule=schedule,
+        clock=clock,
+        positions_mm=dict(positions_mm),
+        observer_mm=observer_mm,
+        response_ns=response_ns,
+    )
+
+    for node_id, cp in sorted(schedule.programs.items()):
+        x = positions_mm[node_id]
+        for slot in cp:
+            if slot.role is not active_role:
+                continue
+            start = clock.edge_time(slot.start_cycle, x) + response_ns
+            end = start + slot.length * clock.period_ns
+            timing.intervals.append(
+                ModulationInterval(
+                    node_id=node_id,
+                    start_ns=start,
+                    end_ns=end,
+                    start_cycle=slot.start_cycle,
+                    n_cycles=slot.length,
+                    role=slot.role,
+                )
+            )
+    timing.intervals.sort(key=lambda iv: iv.start_cycle)
+
+    # Arrival of cycle n at the observer is node-independent (see module
+    # docstring); compute it directly from the clock.
+    timing.arrival_times_ns = [
+        clock.edge_time(n, observer_mm) + response_ns
+        for n in range(schedule.total_cycles)
+    ]
+    return timing

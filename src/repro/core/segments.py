@@ -1,0 +1,150 @@
+"""Multi-segment PSCAN planning (paper Section III-B).
+
+"It is important to note, however, that individual PSCAN segments can be
+linked via repeaters to form larger networks."  This module plans such
+chains: given a node population and a loss model, it partitions the bus
+into segments that each close their optical budget (Eqs. 1-3), places
+O-E-O repeaters between them, and reports the timing and energy cost of
+the chain.
+
+A repeater is a photodiode + retiming latch + modulator: it restores
+power but adds a fixed retiming delay, and because it retransmits on a
+fresh laser, the downstream segment starts a new budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..photonics.waveguide import SegmentLossModel
+from ..util import constants
+from ..util.errors import LinkBudgetError
+from ..util.validation import require_non_negative, require_positive
+
+__all__ = ["RepeaterModel", "PscanSegment", "SegmentedBusPlan", "plan_segments"]
+
+
+@dataclass(frozen=True, slots=True)
+class RepeaterModel:
+    """Cost model of one O-E-O repeater."""
+
+    retime_delay_ns: float = 0.1
+    energy_per_bit_pj: float = (
+        constants.RECEIVER_ENERGY_PJ_PER_BIT + constants.MODULATOR_ENERGY_PJ_PER_BIT
+    )
+
+    def __post_init__(self) -> None:
+        require_non_negative("retime_delay_ns", self.retime_delay_ns)
+        require_non_negative("energy_per_bit_pj", self.energy_per_bit_pj)
+
+
+@dataclass(frozen=True, slots=True)
+class PscanSegment:
+    """One optically contiguous stretch of the bus."""
+
+    index: int
+    first_node: int
+    node_count: int
+    loss_db: float
+
+    @property
+    def last_node(self) -> int:
+        """Index one past the final node of the segment."""
+        return self.first_node + self.node_count
+
+
+@dataclass
+class SegmentedBusPlan:
+    """A repeater-linked chain of PSCAN segments."""
+
+    segments: list[PscanSegment] = field(default_factory=list)
+    repeater: RepeaterModel = field(default_factory=RepeaterModel)
+    node_pitch_mm: float = 0.5
+    velocity_mm_per_ns: float = constants.LIGHT_SPEED_SI_MM_PER_NS
+
+    @property
+    def repeater_count(self) -> int:
+        """Repeaters between segments."""
+        return max(0, len(self.segments) - 1)
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes across all segments."""
+        return sum(s.node_count for s in self.segments)
+
+    @property
+    def total_length_mm(self) -> float:
+        """Physical bus length (nodes at uniform pitch)."""
+        return max(0, self.total_nodes - 1) * self.node_pitch_mm
+
+    @property
+    def end_to_end_delay_ns(self) -> float:
+        """Flight time plus repeater retiming across the whole chain."""
+        flight = self.total_length_mm / self.velocity_mm_per_ns
+        return flight + self.repeater_count * self.repeater.retime_delay_ns
+
+    def repeater_energy_pj(self, bits: float) -> float:
+        """Dynamic repeater energy for ``bits`` bits traversing the chain."""
+        require_non_negative("bits", bits)
+        return bits * self.repeater_count * self.repeater.energy_per_bit_pj
+
+    def segment_of(self, node: int) -> PscanSegment:
+        """The segment hosting ``node``."""
+        for seg in self.segments:
+            if seg.first_node <= node < seg.last_node:
+                return seg
+        raise LinkBudgetError(f"node {node} not on the bus ({self.total_nodes} nodes)")
+
+    def added_skew_ns(self, node: int) -> float:
+        """Extra clock skew at ``node`` from upstream repeater retiming.
+
+        The retimed clock still flies at the same speed, but each
+        repeater inserts its fixed delay; nodes downstream of ``k``
+        repeaters see ``k * retime_delay_ns`` extra offset, which their
+        CPs must fold in (the schedule compiler treats it exactly like
+        flight time — deterministic, therefore schedulable).
+        """
+        seg = self.segment_of(node)
+        return seg.index * self.repeater.retime_delay_ns
+
+
+def plan_segments(
+    nodes: int,
+    loss_model: SegmentLossModel | None = None,
+    repeater: RepeaterModel | None = None,
+) -> SegmentedBusPlan:
+    """Partition ``nodes`` modulation sites into budget-closing segments.
+
+    Greedy: each segment takes the maximum number of sites Eq. 3 allows;
+    a repeater then restores the budget for the next segment.  Raises
+    :class:`LinkBudgetError` when even a single site exceeds the budget.
+    """
+    require_positive("nodes", nodes)
+    model = loss_model or SegmentLossModel()
+    per_segment = model.max_segments
+    if per_segment < 1:
+        raise LinkBudgetError(
+            "optical budget cannot close even one segment "
+            f"(loss {model.loss_per_segment_db:.3f} dB/site)"
+        )
+    plan = SegmentedBusPlan(
+        repeater=repeater or RepeaterModel(),
+        node_pitch_mm=model.modulator_pitch_mm,
+    )
+    first = 0
+    index = 0
+    remaining = nodes
+    while remaining > 0:
+        take = min(per_segment, remaining)
+        plan.segments.append(
+            PscanSegment(
+                index=index,
+                first_node=first,
+                node_count=take,
+                loss_db=take * model.loss_per_segment_db,
+            )
+        )
+        first += take
+        remaining -= take
+        index += 1
+    return plan

@@ -1,0 +1,24 @@
+"""Energy models: ORION-style electronic mesh vs PSCAN (Fig. 5)."""
+
+from .compare import (
+    DEFAULT_NODE_SWEEP,
+    EnergyComparison,
+    EnergyComparisonRow,
+    figure5_sweep,
+)
+from .electronic import ElectronicEnergyModel, GatherEnergyBreakdown
+from .measured import MeasuredMeshEnergy, measure_mesh_energy
+from .photonic import PhotonicEnergyModel, PscanEnergyBreakdown
+
+__all__ = [
+    "ElectronicEnergyModel",
+    "GatherEnergyBreakdown",
+    "PhotonicEnergyModel",
+    "PscanEnergyBreakdown",
+    "EnergyComparison",
+    "EnergyComparisonRow",
+    "figure5_sweep",
+    "DEFAULT_NODE_SWEEP",
+    "MeasuredMeshEnergy",
+    "measure_mesh_energy",
+]

@@ -1,0 +1,82 @@
+"""Fig. 5 — energy per bit, electronic mesh vs PSCAN, over a node sweep.
+
+The paper: "PSCAN achieves at least a 5.2x improvement for the networks
+simulated."  :func:`figure5_sweep` regenerates both curves for square
+networks of 16..1024 nodes on the fixed 2 cm x 2 cm chip, with both
+architectures carrying an equivalent 320 Gb/s gather to memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .electronic import ElectronicEnergyModel
+from .photonic import PhotonicEnergyModel
+
+__all__ = ["EnergyComparisonRow", "EnergyComparison", "figure5_sweep"]
+
+#: Square node counts of the default sweep.
+DEFAULT_NODE_SWEEP: tuple[int, ...] = (16, 64, 256, 1024)
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyComparisonRow:
+    """One x-axis point of Fig. 5."""
+
+    nodes: int
+    electronic_pj_per_bit: float
+    pscan_pj_per_bit: float
+
+    @property
+    def improvement(self) -> float:
+        """Electronic / PSCAN energy ratio (>1 means PSCAN wins)."""
+        return self.electronic_pj_per_bit / self.pscan_pj_per_bit
+
+
+@dataclass
+class EnergyComparison:
+    """The full Fig.-5 dataset."""
+
+    rows: list[EnergyComparisonRow] = field(default_factory=list)
+
+    @property
+    def min_improvement(self) -> float:
+        """Worst-case PSCAN advantage across the sweep (paper: >= 5.2x)."""
+        return min(r.improvement for r in self.rows)
+
+    @property
+    def max_improvement(self) -> float:
+        """Best-case PSCAN advantage across the sweep."""
+        return max(r.improvement for r in self.rows)
+
+    def as_table(self) -> str:
+        """Fixed-width text table, one row per network size."""
+        lines = [
+            f"{'nodes':>6}  {'mesh pJ/bit':>12}  {'PSCAN pJ/bit':>13}  {'improvement':>11}"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.nodes:>6}  {r.electronic_pj_per_bit:>12.3f}  "
+                f"{r.pscan_pj_per_bit:>13.3f}  {r.improvement:>10.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def figure5_sweep(
+    node_counts: tuple[int, ...] = DEFAULT_NODE_SWEEP,
+    electronic: ElectronicEnergyModel | None = None,
+    photonic: PhotonicEnergyModel | None = None,
+) -> EnergyComparison:
+    """Regenerate Fig. 5: per-bit gather energy for both networks."""
+    e_model = electronic or ElectronicEnergyModel()
+    p_model = photonic or PhotonicEnergyModel()
+    comparison = EnergyComparison()
+    for nodes in node_counts:
+        comparison.rows.append(
+            EnergyComparisonRow(
+                nodes=nodes,
+                electronic_pj_per_bit=e_model.energy_per_bit_pj(nodes),
+                pscan_pj_per_bit=p_model.energy_per_bit_pj(nodes),
+            )
+        )
+    return comparison

@@ -1,0 +1,108 @@
+"""Electronic mesh energy model (paper Section III-C, Fig. 5, left side).
+
+ORION-style accounting: each bit pays per-router energy (buffer write +
+read, crossbar, arbitration) at every hop, plus repeatered-wire energy
+proportional to physical distance.  The paper fixes the chip at 2 cm x
+2 cm, so "the link-repeater stages are inversely related to the number of
+network nodes": more nodes = shorter hops, but also more hops.
+
+The workload is the SCA-equivalent gather: every node sends its data to
+the nearest of four corner memory interfaces (80 Gb/s each, 320 Gb/s
+aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mesh.topology import MeshTopology
+from ..util import constants
+from ..util.validation import require_non_negative, require_positive
+
+__all__ = ["ElectronicEnergyModel", "GatherEnergyBreakdown"]
+
+
+@dataclass(frozen=True, slots=True)
+class GatherEnergyBreakdown:
+    """Per-bit energy components for the mesh gather."""
+
+    router_pj_per_bit: float
+    wire_pj_per_bit: float
+    mean_hops: float
+    mean_distance_mm: float
+
+    @property
+    def total_pj_per_bit(self) -> float:
+        """Total per-bit energy."""
+        return self.router_pj_per_bit + self.wire_pj_per_bit
+
+
+@dataclass(frozen=True, slots=True)
+class ElectronicEnergyModel:
+    """ORION-flavoured router + repeatered link energy coefficients.
+
+    Defaults are calibrated to 2013-era models (see DESIGN.md): a 32-bit
+    router datapath at 2.5 GHz costs a few hundred fJ/bit per traversal,
+    and a full-swing repeatered global wire costs ~0.25 pJ/bit/mm.
+    """
+
+    buffer_pj_per_bit: float = 0.18
+    crossbar_pj_per_bit: float = 0.12
+    arbitration_pj_per_bit: float = 0.02
+    wire_pj_per_bit_mm: float = 0.25
+    chip_edge_mm: float = constants.CHIP_EDGE_MM
+    router_stages: int = constants.MESH_ROUTER_STAGES
+
+    def __post_init__(self) -> None:
+        require_non_negative("buffer_pj_per_bit", self.buffer_pj_per_bit)
+        require_non_negative("crossbar_pj_per_bit", self.crossbar_pj_per_bit)
+        require_non_negative("arbitration_pj_per_bit", self.arbitration_pj_per_bit)
+        require_non_negative("wire_pj_per_bit_mm", self.wire_pj_per_bit_mm)
+        require_positive("chip_edge_mm", self.chip_edge_mm)
+
+    @property
+    def router_pj_per_bit_per_hop(self) -> float:
+        """Energy for one bit to traverse one router."""
+        return (
+            self.buffer_pj_per_bit
+            + self.crossbar_pj_per_bit
+            + self.arbitration_pj_per_bit
+        )
+
+    def link_length_mm(self, topology: MeshTopology) -> float:
+        """Hop length when the topology tiles the fixed-size chip."""
+        return topology.link_length_mm(self.chip_edge_mm)
+
+    def mean_hops_to_memory(self, topology: MeshTopology) -> float:
+        """Mean hops from a node to its *nearest* corner memory interface.
+
+        The gather routes each node's traffic to the closest of the four
+        corner interfaces (communication-path diversity, Section III-C).
+        """
+        corners = topology.corners()
+        total = 0
+        for node in topology.nodes():
+            total += min(topology.hop_distance(node, c) for c in corners)
+        return total / topology.node_count
+
+    def gather_energy(self, topology: MeshTopology) -> GatherEnergyBreakdown:
+        """Per-bit energy for the corner-gather on ``topology``.
+
+        A bit from a node ``h`` hops away traverses ``h + 1`` routers
+        (source and destination included) and ``h`` links.
+        """
+        mean_hops = self.mean_hops_to_memory(topology)
+        link_mm = self.link_length_mm(topology)
+        mean_distance = mean_hops * link_mm
+        router = (mean_hops + 1.0) * self.router_pj_per_bit_per_hop
+        wire = mean_distance * self.wire_pj_per_bit_mm
+        return GatherEnergyBreakdown(
+            router_pj_per_bit=router,
+            wire_pj_per_bit=wire,
+            mean_hops=mean_hops,
+            mean_distance_mm=mean_distance,
+        )
+
+    def energy_per_bit_pj(self, nodes: int) -> float:
+        """Convenience: total pJ/bit for a square mesh of ``nodes`` nodes."""
+        return self.gather_energy(MeshTopology.square(nodes)).total_pj_per_bit

@@ -1,0 +1,173 @@
+"""PSCAN energy model (paper Section III-C, Fig. 5, right side).
+
+Per-bit energy of the photonic SCA gather on a serpentine PSCAN:
+
+* **laser** — sized from the *actual* worst-case optical loss of the
+  serpentine (propagation + every detuned ring) plus margin, divided by
+  wall-plug efficiency.  When the loss exceeds one link budget, optical
+  repeaters (detector + modulator back-to-back) split the bus into
+  segments (Section III-B: "individual PSCAN segments can be linked via
+  repeaters").
+* **modulator / receiver dynamic energy** per bit at the endpoints and at
+  each repeater.
+* **SerDes** at both electronic endpoints.
+* **thermal tuning** — static ring-heater power amortized over the link
+  bandwidth (fully utilized during an SCA).
+
+Device coefficients default to PhoenixSim-era values (see DESIGN.md);
+they are parameters so the ablation bench can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..photonics.layout import SerpentineLayout
+from ..util import constants
+from ..util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = ["PhotonicEnergyModel", "PscanEnergyBreakdown"]
+
+
+@dataclass(frozen=True, slots=True)
+class PscanEnergyBreakdown:
+    """Per-bit energy components for the PSCAN gather."""
+
+    laser_pj_per_bit: float
+    modulator_pj_per_bit: float
+    receiver_pj_per_bit: float
+    serdes_pj_per_bit: float
+    tuning_pj_per_bit: float
+    repeater_pj_per_bit: float
+    segments: int
+    total_loss_db: float
+
+    @property
+    def total_pj_per_bit(self) -> float:
+        """Total per-bit energy."""
+        return (
+            self.laser_pj_per_bit
+            + self.modulator_pj_per_bit
+            + self.receiver_pj_per_bit
+            + self.serdes_pj_per_bit
+            + self.tuning_pj_per_bit
+            + self.repeater_pj_per_bit
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhotonicEnergyModel:
+    """PSCAN device-energy coefficients and link-budget parameters."""
+
+    modulator_pj_per_bit: float = 0.05
+    receiver_pj_per_bit: float = 0.05
+    serdes_pj_per_bit: float = 0.08
+    ring_tuning_mw: float = constants.RING_TUNING_MW
+    waveguide_loss_db_per_mm: float = 0.03
+    ring_through_loss_db: float = 0.005
+    pd_sensitivity_dbm: float = -26.0
+    loss_margin_db: float = 3.0
+    max_launch_dbm_per_wavelength: float = 10.0
+    wall_plug_efficiency: float = 0.30
+    wavelengths: int = constants.PSCAN_WAVELENGTH_COUNT
+    rate_per_wavelength_gbps: float = constants.PSCAN_WAVELENGTH_RATE_GBPS
+    chip_edge_mm: float = constants.CHIP_EDGE_MM
+
+    def __post_init__(self) -> None:
+        require_non_negative("modulator_pj_per_bit", self.modulator_pj_per_bit)
+        require_non_negative("receiver_pj_per_bit", self.receiver_pj_per_bit)
+        require_non_negative("serdes_pj_per_bit", self.serdes_pj_per_bit)
+        require_non_negative("ring_tuning_mw", self.ring_tuning_mw)
+        require_non_negative("waveguide_loss_db_per_mm", self.waveguide_loss_db_per_mm)
+        require_non_negative("ring_through_loss_db", self.ring_through_loss_db)
+        require_non_negative("loss_margin_db", self.loss_margin_db)
+        require_in_range("wall_plug_efficiency", self.wall_plug_efficiency, 1e-6, 1.0)
+        require_positive("rate_per_wavelength_gbps", self.rate_per_wavelength_gbps)
+
+    @property
+    def aggregate_gbps(self) -> float:
+        """Total link bandwidth."""
+        return self.wavelengths * self.rate_per_wavelength_gbps
+
+    @property
+    def segment_budget_db(self) -> float:
+        """Loss one segment may accumulate before needing a repeater."""
+        return (
+            self.max_launch_dbm_per_wavelength
+            - self.pd_sensitivity_dbm
+            - self.loss_margin_db
+        )
+
+    def serpentine_for(self, nodes: int) -> SerpentineLayout:
+        """The serpentine layout hosting ``nodes`` modulation sites."""
+        return SerpentineLayout.square(nodes, chip_edge_mm=self.chip_edge_mm)
+
+    def total_loss_db(self, nodes: int) -> float:
+        """Worst-case end-to-end loss: full serpentine + every detuned ring.
+
+        Each node contributes one ring per wavelength group; following the
+        paper's segment definition (Eq. 2) we count one ring pass per
+        modulation site.
+        """
+        layout = self.serpentine_for(nodes)
+        return (
+            layout.total_length_mm * self.waveguide_loss_db_per_mm
+            + nodes * self.ring_through_loss_db
+        )
+
+    def segments_needed(self, nodes: int) -> int:
+        """Optical segments (1 = no repeater) to cover the serpentine."""
+        budget = self.segment_budget_db
+        if budget <= 0:
+            raise ValueError(
+                "no per-segment budget: launch power below sensitivity + margin"
+            )
+        return max(1, math.ceil(self.total_loss_db(nodes) / budget))
+
+    def laser_pj_per_bit(self, nodes: int) -> float:
+        """Laser wall-plug energy per bit.
+
+        Each segment's per-wavelength launch power covers that segment's
+        share of the loss plus margin; total laser power is summed over
+        segments and wavelengths, then divided by the aggregate bandwidth
+        (the SCA keeps the link fully utilized).
+        """
+        segments = self.segments_needed(nodes)
+        seg_loss = self.total_loss_db(nodes) / segments
+        launch_dbm = self.pd_sensitivity_dbm + seg_loss + self.loss_margin_db
+        launch_mw = 10.0 ** (launch_dbm / 10.0)
+        optical_mw = launch_mw * self.wavelengths * segments
+        electrical_mw = optical_mw / self.wall_plug_efficiency
+        return electrical_mw / self.aggregate_gbps
+
+    def tuning_pj_per_bit(self, nodes: int) -> float:
+        """Thermal tuning power amortized over the fully utilized link."""
+        total_rings = nodes * self.wavelengths
+        return total_rings * self.ring_tuning_mw / self.aggregate_gbps
+
+    def gather_energy(self, nodes: int) -> PscanEnergyBreakdown:
+        """Per-bit energy of the SCA gather with ``nodes`` contributors."""
+        segments = self.segments_needed(nodes)
+        repeaters = segments - 1
+        repeater = repeaters * (
+            self.receiver_pj_per_bit + self.modulator_pj_per_bit
+        )
+        return PscanEnergyBreakdown(
+            laser_pj_per_bit=self.laser_pj_per_bit(nodes),
+            modulator_pj_per_bit=self.modulator_pj_per_bit,
+            receiver_pj_per_bit=self.receiver_pj_per_bit,
+            serdes_pj_per_bit=2.0 * self.serdes_pj_per_bit,
+            tuning_pj_per_bit=self.tuning_pj_per_bit(nodes),
+            repeater_pj_per_bit=repeater,
+            segments=segments,
+            total_loss_db=self.total_loss_db(nodes),
+        )
+
+    def energy_per_bit_pj(self, nodes: int) -> float:
+        """Convenience: total pJ/bit for ``nodes`` contributors."""
+        return self.gather_energy(nodes).total_pj_per_bit

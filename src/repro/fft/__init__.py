@@ -1,0 +1,54 @@
+"""The FFT application kernel: serial, blocked, distributed, transports."""
+
+from .blocks import (
+    BlockedFft,
+    block_compute_time_ns,
+    block_multiplies,
+    final_compute_time_ns,
+    final_phase_multiplies,
+)
+from .parallel2d import (
+    Distributed2dFft,
+    RowBlocks,
+    fft2d_reference,
+    four_step_fft1d,
+)
+from .real import irfft, rfft
+from .radix2 import (
+    bit_reverse_indices,
+    bit_reverse_permute,
+    butterfly_count,
+    compute_time_ns,
+    fft,
+    fft_stage,
+    fft_stages,
+    ifft,
+    multiply_count,
+)
+from .transpose import MeshBlockTranspose, PsyncTranspose, TransposeCost
+
+__all__ = [
+    "fft",
+    "ifft",
+    "fft_stage",
+    "fft_stages",
+    "bit_reverse_indices",
+    "bit_reverse_permute",
+    "butterfly_count",
+    "multiply_count",
+    "compute_time_ns",
+    "BlockedFft",
+    "block_multiplies",
+    "final_phase_multiplies",
+    "block_compute_time_ns",
+    "final_compute_time_ns",
+    "Distributed2dFft",
+    "RowBlocks",
+    "fft2d_reference",
+    "four_step_fft1d",
+    "PsyncTranspose",
+    "MeshBlockTranspose",
+    "TransposeCost",
+    "rfft",
+    "irfft",
+]

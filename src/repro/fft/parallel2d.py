@@ -1,0 +1,186 @@
+"""Distributed 2D FFT (paper Section V-B).
+
+The five-step flow the paper evaluates:
+
+1. deliver ``P`` row blocks to the processor array (scatter),
+2. ``P`` row FFTs in parallel,
+3. transpose into off-chip DRAM (gather),
+4. load the reorganized data back (scatter),
+5. ``P`` column FFTs in parallel.
+
+:class:`Distributed2dFft` executes this flow with real data over an
+abstract *transport* (a pair of scatter/gather callables), so the same
+algorithm runs on the P-sync machine (SCA/SCA⁻¹), on the mesh simulator,
+or on a zero-cost null transport (for pure correctness tests).  The large
+1-D FFT reduction — "large 1D vector FFTs are typically implemented as 2D
+matrix FFTs" (Section II, Bailey's four-step) — is provided too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.validation import is_power_of_two
+from .radix2 import fft as fft1d
+
+__all__ = ["Distributed2dFft", "fft2d_reference", "four_step_fft1d", "RowBlocks"]
+
+#: Scatter: given the full matrix, return the list of per-processor row blocks.
+ScatterFn = Callable[[np.ndarray], list[np.ndarray]]
+#: Gather: given per-processor row blocks, return the transposed matrix.
+GatherTransposeFn = Callable[[list[np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True, slots=True)
+class RowBlocks:
+    """How an ``rows x cols`` matrix is striped over ``p`` processors."""
+
+    rows: int
+    cols: int
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ConfigError("need >= 1 processor")
+        if self.rows % self.processors != 0:
+            raise ConfigError(
+                f"{self.processors} processors must divide {self.rows} rows"
+            )
+
+    @property
+    def rows_per_processor(self) -> int:
+        """Contiguous rows owned by each processor."""
+        return self.rows // self.processors
+
+    def block(self, matrix: np.ndarray, pid: int) -> np.ndarray:
+        """Processor ``pid``'s row block of ``matrix``."""
+        if not (0 <= pid < self.processors):
+            raise ConfigError(f"pid {pid} out of range")
+        r = self.rows_per_processor
+        return matrix[pid * r: (pid + 1) * r]
+
+
+def default_scatter(blocks: RowBlocks) -> ScatterFn:
+    """Null-transport scatter: slice the matrix into row blocks."""
+
+    def scatter(matrix: np.ndarray) -> list[np.ndarray]:
+        if matrix.shape != (blocks.rows, blocks.cols):
+            raise ConfigError(
+                f"matrix shape {matrix.shape} != ({blocks.rows}, {blocks.cols})"
+            )
+        return [blocks.block(matrix, pid).copy() for pid in range(blocks.processors)]
+
+    return scatter
+
+
+def default_gather_transpose(blocks: RowBlocks) -> GatherTransposeFn:
+    """Null-transport gather: reassemble and transpose."""
+
+    def gather(row_blocks: list[np.ndarray]) -> np.ndarray:
+        full = np.vstack(row_blocks)
+        return full.T.copy()
+
+    return gather
+
+
+class Distributed2dFft:
+    """The five-step distributed 2D FFT over pluggable transports.
+
+    Parameters
+    ----------
+    rows, cols:
+        Matrix shape; both powers of two.
+    processors:
+        Processor count; must divide ``rows`` (and ``cols`` for the
+        column phase after the transpose).
+    scatter / gather_transpose:
+        Transport callables; default to the zero-cost null transport.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        processors: int,
+        scatter: ScatterFn | None = None,
+        gather_transpose: GatherTransposeFn | None = None,
+    ) -> None:
+        if not (is_power_of_two(rows) and is_power_of_two(cols)):
+            raise ConfigError(f"rows={rows} and cols={cols} must be powers of two")
+        self.blocks = RowBlocks(rows=rows, cols=cols, processors=processors)
+        if cols % processors != 0:
+            raise ConfigError(
+                f"{processors} processors must divide cols={cols} for the "
+                "column phase"
+            )
+        self.scatter = scatter or default_scatter(self.blocks)
+        # After the transpose the matrix is cols x rows.
+        self._post = RowBlocks(rows=cols, cols=rows, processors=processors)
+        self.gather_transpose = gather_transpose or default_gather_transpose(
+            self.blocks
+        )
+
+    def row_phase(self, row_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Step 2: each processor FFTs its rows."""
+        return [fft1d(block) for block in row_blocks]
+
+    def column_phase(self, col_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Step 5: each processor FFTs its (transposed) rows."""
+        return [fft1d(block) for block in col_blocks]
+
+    def run(self, matrix: np.ndarray) -> np.ndarray:
+        """Execute the full flow; returns the 2D FFT of ``matrix``.
+
+        The result is assembled back to natural (rows x cols) orientation
+        for comparison with :func:`fft2d_reference`.
+        """
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        row_blocks = self.scatter(matrix)                 # step 1
+        row_done = self.row_phase(row_blocks)             # step 2
+        transposed = self.gather_transpose(row_done)      # step 3
+        col_blocks = [
+            self._post.block(transposed, pid).copy()      # step 4
+            for pid in range(self.blocks.processors)
+        ]
+        col_done = self.column_phase(col_blocks)          # step 5
+        result_t = np.vstack(col_done)                    # cols x rows
+        return result_t.T.copy()
+
+    @property
+    def total_sample_count(self) -> int:
+        """Samples in the full matrix."""
+        return self.blocks.rows * self.blocks.cols
+
+
+def fft2d_reference(matrix: np.ndarray) -> np.ndarray:
+    """Oracle 2D FFT (row FFTs then column FFTs via numpy)."""
+    return np.fft.fft(np.fft.fft(matrix, axis=1), axis=0)
+
+
+def four_step_fft1d(x: np.ndarray, rows: int) -> np.ndarray:
+    """Bailey's four-step 1-D FFT via a 2-D decomposition (Section II).
+
+    For ``len(x) == rows * cols``: reshape row-major, FFT the columns,
+    apply twiddles ``W^(r*c)``, FFT the rows, then read out column-major.
+    Demonstrates that optimizing the 2-D FFT generalizes to large 1-D
+    FFTs, as the paper argues.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    if n % rows != 0:
+        raise ConfigError(f"rows={rows} must divide len(x)={n}")
+    cols = n // rows
+    if not (is_power_of_two(rows) and is_power_of_two(cols)):
+        raise ConfigError("rows and cols must be powers of two")
+    a = x.reshape(rows, cols)
+    # Column FFTs (length-rows transforms) — via transpose for row FFT code.
+    a = fft1d(a.T.copy()).T
+    r = np.arange(rows).reshape(rows, 1)
+    c = np.arange(cols).reshape(1, cols)
+    a = a * np.exp(-2j * np.pi * r * c / n)
+    a = fft1d(a)
+    return a.T.reshape(n).copy()

@@ -1,0 +1,70 @@
+"""Real-input FFT built on the complex radix-2 kernel.
+
+Signal-processing workloads (the paper's SAR/ISR motivation) usually
+start from real samples.  The standard trick packs a 2N-point real
+sequence into an N-point complex FFT and unpacks with symmetry, halving
+the work — implemented here from scratch like the complex kernel, with
+``numpy.fft.rfft`` as the test oracle only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.validation import is_power_of_two
+from .radix2 import fft
+
+__all__ = ["rfft", "irfft"]
+
+
+def rfft(x: np.ndarray) -> np.ndarray:
+    """FFT of a real sequence; returns the N/2+1 non-redundant bins.
+
+    Packs even samples into the real part and odd samples into the
+    imaginary part of an N/2-point complex sequence, transforms once,
+    and untangles with the conjugate-symmetry relations.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ConfigError("rfft expects a 1-D array")
+    n = x.shape[0]
+    if not is_power_of_two(n) or n < 2:
+        raise ConfigError(f"length must be a power of two >= 2, got {n}")
+    half = n // 2
+    z = x[0::2] + 1j * x[1::2]
+    zf = fft(z)
+    # Unpack: Xe[k] = (Z[k] + conj(Z[-k]))/2, Xo[k] = (Z[k] - conj(Z[-k]))/(2i)
+    zf_rev = np.conj(np.roll(zf[::-1], 1))  # conj(Z[(half - k) % half])
+    xe = 0.5 * (zf + zf_rev)
+    xo = -0.5j * (zf - zf_rev)
+    k = np.arange(half)
+    tw = np.exp(-2j * np.pi * k / n)
+    out = np.empty(half + 1, dtype=np.complex128)
+    out[:half] = xe + tw * xo
+    out[half] = xe[0] - xo[0]  # Nyquist bin
+    return out
+
+
+def irfft(spectrum: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft`: real sequence from N/2+1 bins."""
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    if spectrum.ndim != 1:
+        raise ConfigError("irfft expects a 1-D array")
+    bins = spectrum.shape[0]
+    if bins < 2:
+        raise ConfigError("need at least 2 bins")
+    n = n if n is not None else 2 * (bins - 1)
+    if not is_power_of_two(n) or n != 2 * (bins - 1):
+        raise ConfigError(
+            f"n={n} inconsistent with {bins} bins (need n = 2*(bins-1), "
+            "a power of two)"
+        )
+    # Rebuild the full conjugate-symmetric spectrum and inverse-FFT it.
+    full = np.empty(n, dtype=np.complex128)
+    full[:bins] = spectrum
+    full[bins:] = np.conj(spectrum[1:-1][::-1])
+    from .radix2 import ifft
+
+    time = ifft(full)
+    return np.real(time)

@@ -1,0 +1,101 @@
+"""Application description: the 2D FFT flow LLMORE simulates (Section VI).
+
+An :class:`Fft2dApp` captures the problem instance (matrix shape, sample
+width) and the work/data accounting the phase simulator needs: flop
+counts per phase and bits moved per data-movement phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import ConfigError
+from ..util.validation import is_power_of_two
+
+__all__ = ["Fft2dApp", "PhaseKind", "PHASE_SEQUENCE"]
+
+#: The five-step flow of Section V-B, in execution order.
+PHASE_SEQUENCE: tuple[str, ...] = (
+    "scatter",
+    "row_fft",
+    "reorganize",
+    "load",
+    "col_fft",
+)
+
+#: Phases that move data (vs compute).
+PhaseKind = {
+    "scatter": "data",
+    "row_fft": "compute",
+    "reorganize": "data",
+    "load": "data",
+    "col_fft": "compute",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fft2dApp:
+    """A 2D FFT problem instance.
+
+    The default is the paper's 1024 x 1024-sample study.
+    """
+
+    rows: int = constants.FFT_N
+    cols: int = constants.FFT_N
+    sample_bits: int = constants.FFT_SAMPLE_BITS
+    multiplies_per_butterfly: int = constants.MULTIPLIES_PER_BUTTERFLY
+
+    def __post_init__(self) -> None:
+        if not (is_power_of_two(self.rows) and is_power_of_two(self.cols)):
+            raise ConfigError("rows and cols must be powers of two")
+        if self.sample_bits < 1:
+            raise ConfigError("sample_bits must be >= 1")
+
+    @property
+    def total_samples(self) -> int:
+        """Samples in the matrix."""
+        return self.rows * self.cols
+
+    @property
+    def total_bits(self) -> int:
+        """Bits in the matrix."""
+        return self.total_samples * self.sample_bits
+
+    def multiplies_for_phase(self, phase: str) -> int:
+        """Real multiplies in a compute phase (paper's Table I convention).
+
+        Row phase: ``rows`` FFTs of length ``cols``, each ``2 N log2 N``
+        multiplies; column phase symmetric.
+        """
+        if phase == "row_fft":
+            return self.rows * 2 * self.cols * int(math.log2(self.cols))
+        if phase == "col_fft":
+            return self.cols * 2 * self.rows * int(math.log2(self.rows))
+        raise ConfigError(f"{phase!r} is not a compute phase")
+
+    @property
+    def total_multiplies(self) -> int:
+        """Multiplies across both compute phases."""
+        return self.multiplies_for_phase("row_fft") + self.multiplies_for_phase(
+            "col_fft"
+        )
+
+    @property
+    def total_flops(self) -> float:
+        """Nominal flop count for GFLOPS reporting: ``5 N log2 N`` per FFT.
+
+        The standard split-radix-style accounting (adds + multiplies), used
+        only as the numerator of the Fig.-13 GFLOPS axis; relative curve
+        shapes do not depend on it.
+        """
+        row = self.rows * 5.0 * self.cols * math.log2(self.cols)
+        col = self.cols * 5.0 * self.rows * math.log2(self.rows)
+        return row + col
+
+    def bits_for_phase(self, phase: str) -> int:
+        """Bits moved by a data phase (full matrix each time)."""
+        if PhaseKind.get(phase) != "data":
+            raise ConfigError(f"{phase!r} is not a data phase")
+        return self.total_bits

@@ -1,0 +1,129 @@
+"""Machine models for the high-level application simulator (Fig. 12).
+
+Both architectures follow the paper's LLMORE setup: fast local memory,
+four shared external memory banks (corners of the mesh / end of the
+waveguide for P-sync), equal link bandwidths and latencies, square
+topology when scaling cores.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import ConfigError
+from ..util.validation import require_positive
+
+__all__ = ["ReorgMechanism", "MachineModel", "mesh_machine", "psync_machine"]
+
+
+class ReorgMechanism(enum.Enum):
+    """How the machine reorganizes data between FFT phases (Section VI-A)."""
+
+    MESH_BLOCKWISE = "mesh-blockwise"   #: block transpose through the NoC
+    SCA = "sca"                         #: in-flight SCA on the PSCAN
+    IDEAL = "ideal"                     #: zero-overhead (the red curve)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineModel:
+    """A core-count-parameterized machine for the phase simulator.
+
+    ``congestion_alpha``/``congestion_exponent`` shape the mesh's
+    reorganization dilation (see
+    :func:`repro.llmore.simulate.reorg_time_ns`); they are 0 for P-sync
+    and ideal machines.
+    """
+
+    name: str
+    cores: int
+    mechanism: ReorgMechanism
+    memory_controllers: int = 4
+    link_gbps: float = constants.MESH_MEMORY_LINK_GBPS
+    network_latency_ns: float = 2.5
+    multiply_ns: float = constants.FLOAT_MULTIPLY_NS
+    clock_ghz: float = constants.MESH_CLOCK_GHZ
+    reorder_cycles: int = 1
+    congestion_alpha: float = 0.0
+    congestion_exponent: float = 0.9
+    #: SCA per-transaction overhead: (S_r + S_h)/S_r.
+    sca_header_overhead: float = (
+        (constants.DRAM_ROW_BITS + constants.TRANSPOSE_HEADER_BITS)
+        / constants.DRAM_ROW_BITS
+    )
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {self.cores}")
+        side = math.isqrt(self.cores)
+        if side * side != self.cores:
+            raise ConfigError(
+                f"LLMORE machines scale as squares; {self.cores} is not square"
+            )
+        if self.memory_controllers < 1:
+            raise ConfigError("need >= 1 memory controller")
+        require_positive("link_gbps", self.link_gbps)
+        require_positive("multiply_ns", self.multiply_ns)
+        require_positive("clock_ghz", self.clock_ghz)
+        if self.reorder_cycles < 1:
+            raise ConfigError("reorder_cycles must be >= 1")
+        if self.congestion_alpha < 0:
+            raise ConfigError("congestion_alpha must be >= 0")
+
+    @property
+    def side(self) -> int:
+        """Mesh (or serpentine) dimension."""
+        return math.isqrt(self.cores)
+
+    @property
+    def aggregate_memory_gbps(self) -> float:
+        """Total bandwidth to external memory across all controllers."""
+        return self.memory_controllers * self.link_gbps
+
+    @property
+    def cycle_ns(self) -> float:
+        """Network clock period."""
+        return 1.0 / self.clock_ghz
+
+    def with_cores(self, cores: int) -> "MachineModel":
+        """Same machine at a different core count (for sweeps)."""
+        return MachineModel(
+            name=self.name,
+            cores=cores,
+            mechanism=self.mechanism,
+            memory_controllers=self.memory_controllers,
+            link_gbps=self.link_gbps,
+            network_latency_ns=self.network_latency_ns,
+            multiply_ns=self.multiply_ns,
+            clock_ghz=self.clock_ghz,
+            reorder_cycles=self.reorder_cycles,
+            congestion_alpha=self.congestion_alpha,
+            congestion_exponent=self.congestion_exponent,
+            sca_header_overhead=self.sca_header_overhead,
+        )
+
+
+def mesh_machine(cores: int, reorder_cycles: int = 1) -> MachineModel:
+    """The paper's electronic mesh (Fig. 12 left): 4 corner MCs.
+
+    ``congestion_alpha = 1`` with the reference scale of 256 cores puts
+    the dilation knee where the paper observes the mesh peak.
+    """
+    return MachineModel(
+        name="electronic-mesh",
+        cores=cores,
+        mechanism=ReorgMechanism.MESH_BLOCKWISE,
+        reorder_cycles=reorder_cycles,
+        congestion_alpha=1.0,
+    )
+
+
+def psync_machine(cores: int) -> MachineModel:
+    """The paper's P-sync machine (Fig. 12 right): memory at waveguide end."""
+    return MachineModel(
+        name="p-sync",
+        cores=cores,
+        mechanism=ReorgMechanism.SCA,
+    )

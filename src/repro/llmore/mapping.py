@@ -1,0 +1,74 @@
+"""Data maps: how parallel objects are distributed over cores.
+
+LLMORE's central object is the *map* — "a complete set of optimized maps
+(describing the data distribution for all parallel objects in the user
+code)".  For the 2D FFT only block-row (and, post-transpose, block-column)
+maps matter; :class:`BlockRowMap` captures one and answers the locality
+questions the simulator asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+
+__all__ = ["BlockRowMap"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRowMap:
+    """Contiguous block-row distribution of an ``rows x cols`` matrix.
+
+    Core ``p`` owns rows ``[p * rows/P, (p+1) * rows/P)``.  When there are
+    more cores than rows, only the first ``rows`` cores hold data — the
+    simulator uses :attr:`active_cores` so oversubscribed machines don't
+    fake extra parallelism.
+    """
+
+    rows: int
+    cols: int
+    cores: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.cores < 1:
+            raise ConfigError("rows, cols, cores must all be >= 1")
+
+    @property
+    def active_cores(self) -> int:
+        """Cores that actually own at least one row."""
+        return min(self.cores, self.rows)
+
+    @property
+    def rows_per_core(self) -> int:
+        """Rows per active core (ceiling when not divisible)."""
+        return -(-self.rows // self.active_cores)
+
+    @property
+    def samples_per_core(self) -> int:
+        """Samples per active core."""
+        return self.rows_per_core * self.cols
+
+    def owner(self, row: int) -> int:
+        """Core owning matrix row ``row``."""
+        if not (0 <= row < self.rows):
+            raise ConfigError(f"row {row} out of range [0, {self.rows})")
+        return min(row // self.rows_per_core, self.active_cores - 1)
+
+    def rows_of(self, core: int) -> range:
+        """Rows owned by ``core`` (empty range for idle cores)."""
+        if not (0 <= core < self.cores):
+            raise ConfigError(f"core {core} out of range [0, {self.cores})")
+        if core >= self.active_cores:
+            return range(0)
+        lo = core * self.rows_per_core
+        hi = min(lo + self.rows_per_core, self.rows)
+        return range(lo, hi)
+
+    def transposed(self) -> "BlockRowMap":
+        """The map after the transpose (block rows of the cols x rows matrix)."""
+        return BlockRowMap(rows=self.cols, cols=self.rows, cores=self.cores)
+
+    def is_balanced(self) -> bool:
+        """True when every active core owns the same number of rows."""
+        return self.rows % self.active_cores == 0

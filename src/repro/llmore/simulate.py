@@ -1,0 +1,200 @@
+"""Phase-based application simulator (the LLMORE substitution, Section VI).
+
+Simulates the five-phase 2D FFT flow on a :class:`MachineModel` with
+Model I delivery (as the paper's Section VI-B notes its simulations use)
+and produces the quantities behind Figs. 13-14: total runtime, GFLOPS,
+and the fraction of runtime spent reorganizing data.
+
+Phase models
+------------
+* **scatter / load** — the matrix streams from the external memory banks
+  at the aggregate memory bandwidth, one block per core, serialized per
+  controller (Model I), plus one network latency per block.
+* **compute** — each active core multiplies through its rows; time is
+  ``multiplies / active_cores * multiply_ns`` (the paper counts only
+  multiplies).
+* **reorganize** —
+  - SCA: the PSCAN streams the whole matrix at the aggregate memory
+    bandwidth with the Eq.-24 header overhead; no congestion term
+    (global synchrony; the burst is gapless by construction).
+  - mesh block transpose: every element crosses the NoC to a memory
+    controller as a small packet, paying the reorder cost ``t_p`` plus a
+    hot-spot congestion dilation that grows with core count:
+
+        dilation(P) = 1 + alpha * (P / 256) ** exponent
+
+    calibrated so the simulated mesh peaks near 256 cores as in Fig. 13
+    (the paper's observed knee; see EXPERIMENTS.md for the flit-level
+    cross-check of this dilation at reachable scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import ConfigError
+from .app import PHASE_SEQUENCE, Fft2dApp, PhaseKind
+from .machine import MachineModel, ReorgMechanism
+from .mapping import BlockRowMap
+
+__all__ = ["PhaseBreakdown", "simulate_fft2d", "reorg_time_ns"]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Simulated runtime of each phase, ns."""
+
+    machine: str
+    cores: int
+    phases: dict[str, float] = field(default_factory=dict)
+    total_flops: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end runtime."""
+        return sum(self.phases.values())
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOPS (flops / ns = GFLOPS)."""
+        total = self.total_ns
+        return self.total_flops / total if total else 0.0
+
+    @property
+    def reorg_fraction(self) -> float:
+        """Fraction of runtime in the reorganize phase (Fig. 14's y-axis)."""
+        total = self.total_ns
+        return self.phases.get("reorganize", 0.0) / total if total else 0.0
+
+    @property
+    def compute_ns(self) -> float:
+        """Total compute-phase time."""
+        return sum(
+            t for name, t in self.phases.items() if PhaseKind[name] == "compute"
+        )
+
+
+def _stream_time_ns(app: Fft2dApp, machine: MachineModel, mapping: BlockRowMap) -> float:
+    """Model I block delivery: full matrix at aggregate memory bandwidth.
+
+    Controllers work in parallel, each serializing its share of the block
+    deliveries; every block additionally pays one network latency.
+    """
+    blocks = mapping.active_cores
+    transfer = app.total_bits / machine.aggregate_memory_gbps
+    latency = blocks * machine.network_latency_ns / machine.memory_controllers
+    return transfer + latency
+
+
+def _compute_time_ns(
+    app: Fft2dApp, machine: MachineModel, mapping: BlockRowMap, phase: str
+) -> float:
+    multiplies = app.multiplies_for_phase(phase)
+    return multiplies * machine.multiply_ns / mapping.active_cores
+
+
+def reorg_time_ns(app: Fft2dApp, machine: MachineModel, mapping: BlockRowMap) -> float:
+    """Reorganization (transpose) time on the given machine."""
+    if machine.mechanism is ReorgMechanism.SCA:
+        # Gapless SCA burst at full memory bandwidth + Eq.-24 header share.
+        return (
+            app.total_bits
+            * machine.sca_header_overhead
+            / machine.aggregate_memory_gbps
+        )
+    if machine.mechanism is ReorgMechanism.IDEAL:
+        return app.total_bits / machine.aggregate_memory_gbps
+    if machine.mechanism is ReorgMechanism.MESH_BLOCKWISE:
+        # Per-element packets through the controllers: header decode (1
+        # cycle) + reorder (t_p cycles) per element, divided over the
+        # controllers, dilated by hot-spot congestion.
+        elements = app.total_samples
+        per_element_cycles = 1 + machine.reorder_cycles
+        base = (
+            elements
+            * per_element_cycles
+            * machine.cycle_ns
+            / machine.memory_controllers
+        )
+        dilation = 1.0 + machine.congestion_alpha * (
+            machine.cores / 256.0
+        ) ** machine.congestion_exponent
+        return base * dilation
+    raise ConfigError(f"unknown reorganization mechanism {machine.mechanism}")
+
+
+def _overlapped_phase_ns(
+    app: Fft2dApp,
+    machine: MachineModel,
+    mapping: BlockRowMap,
+    compute_phase: str,
+    k: int,
+) -> float:
+    """Model II: one delivery+compute phase with k-block overlap (Eq. 11)."""
+    from ..analysis.perf_model import total_time_model2
+
+    active = mapping.active_cores
+    t_c = app.multiplies_for_phase(compute_phase) * machine.multiply_ns / active
+    t_ck = t_c / k
+    t_d_total = (
+        app.total_bits / machine.aggregate_memory_gbps
+        + active * machine.network_latency_ns / machine.memory_controllers
+    )
+    t_dk = t_d_total / (active * k)
+    return total_time_model2(active, k, t_dk, t_ck)
+
+
+def simulate_fft2d(
+    app: Fft2dApp,
+    machine: MachineModel,
+    mapping: BlockRowMap | None = None,
+    delivery_k: int = 1,
+) -> PhaseBreakdown:
+    """Run the five-phase flow; returns the per-phase breakdown.
+
+    ``delivery_k`` selects the delivery mode: 1 is Model I (the paper's
+    Section VI simulations); larger values overlap each delivery phase
+    with its computation per Eq. 11 — the Model II upgrade the paper's
+    Section VI-B expects to "improve [performance] further".  Overlapped
+    (delivery + compute) pairs are reported under the compute phase's
+    key, with the delivery key set to 0 so the phase sum stays the total.
+    """
+    mapping = mapping or BlockRowMap(app.rows, app.cols, machine.cores)
+    if mapping.cores != machine.cores:
+        raise ConfigError(
+            f"map is for {mapping.cores} cores, machine has {machine.cores}"
+        )
+    if delivery_k < 1:
+        raise ConfigError(f"delivery_k must be >= 1, got {delivery_k}")
+    result = PhaseBreakdown(
+        machine=machine.name, cores=machine.cores, total_flops=app.total_flops
+    )
+    post_map = mapping.transposed()
+    if delivery_k == 1:
+        for phase in PHASE_SEQUENCE:
+            if phase == "scatter":
+                t = _stream_time_ns(app, machine, mapping)
+            elif phase == "row_fft":
+                t = _compute_time_ns(app, machine, mapping, phase)
+            elif phase == "reorganize":
+                t = reorg_time_ns(app, machine, mapping)
+            elif phase == "load":
+                t = _stream_time_ns(app, machine, post_map)
+            elif phase == "col_fft":
+                t = _compute_time_ns(app, machine, post_map, phase)
+            else:  # pragma: no cover - PHASE_SEQUENCE is fixed
+                raise ConfigError(f"unknown phase {phase!r}")
+            result.phases[phase] = t
+        return result
+
+    # Model II: each delivery overlaps its compute phase.
+    result.phases["scatter"] = 0.0
+    result.phases["row_fft"] = _overlapped_phase_ns(
+        app, machine, mapping, "row_fft", delivery_k
+    )
+    result.phases["reorganize"] = reorg_time_ns(app, machine, mapping)
+    result.phases["load"] = 0.0
+    result.phases["col_fft"] = _overlapped_phase_ns(
+        app, machine, post_map, "col_fft", delivery_k
+    )
+    return result

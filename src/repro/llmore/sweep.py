@@ -1,0 +1,141 @@
+"""Core-count sweeps regenerating Figs. 13 and 14.
+
+Fig. 13: simulated 2D-FFT GFLOPS for the electronic mesh (blue), P-sync
+(green) and the ideal machine (red) from 4 to 4096 cores.
+
+Fig. 14: percentage of total runtime spent reorganizing data between the
+two 1-D FFT phases, for both architectures, over the same sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .app import Fft2dApp
+from .machine import MachineModel, ReorgMechanism, mesh_machine, psync_machine
+from .simulate import PhaseBreakdown, simulate_fft2d
+
+__all__ = [
+    "DEFAULT_CORE_SWEEP",
+    "SweepPoint",
+    "SweepResult",
+    "figure13_sweep",
+    "figure14_sweep",
+]
+
+#: 2x2 .. 64x64 meshes, matching the paper's "4 to 4096" core range.
+DEFAULT_CORE_SWEEP: tuple[int, ...] = (4, 16, 64, 256, 1024, 4096)
+
+
+def _ideal_machine(cores: int) -> MachineModel:
+    return MachineModel(
+        name="ideal", cores=cores, mechanism=ReorgMechanism.IDEAL
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One core count's results across the three machines."""
+
+    cores: int
+    mesh: PhaseBreakdown
+    psync: PhaseBreakdown
+    ideal: PhaseBreakdown
+
+
+@dataclass
+class SweepResult:
+    """The full sweep, with the shape checks the paper's text asserts."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def cores(self) -> list[int]:
+        """Sweep x-axis."""
+        return [p.cores for p in self.points]
+
+    @property
+    def mesh_gflops(self) -> list[float]:
+        """Fig. 13 blue curve."""
+        return [p.mesh.gflops for p in self.points]
+
+    @property
+    def psync_gflops(self) -> list[float]:
+        """Fig. 13 green curve."""
+        return [p.psync.gflops for p in self.points]
+
+    @property
+    def ideal_gflops(self) -> list[float]:
+        """Fig. 13 red curve."""
+        return [p.ideal.gflops for p in self.points]
+
+    @property
+    def mesh_peak_cores(self) -> int:
+        """Core count where the mesh peaks (paper: ~256)."""
+        best = max(self.points, key=lambda p: p.mesh.gflops)
+        return best.cores
+
+    def psync_advantage(self, cores: int) -> float:
+        """P-sync / mesh GFLOPS ratio at a core count (paper: 2-10x for P>256)."""
+        for p in self.points:
+            if p.cores == cores:
+                return p.psync.gflops / p.mesh.gflops
+        raise KeyError(f"{cores} not in sweep")
+
+    @property
+    def psync_converges_to_ideal(self) -> bool:
+        """True when P-sync reaches >= 90% of ideal at the largest size."""
+        last = self.points[-1]
+        return last.psync.gflops >= 0.9 * last.ideal.gflops
+
+    @property
+    def mesh_reorg_fractions(self) -> list[float]:
+        """Fig. 14 blue curve."""
+        return [p.mesh.reorg_fraction for p in self.points]
+
+    @property
+    def psync_reorg_fractions(self) -> list[float]:
+        """Fig. 14 green curve."""
+        return [p.psync.reorg_fraction for p in self.points]
+
+
+def figure13_sweep(
+    app: Fft2dApp | None = None,
+    core_counts: tuple[int, ...] = DEFAULT_CORE_SWEEP,
+    reorder_cycles: int = 1,
+    delivery_k: int = 1,
+) -> SweepResult:
+    """Simulate the three machines across the core sweep.
+
+    ``delivery_k > 1`` switches every machine to Model II overlapped
+    delivery (the paper's Section VI-B note) — the ideal machine too, so
+    convergence claims stay apples-to-apples.
+    """
+    app = app or Fft2dApp()
+    result = SweepResult()
+    for cores in core_counts:
+        result.points.append(
+            SweepPoint(
+                cores=cores,
+                mesh=simulate_fft2d(
+                    app, mesh_machine(cores, reorder_cycles),
+                    delivery_k=delivery_k,
+                ),
+                psync=simulate_fft2d(
+                    app, psync_machine(cores), delivery_k=delivery_k
+                ),
+                ideal=simulate_fft2d(
+                    app, _ideal_machine(cores), delivery_k=delivery_k
+                ),
+            )
+        )
+    return result
+
+
+def figure14_sweep(
+    app: Fft2dApp | None = None,
+    core_counts: tuple[int, ...] = DEFAULT_CORE_SWEEP,
+    reorder_cycles: int = 1,
+) -> SweepResult:
+    """Fig. 14 uses the same simulations; provided for symmetry/clarity."""
+    return figure13_sweep(app, core_counts, reorder_cycles)

@@ -1,0 +1,35 @@
+"""DRAM and memory-controller models (paper Section V-C)."""
+
+from .controller import (
+    MeshMemoryController,
+    PscanMemoryController,
+    TransactionAccounting,
+)
+from .banked import BankedDram, StreamReport, banks_needed_for_rate
+from .dram import AccessResult, DramBank, DramConfig
+from .layout import (
+    AccessPattern,
+    butterfly_span,
+    column_major_order,
+    first_nonlocal_stage,
+    row_major_order,
+    tiled_order,
+)
+
+__all__ = [
+    "DramConfig",
+    "DramBank",
+    "AccessResult",
+    "PscanMemoryController",
+    "MeshMemoryController",
+    "TransactionAccounting",
+    "BankedDram",
+    "StreamReport",
+    "banks_needed_for_rate",
+    "AccessPattern",
+    "butterfly_span",
+    "first_nonlocal_stage",
+    "row_major_order",
+    "column_major_order",
+    "tiled_order",
+]

@@ -1,0 +1,139 @@
+"""Multi-bank DRAM with bank interleaving.
+
+The head node must stream at the full PSCAN rate (Section IV: data is
+available "just-in-time").  A single bank stalls on every row switch;
+interleaving consecutive rows across banks hides the precharge behind
+other banks' transfers — this module models that and quantifies the bank
+count needed to sustain a given bus rate (the justification for
+``HeadNode.dram_words_per_bus_cycle``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import MemoryModelError
+from ..util.validation import require_positive_int
+from .dram import DramConfig
+
+__all__ = ["BankedDram", "StreamReport", "banks_needed_for_rate"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamReport:
+    """Cycle accounting for a banked sequential stream."""
+
+    words: int
+    cycles: int
+    stall_cycles: int
+    row_switches: int
+    banks: int
+
+    @property
+    def words_per_cycle(self) -> float:
+        """Achieved streaming throughput."""
+        return self.words / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class BankedDram:
+    """``banks`` DRAM banks with row-granular address interleaving.
+
+    Linear word address ``a`` lives in bank ``(a // words_per_row) % banks``
+    — consecutive rows alternate banks, so a sequential stream activates
+    the next row while the current one transfers.
+    """
+
+    config: DramConfig = field(default_factory=DramConfig)
+    banks: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive_int("banks", self.banks)
+        self._data: dict[int, object] = {}
+
+    def bank_of(self, address: int) -> int:
+        """Bank owning ``address``."""
+        if address < 0:
+            raise MemoryModelError(f"negative address {address}")
+        return (address // self.config.words_per_row) % self.banks
+
+    def write(self, start_address: int, values: list) -> None:
+        """Store values (setup helper; timing via :meth:`stream_read`)."""
+        for i, v in enumerate(values):
+            self._data[start_address + i] = v
+
+    def read_values(self, start_address: int, count: int) -> list:
+        """Stored values, None when never written."""
+        return [self._data.get(start_address + i) for i in range(count)]
+
+    def stream_read(self, start_address: int, words: int) -> StreamReport:
+        """Cycle-accurate sequential stream with overlapped activations.
+
+        Each bank tracks when its next row becomes ready
+        (``ready_at[bank]``).  Transferring a word costs
+        ``cycles_per_word``; switching to a row in a bank costs
+        ``row_switch_cycles`` *in that bank*, started as early as the
+        previous access to the same bank completed.  Because the stream
+        touches banks round-robin, activations overlap transfers and
+        stalls only appear when ``banks`` is too small.
+        """
+        require_positive_int("words", words)
+        cfg = self.config
+        wpr = cfg.words_per_row
+        # Per-bank time at which the bank can begin its next activation.
+        bank_free = [0.0] * self.banks
+        # Ready time of the currently open row in each bank (-inf = none).
+        row_ready: dict[int, float] = {}
+        open_row: dict[int, int] = {}
+        t = 0.0
+        stall = 0.0
+        switches = 0
+        for i in range(words):
+            addr = start_address + i
+            row = addr // wpr
+            bank = row % self.banks
+            if open_row.get(bank) != row:
+                # Activation starts when the bank is free; it could have
+                # started earlier than "now" (prefetch) but no earlier
+                # than the bank's last use.
+                start = bank_free[bank]
+                row_ready[bank] = start + cfg.row_switch_cycles
+                open_row[bank] = row
+                switches += 1
+            ready = row_ready[bank]
+            if ready > t:
+                stall += ready - t
+                t = ready
+            t += cfg.cycles_per_word
+            bank_free[bank] = t
+        return StreamReport(
+            words=words,
+            cycles=int(round(t)),
+            stall_cycles=int(round(stall)),
+            row_switches=switches,
+            banks=self.banks,
+        )
+
+
+def banks_needed_for_rate(
+    config: DramConfig, words_per_cycle: float = 1.0
+) -> int:
+    """Minimum banks to stream sequentially at ``words_per_cycle``.
+
+    A row supplies ``words_per_row`` words in ``words_per_row *
+    cycles_per_word`` cycles; its successor row (another bank) needs
+    ``row_switch_cycles`` of lead time.  The activation must hide within
+    the transfers of the other ``banks - 1`` rows::
+
+        (banks - 1) * row_transfer_cycles >= row_switch_cycles * rate
+
+    solved for the smallest integer ``banks``.
+    """
+    if words_per_cycle <= 0:
+        raise MemoryModelError("words_per_cycle must be > 0")
+    transfer = config.words_per_row * config.cycles_per_word / words_per_cycle
+    if transfer <= 0:
+        raise MemoryModelError("row transfer time must be > 0")
+    import math
+
+    return 1 + max(0, math.ceil(config.row_switch_cycles / transfer))

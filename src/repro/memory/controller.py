@@ -1,0 +1,164 @@
+"""Memory controller models (paper Sections V-C1 and V-C2).
+
+Two controllers are modelled:
+
+* :class:`PscanMemoryController` — the P-sync head-of-bus memory
+  interface.  SCA bursts arrive already in linear address order, so the
+  controller streams whole DRAM rows with one address header per
+  transaction: ``t_t = (S_r + S_h) / S_b`` bus cycles per row (paper
+  Eq. 24), and the full writeback takes ``P_t * t_t`` cycles (Eq. 23).
+
+* :class:`MeshMemoryController` — a mesh-corner interface receiving
+  out-of-order flits.  Each flit (or staged group) costs ``t_p`` cycles of
+  reorder work (address decode, staging-buffer transport, storage) before
+  it can be written, which is the ``t_p`` parameter of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util import constants
+from ..util.errors import MemoryModelError
+from ..util.validation import require_positive_int
+from .dram import DramBank, DramConfig
+
+__all__ = [
+    "TransactionAccounting",
+    "PscanMemoryController",
+    "MeshMemoryController",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionAccounting:
+    """Cycle ledger for a controller-level operation."""
+
+    bus_cycles: int
+    transactions: int
+    header_cycles: int
+    data_cycles: int
+    reorder_cycles: int = 0
+
+
+@dataclass
+class PscanMemoryController:
+    """Head-of-bus memory interface fed by SCA bursts.
+
+    Parameters mirror the paper's Section V-C1 symbols: DRAM row size
+    ``S_r``, bus width ``S_b``, header size ``S_h``.
+    """
+
+    row_bits: int = constants.DRAM_ROW_BITS
+    bus_bits: int = constants.TRANSPOSE_BUS_BITS
+    header_bits: int = constants.TRANSPOSE_HEADER_BITS
+    bank: DramBank = field(default_factory=lambda: DramBank(DramConfig()))
+
+    def __post_init__(self) -> None:
+        require_positive_int("row_bits", self.row_bits)
+        require_positive_int("bus_bits", self.bus_bits)
+        if self.header_bits < 0:
+            raise MemoryModelError("header_bits must be >= 0")
+        if self.row_bits % self.bus_bits != 0:
+            raise MemoryModelError("bus width must divide the DRAM row size")
+
+    @property
+    def transaction_cycles(self) -> int:
+        """Eq. 24: ``t_t = (S_r + S_h) / S_b`` bus cycles per transaction."""
+        return (self.row_bits + self.header_bits) // self.bus_bits
+
+    def transactions_for(self, total_bits: int) -> int:
+        """Eq. 23: number of row-sized transactions for ``total_bits``."""
+        if total_bits <= 0:
+            raise MemoryModelError(f"total_bits must be > 0, got {total_bits}")
+        if total_bits % self.row_bits != 0:
+            raise MemoryModelError(
+                f"total {total_bits} bits is not a whole number of "
+                f"{self.row_bits}-bit rows"
+            )
+        return total_bits // self.row_bits
+
+    def writeback_cycles(self, total_bits: int) -> int:
+        """Total SCA writeback time, ``P_t * t_t`` bus cycles."""
+        return self.transactions_for(total_bits) * self.transaction_cycles
+
+    def writeback_accounting(self, total_bits: int) -> TransactionAccounting:
+        """Full cycle breakdown of an SCA writeback."""
+        p_t = self.transactions_for(total_bits)
+        header = self.header_bits // self.bus_bits if self.bus_bits else 0
+        data = self.row_bits // self.bus_bits
+        return TransactionAccounting(
+            bus_cycles=p_t * self.transaction_cycles,
+            transactions=p_t,
+            header_cycles=p_t * header,
+            data_cycles=p_t * data,
+        )
+
+    def store_stream(self, base_address: int, words: list) -> int:
+        """Write an in-order SCA stream into the DRAM bank.
+
+        Returns the DRAM-side cycles; rows are filled sequentially so the
+        achieved rate matches :meth:`writeback_cycles` plus row switches.
+        """
+        if not words:
+            return 0
+        result = self.bank.write(base_address, words)
+        return result.cycles
+
+
+@dataclass
+class MeshMemoryController:
+    """Mesh-corner memory interface with reorder staging (Table III's t_p).
+
+    Flits arrive in network order, typically *not* address order.  Each
+    accepted flit costs ``reorder_cycles`` (``t_p``) of staging work; the
+    interface accepts at most one flit per ``max(1, t_p)`` cycles, which is
+    the service rate that throttles the transpose on the mesh.
+    """
+
+    reorder_cycles: int = 1
+    bank: DramBank = field(default_factory=lambda: DramBank(DramConfig()))
+
+    def __post_init__(self) -> None:
+        require_positive_int("reorder_cycles", self.reorder_cycles)
+        self._staged: dict[int, object] = {}
+        self.flits_accepted = 0
+        self.busy_until_cycle = 0
+
+    @property
+    def service_cycles_per_flit(self) -> int:
+        """Cycles between consecutive flit acceptances."""
+        return max(1, self.reorder_cycles)
+
+    def accept(self, cycle: int, address: int, value: object) -> int:
+        """Accept one flit at ``cycle``; returns the cycle it finishes.
+
+        Models the serial staging pipeline: if the controller is busy the
+        flit waits; acceptance then occupies ``t_p`` cycles.
+        """
+        start = max(cycle, self.busy_until_cycle)
+        finish = start + self.service_cycles_per_flit
+        self.busy_until_cycle = finish
+        self._staged[address] = value
+        self.flits_accepted += 1
+        return finish
+
+    def drain_to_dram(self) -> int:
+        """Write all staged words to DRAM in address order; returns cycles."""
+        if not self._staged:
+            return 0
+        cycles = 0
+        addresses = sorted(self._staged)
+        run_start = addresses[0]
+        run_values: list[object] = [self._staged[run_start]]
+        prev = run_start
+        for addr in addresses[1:]:
+            if addr == prev + 1:
+                run_values.append(self._staged[addr])
+            else:
+                cycles += self.bank.write(run_start, run_values).cycles
+                run_start, run_values = addr, [self._staged[addr]]
+            prev = addr
+        cycles += self.bank.write(run_start, run_values).cycles
+        self._staged.clear()
+        return cycles

@@ -1,0 +1,166 @@
+"""DRAM timing model (paper Section V-C1).
+
+The paper's transpose analysis assumes "a DRAM system with 2048-bit rows"
+where "32 64-bit complex samples can be bursted at a time before a costly
+row-precharge must occur".  This module models exactly that geometry:
+open-row bursts at full rate, a precharge+activate penalty on every row
+switch, and address mapping from linear sample addresses to (row, column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util import constants
+from ..util.errors import MemoryModelError
+from ..util.validation import require_positive, require_positive_int
+
+__all__ = ["DramConfig", "DramBank", "AccessResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class DramConfig:
+    """Geometry and timing of one DRAM bank.
+
+    Timing is expressed in *bus cycles* of the attached interface, matching
+    the paper's cycle-based transpose accounting.
+    """
+
+    row_bits: int = constants.DRAM_ROW_BITS
+    word_bits: int = constants.TRANSPOSE_BUS_BITS
+    #: Cycles to transfer one word over the interface while the row is open.
+    cycles_per_word: int = 1
+    #: Penalty (cycles) to close the current row and activate a new one.
+    row_switch_cycles: int = 8
+    #: Total rows in the bank.
+    rows: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        require_positive_int("row_bits", self.row_bits)
+        require_positive_int("word_bits", self.word_bits)
+        require_positive_int("cycles_per_word", self.cycles_per_word)
+        if self.row_switch_cycles < 0:
+            raise MemoryModelError("row_switch_cycles must be >= 0")
+        require_positive_int("rows", self.rows)
+        if self.row_bits % self.word_bits != 0:
+            raise MemoryModelError(
+                f"row_bits {self.row_bits} must be a multiple of word_bits "
+                f"{self.word_bits}"
+            )
+
+    @property
+    def words_per_row(self) -> int:
+        """Words in one row (the maximal burst length)."""
+        return self.row_bits // self.word_bits
+
+    @property
+    def capacity_words(self) -> int:
+        """Total words in the bank."""
+        return self.rows * self.words_per_row
+
+    def row_of(self, word_address: int) -> int:
+        """Row holding ``word_address``."""
+        if not (0 <= word_address < self.capacity_words):
+            raise MemoryModelError(
+                f"address {word_address} outside bank of "
+                f"{self.capacity_words} words"
+            )
+        return word_address // self.words_per_row
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Cycle accounting for one access sequence."""
+
+    cycles: int
+    row_switches: int
+    words: int
+
+    @property
+    def words_per_cycle(self) -> float:
+        """Achieved throughput in words per cycle."""
+        return self.words / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class DramBank:
+    """A DRAM bank with open-row state and word storage.
+
+    Reads/writes move real data (so integration tests can check the
+    transpose end-to-end) and report the cycles consumed.
+    """
+
+    config: DramConfig = field(default_factory=DramConfig)
+
+    def __post_init__(self) -> None:
+        self._open_row: int | None = None
+        self._data: dict[int, object] = {}
+        self.total_cycles = 0
+        self.total_row_switches = 0
+
+    @property
+    def open_row(self) -> int | None:
+        """Currently open row, or None before the first access."""
+        return self._open_row
+
+    def _touch_row(self, row: int) -> int:
+        """Open ``row`` if needed; returns the cycles spent switching."""
+        if self._open_row == row:
+            return 0
+        self._open_row = row
+        self.total_row_switches += 1
+        return self.config.row_switch_cycles
+
+    def access(self, start_address: int, count: int, values: list | None = None) -> AccessResult:
+        """Read (``values is None``) or write ``count`` words from ``start_address``.
+
+        Sequential within-row words cost ``cycles_per_word`` each; crossing
+        a row boundary (or starting on a closed row) costs
+        ``row_switch_cycles`` extra.  Returns the cycle accounting; for
+        reads the values are retrieved with :meth:`read_values`.
+        """
+        require_positive_int("count", count)
+        if values is not None and len(values) != count:
+            raise MemoryModelError(
+                f"got {len(values)} values for a {count}-word access"
+            )
+        cycles = 0
+        switches = 0
+        for i in range(count):
+            addr = start_address + i
+            row = self.config.row_of(addr)
+            extra = self._touch_row(row)
+            if extra:
+                switches += 1
+            cycles += extra + self.config.cycles_per_word
+            if values is not None:
+                self._data[addr] = values[i]
+        self.total_cycles += cycles
+        return AccessResult(cycles=cycles, row_switches=switches, words=count)
+
+    def write(self, start_address: int, values: list) -> AccessResult:
+        """Write ``values`` starting at ``start_address``."""
+        return self.access(start_address, len(values), values)
+
+    def read(self, start_address: int, count: int) -> tuple[AccessResult, list]:
+        """Read ``count`` words; returns (accounting, values)."""
+        result = self.access(start_address, count)
+        return result, self.read_values(start_address, count)
+
+    def read_values(self, start_address: int, count: int) -> list:
+        """Stored values (no timing), None for never-written words."""
+        if start_address < 0 or start_address + count > self.config.capacity_words:
+            raise MemoryModelError(
+                f"range [{start_address}, {start_address + count}) outside bank"
+            )
+        return [self._data.get(start_address + i) for i in range(count)]
+
+    def burst_cycles(self, words: int) -> int:
+        """Cycles for an ideal aligned burst of ``words`` open-row words."""
+        require_positive_int("words", words)
+        if words > self.config.words_per_row:
+            raise MemoryModelError(
+                f"burst of {words} exceeds row capacity "
+                f"{self.config.words_per_row}"
+            )
+        return words * self.config.cycles_per_word

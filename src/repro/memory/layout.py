@@ -1,0 +1,159 @@
+"""Address-layout analysis: quantifying non-locality (paper Sections I-II,
+V-B1).
+
+The paper's starting point is that "spatially or logically (address-wise)
+separate data must be efficiently co-located or re-distributed", and that
+for the DIT FFT "the non-locality as defined by the span in linear memory
+between two operands increases as 2^n".  This module makes those
+statements measurable:
+
+* :func:`butterfly_span` — the operand span of FFT stage ``n`` (exactly
+  ``2^n``), and the stage at which spans outgrow a DRAM row or a
+  processor's local block;
+* :class:`AccessPattern` — a stream of linear addresses with its DRAM
+  row-switch count and reuse distance, so row-major, column-major and
+  tiled walks of a matrix can be compared quantitatively (the corner-
+  turn pathology in numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError, MemoryModelError
+from ..util.validation import is_power_of_two
+from .dram import DramConfig
+
+__all__ = [
+    "butterfly_span",
+    "first_nonlocal_stage",
+    "AccessPattern",
+    "row_major_order",
+    "column_major_order",
+    "tiled_order",
+]
+
+
+def butterfly_span(stage: int) -> int:
+    """Operand span (elements) of DIT butterfly stage ``stage``: 2^stage."""
+    if stage < 0:
+        raise ConfigError(f"stage must be >= 0, got {stage}")
+    return 1 << stage
+
+
+def first_nonlocal_stage(local_elements: int) -> int:
+    """First FFT stage whose operand span exceeds a local block.
+
+    A processor holding ``local_elements`` contiguous (bit-reversed-
+    order) samples can execute stages ``0 .. log2(local_elements) - 1``
+    locally; this returns the first stage that reaches outside — the
+    boundary Fig. 10 draws between block compute and the final phase.
+    """
+    if not is_power_of_two(local_elements):
+        raise ConfigError(
+            f"local_elements must be a power of two, got {local_elements}"
+        )
+    return int(math.log2(local_elements))
+
+
+def row_major_order(rows: int, cols: int) -> list[int]:
+    """Linear addresses of a row-major matrix walk."""
+    _check_dims(rows, cols)
+    return [r * cols + c for r in range(rows) for c in range(cols)]
+
+
+def column_major_order(rows: int, cols: int) -> list[int]:
+    """Linear addresses of a column-major walk of a row-major matrix.
+
+    This is the corner turn's access stream: consecutive accesses are
+    ``cols`` apart.
+    """
+    _check_dims(rows, cols)
+    return [r * cols + c for c in range(cols) for r in range(rows)]
+
+
+def tiled_order(rows: int, cols: int, tile: int) -> list[int]:
+    """Tile-major walk: the cache-blocking compromise.
+
+    Visits ``tile x tile`` blocks row-major, each block row-major —
+    the software mitigation a mesh programmer reaches for when the
+    hardware cannot reorganize in flight.
+    """
+    _check_dims(rows, cols)
+    if tile < 1 or rows % tile or cols % tile:
+        raise ConfigError(f"tile {tile} must divide rows {rows} and cols {cols}")
+    order: list[int] = []
+    for tr in range(0, rows, tile):
+        for tc in range(0, cols, tile):
+            for r in range(tr, tr + tile):
+                order.extend(r * cols + c for c in range(tc, tc + tile))
+    return order
+
+
+def _check_dims(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A linear-address stream with locality metrics."""
+
+    addresses: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ConfigError("empty access pattern")
+        if any(a < 0 for a in self.addresses):
+            raise MemoryModelError("negative address in pattern")
+
+    @classmethod
+    def from_order(cls, order: list[int]) -> "AccessPattern":
+        """Wrap an address list."""
+        return cls(addresses=tuple(order))
+
+    @property
+    def length(self) -> int:
+        """Accesses in the stream."""
+        return len(self.addresses)
+
+    def mean_stride(self) -> float:
+        """Mean absolute distance between consecutive accesses."""
+        if self.length < 2:
+            return 0.0
+        total = sum(
+            abs(b - a) for a, b in zip(self.addresses, self.addresses[1:])
+        )
+        return total / (self.length - 1)
+
+    def row_switches(self, config: DramConfig | None = None) -> int:
+        """DRAM row activations this stream causes on one open-row bank."""
+        cfg = config or DramConfig()
+        wpr = cfg.words_per_row
+        switches = 0
+        open_row = -1
+        for addr in self.addresses:
+            row = addr // wpr
+            if row != open_row:
+                switches += 1
+                open_row = row
+        return switches
+
+    def row_hit_rate(self, config: DramConfig | None = None) -> float:
+        """Fraction of accesses that hit the open row."""
+        return 1.0 - self.row_switches(config) / self.length
+
+    def dram_cycles(self, config: DramConfig | None = None) -> int:
+        """Total bank cycles: transfers plus row switches."""
+        cfg = config or DramConfig()
+        return (
+            self.length * cfg.cycles_per_word
+            + self.row_switches(cfg) * cfg.row_switch_cycles
+        )
+
+    def penalty_vs(self, other: "AccessPattern", config: DramConfig | None = None) -> float:
+        """This pattern's DRAM cycles over another's (same data volume)."""
+        if other.length != self.length:
+            raise ConfigError("patterns must touch the same number of words")
+        return self.dram_cycles(config) / other.dram_cycles(config)

@@ -1,0 +1,43 @@
+"""Electronic wormhole mesh substrate (the paper's comparison network)."""
+
+from .flit import Flit, Packet
+from .flowtiming import MeshFlowTiming, run_mesh_fft2d_flow
+from .network import MeshConfig, MeshNetwork, MeshStats, SinkRecord
+from .overlap import MeshOverlapResult, run_mesh_model2_overlap
+from .routing import MinimalAdaptiveRouting, RoutingPolicy, XYRouting, productive_ports
+from .topology import MeshTopology, Port
+from .vc_network import VcMeshConfig, VcMeshNetwork, VcMeshStats
+from .workloads import (
+    TransposeWorkload,
+    make_scatter_delivery,
+    make_transpose_gather,
+    make_transpose_gather_multi_mc,
+    make_uniform_random,
+)
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "MeshTopology",
+    "Port",
+    "XYRouting",
+    "MinimalAdaptiveRouting",
+    "RoutingPolicy",
+    "productive_ports",
+    "MeshConfig",
+    "MeshNetwork",
+    "MeshStats",
+    "SinkRecord",
+    "MeshOverlapResult",
+    "run_mesh_model2_overlap",
+    "MeshFlowTiming",
+    "run_mesh_fft2d_flow",
+    "VcMeshNetwork",
+    "VcMeshConfig",
+    "VcMeshStats",
+    "TransposeWorkload",
+    "make_transpose_gather",
+    "make_transpose_gather_multi_mc",
+    "make_scatter_delivery",
+    "make_uniform_random",
+]

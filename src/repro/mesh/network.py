@@ -1,0 +1,421 @@
+"""Cycle-accurate wormhole mesh simulator (paper Section V-C2).
+
+This is the Python substitution for the paper's SystemC/TLM mesh model,
+with the same parameters:
+
+* minimal adaptive wormhole routing,
+* 1-cycle header routing delay per router (``t_r``),
+* 2-flit input buffers on inter-processor channels,
+* 64-bit flits, one hop per cycle,
+* a memory interface with ``t_p`` cycles of reorder work per data flit.
+
+Simulation is cycle-based and flit-granular.  Each router has one input
+buffer per port; each output channel is *owned* by at most one packet from
+head to tail (wormhole).  Moves are computed from start-of-cycle state and
+committed together, so intra-cycle ripple cannot teleport flits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..util.errors import ConfigError, NetworkError
+from .flit import Flit, Packet
+from .routing import MinimalAdaptiveRouting, RoutingPolicy
+from .topology import MeshTopology, Port
+
+__all__ = ["MeshConfig", "SinkRecord", "MeshStats", "MeshNetwork"]
+
+_MESH_PORTS = (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
+_ALL_PORTS = (Port.LOCAL, *_MESH_PORTS)
+
+
+@dataclass(frozen=True, slots=True)
+class MeshConfig:
+    """Microarchitecture parameters of the mesh."""
+
+    buffer_flits: int = 2
+    header_route_cycles: int = 1
+    #: Cycles of reorder work per *data* flit at a memory-interface sink
+    #: (the paper's t_p).  Plain processor sinks consume 1 flit/cycle.
+    memory_reorder_cycles: int = 1
+    #: Give up and report deadlock after this many consecutive idle
+    #: cycles with undelivered traffic.
+    deadlock_cycles: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.buffer_flits < 1:
+            raise ConfigError("buffer_flits must be >= 1")
+        if self.header_route_cycles < 0:
+            raise ConfigError("header_route_cycles must be >= 0")
+        if self.memory_reorder_cycles < 1:
+            raise ConfigError("memory_reorder_cycles must be >= 1")
+        if self.deadlock_cycles < 10:
+            raise ConfigError("deadlock_cycles must be >= 10")
+
+
+@dataclass(frozen=True, slots=True)
+class SinkRecord:
+    """One flit delivered at a sink."""
+
+    cycle: int
+    node: tuple[int, int]
+    packet_id: int
+    payload: Any
+    source: tuple[int, int]
+
+
+@dataclass
+class MeshStats:
+    """Aggregate results of one simulation run."""
+
+    cycles: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    flit_hops: int = 0
+    #: Per-packet network latency (injection of head -> ejection of tail).
+    packet_latencies: list[int] = field(default_factory=list)
+    #: Cycles each memory interface spent busy reordering.
+    memory_busy_cycles: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Flits forwarded through each router (congestion heat map data).
+    flits_through_node: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def mean_packet_latency(self) -> float:
+        """Mean packet latency in cycles (0.0 with no packets)."""
+        if not self.packet_latencies:
+            return 0.0
+        return sum(self.packet_latencies) / len(self.packet_latencies)
+
+
+class MeshNetwork:
+    """The simulator.  Build, add traffic, then :meth:`run`.
+
+    Typical use::
+
+        net = MeshNetwork(MeshTopology.square(16))
+        net.add_memory_interface((0, 0))
+        for packet in workload:
+            net.inject(packet)
+        stats = net.run()
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: MeshConfig | None = None,
+        routing: RoutingPolicy | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or MeshConfig()
+        self.routing = routing or MinimalAdaptiveRouting()
+        self.cycle = 0
+        # Input buffers: (node, port) -> deque of flits.
+        self._buffers: dict[tuple[tuple[int, int], Port], deque[Flit]] = {}
+        for node in topology.nodes():
+            self._buffers[(node, Port.LOCAL)] = deque()
+            for port in topology.mesh_ports(node):
+                self._buffers[(node, port)] = deque()
+        # Wormhole output-channel ownership: (node, out_port) -> packet_id.
+        self._owner: dict[tuple[tuple[int, int], Port], int] = {}
+        # Chosen route of a packet at a router: (node, packet_id) -> port.
+        self._route: dict[tuple[tuple[int, int], int], Port] = {}
+        # Round-robin arbitration pointer per output channel.
+        self._rr: dict[tuple[tuple[int, int], Port], int] = {}
+        # Injection queues: node -> deque of flits awaiting buffer space.
+        self._inject: dict[tuple[int, int], deque[Flit]] = {
+            node: deque() for node in topology.nodes()
+        }
+        # Memory interfaces: node -> cycle the reorder pipeline frees up.
+        self._memory_nodes: dict[tuple[int, int], int] = {}
+        # Packet bookkeeping for latency: id -> (inject cycle, source).
+        self._packet_meta: dict[int, tuple[int, tuple[int, int]]] = {}
+        self._pending_flits = 0
+        # Buffered-flit count per router, to skip idle routers in the
+        # planning loop (the hot path at benchmark scale).
+        self._occupancy: dict[tuple[int, int], int] = {
+            node: 0 for node in topology.nodes()
+        }
+        self._nodes = topology.nodes()
+        # Precomputed adjacency for the planning hot path: per node, the
+        # list of (out_port, neighbor, downstream-buffer key).
+        self._adjacent: dict[
+            tuple[int, int],
+            list[tuple[Port, tuple[int, int], tuple[tuple[int, int], Port]]],
+        ] = {}
+        for node in self._nodes:
+            entries = []
+            for port in _MESH_PORTS:
+                nbr = topology.neighbor(node, port)
+                if nbr is not None:
+                    entries.append((port, nbr, (nbr, port.opposite)))
+            self._adjacent[node] = entries
+        self.stats = MeshStats()
+        self.sunk: list[SinkRecord] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_memory_interface(self, node: tuple[int, int]) -> None:
+        """Attach a memory interface (with reorder cost) at ``node``."""
+        self.topology.require_node(node)
+        self._memory_nodes[node] = 0
+        self.stats.memory_busy_cycles.setdefault(node, 0)
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for injection at its source node."""
+        self.topology.require_node(packet.source)
+        self.topology.require_node(packet.dest)
+        flits = packet.flits()
+        for f in flits:
+            f.injected_cycle = max(self.cycle, packet.created_cycle)
+        self._packet_meta[packet.packet_id] = (
+            max(self.cycle, packet.created_cycle),
+            packet.source,
+        )
+        self._inject[packet.source].extend(flits)
+        self._pending_flits += len(flits)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _buffer_space(self, node: tuple[int, int], port: Port) -> int:
+        buf = self._buffers.get((node, port))
+        if buf is None:
+            return 0
+        return self.config.buffer_flits - len(buf)
+
+    def _downstream_space(self, node: tuple[int, int]) -> dict[Port, int]:
+        """Free slots in each neighbour buffer this router's outputs feed."""
+        cap = self.config.buffer_flits
+        buffers = self._buffers
+        return {
+            port: cap - len(buffers[key])
+            for port, _nbr, key in self._adjacent[node]
+        }
+
+    def _sink_ready(self, node: tuple[int, int]) -> bool:
+        """Can the sink at ``node`` eject one flit this cycle?"""
+        busy_until = self._memory_nodes.get(node)
+        if busy_until is None:
+            return True  # plain processor: 1 flit/cycle
+        return busy_until <= self.cycle
+
+    def _eject(self, node: tuple[int, int], flit: Flit) -> None:
+        busy_until = self._memory_nodes.get(node)
+        if busy_until is not None:
+            cost = 1 if flit.is_head and flit.payload is None else (
+                self.config.memory_reorder_cycles
+            )
+            self._memory_nodes[node] = self.cycle + cost
+            self.stats.memory_busy_cycles[node] += cost
+        if flit.payload is not None or not flit.is_head:
+            self.stats.flits_delivered += 1
+        self.sunk.append(
+            SinkRecord(
+                cycle=self.cycle,
+                node=node,
+                packet_id=flit.packet_id,
+                payload=flit.payload,
+                source=self._packet_meta[flit.packet_id][1],
+            )
+        )
+        if flit.is_tail:
+            inject_cycle, _src = self._packet_meta[flit.packet_id]
+            self.stats.packet_latencies.append(self.cycle - inject_cycle)
+            self.stats.packets_delivered += 1
+
+    # -- one simulation cycle ----------------------------------------------
+
+    def _plan_moves(
+        self,
+    ) -> list[tuple[tuple[int, int], Port, tuple[int, int] | None, Port | None]]:
+        """Decide this cycle's flit moves from start-of-cycle state.
+
+        Returns (from_node, from_port, to_node, to_port) tuples; a ``None``
+        destination means ejection at the local sink.
+        """
+        moves: list[
+            tuple[tuple[int, int], Port, tuple[int, int] | None, Port | None]
+        ] = []
+        # Space is judged on start-of-cycle occupancy; reserve as we plan
+        # so two flits cannot claim the same last slot.
+        space_left: dict[tuple[tuple[int, int], Port], int] = {}
+        sink_used: set[tuple[int, int]] = set()
+
+        buffers = self._buffers
+        owner_map = self._owner
+        cycle = self.cycle
+        for node in self._nodes:
+            if self._occupancy[node] == 0:
+                continue
+            downstream = self._downstream_space(node)
+            # Classify each input port's head flit by the output it wants
+            # (one route computation per input, not one per output pair).
+            wants: dict[Port, list[Port]] = {}
+            for in_port in _ALL_PORTS:
+                buf = buffers.get((node, in_port))
+                if not buf:
+                    continue
+                flit = buf[0]
+                if flit.ready_cycle > cycle:
+                    continue
+                route = self._flit_route(node, flit, downstream)
+                if route is None:  # head still in route computation
+                    continue
+                owner = owner_map.get((node, route))
+                if owner is not None and flit.packet_id != owner:
+                    continue
+                if not flit.is_head and owner != flit.packet_id:
+                    # Body flit cannot start a channel it doesn't own.
+                    continue
+                wants.setdefault(route, []).append(in_port)
+
+            if not wants:
+                continue
+            adjacency = {p: (nbr, key) for p, nbr, key in self._adjacent[node]}
+            for out_port, candidates in wants.items():
+                # Downstream capacity / sink availability.
+                if out_port is Port.LOCAL:
+                    if node in sink_used or not self._sink_ready(node):
+                        continue
+                else:
+                    if out_port not in adjacency:
+                        # Route points off-mesh (hostile policy): the flit
+                        # can never move; the deadlock detector handles it.
+                        continue
+                    nbr, key = adjacency[out_port]
+                    left = space_left.get(key)
+                    if left is None:
+                        left = self.config.buffer_flits - len(buffers[key])
+                    if left <= 0:
+                        continue
+                # Round-robin arbitration among candidate inputs.
+                rr_key = (node, out_port)
+                start = self._rr.get(rr_key, 0)
+                winner = min(
+                    candidates, key=lambda p: ((int(p) - start) % 5, int(p))
+                )
+                self._rr[rr_key] = (int(winner) + 1) % 5
+                if out_port is Port.LOCAL:
+                    sink_used.add(node)
+                    moves.append((node, winner, None, None))
+                else:
+                    nbr, key = adjacency[out_port]
+                    left = space_left.get(key)
+                    if left is None:
+                        left = self.config.buffer_flits - len(buffers[key])
+                    space_left[key] = left - 1
+                    moves.append((node, winner, nbr, key[1]))
+        return moves
+
+    def _flit_route(
+        self,
+        node: tuple[int, int],
+        flit: Flit,
+        downstream: dict[Port, int],
+    ) -> Port | None:
+        """Route of ``flit`` at ``node``; computes (and charges t_r) for heads."""
+        key = (node, flit.packet_id)
+        route = self._route.get(key)
+        if route is not None:
+            return route
+        if not flit.is_head:
+            raise NetworkError(
+                f"body flit of packet {flit.packet_id} reached {node} with no "
+                "route — wormhole ordering violated"
+            )
+        route = self.routing.route(self.topology, node, flit.dest, downstream)
+        self._route[key] = route
+        if self.config.header_route_cycles > 0:
+            flit.ready_cycle = self.cycle + self.config.header_route_cycles
+            return None  # not movable until the pipeline delay elapses
+        return route
+
+    def _commit_moves(
+        self,
+        moves: list[tuple[tuple[int, int], Port, tuple[int, int] | None, Port | None]],
+    ) -> int:
+        moved = 0
+        for node, in_port, to_node, to_port in moves:
+            buf = self._buffers[(node, in_port)]
+            flit = buf.popleft()
+            route = self._route[(node, flit.packet_id)]
+            # Maintain wormhole channel ownership (LOCAL included, so a
+            # packet's flits eject contiguously).
+            chan = (node, route)
+            if flit.is_head:
+                self._owner[chan] = flit.packet_id
+            if flit.is_tail:
+                self._owner.pop(chan, None)
+            if flit.is_tail:
+                del self._route[(node, flit.packet_id)]
+            self._occupancy[node] -= 1
+            self.stats.flits_through_node[node] = (
+                self.stats.flits_through_node.get(node, 0) + 1
+            )
+            if to_node is None:
+                self._eject(node, flit)
+                self._pending_flits -= 1
+            else:
+                self._buffers[(to_node, to_port)].append(flit)
+                self._occupancy[to_node] += 1
+                self.stats.flit_hops += 1
+            moved += 1
+        return moved
+
+    def _do_injection(self) -> int:
+        injected = 0
+        for node, queue in self._inject.items():
+            if not queue:
+                continue
+            buf = self._buffers[(node, Port.LOCAL)]
+            while queue and len(buf) < self.config.buffer_flits:
+                flit = queue[0]
+                if flit.injected_cycle > self.cycle:
+                    break
+                buf.append(queue.popleft())
+                self._occupancy[node] += 1
+                injected += 1
+        return injected
+
+    def step(self) -> int:
+        """Advance one cycle; returns flits moved (incl. injections)."""
+        moves = self._plan_moves()
+        moved = self._commit_moves(moves)
+        moved += self._do_injection()
+        self.cycle += 1
+        return moved
+
+    @property
+    def traffic_remaining(self) -> bool:
+        """True while flits are queued, buffered or awaiting ejection."""
+        if self._pending_flits > 0:
+            return True
+        return any(self._buffers.values()) or any(self._inject.values())
+
+    def run(self, max_cycles: int | None = None) -> MeshStats:
+        """Simulate until all traffic is delivered.
+
+        Raises :class:`NetworkError` on deadlock (no movement for
+        ``config.deadlock_cycles`` consecutive cycles) or when
+        ``max_cycles`` elapses with traffic still in the network.
+        """
+        idle = 0
+        while self.traffic_remaining:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                raise NetworkError(
+                    f"traffic undelivered after max_cycles={max_cycles}"
+                )
+            moved = self.step()
+            if moved == 0:
+                idle += 1
+                if idle >= self.config.deadlock_cycles:
+                    raise NetworkError(
+                        f"deadlock: no flit moved for {idle} cycles at "
+                        f"cycle {self.cycle}"
+                    )
+            else:
+                idle = 0
+        self.stats.cycles = self.cycle
+        return self.stats

@@ -1,0 +1,127 @@
+"""Routing policies for the wormhole mesh.
+
+Two policies:
+
+* :class:`XYRouting` — deterministic dimension-order (x first, then y).
+  Deadlock-free, the common baseline.
+* :class:`MinimalAdaptiveRouting` — the paper's "minimal adaptive wormhole
+  routed" mesh (Section V-C2): among the productive directions (those that
+  reduce distance), pick the one whose downstream buffer is emptiest;
+  ties break to the x dimension.  West-first turn restrictions keep it
+  deadlock-free on minimal paths.
+
+Both expose one method, :meth:`route`, choosing an output port for a head
+flit at a router, given local congestion observations.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..util.errors import RoutingError
+from .topology import MeshTopology, Port
+
+__all__ = ["RoutingPolicy", "XYRouting", "MinimalAdaptiveRouting", "productive_ports"]
+
+
+def productive_ports(
+    node: tuple[int, int], dest: tuple[int, int]
+) -> list[Port]:
+    """Ports that strictly reduce Manhattan distance to ``dest``."""
+    x, y = node
+    dx, dy = dest[0] - x, dest[1] - y
+    ports: list[Port] = []
+    if dx > 0:
+        ports.append(Port.EAST)
+    elif dx < 0:
+        ports.append(Port.WEST)
+    if dy > 0:
+        ports.append(Port.NORTH)
+    elif dy < 0:
+        ports.append(Port.SOUTH)
+    return ports
+
+
+class RoutingPolicy(Protocol):
+    """Interface: choose an output port for a head flit."""
+
+    def route(
+        self,
+        topology: MeshTopology,
+        node: tuple[int, int],
+        dest: tuple[int, int],
+        downstream_space: dict[Port, int],
+    ) -> Port:
+        """Output port at ``node`` for a packet heading to ``dest``.
+
+        ``downstream_space`` maps each candidate mesh port to the free
+        slots in the buffer it feeds (adaptive policies use it; others
+        ignore it).  Returns ``Port.LOCAL`` when the packet has arrived.
+        """
+        ...  # pragma: no cover
+
+
+class XYRouting:
+    """Dimension-order routing: correct x first, then y."""
+
+    name = "xy"
+
+    def route(
+        self,
+        topology: MeshTopology,
+        node: tuple[int, int],
+        dest: tuple[int, int],
+        downstream_space: dict[Port, int],
+    ) -> Port:
+        topology.require_node(node)
+        topology.require_node(dest)
+        x, y = node
+        if x < dest[0]:
+            return Port.EAST
+        if x > dest[0]:
+            return Port.WEST
+        if y < dest[1]:
+            return Port.NORTH
+        if y > dest[1]:
+            return Port.SOUTH
+        return Port.LOCAL
+
+
+class MinimalAdaptiveRouting:
+    """Minimal adaptive: pick the productive port with most free buffer.
+
+    West-first restriction: if WEST is productive it must be taken first
+    (no adaptive choice), which breaks cyclic channel dependencies and
+    keeps minimal routing deadlock-free (Glass & Ni's turn model).
+    """
+
+    name = "minimal-adaptive"
+
+    def route(
+        self,
+        topology: MeshTopology,
+        node: tuple[int, int],
+        dest: tuple[int, int],
+        downstream_space: dict[Port, int],
+    ) -> Port:
+        topology.require_node(node)
+        topology.require_node(dest)
+        candidates = productive_ports(node, dest)
+        if not candidates:
+            return Port.LOCAL
+        if Port.WEST in candidates:
+            return Port.WEST
+        if len(candidates) == 1:
+            return candidates[0]
+        # Most free space downstream; x dimension (EAST) wins ties.
+        def key(p: Port) -> tuple[int, int]:
+            space = downstream_space.get(p, 0)
+            tiebreak = 1 if p is Port.EAST else 0
+            return (space, tiebreak)
+
+        best = max(candidates, key=key)
+        if downstream_space.get(best) is None:
+            raise RoutingError(
+                f"no downstream space info for productive port {best} at {node}"
+            )
+        return best

@@ -1,0 +1,145 @@
+"""Mesh topology: coordinates, ports, neighbours, memory attachment.
+
+A ``width x height`` 2-D mesh of routers, each co-located with a
+processor.  Memory interfaces attach at the periphery — the corners, per
+the paper's energy study (Section III-C) and LLMORE machine model
+(Fig. 12) — through the local port of their corner router.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+from ..util.validation import require_positive_int
+
+__all__ = ["Port", "MeshTopology"]
+
+
+class Port(enum.IntEnum):
+    """Router ports.  LOCAL connects the processor / memory interface."""
+
+    LOCAL = 0
+    NORTH = 1
+    SOUTH = 2
+    EAST = 3
+    WEST = 4
+
+    @property
+    def opposite(self) -> "Port":
+        """The port on the neighbouring router facing back at us."""
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Port.LOCAL: Port.LOCAL,
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MeshTopology:
+    """Geometry of a rectangular mesh.
+
+    Coordinates are ``(x, y)`` with ``0 <= x < width`` (east is +x) and
+    ``0 <= y < height`` (north is +y).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        require_positive_int("width", self.width)
+        require_positive_int("height", self.height)
+
+    @classmethod
+    def square(cls, nodes: int) -> "MeshTopology":
+        """Square mesh for a perfect-square node count."""
+        side = int(round(nodes ** 0.5))
+        if side * side != nodes:
+            raise ConfigError(f"node count {nodes} is not a perfect square")
+        return cls(width=side, height=side)
+
+    @property
+    def node_count(self) -> int:
+        """Number of routers (= processors)."""
+        return self.width * self.height
+
+    def contains(self, node: tuple[int, int]) -> bool:
+        """True when the coordinate is on the mesh."""
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def require_node(self, node: tuple[int, int]) -> None:
+        """Raise :class:`ConfigError` for off-mesh coordinates."""
+        if not self.contains(node):
+            raise ConfigError(f"node {node} outside {self.width}x{self.height} mesh")
+
+    def nodes(self) -> list[tuple[int, int]]:
+        """All coordinates, row-major."""
+        return [(x, y) for y in range(self.height) for x in range(self.width)]
+
+    def node_index(self, node: tuple[int, int]) -> int:
+        """Row-major linear index of a coordinate."""
+        self.require_node(node)
+        x, y = node
+        return y * self.width + x
+
+    def neighbor(self, node: tuple[int, int], port: Port) -> tuple[int, int] | None:
+        """Coordinate one hop through ``port``, or None at the edge."""
+        self.require_node(node)
+        x, y = node
+        if port is Port.NORTH:
+            nxt = (x, y + 1)
+        elif port is Port.SOUTH:
+            nxt = (x, y - 1)
+        elif port is Port.EAST:
+            nxt = (x + 1, y)
+        elif port is Port.WEST:
+            nxt = (x - 1, y)
+        else:
+            raise ConfigError("LOCAL port has no neighbour")
+        return nxt if self.contains(nxt) else None
+
+    def mesh_ports(self, node: tuple[int, int]) -> list[Port]:
+        """The non-LOCAL ports that actually connect somewhere."""
+        return [
+            p
+            for p in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
+            if self.neighbor(node, p) is not None
+        ]
+
+    def hop_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Manhattan distance between two routers."""
+        self.require_node(a)
+        self.require_node(b)
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def corners(self) -> list[tuple[int, int]]:
+        """The four corner coordinates (deduplicated on degenerate meshes)."""
+        cs = [
+            (0, 0),
+            (self.width - 1, 0),
+            (0, self.height - 1),
+            (self.width - 1, self.height - 1),
+        ]
+        seen: list[tuple[int, int]] = []
+        for c in cs:
+            if c not in seen:
+                seen.append(c)
+        return seen
+
+    def average_hops_to(self, dest: tuple[int, int]) -> float:
+        """Mean Manhattan distance from all nodes to ``dest``."""
+        total = sum(self.hop_distance(n, dest) for n in self.nodes())
+        return total / self.node_count
+
+    def link_length_mm(self, chip_edge_mm: float) -> float:
+        """Physical inter-router hop length on a square chip."""
+        if chip_edge_mm <= 0:
+            raise ConfigError("chip_edge_mm must be > 0")
+        return chip_edge_mm / max(self.width, self.height)

@@ -1,0 +1,204 @@
+"""Workload generators for the mesh simulator (paper Sections V-B2, V-C2).
+
+Each generator returns a list of :class:`~repro.mesh.flit.Packet` ready to
+inject, plus enough metadata to check delivery.  The headline workload is
+the **transpose gather**: every processor writes its FFT row back to a
+single memory interface, where elements must interleave column-major —
+maximally non-local traffic with a single hot sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from .flit import Packet
+from .topology import MeshTopology
+
+__all__ = [
+    "TransposeWorkload",
+    "make_transpose_gather",
+    "make_scatter_delivery",
+    "make_uniform_random",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TransposeWorkload:
+    """A transpose-gather traffic set.
+
+    ``packets[i]`` carries one element; ``payload`` is the linear target
+    address in column-major memory order, so a correctness check is simply
+    that the set of delivered addresses equals ``range(rows * cols)``.
+    """
+
+    packets: tuple[Packet, ...]
+    rows: int
+    cols: int
+    memory_node: tuple[int, int]
+
+    @property
+    def total_elements(self) -> int:
+        """Elements (words) in the whole transpose."""
+        return self.rows * self.cols
+
+
+def _processor_for_row(topology: MeshTopology, row: int) -> tuple[int, int]:
+    """Row ``r`` of the matrix lives on processor ``r`` (row-major grid)."""
+    x = row % topology.width
+    y = row // topology.width
+    return (x, y)
+
+
+def make_transpose_gather(
+    topology: MeshTopology,
+    cols: int,
+    memory_node: tuple[int, int] = (0, 0),
+    elements_per_packet: int = 1,
+    header_flits: int = 1,
+) -> TransposeWorkload:
+    """Build the transpose writeback: every processor sends its row to memory.
+
+    Processor ``r`` holds matrix row ``r`` (length ``cols``).  Memory
+    wants column-major order: element (r, c) goes to linear address
+    ``c * rows + r``.  With ``elements_per_packet == 1`` this is the
+    paper's per-element traffic ("each element is output independently");
+    larger values model software coalescing (an ablation).
+    """
+    topology.require_node(memory_node)
+    if cols < 1:
+        raise ConfigError(f"cols must be >= 1, got {cols}")
+    if elements_per_packet < 1:
+        raise ConfigError("elements_per_packet must be >= 1")
+    if cols % elements_per_packet != 0:
+        raise ConfigError(
+            f"elements_per_packet {elements_per_packet} must divide cols {cols}"
+        )
+    rows = topology.node_count
+    packets: list[Packet] = []
+    for r in range(rows):
+        src = _processor_for_row(topology, r)
+        for c0 in range(0, cols, elements_per_packet):
+            addresses = [
+                (c0 + j) * rows + r for j in range(elements_per_packet)
+            ]
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=memory_node,
+                    payloads=addresses,
+                    header_flits=header_flits,
+                )
+            )
+    return TransposeWorkload(
+        packets=tuple(packets), rows=rows, cols=cols, memory_node=memory_node
+    )
+
+
+def make_scatter_delivery(
+    topology: MeshTopology,
+    words_per_processor: int,
+    k: int = 1,
+    memory_node: tuple[int, int] = (0, 0),
+    header_flits: int = 1,
+) -> list[Packet]:
+    """Model I/II data delivery from one memory node to all processors.
+
+    ``k`` blocks per processor, delivered round-robin (Model II); ``k=1``
+    is Model I.  Each block is one packet of ``words_per_processor / k``
+    payload flits.  Packets are returned in injection (serial) order.
+    """
+    topology.require_node(memory_node)
+    if words_per_processor < 1 or k < 1:
+        raise ConfigError("words_per_processor and k must be >= 1")
+    if words_per_processor % k != 0:
+        raise ConfigError(f"k={k} must divide words_per_processor")
+    block = words_per_processor // k
+    packets: list[Packet] = []
+    for round_idx in range(k):
+        for node in topology.nodes():
+            base = round_idx * block
+            payloads = [
+                (topology.node_index(node), base + j) for j in range(block)
+            ]
+            packets.append(
+                Packet(
+                    source=memory_node,
+                    dest=node,
+                    payloads=payloads,
+                    header_flits=header_flits,
+                )
+            )
+    return packets
+
+
+def make_transpose_gather_multi_mc(
+    topology: MeshTopology,
+    cols: int,
+    memory_nodes: list[tuple[int, int]] | None = None,
+    header_flits: int = 1,
+) -> TransposeWorkload:
+    """Transpose gather with several memory interfaces (Fig. 12's mesh).
+
+    The linear address space is striped across the memory interfaces in
+    DRAM-row-sized chunks of 32 words; each element's packet goes to the
+    interface owning its target address, but each source still sends to
+    *whichever* interface its data lands on — preserving the non-local,
+    many-to-few character while exploiting the mesh's path diversity.
+    Defaults to the four corners, per the paper's energy study.
+    """
+    nodes = memory_nodes if memory_nodes is not None else topology.corners()
+    if not nodes:
+        raise ConfigError("need at least one memory node")
+    for node in nodes:
+        topology.require_node(node)
+    if cols < 1:
+        raise ConfigError(f"cols must be >= 1, got {cols}")
+    rows = topology.node_count
+    stripe_words = 32  # one 2048-bit DRAM row of 64-bit words
+    packets: list[Packet] = []
+    for r in range(rows):
+        src = _processor_for_row(topology, r)
+        for c in range(cols):
+            address = c * rows + r
+            owner = nodes[(address // stripe_words) % len(nodes)]
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=owner,
+                    payloads=[address],
+                    header_flits=header_flits,
+                )
+            )
+    return TransposeWorkload(
+        packets=tuple(packets), rows=rows, cols=cols, memory_node=nodes[0]
+    )
+
+
+def make_uniform_random(
+    topology: MeshTopology,
+    packets_per_node: int,
+    payload_flits: int = 1,
+    seed: int = 0,
+    header_flits: int = 1,
+) -> list[Packet]:
+    """Uniform random traffic (ablation baseline for routing policies)."""
+    if packets_per_node < 1 or payload_flits < 1:
+        raise ConfigError("packets_per_node and payload_flits must be >= 1")
+    rng = np.random.default_rng(seed)
+    nodes = topology.nodes()
+    packets: list[Packet] = []
+    for src in nodes:
+        for i in range(packets_per_node):
+            dest = nodes[int(rng.integers(len(nodes)))]
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=dest,
+                    payloads=[(topology.node_index(src), i, j) for j in range(payload_flits)],
+                    header_flits=header_flits,
+                )
+            )
+    return packets

@@ -1,0 +1,40 @@
+"""Photonic physical layer: waveguides, devices, WDM, clocking, layout.
+
+This package is the substitution for PhoenixSim's physical-layer models:
+closed-form loss/latency/energy physics that the PSCAN simulator and the
+Fig.-5 energy study build on (see DESIGN.md).
+"""
+
+from .clocking import PhotonicClock
+from .devices import Laser, Photodiode, PhotonicLink, RingModulator, RingResonator
+from .layout import SerpentineLayout
+from .spectrum import SpectralPlan, paper_spectral_plan
+from .thermal import ThermalModel
+from .waveguide import (
+    SegmentLossModel,
+    Waveguide,
+    bits_per_waveguide_window,
+    max_segments,
+    segment_loss_db,
+)
+from .wdm import WdmPlan, paper_pscan_plan
+
+__all__ = [
+    "Waveguide",
+    "SegmentLossModel",
+    "segment_loss_db",
+    "max_segments",
+    "bits_per_waveguide_window",
+    "Laser",
+    "RingResonator",
+    "RingModulator",
+    "Photodiode",
+    "PhotonicLink",
+    "WdmPlan",
+    "paper_pscan_plan",
+    "PhotonicClock",
+    "SerpentineLayout",
+    "SpectralPlan",
+    "paper_spectral_plan",
+    "ThermalModel",
+]

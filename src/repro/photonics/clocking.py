@@ -1,0 +1,98 @@
+"""Open-loop photonic clock distribution (paper Section III-A).
+
+A clock wavelength is modulated at the head of the waveguide; each node
+detects the edges as they fly past.  Because of flight time, node ``i`` at
+position ``x_i`` observes edge ``n`` at
+
+    t(n, x_i) = t0 + n * T + x_i / v
+
+so every node has a *unique local frame of reference* with deliberate,
+exactly known skew.  This is the opposite of an H-tree: PSCAN requires the
+skew — constant phase would cause data overlap or dead time (Section
+III-A).
+
+The :class:`PhotonicClock` does the edge <-> time arithmetic both ways; it
+is the piece every communication program is compiled against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import PhotonicsError
+from ..util.validation import require_non_negative, require_positive
+
+__all__ = ["PhotonicClock"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhotonicClock:
+    """The distributed optical clock on a PSCAN waveguide.
+
+    Parameters
+    ----------
+    period_ns:
+        Bus cycle period (e.g. 0.1 ns for 10 Gb/s per wavelength).
+    origin_mm:
+        Position of the clock generator along the waveguide.
+    velocity_mm_per_ns:
+        Group velocity of light in the waveguide.
+    t0_ns:
+        Absolute time at which edge 0 leaves the generator.
+    """
+
+    period_ns: float
+    origin_mm: float = 0.0
+    velocity_mm_per_ns: float = constants.LIGHT_SPEED_SI_MM_PER_NS
+    t0_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("period_ns", self.period_ns)
+        require_non_negative("origin_mm", self.origin_mm)
+        require_positive("velocity_mm_per_ns", self.velocity_mm_per_ns)
+
+    def flight_delay_ns(self, position_mm: float) -> float:
+        """Flight time from the generator to ``position_mm`` (downstream)."""
+        if position_mm < self.origin_mm:
+            raise PhotonicsError(
+                f"position {position_mm} mm is upstream of the clock "
+                f"generator at {self.origin_mm} mm"
+            )
+        return (position_mm - self.origin_mm) / self.velocity_mm_per_ns
+
+    def edge_time(self, edge: int, position_mm: float) -> float:
+        """Absolute time at which clock edge ``edge`` passes ``position_mm``."""
+        if edge < 0:
+            raise PhotonicsError(f"edge index must be >= 0, got {edge}")
+        return self.t0_ns + edge * self.period_ns + self.flight_delay_ns(position_mm)
+
+    def edge_at(self, time_ns: float, position_mm: float) -> int:
+        """Index of the most recent edge observed at ``position_mm`` by ``time_ns``.
+
+        Raises when no edge has yet arrived there.
+        """
+        local = time_ns - self.t0_ns - self.flight_delay_ns(position_mm)
+        if local < 0:
+            raise PhotonicsError(
+                f"no clock edge has reached {position_mm} mm by t={time_ns} ns"
+            )
+        return math.floor(local / self.period_ns + 1e-12)
+
+    def skew_ns(self, pos_a_mm: float, pos_b_mm: float) -> float:
+        """Observed clock skew between two positions (b relative to a).
+
+        Positive when ``pos_b_mm`` is downstream: the same edge arrives
+        later there.  This is the deliberate skew the SCA exploits.
+        """
+        return self.flight_delay_ns(pos_b_mm) - self.flight_delay_ns(pos_a_mm)
+
+    def cycles_between(self, pos_a_mm: float, pos_b_mm: float) -> float:
+        """Skew between two positions expressed in bus cycles."""
+        return self.skew_ns(pos_a_mm, pos_b_mm) / self.period_ns
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency in GHz."""
+        return 1.0 / self.period_ns

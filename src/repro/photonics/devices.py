@@ -1,0 +1,179 @@
+"""Photonic device models: laser, ring modulator, photodiode, resonator.
+
+These are parameter bundles plus small behavioural methods (loss
+contribution, energy per bit, detection decisions).  The event-level
+behaviour — *when* a modulator drives the waveguide — lives in
+:mod:`repro.core.pscan`; this module answers *whether* a link closes and
+*what it costs*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import LinkBudgetError
+from ..util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = ["Laser", "RingResonator", "RingModulator", "Photodiode", "PhotonicLink"]
+
+
+@dataclass(frozen=True, slots=True)
+class Laser:
+    """Continuous-wave laser source.
+
+    The laser is off-chip (or a comb source); its wall-plug efficiency
+    converts the optical power required by the link budget into electrical
+    power for the energy model.
+    """
+
+    power_dbm: float = constants.DEFAULT_LASER_POWER_DBM
+    wall_plug_efficiency: float = constants.LASER_WALL_PLUG_EFFICIENCY
+    wavelength_nm: float = 1550.0
+
+    def __post_init__(self) -> None:
+        require_in_range("wall_plug_efficiency", self.wall_plug_efficiency, 1e-6, 1.0)
+        require_positive("wavelength_nm", self.wavelength_nm)
+
+    @property
+    def optical_power_mw(self) -> float:
+        """Emitted optical power in milliwatts."""
+        return 10.0 ** (self.power_dbm / 10.0)
+
+    @property
+    def electrical_power_mw(self) -> float:
+        """Electrical power drawn, given the wall-plug efficiency."""
+        return self.optical_power_mw / self.wall_plug_efficiency
+
+    def energy_per_bit_pj(self, bitrate_gbps: float) -> float:
+        """Laser energy attributed to each bit at ``bitrate_gbps``.
+
+        mW / (Gb/s) = pJ/bit with the library's unit bases.
+        """
+        require_positive("bitrate_gbps", bitrate_gbps)
+        return self.electrical_power_mw / bitrate_gbps
+
+
+@dataclass(frozen=True, slots=True)
+class RingResonator:
+    """A passive ring resonator adjacent to the waveguide.
+
+    When detuned, passing light suffers ``through_loss_db``; thermal
+    tuning keeps it on/off resonance and costs static power.
+    """
+
+    through_loss_db: float = constants.RING_THROUGH_LOSS_DB
+    drop_loss_db: float = constants.RING_DROP_LOSS_DB
+    tuning_power_mw: float = constants.RING_TUNING_MW
+
+    def __post_init__(self) -> None:
+        require_non_negative("through_loss_db", self.through_loss_db)
+        require_non_negative("drop_loss_db", self.drop_loss_db)
+        require_non_negative("tuning_power_mw", self.tuning_power_mw)
+
+
+@dataclass(frozen=True, slots=True)
+class RingModulator:
+    """An active ring modulator driving data onto one wavelength.
+
+    ``insertion_loss_db`` applies to the modulated wavelength;
+    ``ring.through_loss_db`` applies to all other wavelengths passing by.
+    """
+
+    ring: RingResonator = RingResonator()
+    insertion_loss_db: float = constants.RING_DROP_LOSS_DB
+    energy_per_bit_pj: float = constants.MODULATOR_ENERGY_PJ_PER_BIT
+    max_bitrate_gbps: float = constants.PSCAN_WAVELENGTH_RATE_GBPS
+
+    def __post_init__(self) -> None:
+        require_non_negative("insertion_loss_db", self.insertion_loss_db)
+        require_non_negative("energy_per_bit_pj", self.energy_per_bit_pj)
+        require_positive("max_bitrate_gbps", self.max_bitrate_gbps)
+
+    def check_bitrate(self, bitrate_gbps: float) -> None:
+        """Raise when asked to modulate faster than the device allows."""
+        if bitrate_gbps > self.max_bitrate_gbps:
+            raise LinkBudgetError(
+                f"modulator limited to {self.max_bitrate_gbps} Gb/s, "
+                f"asked for {bitrate_gbps} Gb/s"
+            )
+
+    def modulation_energy_pj(self, bits: float) -> float:
+        """Dynamic energy to modulate ``bits`` bits."""
+        require_non_negative("bits", bits)
+        return bits * self.energy_per_bit_pj
+
+
+@dataclass(frozen=True, slots=True)
+class Photodiode:
+    """Receiver: photodiode plus transimpedance amplifier.
+
+    ``sensitivity_dbm`` is the minimum detectable power (paper Eq. 1's
+    ``P_min_pd``).
+    """
+
+    sensitivity_dbm: float = constants.DEFAULT_PD_SENSITIVITY_DBM
+    energy_per_bit_pj: float = constants.RECEIVER_ENERGY_PJ_PER_BIT
+
+    def __post_init__(self) -> None:
+        require_non_negative("energy_per_bit_pj", self.energy_per_bit_pj)
+
+    def detects(self, power_dbm: float) -> bool:
+        """True when the incident power is at or above sensitivity."""
+        return power_dbm >= self.sensitivity_dbm
+
+    def require_detectable(self, power_dbm: float) -> None:
+        """Raise :class:`LinkBudgetError` when the signal is too weak."""
+        if not self.detects(power_dbm):
+            raise LinkBudgetError(
+                f"incident power {power_dbm:.2f} dBm below photodiode "
+                f"sensitivity {self.sensitivity_dbm:.2f} dBm"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class PhotonicLink:
+    """End-to-end link budget: laser -> modulator -> waveguide -> photodiode.
+
+    Used both by the PSCAN constructor (to validate that the furthest
+    receiver still detects the nearest transmitter's light through every
+    intervening detuned ring) and by the energy model.
+    """
+
+    laser: Laser = Laser()
+    modulator: RingModulator = RingModulator()
+    photodiode: Photodiode = Photodiode()
+    waveguide_loss_db_per_mm: float = constants.WAVEGUIDE_LOSS_DB_PER_MM
+
+    def __post_init__(self) -> None:
+        require_non_negative(
+            "waveguide_loss_db_per_mm", self.waveguide_loss_db_per_mm
+        )
+
+    def received_power_dbm(self, distance_mm: float, rings_passed: int) -> float:
+        """Power at the photodiode after modulator, waveguide and rings."""
+        require_non_negative("distance_mm", distance_mm)
+        require_non_negative("rings_passed", rings_passed)
+        return (
+            self.laser.power_dbm
+            - self.modulator.insertion_loss_db
+            - distance_mm * self.waveguide_loss_db_per_mm
+            - rings_passed * self.modulator.ring.through_loss_db
+        )
+
+    def closes(self, distance_mm: float, rings_passed: int) -> bool:
+        """True when the link budget is satisfied (Eq. 1)."""
+        return self.photodiode.detects(
+            self.received_power_dbm(distance_mm, rings_passed)
+        )
+
+    def margin_db(self, distance_mm: float, rings_passed: int) -> float:
+        """Budget margin in dB (negative = link does not close)."""
+        return (
+            self.received_power_dbm(distance_mm, rings_passed)
+            - self.photodiode.sensitivity_dbm
+        )

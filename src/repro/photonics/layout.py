@@ -1,0 +1,136 @@
+"""Serpentine waveguide layout over a square chip (paper Section III-B).
+
+A PSCAN waveguide must visit every processor tile on a 2D chip, so it
+snakes across the die in rows.  The layout determines:
+
+* total waveguide length (straight runs + U-turn bends),
+* the 1-D waveguide position of each 2-D tile, and
+* the bend count, which adds loss and "slightly decreases N" (Section
+  III-B notes the paper ignores this; we model it and expose it as an
+  ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.errors import ConfigError
+from ..util.validation import require_positive, require_positive_int
+
+__all__ = ["SerpentineLayout"]
+
+
+@dataclass(frozen=True, slots=True)
+class SerpentineLayout:
+    """Serpentine path visiting an ``rows x cols`` grid of tiles.
+
+    Tiles are laid out on a chip of edge ``chip_edge_mm``; the waveguide
+    runs along each row in alternating direction (boustrophedon) and makes
+    a U-turn between rows.  Tile (r, c) sits at the centre of its cell.
+    """
+
+    rows: int
+    cols: int
+    chip_edge_mm: float = constants.CHIP_EDGE_MM
+
+    def __post_init__(self) -> None:
+        require_positive_int("rows", self.rows)
+        require_positive_int("cols", self.cols)
+        require_positive("chip_edge_mm", self.chip_edge_mm)
+
+    @classmethod
+    def square(cls, tiles: int, chip_edge_mm: float = constants.CHIP_EDGE_MM) -> "SerpentineLayout":
+        """Layout for a square tile count (e.g. 256 -> 16 x 16)."""
+        side = math.isqrt(tiles)
+        if side * side != tiles:
+            raise ConfigError(f"tile count {tiles} is not a perfect square")
+        return cls(rows=side, cols=side, chip_edge_mm=chip_edge_mm)
+
+    @property
+    def tile_count(self) -> int:
+        """Number of tiles visited."""
+        return self.rows * self.cols
+
+    @property
+    def tile_pitch_x_mm(self) -> float:
+        """Horizontal tile pitch."""
+        return self.chip_edge_mm / self.cols
+
+    @property
+    def tile_pitch_y_mm(self) -> float:
+        """Vertical tile pitch."""
+        return self.chip_edge_mm / self.rows
+
+    @property
+    def row_run_mm(self) -> float:
+        """Straight length of one row traversal (centre to centre)."""
+        return (self.cols - 1) * self.tile_pitch_x_mm
+
+    @property
+    def turn_length_mm(self) -> float:
+        """Length of one U-turn between adjacent rows."""
+        # Half-circumference of a semicircle with diameter = row pitch.
+        return math.pi * self.tile_pitch_y_mm / 2.0
+
+    @property
+    def bend_count(self) -> int:
+        """Number of U-turns along the serpentine."""
+        return self.rows - 1
+
+    @property
+    def straight_length_mm(self) -> float:
+        """Total straight waveguide length."""
+        return self.rows * self.row_run_mm
+
+    @property
+    def total_length_mm(self) -> float:
+        """Total waveguide length including bends."""
+        return self.straight_length_mm + self.bend_count * self.turn_length_mm
+
+    def visit_order(self) -> list[tuple[int, int]]:
+        """Tiles in the order the waveguide passes them (boustrophedon)."""
+        order: list[tuple[int, int]] = []
+        for r in range(self.rows):
+            cols = range(self.cols) if r % 2 == 0 else range(self.cols - 1, -1, -1)
+            order.extend((r, c) for c in cols)
+        return order
+
+    def position_mm(self, row: int, col: int) -> float:
+        """1-D waveguide position of tile (row, col).
+
+        Accumulates full row runs plus U-turns for the rows above, then
+        the partial run within this row respecting its direction.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigError(
+                f"tile ({row}, {col}) outside grid {self.rows} x {self.cols}"
+            )
+        base = row * self.row_run_mm + row * self.turn_length_mm
+        if row % 2 == 0:
+            within = col * self.tile_pitch_x_mm
+        else:
+            within = (self.cols - 1 - col) * self.tile_pitch_x_mm
+        return base + within
+
+    def positions_mm(self) -> list[float]:
+        """Waveguide positions of all tiles in visit order (increasing)."""
+        return [self.position_mm(r, c) for r, c in self.visit_order()]
+
+    def bend_loss_db(
+        self,
+        bend_loss_db_per_mm: float = constants.WAVEGUIDE_BEND_LOSS_DB_PER_MM,
+    ) -> float:
+        """Extra attenuation contributed by all U-turns."""
+        if bend_loss_db_per_mm < 0:
+            raise ConfigError("bend loss must be >= 0")
+        return self.bend_count * self.turn_length_mm * bend_loss_db_per_mm
+
+    def end_to_end_flight_ns(
+        self,
+        velocity_mm_per_ns: float = constants.LIGHT_SPEED_SI_MM_PER_NS,
+    ) -> float:
+        """Flight time from the first tile to the last."""
+        require_positive("velocity_mm_per_ns", velocity_mm_per_ns)
+        return self.total_length_mm / velocity_mm_per_ns

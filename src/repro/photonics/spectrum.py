@@ -1,0 +1,146 @@
+"""WDM spectral planning: how many wavelengths fit on one waveguide.
+
+The paper's PSCAN uses 32 data wavelengths at 10 Gb/s.  That number is
+not arbitrary: it is bounded by the ring resonators' free spectral range
+(FSR), the minimum channel spacing that keeps inter-channel crosstalk
+acceptable, and the modulation bandwidth.  This module models those
+constraints so the 32-wavelength choice (and ablations around it) are
+derived rather than asserted.
+
+Physics used (standard microring formulas):
+
+* FSR (in wavelength): ``FSR = lambda^2 / (n_g * L_ring)`` with ``n_g``
+  the group index and ``L_ring`` the ring circumference.
+* Channel spacing must exceed both the crosstalk-limited spacing
+  (``q`` ring linewidths, with linewidth ``lambda / Q``) and the
+  modulation-broadened signal bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+from ..util.validation import require_positive
+
+__all__ = ["SpectralPlan", "paper_spectral_plan"]
+
+#: Speed of light, metres per second.
+_C = 299_792_458.0
+
+
+@dataclass(frozen=True, slots=True)
+class SpectralPlan:
+    """Spectral resources of one WDM waveguide.
+
+    Parameters
+    ----------
+    center_wavelength_nm:
+        Band centre (1550 nm C-band by default).
+    group_index:
+        Group index of the ring waveguide (silicon ~4.2).
+    ring_radius_um:
+        Microring radius; sets the FSR.
+    quality_factor:
+        Loaded Q of the rings; sets the resonance linewidth.
+    spacing_linewidths:
+        Minimum channel spacing in units of linewidth for acceptable
+        crosstalk (a few linewidths).
+    rate_per_wavelength_gbps:
+        Modulation rate; the signal occupies ~2x this in optical
+        bandwidth (NRZ main lobe).
+    """
+
+    center_wavelength_nm: float = 1550.0
+    group_index: float = 4.2
+    ring_radius_um: float = 5.0
+    quality_factor: float = 9000.0
+    spacing_linewidths: float = 3.0
+    rate_per_wavelength_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        require_positive("center_wavelength_nm", self.center_wavelength_nm)
+        require_positive("group_index", self.group_index)
+        require_positive("ring_radius_um", self.ring_radius_um)
+        require_positive("quality_factor", self.quality_factor)
+        require_positive("spacing_linewidths", self.spacing_linewidths)
+        require_positive("rate_per_wavelength_gbps", self.rate_per_wavelength_gbps)
+
+    @property
+    def ring_circumference_um(self) -> float:
+        """Ring round-trip length."""
+        return 2.0 * math.pi * self.ring_radius_um
+
+    @property
+    def fsr_nm(self) -> float:
+        """Free spectral range in wavelength terms."""
+        lam_um = self.center_wavelength_nm / 1000.0
+        fsr_um = lam_um ** 2 / (self.group_index * self.ring_circumference_um)
+        return fsr_um * 1000.0
+
+    @property
+    def linewidth_nm(self) -> float:
+        """Resonance FWHM: ``lambda / Q``."""
+        return self.center_wavelength_nm / self.quality_factor
+
+    @property
+    def crosstalk_spacing_nm(self) -> float:
+        """Minimum spacing from the crosstalk criterion."""
+        return self.spacing_linewidths * self.linewidth_nm
+
+    @property
+    def signal_bandwidth_nm(self) -> float:
+        """Optical bandwidth occupied by the modulated signal (~2x rate)."""
+        # Convert 2 x rate (Hz) to wavelength at the band centre:
+        # d_lambda = lambda^2 / c * d_f.
+        lam_m = self.center_wavelength_nm * 1e-9
+        df_hz = 2.0 * self.rate_per_wavelength_gbps * 1e9
+        return lam_m ** 2 / _C * df_hz * 1e9
+
+    @property
+    def channel_spacing_nm(self) -> float:
+        """Usable spacing: the binding constraint of the two."""
+        return max(self.crosstalk_spacing_nm, self.signal_bandwidth_nm)
+
+    @property
+    def max_wavelengths(self) -> int:
+        """Channels fitting in one FSR (all rings must be unambiguous)."""
+        n = int(self.fsr_nm / self.channel_spacing_nm)
+        if n < 1:
+            raise ConfigError(
+                "no channel fits: spacing "
+                f"{self.channel_spacing_nm:.3f} nm exceeds FSR {self.fsr_nm:.3f} nm"
+            )
+        return n
+
+    @property
+    def max_bandwidth_gbps(self) -> float:
+        """Aggregate data bandwidth at the maximum channel count."""
+        return self.max_wavelengths * self.rate_per_wavelength_gbps
+
+    def supports(self, wavelengths: int) -> bool:
+        """True when ``wavelengths`` channels fit in one FSR."""
+        if wavelengths < 1:
+            raise ConfigError("wavelengths must be >= 1")
+        return wavelengths <= self.max_wavelengths
+
+    def channel_wavelengths_nm(self, count: int) -> list[float]:
+        """Centre wavelengths of ``count`` evenly spaced channels."""
+        if not self.supports(count):
+            raise ConfigError(
+                f"{count} channels do not fit in one FSR "
+                f"(max {self.max_wavelengths})"
+            )
+        start = self.center_wavelength_nm - (count - 1) / 2 * self.channel_spacing_nm
+        return [start + i * self.channel_spacing_nm for i in range(count)]
+
+
+def paper_spectral_plan() -> SpectralPlan:
+    """A spectral plan that comfortably supports the paper's 32+1 channels.
+
+    With 5 um rings (FSR ~ 18 nm), Q = 9000 (linewidth ~ 0.17 nm) and
+    3-linewidth spacing, ~35 channels fit — consistent with the paper's
+    choice of 32 data + 1 clock wavelength.
+    """
+    return SpectralPlan()

@@ -1,0 +1,81 @@
+"""Thermal behaviour of ring resonators: drift, tuning power, budgets.
+
+Ring resonators detune with temperature (~0.07-0.1 nm/K in silicon —
+the thermo-optic effect), and a PSCAN node sits next to a processor
+whose activity swings its local temperature.  Staying on the WDM grid
+costs heater power; this module models that cost and justifies the
+``RING_TUNING_MW`` constant the Fig.-5 energy model amortizes.
+
+Model: a heater with efficiency ``heater_nm_per_mw`` pulls the resonance
+back onto its channel; the worst-case power per ring is the drift range
+over the efficiency, and the *average* power assumes drift uniformly
+distributed over the range (half the worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+from ..util.validation import require_non_negative, require_positive
+
+__all__ = ["ThermalModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThermalModel:
+    """Thermo-optic drift and heater-tuning cost of one ring."""
+
+    #: Resonance drift per kelvin (silicon microrings ~0.08 nm/K).
+    drift_nm_per_k: float = 0.08
+    #: Local temperature swing the ring must ride out, kelvin.
+    temperature_range_k: float = 10.0
+    #: Heater efficiency: resonance shift per milliwatt of heater power.
+    heater_nm_per_mw: float = 0.25
+    #: Fraction of the swing handled by athermal design (cladding
+    #: compensation), 0 = none, 1 = fully athermal.
+    athermal_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive("drift_nm_per_k", self.drift_nm_per_k)
+        require_non_negative("temperature_range_k", self.temperature_range_k)
+        require_positive("heater_nm_per_mw", self.heater_nm_per_mw)
+        if not (0.0 <= self.athermal_fraction < 1.0):
+            raise ConfigError("athermal_fraction must be in [0, 1)")
+
+    @property
+    def residual_drift_nm(self) -> float:
+        """Worst-case drift the heater must compensate."""
+        return (
+            self.drift_nm_per_k
+            * self.temperature_range_k
+            * (1.0 - self.athermal_fraction)
+        )
+
+    @property
+    def worst_case_tuning_mw(self) -> float:
+        """Heater power at the worst-case operating point."""
+        return self.residual_drift_nm / self.heater_nm_per_mw
+
+    @property
+    def mean_tuning_mw(self) -> float:
+        """Average heater power (drift uniform over the range)."""
+        return 0.5 * self.worst_case_tuning_mw
+
+    def drift_exceeds_channel(self, channel_spacing_nm: float) -> bool:
+        """Would uncompensated drift cross into a neighbouring channel?
+
+        When True, tuning is *mandatory* for correctness, not just for
+        insertion-loss optimality — the regime the paper's dense WDM
+        grid lives in.
+        """
+        if channel_spacing_nm <= 0:
+            raise ConfigError("channel_spacing_nm must be > 0")
+        return self.residual_drift_nm > channel_spacing_nm / 2.0
+
+    def tuning_energy_pj_per_bit(
+        self, rate_per_wavelength_gbps: float
+    ) -> float:
+        """Mean tuning power amortized over a fully utilized wavelength."""
+        require_positive("rate_per_wavelength_gbps", rate_per_wavelength_gbps)
+        return self.mean_tuning_mw / rate_per_wavelength_gbps

@@ -1,0 +1,84 @@
+"""Wavelength-division multiplexing channel plan.
+
+The paper's PSCAN data bus is 32 wavelengths at 10 Gb/s each (320 Gb/s
+aggregate) plus one clock wavelength.  A :class:`WdmPlan` captures that
+structure and converts between bit counts, word counts and waveguide
+cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util import constants
+from ..util.validation import require_positive, require_positive_int
+
+__all__ = ["WdmPlan", "paper_pscan_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class WdmPlan:
+    """A set of parallel data wavelengths with a common symbol clock.
+
+    All data wavelengths are modulated in lock-step (the SCA schedule is
+    per *bus cycle*: one cycle moves ``data_wavelengths`` bits).  The clock
+    wavelength carries the distributed photonic clock and is excluded from
+    the data count.
+    """
+
+    data_wavelengths: int = constants.PSCAN_WAVELENGTH_COUNT
+    rate_per_wavelength_gbps: float = constants.PSCAN_WAVELENGTH_RATE_GBPS
+    clock_wavelengths: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive_int("data_wavelengths", self.data_wavelengths)
+        require_positive("rate_per_wavelength_gbps", self.rate_per_wavelength_gbps)
+        if self.clock_wavelengths < 0:
+            raise ValueError("clock_wavelengths must be >= 0")
+
+    @property
+    def total_wavelengths(self) -> int:
+        """Data plus clock wavelengths on the waveguide."""
+        return self.data_wavelengths + self.clock_wavelengths
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        """Aggregate data bandwidth in Gb/s."""
+        return self.data_wavelengths * self.rate_per_wavelength_gbps
+
+    @property
+    def bus_cycle_ns(self) -> float:
+        """Duration of one bus cycle (one symbol on every wavelength)."""
+        return 1.0 / self.rate_per_wavelength_gbps
+
+    @property
+    def bits_per_cycle(self) -> int:
+        """Bits moved per bus cycle across all data wavelengths."""
+        return self.data_wavelengths
+
+    def cycles_for_bits(self, bits: int) -> int:
+        """Bus cycles needed to move ``bits`` bits (ceiling)."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return math.ceil(bits / self.bits_per_cycle)
+
+    def cycles_for_words(self, words: int, word_bits: int) -> int:
+        """Bus cycles to move ``words`` words of ``word_bits`` bits each."""
+        require_positive_int("word_bits", word_bits)
+        if words < 0:
+            raise ValueError(f"words must be >= 0, got {words}")
+        return self.cycles_for_bits(words * word_bits)
+
+    def transfer_time_ns(self, bits: int) -> float:
+        """Wall-clock time to move ``bits`` bits at full utilization."""
+        return self.cycles_for_bits(bits) * self.bus_cycle_ns
+
+
+def paper_pscan_plan() -> WdmPlan:
+    """The paper's Section III-C PSCAN plan: 32 x 10 Gb/s + 1 clock."""
+    return WdmPlan(
+        data_wavelengths=constants.PSCAN_WAVELENGTH_COUNT,
+        rate_per_wavelength_gbps=constants.PSCAN_WAVELENGTH_RATE_GBPS,
+        clock_wavelengths=1,
+    )

@@ -1,0 +1,150 @@
+"""Buffered channels and resources built on the event kernel.
+
+``Channel`` is a FIFO store with optional capacity: producers ``put`` items
+(blocking when full) and consumers ``get`` them (blocking when empty).  It
+is the workhorse used to model link buffers and processor mailboxes.
+
+``Resource`` models mutually exclusive ownership with a FIFO wait queue —
+used for bus arbitration and memory-port serialization in the analytic
+cross-checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..util.errors import ConfigError
+from .engine import Event, Simulator
+
+__all__ = ["Channel", "Resource"]
+
+
+class Channel:
+    """A FIFO store with optional bounded capacity.
+
+    ``put(item)`` and ``get()`` both return events to be yielded from a
+    process.  Items are delivered in insertion order; waiters are served
+    in arrival order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"channel capacity must be > 0, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer holds ``capacity`` items."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no items are buffered."""
+        return not self._items
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires when space existed."""
+        ev = Event(self.sim)
+        if not self.is_full:
+            self._items.append(item)
+            ev.succeed()
+            self._wake_getter()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the buffer is full."""
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self._wake_getter()
+        return True
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event carries the item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(False, None)`` when empty."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._admit_putter()
+        return True, item
+
+    def peek(self) -> Any:
+        """The oldest item without removing it; raises IndexError when empty."""
+        return self._items[0]
+
+    def _wake_getter(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())
+            self._admit_putter()
+
+    def _admit_putter(self) -> None:
+        while self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed()
+            self._wake_getter()
+
+
+class Resource:
+    """Mutually exclusive resource with a FIFO wait queue.
+
+    ``request()`` yields an event that fires once the caller owns the
+    resource; ``release()`` hands it to the next waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ConfigError(f"resource capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of grants currently outstanding."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Acquire a grant; the returned event fires when granted."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a grant; wakes the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise ConfigError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,149 @@
+"""Dual-clock FIFO model (paper Section III-A).
+
+Each PSCAN node separates the compute-core clock domain from the photonic
+network clock domain with a dual-clock FIFO: for an SCA the core writes at
+its own clock while the waveguide side drains at the photonic clock; for an
+SCA⁻¹ the roles are reversed.
+
+This module models the *timing* behaviour of such a FIFO — items become
+visible to the reader only on reader-clock edges after a synchronizer
+delay — which is what matters for verifying that the communication
+programs keep the waveguide fed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..util.errors import ConfigError, SimulationError
+from .engine import Event, Simulator
+
+__all__ = ["DualClockFifo", "FifoStats"]
+
+
+@dataclass
+class FifoStats:
+    """Occupancy statistics for a :class:`DualClockFifo`."""
+
+    writes: int = 0
+    reads: int = 0
+    max_occupancy: int = 0
+    overflow_attempts: int = 0
+    underflow_attempts: int = 0
+
+
+class DualClockFifo:
+    """A bounded FIFO bridging two clock domains.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.
+    depth:
+        Capacity in items (words).
+    write_period_ns / read_period_ns:
+        Clock periods of the producer and consumer domains.
+    sync_stages:
+        Number of synchronizer flip-flop stages; an item written at
+        write-edge ``t`` becomes readable at the first read edge at or
+        after ``t + sync_stages * read_period_ns``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        depth: int,
+        write_period_ns: float,
+        read_period_ns: float,
+        sync_stages: int = 2,
+    ) -> None:
+        if depth < 1:
+            raise ConfigError(f"fifo depth must be >= 1, got {depth!r}")
+        if write_period_ns <= 0 or read_period_ns <= 0:
+            raise ConfigError("clock periods must be > 0")
+        if sync_stages < 0:
+            raise ConfigError(f"sync_stages must be >= 0, got {sync_stages!r}")
+        self.sim = sim
+        self.depth = depth
+        self.write_period_ns = write_period_ns
+        self.read_period_ns = read_period_ns
+        self.sync_stages = sync_stages
+        self.stats = FifoStats()
+        # Items, each tagged with the time it becomes visible to the reader.
+        self._items: deque[tuple[float, Any]] = deque()
+        self._read_waiters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the FIFO holds ``depth`` items."""
+        return len(self._items) >= self.depth
+
+    def _visible_at(self, write_time: float) -> float:
+        latency = self.sync_stages * self.read_period_ns
+        earliest = write_time + latency
+        # Snap to the next read-clock edge.
+        edges = -(-earliest // self.read_period_ns)  # ceil division
+        return edges * self.read_period_ns
+
+    def write(self, item: Any) -> bool:
+        """Producer-side write at the current time.
+
+        Returns False (and counts an overflow attempt) when full — the
+        caller decides whether that is a schedule bug or backpressure.
+        """
+        if self.is_full:
+            self.stats.overflow_attempts += 1
+            return False
+        visible = self._visible_at(self.sim.now)
+        self._items.append((visible, item))
+        self.stats.writes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+        self._service_waiters()
+        return True
+
+    def readable_now(self) -> bool:
+        """True when the head item has crossed the synchronizer."""
+        return bool(self._items) and self._items[0][0] <= self.sim.now
+
+    def read(self) -> Any:
+        """Consumer-side immediate read; raises when nothing is readable."""
+        if not self.readable_now():
+            self.stats.underflow_attempts += 1
+            raise SimulationError(
+                "dual-clock FIFO underflow: no item visible at "
+                f"t={self.sim.now}"
+            )
+        _visible, item = self._items.popleft()
+        self.stats.reads += 1
+        return item
+
+    def read_event(self) -> Event:
+        """Event-returning read: fires (with the item) once one is visible."""
+        ev = Event(self.sim)
+        self._read_waiters.append(ev)
+        self._service_waiters()
+        return ev
+
+    def _service_waiters(self) -> None:
+        while self._read_waiters and self._items:
+            visible, item = self._items[0]
+            waiter = self._read_waiters[0]
+            if visible <= self.sim.now:
+                self._items.popleft()
+                self._read_waiters.popleft()
+                self.stats.reads += 1
+                waiter.succeed(item)
+            else:
+                # Deliver at the visibility time.
+                self._items.popleft()
+                self._read_waiters.popleft()
+                self.stats.reads += 1
+                delay = visible - self.sim.now
+                tmo = self.sim.timeout(delay, item)
+                tmo.callbacks.append(lambda ev, w=waiter: w.succeed(ev.value))
+                break

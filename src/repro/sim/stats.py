@@ -1,0 +1,159 @@
+"""Lightweight statistics accumulators for simulation instrumentation.
+
+These avoid storing full sample vectors where only summary statistics are
+needed (utilization, queue occupancy, latency distributions at benchmark
+scale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["RunningStats", "TimeWeightedStat", "Counter", "Histogram"]
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running moments."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 with no samples)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than 2 samples)."""
+        return self._m2 / self.count if self.count >= 2 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator's samples into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for buffer occupancy and link utilization: call ``update`` each
+    time the level changes, then read ``average(now)``.
+    """
+
+    __slots__ = ("_last_time", "_level", "_area", "_start")
+
+    def __init__(self, start_time: float = 0.0, level: float = 0.0) -> None:
+        self._start = start_time
+        self._last_time = start_time
+        self._level = level
+        self._area = 0.0
+
+    @property
+    def level(self) -> float:
+        """Current signal level."""
+        return self._level
+
+    def update(self, now: float, level: float) -> None:
+        """Record that the signal changed to ``level`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean over [start, now] (0.0 for zero span)."""
+        span = now - self._start
+        if span <= 0:
+            return 0.0
+        area = self._area + self._level * (now - self._last_time)
+        return area / span
+
+
+@dataclass
+class Counter:
+    """Named monotonically increasing counters."""
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name`` by ``by``."""
+        self.values[name] = self.values.get(name, 0) + by
+
+    def __getitem__(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+
+class Histogram:
+    """Fixed-bin histogram over [lo, hi) with overflow/underflow bins."""
+
+    __slots__ = ("lo", "hi", "bins", "counts", "underflow", "overflow", "total")
+
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi})")
+        if bins < 1:
+            raise ValueError(f"need >= 1 bin, got {bins}")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        """Count one sample."""
+        self.total += 1
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((value - self.lo) / (self.hi - self.lo) * self.bins)
+            self.counts[min(idx, self.bins - 1)] += 1
+
+    def bin_edges(self) -> list[float]:
+        """The ``bins + 1`` edges of the histogram."""
+        width = (self.hi - self.lo) / self.bins
+        return [self.lo + i * width for i in range(self.bins + 1)]

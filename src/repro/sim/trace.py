@@ -1,0 +1,78 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples.  Traces
+power the Fig.-4-style SCA waveform reconstruction and the mesh simulator's
+flit timelines, and give tests a way to assert on *when* things happened,
+not just end states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from .engine import Simulator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    payload: Any = None
+
+
+@dataclass
+class Tracer:
+    """Append-only trace log bound to a simulator clock.
+
+    Tracing can be disabled (``enabled=False``) to remove overhead from
+    large benchmark runs; ``record`` then becomes a no-op.
+    """
+
+    sim: Simulator
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, category: str, payload: Any = None) -> None:
+        """Append a record stamped with the current simulation time."""
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, payload))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(
+        self,
+        category: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching ``category`` (exact) and/or ``predicate``."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out)
+
+    def times(self, category: str) -> list[float]:
+        """Timestamps of all records in ``category``, in order."""
+        return [r.time for r in self.records if r.category == category]
+
+    def last(self, category: str) -> TraceRecord | None:
+        """Most recent record in ``category``, or None."""
+        for rec in reversed(self.records):
+            if rec.category == category:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

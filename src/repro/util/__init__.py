@@ -1,0 +1,33 @@
+"""Shared utilities: units, constants, validation, and the error hierarchy."""
+
+from . import constants, units, validation
+from .errors import (
+    CollisionError,
+    ConfigError,
+    LinkBudgetError,
+    MemoryModelError,
+    NetworkError,
+    PhotonicsError,
+    ProcessError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+)
+
+__all__ = [
+    "constants",
+    "units",
+    "validation",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ProcessError",
+    "PhotonicsError",
+    "LinkBudgetError",
+    "CollisionError",
+    "ScheduleError",
+    "NetworkError",
+    "RoutingError",
+    "MemoryModelError",
+]

@@ -1,0 +1,160 @@
+"""Physical and architectural constants from the P-sync paper.
+
+Values cited directly by the paper are marked with the section they come
+from; values the paper leaves unstated (photonic device coefficients,
+electronic router energies) are taken from the PhoenixSim / ORION
+literature the paper builds on and are documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Photonic physical layer (paper Section III)
+# --------------------------------------------------------------------------
+
+#: Group velocity of 1550 nm light in a silicon waveguide, mm/ns.
+#: The paper states "approximately 7 cm/ns" (Section III).
+LIGHT_SPEED_SI_MM_PER_NS: float = 70.0
+
+#: Straight-waveguide propagation loss, dB per millimetre.  PhoenixSim-era
+#: silicon waveguides are ~1 dB/cm.
+WAVEGUIDE_LOSS_DB_PER_MM: float = 0.1
+
+#: Extra loss for a curved waveguide section, dB per millimetre.
+WAVEGUIDE_BEND_LOSS_DB_PER_MM: float = 0.15
+
+#: Attenuation from passing a detuned (off-resonance) ring resonator, dB
+#: (paper Eq. 2 term ``L_r_off``).
+RING_THROUGH_LOSS_DB: float = 0.02
+
+#: Insertion loss when a ring modulator actively modulates, dB.
+RING_DROP_LOSS_DB: float = 0.5
+
+#: Default incident laser power at the start of a waveguide, dBm.
+DEFAULT_LASER_POWER_DBM: float = 10.0
+
+#: Minimum detectable photodiode power, dBm (receiver sensitivity).
+DEFAULT_PD_SENSITIVITY_DBM: float = -20.0
+
+#: Per-wavelength modulation rate used in the paper's PSCAN model, Gb/s
+#: (Section III-C: "32 wavelengths each modulated at 10 Gb/s").
+PSCAN_WAVELENGTH_RATE_GBPS: float = 10.0
+
+#: Number of WDM wavelengths on the PSCAN data bus (Section III-C).
+PSCAN_WAVELENGTH_COUNT: int = 32
+
+#: Aggregate PSCAN link bandwidth, Gb/s (Section III-C).
+PSCAN_LINK_BANDWIDTH_GBPS: float = 320.0
+
+# --------------------------------------------------------------------------
+# Electronic mesh (paper Sections III-C and V-B2)
+# --------------------------------------------------------------------------
+
+#: Electronic network clock, GHz (Section III-C).
+MESH_CLOCK_GHZ: float = 2.5
+
+#: Electronic router datapath width, bits (Section III-C).
+MESH_BUS_WIDTH_BITS: int = 32
+
+#: Router input buffer size, bits (Section III-C).
+MESH_INPUT_BUFFER_BITS: int = 480
+
+#: Per-memory-interface link bandwidth in the energy study, Gb/s
+#: (Section III-C: four corner interfaces at 80 Gb/s each).
+MESH_MEMORY_LINK_GBPS: float = 80.0
+
+#: Number of mesh memory interfaces in the energy study (Section III-C).
+MESH_MEMORY_INTERFACES: int = 4
+
+#: Chip edge length fixed in all paper simulations, mm (Section III-C:
+#: "2 cm x 2 cm").
+CHIP_EDGE_MM: float = 20.0
+
+#: Router pipeline depth assumed by the paper's energy study ("three-stage
+#: delay", Section III-C).
+MESH_ROUTER_STAGES: int = 3
+
+#: Cycles for routing logic to process a wormhole header per hop
+#: (Section V-B2, ``t_r >= 1``).
+MESH_HEADER_ROUTE_CYCLES: int = 1
+
+#: Flit buffer depth at each inter-processor channel ("2-flit deep buffers",
+#: Section V-C2).
+MESH_CHANNEL_BUFFER_FLITS: int = 2
+
+# --------------------------------------------------------------------------
+# FFT study parameters (paper Section V)
+# --------------------------------------------------------------------------
+
+#: Row/column FFT size for the efficiency study (1024-point FFTs).
+FFT_N: int = 1024
+
+#: Processor count for the Table I / II efficiency study.
+FFT_P: int = 256
+
+#: FFT sample size in bits (64-bit complex sample, Section V-B1).
+FFT_SAMPLE_BITS: int = 64
+
+#: Time for one floating-point multiply, ns (Table I assumptions).
+FLOAT_MULTIPLY_NS: float = 2.0
+
+#: Multiplies per FFT butterfly (Table I assumptions).
+MULTIPLIES_PER_BUTTERFLY: int = 4
+
+# --------------------------------------------------------------------------
+# Transpose study parameters (paper Section V-C)
+# --------------------------------------------------------------------------
+
+#: Processor count for the transpose study.
+TRANSPOSE_P: int = 1024
+
+#: FFT row size (samples per processor) for the transpose study.
+TRANSPOSE_N: int = 1024
+
+#: DRAM row size, bits (Section V-C1: "2048-bit rows").
+DRAM_ROW_BITS: int = 2048
+
+#: PSCAN bus width used in the transpose cycle model, bits.
+TRANSPOSE_BUS_BITS: int = 64
+
+#: Address header size per memory transaction, bits.
+TRANSPOSE_HEADER_BITS: int = 64
+
+#: Paper's reported optimal PSCAN writeback time, bus cycles (Section V-C1).
+PAPER_PSCAN_TRANSPOSE_CYCLES: int = 1_081_344
+
+#: Paper's reported mesh writeback times (Table III).
+PAPER_MESH_TRANSPOSE_CYCLES_TP1: int = 3_526_620
+PAPER_MESH_TRANSPOSE_CYCLES_TP4: int = 6_553_448
+
+# --------------------------------------------------------------------------
+# Energy model coefficients (Fig. 5 substitution; ORION / PhoenixSim era)
+# --------------------------------------------------------------------------
+
+#: Energy for a repeatered on-chip wire, pJ per bit per millimetre.
+WIRE_ENERGY_PJ_PER_BIT_MM: float = 0.10
+
+#: Router buffer write+read energy, pJ per bit.
+ROUTER_BUFFER_ENERGY_PJ_PER_BIT: float = 0.014
+
+#: Router crossbar traversal energy, pJ per bit.
+ROUTER_XBAR_ENERGY_PJ_PER_BIT: float = 0.010
+
+#: Router arbitration energy, pJ per bit.
+ROUTER_ARB_ENERGY_PJ_PER_BIT: float = 0.002
+
+#: Ring modulator dynamic energy, pJ per bit.
+MODULATOR_ENERGY_PJ_PER_BIT: float = 0.05
+
+#: Receiver (photodiode + TIA) energy, pJ per bit.
+RECEIVER_ENERGY_PJ_PER_BIT: float = 0.05
+
+#: Thermal tuning power per ring resonator, mW (a few uW per ring, in
+#: line with PhoenixSim-era athermal-assisted tuning assumptions).
+RING_TUNING_MW: float = 0.005
+
+#: Laser wall-plug efficiency (electrical-to-optical), dimensionless.
+LASER_WALL_PLUG_EFFICIENCY: float = 0.10
+
+#: SerDes energy at each photonic endpoint, pJ per bit.
+SERDES_ENERGY_PJ_PER_BIT: float = 0.08

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the P-sync reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch a single base class.  Specific subclasses mark
+the subsystem that failed; the simulation kernel, the photonic physical
+layer and the PSCAN scheduler each have dedicated types because their
+failure modes are part of the system's contract (e.g. a
+:class:`CollisionError` on the waveguide means a communication-program bug,
+not a library bug).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object failed validation (bad parameter value)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event kernel detected an inconsistent state."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misused the kernel API (bad yield, dead event)."""
+
+
+class PhotonicsError(ReproError):
+    """The photonic physical layer rejected an operation."""
+
+
+class LinkBudgetError(PhotonicsError, ValueError):
+    """Signal power fell below the photodiode detection threshold (Eq. 1)."""
+
+
+class CollisionError(PhotonicsError, RuntimeError):
+    """Two modulators drove the same wavelength at the same waveguide cycle.
+
+    In PSCAN, communication programs must be disjoint; a collision means
+    the global schedule was malformed.
+    """
+
+
+class ScheduleError(ReproError, ValueError):
+    """A communication-program schedule is invalid (overlap, gap, bounds)."""
+
+
+class NetworkError(ReproError, RuntimeError):
+    """The electronic mesh simulator detected a protocol violation."""
+
+
+class RoutingError(NetworkError):
+    """A packet could not be routed (off-mesh destination, no progress)."""
+
+
+class MemoryModelError(ReproError, ValueError):
+    """The DRAM model was driven outside its geometry (bad row/burst)."""

@@ -1,0 +1,101 @@
+"""Unit conversions and dB arithmetic used throughout the library.
+
+Internally the library uses a small set of base units chosen so that the
+numbers in the paper can be written down directly:
+
+========  =======================================
+quantity  base unit
+========  =======================================
+time      nanoseconds (ns)
+distance  millimetres (mm)
+power     milliwatts (mW) linear / dBm logarithmic
+energy    picojoules (pJ)
+bandwidth gigabits per second (Gb/s)
+========  =======================================
+
+With these bases, bandwidth x time = bits, and power x time = energy
+(1 mW x 1 ns = 1 pJ) with no conversion factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "ns_to_s",
+    "s_to_ns",
+    "mm_to_cm",
+    "cm_to_mm",
+    "gbps_bits_in_ns",
+    "ghz_period_ns",
+]
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a decibel ratio to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is not strictly positive (log of non-positive power).
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert absolute power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert absolute power in milliwatts to dBm."""
+    if mw <= 0.0:
+        raise ValueError(f"power must be > 0 mW, got {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+def ns_to_s(ns: float) -> float:
+    """Nanoseconds to seconds."""
+    return ns * 1e-9
+
+
+def s_to_ns(s: float) -> float:
+    """Seconds to nanoseconds."""
+    return s * 1e9
+
+
+def mm_to_cm(mm: float) -> float:
+    """Millimetres to centimetres."""
+    return mm / 10.0
+
+
+def cm_to_mm(cm: float) -> float:
+    """Centimetres to millimetres."""
+    return cm * 10.0
+
+
+def gbps_bits_in_ns(gbps: float, ns: float) -> float:
+    """Number of bits transferred at ``gbps`` Gb/s over ``ns`` nanoseconds.
+
+    1 Gb/s = 1 bit/ns, so this is a plain product; the function exists to
+    make call sites self-documenting.
+    """
+    return gbps * ns
+
+
+def ghz_period_ns(ghz: float) -> float:
+    """Clock period in nanoseconds for a frequency in GHz."""
+    if ghz <= 0.0:
+        raise ValueError(f"frequency must be > 0 GHz, got {ghz!r}")
+    return 1.0 / ghz

@@ -1,0 +1,61 @@
+"""Parameter validation helpers.
+
+All public configuration dataclasses validate in ``__post_init__`` via
+these helpers so that errors carry the offending field name and land as
+:class:`repro.util.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import ConfigError
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_positive_int",
+    "require_power_of_two",
+    "require_in_range",
+    "is_power_of_two",
+]
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise :class:`ConfigError`."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise :class:`ConfigError`."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_positive_int(name: str, value: Any) -> int:
+    """Return ``value`` if a strictly positive int, else raise."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive integral power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def require_power_of_two(name: str, value: int) -> int:
+    """Return ``value`` if a power of two, else raise :class:`ConfigError`."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{name} must be a power of two, got {value!r}")
+    return value
+
+
+def require_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Return ``value`` if ``lo <= value <= hi``, else raise."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

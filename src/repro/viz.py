@@ -1,0 +1,171 @@
+"""Text-mode visualization helpers.
+
+Everything in this repo runs headless, so the "figures" are rendered as
+ASCII: SCA timing diagrams (Fig. 4), efficiency/GFLOPS curves (Figs. 11,
+13) and mesh sink-pressure profiles.  These renderers are pure functions
+over the simulators' result objects, shared by the examples and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from .core.pscan import ScaExecution
+from .util.errors import ConfigError
+
+__all__ = [
+    "render_sca_timing",
+    "render_curve",
+    "render_bar_table",
+    "render_mesh_heatmap",
+    "merge_windows",
+]
+
+
+def merge_windows(
+    events: list[tuple[int, float]], period_ns: float
+) -> list[tuple[float, float]]:
+    """Merge per-cycle modulation events into contiguous time windows.
+
+    ``events`` are (cycle, absolute start time) pairs; consecutive cycles
+    coalesce into one ``(start, end)`` window.
+    """
+    if period_ns <= 0:
+        raise ConfigError("period_ns must be > 0")
+    if not events:
+        return []
+    events = sorted(events)
+    windows: list[tuple[float, float]] = []
+    start_cycle, start_t = events[0]
+    prev_cycle = start_cycle
+    for cycle, _t in events[1:]:
+        if cycle == prev_cycle + 1:
+            prev_cycle = cycle
+            continue
+        windows.append((start_t, start_t + (prev_cycle - start_cycle + 1) * period_ns))
+        start_cycle, start_t, prev_cycle = cycle, _t, cycle
+    windows.append((start_t, start_t + (prev_cycle - start_cycle + 1) * period_ns))
+    return windows
+
+
+def render_sca_timing(
+    execution: ScaExecution,
+    ticks_per_cycle: int = 4,
+    mark: str = "#",
+) -> str:
+    """Render an executed SCA as a Fig.-4-style ASCII timing diagram.
+
+    One row per modulating node plus a receiver row, on a shared
+    absolute-time axis.
+    """
+    if ticks_per_cycle < 1:
+        raise ConfigError("ticks_per_cycle must be >= 1")
+    if not execution.arrivals:
+        raise ConfigError("cannot render an empty execution")
+    period = execution.period_ns
+    node_windows = {
+        node: merge_windows(events, period)
+        for node, events in sorted(execution.modulation_times.items())
+        if events
+    }
+    rx_windows = [(a.time_ns, a.time_ns + period) for a in execution.arrivals]
+    t0 = min(
+        min(s for s, _e in spans) for spans in node_windows.values()
+    ) if node_windows else rx_windows[0][0]
+    t1 = rx_windows[-1][1]
+    width = int((t1 - t0) / period * ticks_per_cycle) + 1
+
+    def row(label: str, spans: list[tuple[float, float]]) -> str:
+        cells = [" "] * width
+        for s, e in spans:
+            a = int(round((s - t0) / period * ticks_per_cycle))
+            b = int(round((e - t0) / period * ticks_per_cycle))
+            for i in range(max(a, 0), min(b, width)):
+                cells[i] = mark
+        return f"{label:>10} |{''.join(cells)}|"
+
+    lines = [
+        f"time axis: [{t0:.3f}, {t1:.3f}] ns, "
+        f"{1 / period:.1f} GHz bus clock, {ticks_per_cycle} ticks/cycle"
+    ]
+    for node, spans in node_windows.items():
+        label = "head" if node == -1 else f"P{node} mod"
+        lines.append(row(label, spans))
+    lines.append(row("receiver", rx_windows))
+    return "\n".join(lines)
+
+
+def render_curve(
+    xs: list[float],
+    series: dict[str, list[float]],
+    width: int = 50,
+    y_label: str = "",
+) -> str:
+    """Render one or more y(x) series as horizontal ASCII bars per x.
+
+    Each x gets one line per series; bars share a common scale.
+    """
+    if not xs or not series:
+        raise ConfigError("need xs and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigError(f"series {name!r} length != xs length")
+    top = max(max(ys) for ys in series.values())
+    if top <= 0:
+        raise ConfigError("all series are non-positive; nothing to scale")
+    label_w = max(len(n) for n in series)
+    lines = []
+    if y_label:
+        lines.append(f"scale: '{'#'}' x {width} = {top:g} {y_label}")
+    for i, x in enumerate(xs):
+        lines.append(f"x={x:g}")
+        for name, ys in series.items():
+            n = int(round(width * ys[i] / top))
+            lines.append(f"  {name:>{label_w}} |{'#' * n:<{width}}| {ys[i]:g}")
+    return "\n".join(lines)
+
+
+def render_mesh_heatmap(
+    counts: dict[tuple[int, int], int],
+    width: int,
+    height: int,
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """ASCII heat map of per-router traffic on a width x height mesh.
+
+    ``counts`` maps (x, y) to flits forwarded (``MeshStats.
+    flits_through_node``).  Row y = height-1 prints first (north up).
+    """
+    if width < 1 or height < 1:
+        raise ConfigError("width and height must be >= 1")
+    if len(levels) < 2:
+        raise ConfigError("need at least 2 heat levels")
+    top = max(counts.values(), default=0)
+    lines = []
+    for y in range(height - 1, -1, -1):
+        row = []
+        for x in range(width):
+            v = counts.get((x, y), 0)
+            idx = 0 if top == 0 else int(v / top * (len(levels) - 1))
+            row.append(levels[idx])
+        lines.append("".join(row))
+    lines.append(f"scale: '{levels[0]}'=0 .. '{levels[-1]}'={top} flits")
+    return "\n".join(lines)
+
+
+def render_bar_table(
+    rows: list[tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Labelled horizontal bars with values (for breakdowns)."""
+    if not rows:
+        raise ConfigError("no rows to render")
+    top = max(v for _l, v in rows)
+    if top <= 0:
+        raise ConfigError("all values are non-positive")
+    label_w = max(len(label) for label, _v in rows)
+    lines = []
+    for label, value in rows:
+        n = int(round(width * value / top))
+        lines.append(f"{label:>{label_w}} |{'#' * n:<{width}}| {value:g}{unit}")
+    return "\n".join(lines)

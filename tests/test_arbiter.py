@@ -1,0 +1,136 @@
+"""Tests for mixed-traffic TDM arbitration (repro.core.arbiter)."""
+
+import pytest
+
+from repro.core import Pscan, gather_schedule
+from repro.core.arbiter import Message, TdmArbiter
+from repro.core.schedule import transpose_order
+from repro.photonics import Waveguide
+from repro.sim import Simulator
+from repro.util.errors import ScheduleError
+
+POSITIONS = {0: 0.0, 1: 10.0, 2: 20.0, 3: 30.0}
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Message(source=1, dest=1, words=1)
+        with pytest.raises(ScheduleError):
+            Message(source=0, dest=1, words=0)
+        with pytest.raises(ScheduleError):
+            Message(source=-1, dest=1, words=1)
+
+
+class TestChannelSelection:
+    def test_downstream(self):
+        arb = TdmArbiter(POSITIONS)
+        assert arb.channel_of(Message(0, 3, 1)) == "downstream"
+
+    def test_upstream(self):
+        arb = TdmArbiter(POSITIONS)
+        assert arb.channel_of(Message(3, 0, 1)) == "upstream"
+
+    def test_unknown_node(self):
+        arb = TdmArbiter(POSITIONS)
+        with pytest.raises(ScheduleError):
+            arb.channel_of(Message(0, 9, 1))
+
+
+class TestArbitration:
+    def test_fcfs_contiguous(self):
+        arb = TdmArbiter(POSITIONS)
+        msgs = [Message(0, 1, 3), Message(1, 2, 2), Message(2, 3, 4)]
+        result = arb.arbitrate(msgs)
+        starts = [result.cycles_for(m).start_cycle for m in msgs]
+        assert starts == [0, 3, 5]
+        assert result.downstream_span == 9
+
+    def test_channels_independent(self):
+        arb = TdmArbiter(POSITIONS)
+        down = Message(0, 3, 4)
+        up = Message(3, 0, 4)
+        result = arb.arbitrate([down, up])
+        assert result.cycles_for(down).start_cycle == 0
+        assert result.cycles_for(up).start_cycle == 0
+        assert result.channel_loads == {"downstream": 4, "upstream": 4}
+
+    def test_no_overlap_within_channel(self):
+        arb = TdmArbiter(POSITIONS)
+        msgs = [Message(0, 3, 5), Message(1, 3, 5), Message(2, 3, 5)]
+        result = arb.arbitrate(msgs)
+        ranges = [
+            range(a.start_cycle, a.end_cycle)
+            for a in result.allocations
+            if a.channel == "downstream"
+        ]
+        seen: set[int] = set()
+        for r in ranges:
+            assert not (seen & set(r))
+            seen.update(r)
+
+    def test_collective_cycles_respected(self):
+        """Messages thread through the gaps around an SCA's slots."""
+        sca = gather_schedule(transpose_order(2, 3))  # cycles 0..5 reserved
+        arb = TdmArbiter(POSITIONS, reserved=sca)
+        result = arb.arbitrate([Message(0, 1, 2)])
+        alloc = result.allocations[0]
+        assert alloc.start_cycle >= 6  # after the collective
+
+    def test_threading_into_interior_gap(self):
+        from repro.core import CommunicationProgram, Slot
+        from repro.core.schedule import GlobalSchedule
+
+        # Reserve cycles 0-1 and 4-5, leaving a 2-cycle interior gap.
+        sched = GlobalSchedule(total_cycles=6, kind="gather")
+        sched.programs[0] = CommunicationProgram(0, [Slot(0, 2), Slot(4, 2)])
+        arb = TdmArbiter(POSITIONS, reserved=sched)
+        result = arb.arbitrate([Message(0, 1, 2), Message(1, 2, 2)])
+        first, second = result.allocations
+        assert first.start_cycle == 2      # fits the interior gap
+        assert second.start_cycle >= 6     # next free run
+
+    def test_missed_fit_skips_past_gap(self):
+        from repro.core import CommunicationProgram, Slot
+        from repro.core.schedule import GlobalSchedule
+
+        sched = GlobalSchedule(total_cycles=6, kind="gather")
+        sched.programs[0] = CommunicationProgram(0, [Slot(0, 2), Slot(3, 2)])
+        arb = TdmArbiter(POSITIONS, reserved=sched)
+        # A 2-word message cannot use the 1-cycle gap at cycle 2.
+        result = arb.arbitrate([Message(0, 1, 2)])
+        assert result.allocations[0].start_cycle == 5
+
+
+class TestExecution:
+    def test_mixed_traffic_executes_on_pscan(self):
+        """Arbitrated messages run through the same executor as SCAs and
+        deliver in the granted order."""
+        arb = TdmArbiter(POSITIONS)
+        msgs = [Message(0, 3, 2), Message(1, 3, 3), Message(2, 3, 1)]
+        result = arb.arbitrate(msgs)
+        sched = arb.to_gather_schedule(result)
+
+        sim = Simulator()
+        wg = Waveguide(length_mm=40.0)
+        pscan = Pscan(sim, wg, POSITIONS)
+        data = {0: ["m0a", "m0b"], 1: ["m1a", "m1b", "m1c"], 2: ["m2a"]}
+        execution = pscan.execute_gather(sched, data, receiver_mm=40.0)
+        assert execution.stream == ["m0a", "m0b", "m1a", "m1b", "m1c", "m2a"]
+        assert execution.is_gapless
+
+    def test_empty_channel_schedule(self):
+        arb = TdmArbiter(POSITIONS)
+        result = arb.arbitrate([Message(3, 0, 2)])  # upstream only
+        sched = arb.to_gather_schedule(result, channel="downstream")
+        assert sched.total_cycles == 0
+
+    def test_unallocated_message_lookup(self):
+        arb = TdmArbiter(POSITIONS)
+        result = arb.arbitrate([])
+        with pytest.raises(ScheduleError):
+            result.cycles_for(Message(0, 1, 1))
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ScheduleError):
+            TdmArbiter({})

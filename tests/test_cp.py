@@ -1,0 +1,115 @@
+"""Tests for communication programs (repro.core.cp)."""
+
+import pytest
+
+from repro.core import CommunicationProgram, Role, Slot
+from repro.util.errors import ScheduleError
+
+
+class TestSlot:
+    def test_basic(self):
+        s = Slot(start_cycle=4, length=3)
+        assert s.end_cycle == 7
+        assert list(s.cycles()) == [4, 5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Slot(start_cycle=-1, length=1)
+        with pytest.raises(ScheduleError):
+            Slot(start_cycle=0, length=0)
+        with pytest.raises(ScheduleError):
+            Slot(start_cycle=0, length=1, word_offset=-1)
+
+    def test_overlap(self):
+        a = Slot(0, 4)
+        assert a.overlaps(Slot(3, 2))
+        assert not a.overlaps(Slot(4, 2))
+        assert Slot(5, 1).overlaps(Slot(0, 10))
+
+    def test_word_for_cycle(self):
+        s = Slot(start_cycle=10, length=4, word_offset=100)
+        assert s.word_for_cycle(10) == 100
+        assert s.word_for_cycle(13) == 103
+        with pytest.raises(ScheduleError):
+            s.word_for_cycle(14)
+
+
+class TestCommunicationProgram:
+    def test_slots_sorted(self):
+        cp = CommunicationProgram(node_id=0, slots=[Slot(10, 2), Slot(0, 2)])
+        assert [s.start_cycle for s in cp] == [0, 10]
+
+    def test_overlap_rejected_at_init(self):
+        with pytest.raises(ScheduleError):
+            CommunicationProgram(node_id=0, slots=[Slot(0, 4), Slot(2, 4)])
+
+    def test_add_slot_rejects_overlap(self):
+        cp = CommunicationProgram(node_id=0, slots=[Slot(0, 4)])
+        with pytest.raises(ScheduleError):
+            cp.add_slot(Slot(3, 1))
+        cp.add_slot(Slot(4, 1))
+        assert len(cp) == 2
+
+    def test_negative_node_id(self):
+        with pytest.raises(ScheduleError):
+            CommunicationProgram(node_id=-1)
+
+    def test_cycle_accounting(self):
+        cp = CommunicationProgram(
+            node_id=1,
+            slots=[
+                Slot(0, 3, Role.DRIVE),
+                Slot(5, 2, Role.LISTEN),
+                Slot(10, 1, Role.DRIVE),
+            ],
+        )
+        assert cp.total_cycles == 6
+        assert cp.drive_cycles == 4
+        assert cp.listen_cycles == 2
+        assert cp.first_cycle == 0
+        assert cp.last_cycle == 10
+
+    def test_empty_program(self):
+        cp = CommunicationProgram(node_id=0)
+        assert cp.first_cycle is None
+        assert cp.last_cycle is None
+        assert cp.total_cycles == 0
+        assert cp.encoded_bits() == 0
+
+    def test_role_at(self):
+        cp = CommunicationProgram(
+            node_id=0, slots=[Slot(0, 2, Role.DRIVE), Slot(4, 2, Role.LISTEN)]
+        )
+        assert cp.role_at(1) is Role.DRIVE
+        assert cp.role_at(4) is Role.LISTEN
+        assert cp.role_at(3) is None
+
+    def test_slot_at(self):
+        cp = CommunicationProgram(node_id=0, slots=[Slot(2, 2)])
+        assert cp.slot_at(3).start_cycle == 2
+        assert cp.slot_at(0) is None
+
+
+class TestDescriptorEncoding:
+    def test_single_slot_fits_96_bits(self):
+        """Paper Section IV: the FFT CP is ~96 bits."""
+        cp = CommunicationProgram(node_id=3, slots=[Slot(12, 4)])
+        assert 0 < cp.encoded_bits() <= 96
+
+    def test_regular_stride_compresses(self):
+        # 8 equally spaced equal-length slots -> one descriptor run.
+        slots = [Slot(16 * i, 4) for i in range(8)]
+        regular = CommunicationProgram(node_id=0, slots=slots)
+        assert regular.encoded_bits() == regular.encoded_bits()
+        single = CommunicationProgram(node_id=0, slots=[Slot(0, 4)])
+        assert regular.encoded_bits() == single.encoded_bits()
+
+    def test_irregular_slots_cost_more(self):
+        regular = CommunicationProgram(
+            node_id=0, slots=[Slot(16 * i, 4) for i in range(4)]
+        )
+        irregular = CommunicationProgram(
+            node_id=0,
+            slots=[Slot(0, 4), Slot(7, 2), Slot(20, 5), Slot(40, 1)],
+        )
+        assert irregular.encoded_bits() > regular.encoded_bits()

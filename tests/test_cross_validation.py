@@ -1,0 +1,98 @@
+"""Cross-validation: the event executor vs the closed-form SCA timing.
+
+`repro.core.sca.sca_timing` computes arrival times analytically;
+`repro.core.pscan.Pscan` produces them by simulating events.  They were
+written as separate code paths — these tests fuzz schedules and
+geometries and demand exact agreement.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HeadNode, Pscan, gather_schedule, sca_timing
+from repro.core.schedule import round_robin_order, transpose_order
+from repro.photonics import Waveguide
+from repro.sim import Simulator
+
+
+def execute(schedule, positions, receiver_mm, response_ns=0.01):
+    sim = Simulator()
+    wg = Waveguide(length_mm=receiver_mm)
+    pscan = Pscan(sim, wg, positions, response_ns=response_ns)
+    rows = len(positions)
+    words = max(w for _n, w in schedule.order) + 1
+    data = {i: list(range(words)) for i in range(rows)}
+    return pscan.execute_gather(schedule, data, receiver_mm=receiver_mm), pscan
+
+
+class TestExecutorMatchesClosedForm:
+    @given(
+        rows=st.integers(min_value=2, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+        pitch=st.floats(min_value=0.5, max_value=30.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_arrivals_exact(self, rows, cols, pitch):
+        schedule = gather_schedule(transpose_order(rows, cols))
+        positions = {i: i * pitch for i in range(rows)}
+        receiver = rows * pitch + 1.0
+        execution, pscan = execute(schedule, positions, receiver)
+        analytic = sca_timing(
+            schedule, pscan.clock, positions, receiver, response_ns=0.01
+        )
+        measured = [a.time_ns for a in execution.arrivals]
+        assert measured == pytest.approx(analytic.arrival_times_ns, abs=1e-9)
+
+    @given(
+        rows=st.integers(min_value=2, max_value=5),
+        words=st.integers(min_value=1, max_value=8),
+        block_exp=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_robin_arrivals_exact(self, rows, words, block_exp):
+        block = 2 ** block_exp
+        if words % block:
+            return
+        schedule = gather_schedule(round_robin_order(rows, words, block))
+        positions = {i: i * 3.0 for i in range(rows)}
+        receiver = rows * 3.0 + 2.0
+        execution, pscan = execute(schedule, positions, receiver)
+        analytic = sca_timing(
+            schedule, pscan.clock, positions, receiver, response_ns=0.01
+        )
+        measured = [a.time_ns for a in execution.arrivals]
+        assert measured == pytest.approx(analytic.arrival_times_ns, abs=1e-9)
+
+    def test_overlap_sets_agree(self):
+        """The executor's and the analysis' simultaneous-modulation pair
+        sets coincide."""
+        schedule = gather_schedule(transpose_order(4, 8))
+        positions = {i: i * 20.0 for i in range(4)}
+        receiver = 90.0
+        execution, pscan = execute(schedule, positions, receiver)
+        analytic = sca_timing(
+            schedule, pscan.clock, positions, receiver, response_ns=0.01
+        )
+        measured_pairs = set(execution.simultaneous_modulation_pairs())
+        analytic_pairs = {
+            tuple(sorted(p)) for p in analytic.simultaneous_pairs()
+        }
+        assert measured_pairs == analytic_pairs
+
+
+class TestBankedHeadNode:
+    def test_rate_comes_from_measurement(self):
+        one = HeadNode.with_banked_rate(1)
+        two = HeadNode.with_banked_rate(2)
+        assert two.dram_words_per_bus_cycle > one.dram_words_per_bus_cycle
+
+    def test_enough_banks_stream_cleanly(self):
+        head = HeadNode.with_banked_rate(2)
+        head.load(0, list(range(256)))
+        plan = head.plan_stream(0, 256)
+        assert plan.streaming_efficiency == 1.0
+
+    def test_word_bits_respected(self):
+        head = HeadNode.with_banked_rate(2, word_bits=128)
+        assert head.bus_cycles_per_word() == 4  # 128 bits / 32 per cycle

@@ -1,0 +1,128 @@
+"""Tests for crossover analysis, the real-input FFT, and thermal tuning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crossover import crossover_cores, sweep_problem_size
+from repro.fft.real import irfft, rfft
+from repro.photonics.spectrum import paper_spectral_plan
+from repro.photonics.thermal import ThermalModel
+from repro.util.errors import ConfigError
+
+
+class TestCrossover:
+    def test_2x_crossover_past_256(self):
+        """The paper's '2-10x for P > 256': the 2x point sits just past
+        the mesh peak."""
+        cores = crossover_cores(2.0)
+        assert cores is not None and cores > 256
+
+    def test_higher_targets_need_more_cores(self):
+        c2 = crossover_cores(2.0)
+        c4 = crossover_cores(4.0)
+        assert c4 >= c2
+
+    def test_unreachable_target(self):
+        assert crossover_cores(1000.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            crossover_cores(0.0)
+
+
+class TestProblemSizeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_problem_size(sizes=(256, 1024, 2048))
+
+    def test_mesh_peak_stable_or_outward(self, sweep):
+        assert sweep.peak_moves_out_with_n
+
+    def test_advantage_grows_with_problem(self, sweep):
+        advantages = [p.advantage_at_4096 for p in sweep.points]
+        assert advantages == sorted(advantages)
+
+    def test_bigger_problems_higher_peak_gflops(self, sweep):
+        peaks = [p.mesh_peak_gflops for p in sweep.points]
+        assert peaks == sorted(peaks)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_problem_size(sizes=())
+
+
+class TestRealFft:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_matches_numpy_rfft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n)
+        assert np.allclose(rfft(x), np.fft.rfft(x))
+
+    @pytest.mark.parametrize("n", [4, 16, 128])
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.normal(size=n)
+        assert np.allclose(irfft(rfft(x)), x)
+
+    def test_dc_and_nyquist_real(self):
+        rng = np.random.default_rng(9)
+        spectrum = rfft(rng.normal(size=64))
+        assert spectrum[0].imag == pytest.approx(0.0, abs=1e-12)
+        assert spectrum[-1].imag == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_line(self):
+        n = 64
+        t = np.arange(n)
+        x = np.cos(2 * np.pi * 5 * t / n)
+        spectrum = rfft(x)
+        mags = np.abs(spectrum)
+        assert np.argmax(mags) == 5
+        assert mags[5] == pytest.approx(n / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rfft(np.zeros(12))
+        with pytest.raises(ConfigError):
+            rfft(np.zeros((4, 4)))
+        with pytest.raises(ConfigError):
+            irfft(np.zeros(5, dtype=complex), n=16)
+
+
+class TestThermal:
+    def test_athermal_reduces_residual(self):
+        none = ThermalModel(athermal_fraction=0.0)
+        half = ThermalModel(athermal_fraction=0.5)
+        assert half.residual_drift_nm == pytest.approx(
+            none.residual_drift_nm / 2
+        )
+
+    def test_tuning_mandatory_on_dense_grid(self):
+        """Default drift crosses the paper-grid half-channel: tuning is a
+        correctness requirement, not an optimization."""
+        m = ThermalModel()
+        plan = paper_spectral_plan()
+        assert m.drift_exceeds_channel(plan.channel_spacing_nm)
+
+    def test_energy_model_constant_needs_aggressive_compensation(self):
+        """The Fig.-5 energy model's 5 uW/ring is only reachable with
+        strong athermal design and a tight thermal envelope — documented
+        tension, not hidden."""
+        relaxed = ThermalModel()  # 0.8 mW mean: 160x the constant
+        assert relaxed.mean_tuning_mw > 0.1
+        aggressive = ThermalModel(
+            athermal_fraction=0.95, temperature_range_k=2.0,
+            heater_nm_per_mw=0.4,
+        )
+        assert aggressive.mean_tuning_mw < 0.03
+
+    def test_pj_per_bit(self):
+        m = ThermalModel()
+        assert m.tuning_energy_pj_per_bit(10.0) == pytest.approx(
+            m.mean_tuning_mw / 10.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThermalModel(athermal_fraction=1.0)
+        with pytest.raises(ConfigError):
+            ThermalModel().drift_exceeds_channel(0.0)

@@ -1,0 +1,102 @@
+"""Tests for photonic device models (repro.photonics.devices)."""
+
+import pytest
+
+from repro.photonics import Laser, Photodiode, PhotonicLink, RingModulator, RingResonator
+from repro.util.errors import ConfigError, LinkBudgetError
+
+
+class TestLaser:
+    def test_optical_power(self):
+        assert Laser(power_dbm=0.0).optical_power_mw == pytest.approx(1.0)
+        assert Laser(power_dbm=10.0).optical_power_mw == pytest.approx(10.0)
+
+    def test_wall_plug_scaling(self):
+        laser = Laser(power_dbm=0.0, wall_plug_efficiency=0.1)
+        assert laser.electrical_power_mw == pytest.approx(10.0)
+
+    def test_energy_per_bit(self):
+        laser = Laser(power_dbm=0.0, wall_plug_efficiency=0.5)
+        # 2 mW electrical at 10 Gb/s -> 0.2 pJ/bit.
+        assert laser.energy_per_bit_pj(10.0) == pytest.approx(0.2)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigError):
+            Laser(wall_plug_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            Laser(wall_plug_efficiency=1.5)
+
+    def test_energy_per_bit_needs_positive_rate(self):
+        with pytest.raises(ConfigError):
+            Laser().energy_per_bit_pj(0.0)
+
+
+class TestRingDevices:
+    def test_resonator_validation(self):
+        with pytest.raises(ConfigError):
+            RingResonator(through_loss_db=-0.1)
+
+    def test_modulator_bitrate_check(self):
+        mod = RingModulator(max_bitrate_gbps=10.0)
+        mod.check_bitrate(10.0)
+        with pytest.raises(LinkBudgetError):
+            mod.check_bitrate(11.0)
+
+    def test_modulation_energy(self):
+        mod = RingModulator(energy_per_bit_pj=0.05)
+        assert mod.modulation_energy_pj(1000) == pytest.approx(50.0)
+
+    def test_modulation_energy_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            RingModulator().modulation_energy_pj(-1)
+
+
+class TestPhotodiode:
+    def test_detects_at_threshold(self):
+        pd = Photodiode(sensitivity_dbm=-20.0)
+        assert pd.detects(-20.0)
+        assert not pd.detects(-20.1)
+
+    def test_require_detectable(self):
+        pd = Photodiode(sensitivity_dbm=-20.0)
+        pd.require_detectable(-10.0)
+        with pytest.raises(LinkBudgetError):
+            pd.require_detectable(-25.0)
+
+
+class TestPhotonicLink:
+    def make_link(self):
+        return PhotonicLink(
+            laser=Laser(power_dbm=10.0),
+            modulator=RingModulator(insertion_loss_db=0.5),
+            photodiode=Photodiode(sensitivity_dbm=-20.0),
+            waveguide_loss_db_per_mm=0.1,
+        )
+
+    def test_received_power(self):
+        link = self.make_link()
+        # 10 dBm - 0.5 (mod) - 10 (100 mm) - 0.2 (10 rings) = -0.7 dBm.
+        assert link.received_power_dbm(100.0, 10) == pytest.approx(-0.7)
+
+    def test_closes_within_budget(self):
+        link = self.make_link()
+        assert link.closes(100.0, 10)
+
+    def test_fails_beyond_budget(self):
+        link = self.make_link()
+        # 10 - 0.5 - 30 = -20.5 < -20 even with zero rings.
+        assert not link.closes(300.0, 0)
+
+    def test_margin_sign(self):
+        link = self.make_link()
+        assert link.margin_db(10.0, 0) > 0
+        assert link.margin_db(300.0, 0) < 0
+
+    def test_margin_exact(self):
+        link = self.make_link()
+        m = link.margin_db(100.0, 10)
+        assert m == pytest.approx(-0.7 - (-20.0))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            self.make_link().received_power_dbm(-1.0, 0)

@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module and class docstrings.
+
+Documentation that executes is documentation that stays true — every
+``>>>`` block in the public API must keep passing.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.fft.blocks
+import repro.sim.engine
+
+MODULES = [
+    repro,
+    repro.sim.engine,
+    repro.fft.blocks,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

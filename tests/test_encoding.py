@@ -1,0 +1,168 @@
+"""Tests for the CP binary codec and CP chains (repro.core.encoding)."""
+
+import pytest
+
+from repro.core import CommunicationProgram, Role, Slot, gather_schedule
+from repro.core.encoding import (
+    ChainEntryKind,
+    CpChain,
+    decode_cp,
+    encode_cp,
+    encoded_size_bits,
+)
+from repro.core.schedule import round_robin_order, transpose_order
+from repro.util.errors import ScheduleError
+
+
+def roundtrip(cp: CommunicationProgram) -> CommunicationProgram:
+    return decode_cp(encode_cp(cp), cp.node_id)
+
+
+class TestRoundtrip:
+    def test_single_slot(self):
+        cp = CommunicationProgram(3, [Slot(12, 4, Role.DRIVE, 7)])
+        out = roundtrip(cp)
+        assert out.slots == cp.slots
+
+    def test_listen_role_preserved(self):
+        cp = CommunicationProgram(0, [Slot(0, 2, Role.LISTEN, 0)])
+        assert roundtrip(cp).slots[0].role is Role.LISTEN
+
+    def test_strided_slots(self):
+        slots = [Slot(16 * i, 4, Role.DRIVE, 4 * i) for i in range(8)]
+        cp = CommunicationProgram(1, slots)
+        assert roundtrip(cp).slots == cp.slots
+
+    def test_irregular_slots(self):
+        slots = [
+            Slot(0, 3, Role.DRIVE, 0),
+            Slot(10, 1, Role.DRIVE, 40),
+            Slot(20, 7, Role.LISTEN, 5),
+        ]
+        cp = CommunicationProgram(2, slots)
+        assert roundtrip(cp).slots == cp.slots
+
+    def test_empty_program(self):
+        cp = CommunicationProgram(0)
+        assert roundtrip(cp).slots == []
+
+    def test_every_compiled_schedule_roundtrips(self):
+        sched = gather_schedule(transpose_order(6, 9))
+        for node, cp in sched.programs.items():
+            assert roundtrip(cp).slots == cp.slots
+
+    def test_model2_schedule_roundtrips(self):
+        from repro.core import scatter_schedule
+
+        sched = scatter_schedule(round_robin_order(4, 16, block=4))
+        for cp in sched.programs.values():
+            assert roundtrip(cp).slots == cp.slots
+
+
+class TestSizeClaims:
+    def test_single_slot_matches_paper_96_bits(self):
+        """Paper Section IV: the FFT CP is 'approximately 96-bits'."""
+        cp = CommunicationProgram(0, [Slot(100, 8, Role.DRIVE, 0)])
+        bits = encoded_size_bits(cp)
+        assert 80 <= bits <= 96
+
+    def test_strided_pattern_compresses_to_one_run(self):
+        many = CommunicationProgram(
+            0, [Slot(32 * i, 8, Role.DRIVE, 8 * i) for i in range(16)]
+        )
+        one = CommunicationProgram(0, [Slot(0, 8, Role.DRIVE, 0)])
+        assert encoded_size_bits(many) == encoded_size_bits(one)
+
+    def test_transpose_cp_is_one_run(self):
+        """The transpose gather's per-node CP is a single stride pattern —
+        exactly why the paper's CPs stay tiny."""
+        sched = gather_schedule(transpose_order(8, 16))
+        for cp in sched.programs.values():
+            assert encoded_size_bits(cp) <= 96
+
+    def test_size_matches_actual_encoding(self):
+        cp = CommunicationProgram(0, [Slot(0, 4), Slot(9, 2, word_offset=50)])
+        padded = len(encode_cp(cp)) * 8
+        exact = encoded_size_bits(cp)
+        assert exact <= padded < exact + 8
+
+    def test_field_overflow_rejected(self):
+        cp = CommunicationProgram(0, [Slot(1 << 21, 4)])
+        with pytest.raises(ScheduleError):
+            encode_cp(cp)
+
+    def test_bad_version_rejected(self):
+        cp = CommunicationProgram(0, [Slot(0, 1)])
+        data = bytearray(encode_cp(cp))
+        data[0] ^= 0xF0  # clobber the version nibble
+        with pytest.raises(ScheduleError):
+            decode_cp(bytes(data), 0)
+
+
+class TestChains:
+    def make_chain(self):
+        chain = CpChain(node_id=0)
+        chain.append(
+            ChainEntryKind.LOAD,
+            CommunicationProgram(0, [Slot(0, 8, Role.LISTEN)]),
+        )
+        chain.append(
+            ChainEntryKind.DRIVE,
+            CommunicationProgram(0, [Slot(16, 8, Role.DRIVE)]),
+        )
+        chain.append(
+            ChainEntryKind.NEXT_LOAD,
+            CommunicationProgram(0, [Slot(32, 8, Role.LISTEN)]),
+        )
+        return chain
+
+    def test_valid_chain(self):
+        chain = self.make_chain()
+        chain.validate()
+        assert len(chain) == 3
+
+    def test_chain_must_start_with_load(self):
+        chain = CpChain(node_id=0)
+        chain.append(
+            ChainEntryKind.DRIVE, CommunicationProgram(0, [Slot(0, 1)])
+        )
+        with pytest.raises(ScheduleError, match="LOAD"):
+            chain.validate()
+
+    def test_empty_chain_invalid(self):
+        with pytest.raises(ScheduleError):
+            CpChain(node_id=0).validate()
+
+    def test_overlapping_entries_rejected(self):
+        chain = CpChain(node_id=0)
+        chain.append(
+            ChainEntryKind.LOAD,
+            CommunicationProgram(0, [Slot(0, 8, Role.LISTEN)]),
+        )
+        chain.append(
+            ChainEntryKind.DRIVE,
+            CommunicationProgram(0, [Slot(4, 8, Role.DRIVE)]),
+        )
+        with pytest.raises(ScheduleError, match="overlap"):
+            chain.validate()
+
+    def test_wrong_node_rejected(self):
+        chain = CpChain(node_id=0)
+        with pytest.raises(ScheduleError):
+            chain.append(
+                ChainEntryKind.LOAD, CommunicationProgram(1, [Slot(0, 1)])
+            )
+
+    def test_total_bits(self):
+        chain = self.make_chain()
+        assert chain.total_encoded_bits == sum(e.encoded_bits for e in chain.entries)
+        # Three single-run CPs: comfortably under 300 bits of control state.
+        assert chain.total_encoded_bits < 300
+
+    def test_chain_roundtrip(self):
+        chain = self.make_chain()
+        restored = chain.roundtrip()
+        restored.validate()
+        for a, b in zip(chain.entries, restored.entries):
+            assert a.kind is b.kind
+            assert a.program.slots == b.program.slots

@@ -1,0 +1,130 @@
+"""Tests for the Fig.-5 energy models (repro.energy)."""
+
+import pytest
+
+from repro.energy import (
+    ElectronicEnergyModel,
+    PhotonicEnergyModel,
+    figure5_sweep,
+)
+from repro.mesh import MeshTopology
+
+
+class TestElectronicModel:
+    def test_router_energy_sum(self):
+        m = ElectronicEnergyModel(
+            buffer_pj_per_bit=0.1, crossbar_pj_per_bit=0.2, arbitration_pj_per_bit=0.3
+        )
+        assert m.router_pj_per_bit_per_hop == pytest.approx(0.6)
+
+    def test_energy_grows_with_nodes(self):
+        m = ElectronicEnergyModel()
+        energies = [m.energy_per_bit_pj(n) for n in (16, 64, 256, 1024)]
+        assert energies == sorted(energies)
+
+    def test_mean_hops_to_nearest_corner(self):
+        m = ElectronicEnergyModel()
+        topo = MeshTopology(2, 2)
+        # Every node IS a corner on 2x2.
+        assert m.mean_hops_to_memory(topo) == 0.0
+
+    def test_gather_breakdown_components(self):
+        m = ElectronicEnergyModel()
+        b = m.gather_energy(MeshTopology.square(64))
+        assert b.total_pj_per_bit == pytest.approx(
+            b.router_pj_per_bit + b.wire_pj_per_bit
+        )
+        assert b.mean_hops > 0
+        assert b.mean_distance_mm == pytest.approx(
+            b.mean_hops * m.link_length_mm(MeshTopology.square(64))
+        )
+
+    def test_wire_energy_roughly_constant_on_fixed_chip(self):
+        """Fixed chip + more nodes = shorter links x more hops: the mean
+        physical distance to a corner is roughly scale-invariant."""
+        m = ElectronicEnergyModel()
+        d256 = m.gather_energy(MeshTopology.square(256)).mean_distance_mm
+        d1024 = m.gather_energy(MeshTopology.square(1024)).mean_distance_mm
+        # Converges to the continuum mean distance as the grid refines.
+        assert d1024 / d256 < 1.1
+
+
+class TestPhotonicModel:
+    def test_loss_grows_with_nodes(self):
+        m = PhotonicEnergyModel()
+        assert m.total_loss_db(1024) > m.total_loss_db(64)
+
+    def test_segments_needed_monotonic(self):
+        m = PhotonicEnergyModel()
+        assert m.segments_needed(16) <= m.segments_needed(1024)
+
+    def test_single_segment_at_small_scale(self):
+        assert PhotonicEnergyModel().segments_needed(16) == 1
+
+    def test_breakdown_totals(self):
+        m = PhotonicEnergyModel()
+        b = m.gather_energy(256)
+        parts = (
+            b.laser_pj_per_bit
+            + b.modulator_pj_per_bit
+            + b.receiver_pj_per_bit
+            + b.serdes_pj_per_bit
+            + b.tuning_pj_per_bit
+            + b.repeater_pj_per_bit
+        )
+        assert b.total_pj_per_bit == pytest.approx(parts)
+
+    def test_laser_energy_positive_and_bounded(self):
+        m = PhotonicEnergyModel()
+        for n in (16, 64, 256, 1024):
+            e = m.laser_pj_per_bit(n)
+            assert 0 < e < 10.0
+
+    def test_tuning_scales_with_rings(self):
+        m = PhotonicEnergyModel()
+        assert m.tuning_pj_per_bit(1024) == pytest.approx(
+            4 * m.tuning_pj_per_bit(256)
+        )
+
+    def test_no_budget_raises(self):
+        m = PhotonicEnergyModel(
+            max_launch_dbm_per_wavelength=-30.0, pd_sensitivity_dbm=-26.0
+        )
+        with pytest.raises(ValueError):
+            m.segments_needed(16)
+
+    def test_aggregate_bandwidth(self):
+        assert PhotonicEnergyModel().aggregate_gbps == pytest.approx(320.0)
+
+
+class TestFigure5:
+    def test_paper_claim_5_2x(self):
+        """Fig. 5: 'PSCAN achieves at least a 5.2x improvement for the
+        networks simulated.'"""
+        comparison = figure5_sweep()
+        assert comparison.min_improvement >= 5.2
+
+    def test_improvement_everywhere(self):
+        for row in figure5_sweep().rows:
+            assert row.improvement > 1.0
+
+    def test_rows_cover_sweep(self):
+        comparison = figure5_sweep(node_counts=(16, 64))
+        assert [r.nodes for r in comparison.rows] == [16, 64]
+
+    def test_table_format(self):
+        text = figure5_sweep().as_table()
+        assert "PSCAN pJ/bit" in text
+        assert text.count("\n") == len(figure5_sweep().rows)
+
+    def test_max_at_least_min(self):
+        c = figure5_sweep()
+        assert c.max_improvement >= c.min_improvement
+
+    def test_custom_models(self):
+        c = figure5_sweep(
+            node_counts=(16,),
+            electronic=ElectronicEnergyModel(wire_pj_per_bit_mm=1.0),
+        )
+        base = figure5_sweep(node_counts=(16,))
+        assert c.rows[0].electronic_pj_per_bit > base.rows[0].electronic_pj_per_bit

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Run as subprocesses so import side effects and the
+``__main__`` paths are exercised exactly as a user would."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "SCA executed"),
+    ("sca_waveform.py", "receiver stream"),
+    ("distributed_fft.py", "Transpose cost vs PSCAN"),
+    ("corner_turn_radar.py", "image formed"),
+    ("energy_study.py", "PSCAN improvement"),
+    ("scaling_study.py", "mesh peaks at 256"),
+    ("large_1d_fft.py", "numerics exact vs numpy.fft : True"),
+    ("mesh_congestion.py", "PSCAN reference"),
+    ("mixed_traffic.py", "zero collisions"),
+    ("codegen_flow.py", "numerics exact : True"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_all_examples_are_covered():
+    """Adding an example without a smoke test should fail loudly."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {script for script, _m in CASES}
+    assert scripts == covered

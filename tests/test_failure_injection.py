@@ -1,0 +1,174 @@
+"""Failure-injection tests: the system must *detect* broken physics,
+broken schedules and broken networks, not silently mis-deliver."""
+
+import pytest
+
+from repro.core import CommunicationProgram, Pscan, Slot, gather_schedule
+from repro.core.schedule import GlobalSchedule, block_interleave_order
+from repro.mesh import MeshConfig, MeshNetwork, MeshTopology, Packet, Port
+from repro.photonics import PhotonicClock, Photodiode, PhotonicLink, Waveguide
+from repro.sim import DualClockFifo, Simulator
+from repro.util.errors import (
+    CollisionError,
+    LinkBudgetError,
+    NetworkError,
+    ScheduleError,
+    SimulationError,
+)
+
+
+class TestScheduleCorruption:
+    def make_pscan(self, nodes=3, pitch=10.0):
+        sim = Simulator()
+        length = nodes * pitch + 5.0
+        wg = Waveguide(length_mm=length)
+        return Pscan(sim, wg, {i: i * pitch for i in range(nodes)}), length
+
+    def test_double_driver_collides_physically(self):
+        """Hand-built schedule where two nodes drive cycle 1."""
+        pscan, length = self.make_pscan(2)
+        sched = GlobalSchedule(total_cycles=3, kind="gather")
+        sched.programs[0] = CommunicationProgram(0, [Slot(0, 2)])
+        sched.programs[1] = CommunicationProgram(1, [Slot(1, 2)])
+        sched.order = [(0, 0), (0, 1), (1, 1)]
+        with pytest.raises(CollisionError):
+            pscan.execute_gather(
+                sched, {0: [1, 2], 1: [3, 4]}, receiver_mm=length
+            )
+
+    def test_gap_in_schedule_detected_at_compile(self):
+        sched = gather_schedule(block_interleave_order(2, 2))
+        sched.total_cycles = 6  # claim 2 phantom cycles
+        with pytest.raises(ScheduleError, match="unclaimed"):
+            sched.validate()
+
+    def test_short_buffer_detected_mid_flight(self):
+        pscan, length = self.make_pscan(2)
+        sched = gather_schedule(block_interleave_order(2, 3))
+        with pytest.raises(ScheduleError, match="no word"):
+            pscan.execute_gather(
+                sched, {0: [1, 2, 3], 1: [1]}, receiver_mm=length
+            )
+
+
+class TestClockDesynchronization:
+    def test_wrong_velocity_clock_breaks_alignment(self):
+        """A clock whose assumed group velocity disagrees with the
+        waveguide's: arrivals no longer land on bus-cycle boundaries and
+        the executor flags the desynchronization."""
+        sim = Simulator()
+        wg = Waveguide(length_mm=100.0, group_velocity_mm_per_ns=70.0)
+        pscan = Pscan(sim, wg, {0: 0.0, 1: 47.0})
+        # Sabotage: the clock thinks light is 2x slower.
+        pscan.clock = PhotonicClock(
+            period_ns=pscan.clock.period_ns,
+            velocity_mm_per_ns=35.0,
+        )
+        sched = gather_schedule(block_interleave_order(2, 4))
+        with pytest.raises((CollisionError, ScheduleError)):
+            pscan.execute_gather(
+                sched, {0: list(range(4)), 1: list(range(4))}, receiver_mm=100.0
+            )
+
+
+class TestLinkBudgetFailures:
+    def test_distant_node_rejected_before_any_light_moves(self):
+        sim = Simulator()
+        wg = Waveguide(length_mm=400.0)
+        link = PhotonicLink(
+            photodiode=Photodiode(sensitivity_dbm=-20.0),
+            waveguide_loss_db_per_mm=0.1,
+        )
+        pscan = Pscan(sim, wg, {0: 0.0, 1: 350.0}, link=link)
+        sched = gather_schedule(block_interleave_order(2, 1))
+        with pytest.raises(LinkBudgetError):
+            pscan.execute_gather(sched, {0: [0], 1: [1]}, receiver_mm=400.0)
+
+    def test_many_intervening_rings_kill_the_link(self):
+        from repro.photonics import RingModulator, RingResonator
+
+        sim = Simulator()
+        wg = Waveguide(length_mm=60.0)
+        # Lossy detuned rings: 0.5 dB per pass; 49 intervening nodes cost
+        # 24.5 dB on top of propagation, blowing the 30 dB budget.
+        link = PhotonicLink(
+            modulator=RingModulator(ring=RingResonator(through_loss_db=0.5)),
+            photodiode=Photodiode(sensitivity_dbm=-20.0),
+            waveguide_loss_db_per_mm=0.1,
+        )
+        positions = {i: 1.0 + i for i in range(50)}
+        pscan = Pscan(sim, wg, positions, link=link)
+        sched = gather_schedule([(0, 0)])
+        with pytest.raises(LinkBudgetError):
+            pscan.execute_gather(sched, {0: [9]}, receiver_mm=60.0)
+
+
+class TestMeshFailures:
+    def test_deadlock_detector_fires(self):
+        """A hostile routing policy that always routes EAST drives the
+        packet into the mesh edge, where it can never move again; the
+        idle detector must fire rather than hang."""
+
+        class WallRouting:
+            name = "into-the-wall"
+
+            def route(self, topology, node, dest, downstream_space):
+                return Port.EAST
+
+        topo = MeshTopology(3, 1)
+        net = MeshNetwork(
+            topo, MeshConfig(deadlock_cycles=50), routing=WallRouting()
+        )
+        net.inject(Packet(source=(0, 0), dest=(1, 0), payloads=[1]))
+        with pytest.raises(NetworkError, match="deadlock"):
+            net.run()
+
+    def test_max_cycles_guard(self):
+        topo = MeshTopology(4, 4)
+        net = MeshNetwork(topo)
+        net.inject(Packet(source=(0, 0), dest=(3, 3), payloads=list(range(64))))
+        with pytest.raises(NetworkError, match="max_cycles"):
+            net.run(max_cycles=2)
+
+    def test_body_flit_without_route_is_protocol_violation(self):
+        from repro.mesh.flit import Flit
+
+        topo = MeshTopology(2, 1)
+        net = MeshNetwork(topo)
+        stray = Flit(
+            packet_id=999, index=1, is_head=False, is_tail=True,
+            dest=(1, 0), payload="stray",
+        )
+        net._buffers[((0, 0), Port.LOCAL)].append(stray)
+        net._occupancy[(0, 0)] += 1
+        net._packet_meta[999] = (0, (0, 0))
+        net._pending_flits += 1
+        with pytest.raises(NetworkError, match="wormhole ordering"):
+            net.run()
+
+
+class TestFifoFailures:
+    def test_overflow_is_observable_not_silent(self):
+        sim = Simulator()
+        fifo = DualClockFifo(sim, depth=1, write_period_ns=1.0, read_period_ns=1.0)
+        assert fifo.write("a")
+        assert not fifo.write("b")       # rejected, not dropped silently
+        assert fifo.stats.overflow_attempts == 1
+        sim.timeout(5.0)
+        sim.run()
+        assert fifo.read() == "a"        # original item intact
+
+    def test_underflow_raises(self):
+        sim = Simulator()
+        fifo = DualClockFifo(sim, depth=4, write_period_ns=1.0, read_period_ns=1.0)
+        with pytest.raises(SimulationError):
+            fifo.read()
+
+    def test_read_before_synchronizer_raises(self):
+        sim = Simulator()
+        fifo = DualClockFifo(
+            sim, depth=4, write_period_ns=1.0, read_period_ns=1.0, sync_stages=3
+        )
+        fifo.write("x")
+        with pytest.raises(SimulationError):
+            fifo.read()  # visible only at t=3

@@ -1,0 +1,130 @@
+"""Tests for blocked Model-II FFT execution (repro.fft.blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.fft import (
+    BlockedFft,
+    block_compute_time_ns,
+    block_multiplies,
+    final_compute_time_ns,
+    final_phase_multiplies,
+)
+from repro.util.errors import ConfigError
+
+
+class TestWorkAccounting:
+    """Eqs. 17-18 against the Table I columns."""
+
+    @pytest.mark.parametrize(
+        "k,t_ck,t_cf",
+        [
+            (1, 40960, 0),
+            (2, 18432, 4096),
+            (4, 8192, 8192),
+            (8, 3584, 12288),
+            (16, 1536, 16384),
+            (32, 640, 20480),
+            (64, 256, 24576),
+        ],
+    )
+    def test_table1_times(self, k, t_ck, t_cf):
+        assert block_compute_time_ns(1024, k) == pytest.approx(t_ck)
+        assert final_compute_time_ns(1024, k) == pytest.approx(t_cf)
+
+    def test_eq17(self):
+        assert block_multiplies(1024, 4) == (2 * 1024 // 4) * 8
+
+    def test_eq18(self):
+        assert final_phase_multiplies(1024, 4) == 2 * 1024 * 2
+
+    def test_total_work_is_conserved(self):
+        """k blocks of local work + final phase == full FFT work."""
+        n = 1024
+        full = 2 * n * 10  # 2 N log2 N
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            total = k * block_multiplies(n, k) + final_phase_multiplies(n, k)
+            assert total == full
+
+    def test_k_equals_n_degenerate(self):
+        assert block_multiplies(16, 16) == 0
+        assert final_phase_multiplies(16, 16) == 2 * 16 * 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            block_multiplies(12, 2)
+        with pytest.raises(ConfigError):
+            block_multiplies(16, 3)
+        with pytest.raises(ConfigError):
+            block_multiplies(16, 32)
+        with pytest.raises(ConfigError):
+            block_compute_time_ns(16, 2, multiply_ns=0.0)
+
+
+class TestBlockedExecution:
+    @pytest.mark.parametrize("n,k", [(8, 1), (8, 2), (64, 4), (64, 8), (256, 16)])
+    def test_matches_full_fft(self, n, k):
+        rng = np.random.default_rng(n + k)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        bf = BlockedFft(n=n, k=k)
+        for b in range(k):
+            bf.deliver(b, x[bf.block_samples(b)])
+        assert np.allclose(bf.finish(), np.fft.fft(x))
+
+    def test_out_of_order_delivery_ok(self):
+        """Blocks may arrive in any order; only completeness matters."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        bf = BlockedFft(n=64, k=4)
+        for b in (2, 0, 3, 1):
+            bf.deliver(b, x[bf.block_samples(b)])
+        assert np.allclose(bf.finish(), np.fft.fft(x))
+
+    def test_block_samples_partition(self):
+        bf = BlockedFft(n=64, k=8)
+        seen = np.concatenate([bf.block_samples(b) for b in range(8)])
+        assert sorted(seen) == list(range(64))
+
+    def test_finish_before_all_blocks_raises(self):
+        bf = BlockedFft(n=8, k=2)
+        bf.deliver(0, np.zeros(4))
+        with pytest.raises(ConfigError):
+            bf.finish()
+
+    def test_double_delivery_raises(self):
+        bf = BlockedFft(n=8, k=2)
+        bf.deliver(0, np.zeros(4))
+        with pytest.raises(ConfigError):
+            bf.deliver(0, np.zeros(4))
+
+    def test_wrong_block_size_raises(self):
+        bf = BlockedFft(n=8, k=2)
+        with pytest.raises(ConfigError):
+            bf.deliver(0, np.zeros(3))
+
+    def test_blocks_remaining(self):
+        bf = BlockedFft(n=8, k=2)
+        assert bf.blocks_remaining == 2
+        bf.deliver(1, np.zeros(4))
+        assert bf.blocks_remaining == 1
+
+    def test_finish_idempotent(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=16)
+        bf = BlockedFft(n=16, k=2)
+        for b in range(2):
+            bf.deliver(b, x[bf.block_samples(b)])
+        first = bf.finish()
+        assert np.allclose(first, bf.finish())
+
+    def test_deliver_after_finish_raises(self):
+        bf = BlockedFft(n=8, k=1)
+        bf.deliver(0, np.zeros(8))
+        bf.finish()
+        with pytest.raises(ConfigError):
+            bf.deliver(0, np.zeros(8))
+
+    def test_reference_matches_numpy(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=32) + 1j * rng.normal(size=32)
+        assert np.allclose(BlockedFft.reference(x), np.fft.fft(x))

@@ -1,0 +1,141 @@
+"""Tests for the distributed 2D FFT and its transports."""
+
+import numpy as np
+import pytest
+
+from repro.fft import (
+    Distributed2dFft,
+    MeshBlockTranspose,
+    PsyncTranspose,
+    RowBlocks,
+    fft2d_reference,
+    four_step_fft1d,
+)
+from repro.util.errors import ConfigError
+
+
+def random_matrix(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, cols)) + 1j * rng.normal(size=(rows, cols))
+
+
+class TestRowBlocks:
+    def test_block_slicing(self):
+        m = np.arange(16).reshape(4, 4)
+        blocks = RowBlocks(rows=4, cols=4, processors=2)
+        assert blocks.rows_per_processor == 2
+        assert np.array_equal(blocks.block(m, 1), m[2:4])
+
+    def test_divisibility_required(self):
+        with pytest.raises(ConfigError):
+            RowBlocks(rows=4, cols=4, processors=3)
+
+    def test_pid_range(self):
+        blocks = RowBlocks(rows=4, cols=4, processors=2)
+        with pytest.raises(ConfigError):
+            blocks.block(np.zeros((4, 4)), 2)
+
+
+class TestNullTransport:
+    @pytest.mark.parametrize("shape,procs", [((8, 8), 2), ((16, 8), 4), ((32, 32), 8)])
+    def test_matches_reference(self, shape, procs):
+        m = random_matrix(*shape, seed=shape[0])
+        d = Distributed2dFft(shape[0], shape[1], processors=procs)
+        assert np.allclose(d.run(m), fft2d_reference(m))
+
+    def test_reference_matches_numpy(self):
+        m = random_matrix(8, 16)
+        assert np.allclose(fft2d_reference(m), np.fft.fft2(m))
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigError):
+            Distributed2dFft(12, 8, processors=2)
+
+    def test_processors_must_divide_cols_too(self):
+        with pytest.raises(ConfigError):
+            Distributed2dFft(16, 8, processors=16)
+
+    def test_total_samples(self):
+        assert Distributed2dFft(8, 16, 4).total_sample_count == 128
+
+
+class TestPsyncTransport:
+    def test_exact_result(self):
+        m = random_matrix(16, 16, seed=2)
+        transport = PsyncTranspose()
+        d = Distributed2dFft(16, 16, processors=4, gather_transpose=transport)
+        assert np.allclose(d.run(m), fft2d_reference(m))
+
+    def test_cost_recorded(self):
+        m = random_matrix(8, 8, seed=3)
+        transport = PsyncTranspose()
+        Distributed2dFft(8, 8, processors=2, gather_transpose=transport).run(m)
+        cost = transport.last_cost
+        assert cost is not None
+        assert cost.mechanism == "sca"
+        assert cost.elements == 64
+        assert cost.cycles == 64  # one bus cycle per element
+        assert cost.details["gapless"] is True
+
+    def test_multi_row_blocks_flattened(self):
+        """4 processors x 2 rows each -> 8-node PSCAN."""
+        m = random_matrix(8, 8, seed=4)
+        transport = PsyncTranspose()
+        d = Distributed2dFft(8, 8, processors=4, gather_transpose=transport)
+        assert np.allclose(d.run(m), fft2d_reference(m))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ConfigError):
+            PsyncTranspose()([])
+
+
+class TestMeshTransport:
+    def test_exact_result(self):
+        m = random_matrix(16, 16, seed=5)
+        transport = MeshBlockTranspose()
+        d = Distributed2dFft(16, 16, processors=4, gather_transpose=transport)
+        assert np.allclose(d.run(m), fft2d_reference(m))
+
+    def test_cost_recorded_and_slower_than_pscan(self):
+        m = random_matrix(16, 16, seed=6)
+        mesh_t = MeshBlockTranspose(reorder_cycles=1)
+        Distributed2dFft(16, 16, processors=4, gather_transpose=mesh_t).run(m)
+        psync_t = PsyncTranspose()
+        Distributed2dFft(16, 16, processors=4, gather_transpose=psync_t).run(m)
+        assert mesh_t.last_cost.cycles > psync_t.last_cost.cycles
+
+    def test_tp4_slower_than_tp1(self):
+        m = random_matrix(16, 16, seed=7)
+        costs = []
+        for tp in (1, 4):
+            t = MeshBlockTranspose(reorder_cycles=tp)
+            Distributed2dFft(16, 16, processors=4, gather_transpose=t).run(m)
+            costs.append(t.last_cost.cycles)
+        assert costs[1] > costs[0]
+
+    def test_non_square_row_count_uses_rectangular_mesh(self):
+        """32 matrix rows -> an 8x4 mesh, still numerically exact."""
+        m = random_matrix(32, 8, seed=8)
+        transport = MeshBlockTranspose()
+        out = transport([m[r] for r in range(32)])
+        assert np.allclose(out, m.T)
+
+    def test_reorder_cycles_validation(self):
+        with pytest.raises(ConfigError):
+            MeshBlockTranspose(reorder_cycles=0)
+
+
+class TestFourStep:
+    @pytest.mark.parametrize("n,rows", [(16, 4), (64, 8), (256, 16), (64, 4)])
+    def test_matches_numpy(self, n, rows):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(four_step_fft1d(x, rows), np.fft.fft(x))
+
+    def test_rows_must_divide(self):
+        with pytest.raises(ConfigError):
+            four_step_fft1d(np.zeros(16), 3)
+
+    def test_factors_must_be_powers_of_two(self):
+        with pytest.raises(ConfigError):
+            four_step_fft1d(np.zeros(24), 4)

@@ -1,0 +1,174 @@
+"""Tests for the end-to-end flow timing and measured mesh energy."""
+
+import numpy as np
+import pytest
+
+from repro.core.flowtiming import run_fft2d_flow
+from repro.energy import ElectronicEnergyModel
+from repro.energy.measured import measure_mesh_energy
+from repro.fft import fft2d_reference
+from repro.mesh import (
+    MeshConfig,
+    MeshNetwork,
+    MeshTopology,
+    make_transpose_gather,
+    make_transpose_gather_multi_mc,
+)
+from repro.util.errors import ConfigError
+
+
+class TestFlowTiming:
+    def test_numerics_exact(self):
+        rng = np.random.default_rng(3)
+        m = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        timing = run_fft2d_flow(8, 8, m)
+        assert np.allclose(timing.result, fft2d_reference(m))
+
+    def test_all_phases_present(self):
+        timing = run_fft2d_flow(8, 8)
+        assert set(timing.phases_ns) == {
+            "scatter", "row_fft", "transpose", "load", "col_fft",
+        }
+        assert all(v > 0 for v in timing.phases_ns.values())
+
+    def test_totals_consistent(self):
+        timing = run_fft2d_flow(8, 8)
+        assert timing.total_ns == pytest.approx(sum(timing.phases_ns.values()))
+        assert timing.compute_ns + timing.communication_ns == pytest.approx(
+            timing.total_ns
+        )
+
+    def test_compute_uses_paper_clock_model(self):
+        timing = run_fft2d_flow(16, 16)
+        # One 16-point FFT per processor: 2*16*4 multiplies x 2 ns.
+        assert timing.phases_ns["row_fft"] == pytest.approx(2 * 16 * 4 * 2.0)
+
+    def test_transpose_duration_is_bus_limited(self):
+        """The SCA transpose of an n x n matrix takes ~n^2 bus cycles of
+        0.1 ns plus flight time."""
+        timing = run_fft2d_flow(16, 16)
+        assert timing.phases_ns["transpose"] == pytest.approx(
+            16 * 16 * 0.1, abs=2.0
+        )
+
+    def test_longer_rows_amortize_communication(self):
+        """At a fixed processor count, longer rows raise efficiency:
+        compute grows as O(cols log cols) vs communication O(cols)."""
+        small = run_fft2d_flow(8, 8)
+        large = run_fft2d_flow(8, 64)
+        assert large.efficiency > small.efficiency
+
+    def test_scaling_processors_with_problem_lowers_efficiency(self):
+        """Growing rows and processors together: communication is
+        O(n^2) bus cycles while per-processor compute is O(n log n), so
+        efficiency falls — the bandwidth-vs-compute balance the paper's
+        Eq. 19 formalizes."""
+        effs = [run_fft2d_flow(n, n).efficiency for n in (8, 16, 32)]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_reorg_fraction_small_on_psync(self):
+        timing = run_fft2d_flow(16, 16)
+        assert timing.reorg_fraction < 0.10
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(4)
+        m = rng.normal(size=(8, 16)).astype(complex)
+        timing = run_fft2d_flow(8, 16, m)
+        assert np.allclose(timing.result, fft2d_reference(m))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            run_fft2d_flow(8, 8, np.zeros((4, 4)))
+
+    def test_instruction_compute_model(self):
+        """The Fig.-7 in-order unit charges loads/stores/adds too, so
+        compute takes ~2.75x longer than the multiply-only clock — and
+        the efficiency therefore looks *better* (more compute to hide
+        communication behind)."""
+        mult = run_fft2d_flow(16, 16, compute_model="multiplies")
+        instr = run_fft2d_flow(16, 16, compute_model="instructions")
+        ratio = instr.phases_ns["row_fft"] / mult.phases_ns["row_fft"]
+        assert ratio == pytest.approx(11 / 4, rel=0.01)
+        assert instr.efficiency > mult.efficiency
+        assert np.allclose(instr.result, mult.result)
+
+    def test_unknown_compute_model(self):
+        with pytest.raises(ConfigError):
+            run_fft2d_flow(8, 8, compute_model="magic")
+
+
+def run_transpose(topology, multi_mc=False):
+    net = MeshNetwork(topology, MeshConfig())
+    if multi_mc:
+        wl = make_transpose_gather_multi_mc(topology, cols=16)
+        for c in topology.corners():
+            net.add_memory_interface(c)
+    else:
+        net.add_memory_interface((0, 0))
+        wl = make_transpose_gather(topology, cols=16)
+    for p in wl.packets:
+        net.inject(p)
+    net.run()
+    return net
+
+
+class TestMeasuredEnergy:
+    def test_internal_consistency(self):
+        """Measured pJ/bit decomposes into hops x per-hop coefficients."""
+        topo = MeshTopology.square(16)
+        net = run_transpose(topo)
+        m = measure_mesh_energy(net)
+        model = ElectronicEnergyModel()
+        link = model.link_length_mm(topo)
+        expected = (
+            m.flit_hops * link * model.wire_pj_per_bit_mm * 64
+            + m.router_traversals * model.router_pj_per_bit_per_hop * 64
+        )
+        assert m.total_pj == pytest.approx(expected)
+
+    def test_header_flits_roughly_double_cost(self):
+        """Per-element packets carry one header per payload flit, so the
+        measured energy per *payload* bit is ~2x the headerless cost —
+        overhead the analytic model does not see."""
+        topo = MeshTopology.square(16)
+        net1 = MeshNetwork(topo, MeshConfig())
+        net1.add_memory_interface((0, 0))
+        wl1 = make_transpose_gather(topo, cols=16, elements_per_packet=1)
+        for p in wl1.packets:
+            net1.inject(p)
+        net1.run()
+        e1 = measure_mesh_energy(net1)
+
+        net8 = MeshNetwork(topo, MeshConfig())
+        net8.add_memory_interface((0, 0))
+        wl8 = make_transpose_gather(topo, cols=16, elements_per_packet=8)
+        for p in wl8.packets:
+            net8.inject(p)
+        net8.run()
+        e8 = measure_mesh_energy(net8)
+        assert e1.pj_per_bit / e8.pj_per_bit == pytest.approx(2.0, abs=0.35)
+
+    def test_multi_mc_improves_time_not_energy(self):
+        """Address-striped traffic to four corners targets a *random*
+        corner, whose mean Manhattan distance equals the single-corner
+        case by symmetry — so path diversity buys throughput (4 sinks)
+        but not energy.  Only nearest-corner placement (the analytic
+        Fig.-5 model's assumption) saves hops."""
+        topo = MeshTopology.square(64)
+        net_single = run_transpose(topo)
+        net_multi = run_transpose(topo, multi_mc=True)
+        single = measure_mesh_energy(net_single)
+        multi = measure_mesh_energy(net_multi)
+        assert multi.mean_hops == pytest.approx(single.mean_hops, rel=0.1)
+        assert net_multi.stats.cycles < net_single.stats.cycles / 2
+
+    def test_mean_hops_scales_with_mesh(self):
+        small = measure_mesh_energy(run_transpose(MeshTopology.square(16)))
+        large = measure_mesh_energy(run_transpose(MeshTopology.square(64)))
+        assert large.mean_hops > small.mean_hops
+
+    def test_validation(self):
+        topo = MeshTopology.square(16)
+        net = MeshNetwork(topo)
+        with pytest.raises(ConfigError):
+            measure_mesh_energy(net, flit_bits=0)

@@ -1,0 +1,107 @@
+"""Tests for the serpentine layout (repro.photonics.layout)."""
+
+import math
+
+import pytest
+
+from repro.photonics import SerpentineLayout
+from repro.util.errors import ConfigError
+
+
+class TestConstruction:
+    def test_square_factory(self):
+        layout = SerpentineLayout.square(16)
+        assert layout.rows == 4 and layout.cols == 4
+
+    def test_square_rejects_non_square(self):
+        with pytest.raises(ConfigError):
+            SerpentineLayout.square(10)
+
+    def test_tile_count(self):
+        assert SerpentineLayout(rows=3, cols=5).tile_count == 15
+
+
+class TestGeometry:
+    def test_pitches_on_default_chip(self):
+        layout = SerpentineLayout(rows=4, cols=4, chip_edge_mm=20.0)
+        assert layout.tile_pitch_x_mm == pytest.approx(5.0)
+        assert layout.tile_pitch_y_mm == pytest.approx(5.0)
+
+    def test_row_run(self):
+        layout = SerpentineLayout(rows=4, cols=4, chip_edge_mm=20.0)
+        assert layout.row_run_mm == pytest.approx(15.0)
+
+    def test_bend_count(self):
+        assert SerpentineLayout(rows=4, cols=4).bend_count == 3
+        assert SerpentineLayout(rows=1, cols=8).bend_count == 0
+
+    def test_total_length_single_row(self):
+        layout = SerpentineLayout(rows=1, cols=5, chip_edge_mm=20.0)
+        assert layout.total_length_mm == pytest.approx(4 * 4.0)
+
+    def test_total_length_includes_turns(self):
+        layout = SerpentineLayout(rows=2, cols=2, chip_edge_mm=20.0)
+        expected = 2 * 10.0 + math.pi * 10.0 / 2.0
+        assert layout.total_length_mm == pytest.approx(expected)
+
+    def test_longer_chip_longer_waveguide(self):
+        small = SerpentineLayout(rows=4, cols=4, chip_edge_mm=10.0)
+        big = SerpentineLayout(rows=4, cols=4, chip_edge_mm=20.0)
+        assert big.total_length_mm > small.total_length_mm
+
+
+class TestVisitOrder:
+    def test_boustrophedon(self):
+        layout = SerpentineLayout(rows=2, cols=3)
+        assert layout.visit_order() == [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+        ]
+
+    def test_positions_strictly_increasing(self):
+        layout = SerpentineLayout(rows=4, cols=4)
+        pos = layout.positions_mm()
+        assert all(b > a for a, b in zip(pos, pos[1:]))
+
+    def test_position_matches_order(self):
+        layout = SerpentineLayout(rows=3, cols=3)
+        pos_by_tile = {t: layout.position_mm(*t) for t in layout.visit_order()}
+        ordered = [pos_by_tile[t] for t in layout.visit_order()]
+        assert ordered == sorted(ordered)
+
+    def test_first_tile_at_zero(self):
+        assert SerpentineLayout(rows=4, cols=4).position_mm(0, 0) == 0.0
+
+    def test_out_of_grid_raises(self):
+        with pytest.raises(ConfigError):
+            SerpentineLayout(rows=2, cols=2).position_mm(2, 0)
+
+    def test_adjacent_tiles_one_pitch_apart(self):
+        layout = SerpentineLayout(rows=2, cols=4, chip_edge_mm=20.0)
+        order = layout.visit_order()
+        pos = layout.positions_mm()
+        # Within a row, consecutive tiles are one x-pitch apart.
+        assert pos[1] - pos[0] == pytest.approx(layout.tile_pitch_x_mm)
+
+
+class TestDerived:
+    def test_bend_loss(self):
+        layout = SerpentineLayout(rows=3, cols=3)
+        assert layout.bend_loss_db(0.0) == 0.0
+        assert layout.bend_loss_db(0.1) == pytest.approx(
+            layout.bend_count * layout.turn_length_mm * 0.1
+        )
+
+    def test_bend_loss_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            SerpentineLayout(rows=2, cols=2).bend_loss_db(-1.0)
+
+    def test_flight_time(self):
+        layout = SerpentineLayout(rows=1, cols=2, chip_edge_mm=20.0)
+        assert layout.end_to_end_flight_ns(70.0) == pytest.approx(10.0 / 70.0)
+
+    def test_grid_scaling_grows_length(self):
+        lengths = [
+            SerpentineLayout.square(n).total_length_mm for n in (16, 64, 256)
+        ]
+        assert lengths == sorted(lengths)

@@ -1,0 +1,213 @@
+"""Tests for the DRAM bank, controllers and head node."""
+
+import pytest
+
+from repro.core import HeadNode
+from repro.memory import (
+    DramBank,
+    DramConfig,
+    MeshMemoryController,
+    PscanMemoryController,
+)
+from repro.util import constants
+from repro.util.errors import MemoryModelError
+
+
+class TestDramConfig:
+    def test_paper_geometry(self):
+        cfg = DramConfig()
+        assert cfg.row_bits == 2048
+        assert cfg.words_per_row == 32  # 32 x 64-bit samples per row
+
+    def test_row_of(self):
+        cfg = DramConfig()
+        assert cfg.row_of(0) == 0
+        assert cfg.row_of(31) == 0
+        assert cfg.row_of(32) == 1
+
+    def test_row_of_out_of_range(self):
+        cfg = DramConfig(rows=2)
+        with pytest.raises(MemoryModelError):
+            cfg.row_of(64)
+
+    def test_word_bits_must_divide_row(self):
+        with pytest.raises(MemoryModelError):
+            DramConfig(row_bits=100, word_bits=64)
+
+
+class TestDramBank:
+    def test_sequential_burst_one_cycle_per_word(self):
+        bank = DramBank(DramConfig(row_switch_cycles=8))
+        result = bank.write(0, list(range(32)))
+        # One row switch (cold) + 32 words.
+        assert result.cycles == 8 + 32
+        assert result.row_switches == 1
+
+    def test_open_row_hit_free(self):
+        bank = DramBank(DramConfig(row_switch_cycles=8))
+        bank.write(0, [1])
+        result = bank.write(1, [2])
+        assert result.cycles == 1
+        assert result.row_switches == 0
+
+    def test_row_crossing_pays_switch(self):
+        bank = DramBank(DramConfig(row_switch_cycles=8))
+        result = bank.write(30, list(range(4)))  # crosses word 32 boundary
+        assert result.row_switches == 2  # cold open + crossing
+        assert result.cycles == 2 * 8 + 4
+
+    def test_strided_access_thrashes_rows(self):
+        """The paper's point: column access of a row-major matrix pays a
+        precharge per element."""
+        bank = DramBank(DramConfig(row_switch_cycles=8))
+        sequential = bank.access(0, 32)
+        bank2 = DramBank(DramConfig(row_switch_cycles=8))
+        stride_cycles = 0
+        for i in range(32):
+            stride_cycles += bank2.access(i * 32, 1).cycles
+        assert stride_cycles > 5 * sequential.cycles
+
+    def test_read_returns_written_values(self):
+        bank = DramBank()
+        bank.write(10, ["x", "y", "z"])
+        _res, values = bank.read(10, 3)
+        assert values == ["x", "y", "z"]
+
+    def test_read_values_unwritten_none(self):
+        bank = DramBank()
+        assert bank.read_values(0, 2) == [None, None]
+
+    def test_read_values_out_of_range(self):
+        bank = DramBank(DramConfig(rows=1))
+        with pytest.raises(MemoryModelError):
+            bank.read_values(0, 33)
+
+    def test_burst_cycles_bounded_by_row(self):
+        bank = DramBank()
+        assert bank.burst_cycles(32) == 32
+        with pytest.raises(MemoryModelError):
+            bank.burst_cycles(33)
+
+    def test_write_length_mismatch(self):
+        bank = DramBank()
+        with pytest.raises(MemoryModelError):
+            bank.access(0, 2, values=[1])
+
+
+class TestPscanController:
+    def test_eq24_transaction_cycles(self):
+        ctrl = PscanMemoryController()
+        assert ctrl.transaction_cycles == 33  # (2048 + 64) / 64
+
+    def test_eq23_transactions(self):
+        ctrl = PscanMemoryController()
+        total_bits = 1024 * 64 * 1024  # N * S_s * P
+        assert ctrl.transactions_for(total_bits) == 32768
+
+    def test_paper_writeback_number(self):
+        ctrl = PscanMemoryController()
+        total_bits = 1024 * 64 * 1024
+        assert ctrl.writeback_cycles(total_bits) == 1_081_344
+        assert (
+            ctrl.writeback_cycles(total_bits)
+            == constants.PAPER_PSCAN_TRANSPOSE_CYCLES
+        )
+
+    def test_accounting_sums(self):
+        ctrl = PscanMemoryController()
+        acc = ctrl.writeback_accounting(2048 * 4)
+        assert acc.transactions == 4
+        assert acc.bus_cycles == acc.header_cycles + acc.data_cycles
+
+    def test_partial_row_rejected(self):
+        ctrl = PscanMemoryController()
+        with pytest.raises(MemoryModelError):
+            ctrl.transactions_for(2048 + 1)
+
+    def test_store_stream(self):
+        ctrl = PscanMemoryController()
+        cycles = ctrl.store_stream(0, list(range(64)))
+        assert ctrl.bank.read_values(0, 64) == list(range(64))
+        assert cycles >= 64
+
+    def test_store_empty(self):
+        assert PscanMemoryController().store_stream(0, []) == 0
+
+    def test_bus_must_divide_row(self):
+        with pytest.raises(MemoryModelError):
+            PscanMemoryController(row_bits=2048, bus_bits=60)
+
+
+class TestMeshController:
+    def test_service_rate(self):
+        ctrl = MeshMemoryController(reorder_cycles=4)
+        assert ctrl.service_cycles_per_flit == 4
+
+    def test_accept_serializes(self):
+        ctrl = MeshMemoryController(reorder_cycles=4)
+        f1 = ctrl.accept(0, address=10, value="a")
+        f2 = ctrl.accept(0, address=11, value="b")
+        assert f1 == 4
+        assert f2 == 8  # waits for the pipeline
+
+    def test_accept_idle_gap(self):
+        ctrl = MeshMemoryController(reorder_cycles=2)
+        ctrl.accept(0, 0, "a")
+        finish = ctrl.accept(100, 1, "b")
+        assert finish == 102
+
+    def test_drain_writes_in_address_order(self):
+        ctrl = MeshMemoryController()
+        ctrl.accept(0, 5, "e")
+        ctrl.accept(1, 3, "c")
+        ctrl.accept(2, 4, "d")
+        ctrl.drain_to_dram()
+        assert ctrl.bank.read_values(3, 3) == ["c", "d", "e"]
+
+    def test_drain_empty(self):
+        assert MeshMemoryController().drain_to_dram() == 0
+
+    def test_drain_handles_gaps(self):
+        ctrl = MeshMemoryController()
+        ctrl.accept(0, 0, "a")
+        ctrl.accept(0, 100, "z")
+        ctrl.drain_to_dram()
+        assert ctrl.bank.read_values(0, 1) == ["a"]
+        assert ctrl.bank.read_values(100, 1) == ["z"]
+
+
+class TestHeadNode:
+    def test_rate_matched_stream_no_stalls_within_row(self):
+        head = HeadNode(dram_words_per_bus_cycle=2.0)
+        head.bank.config  # default geometry
+        plan = head.plan_stream(0, 32)
+        # DRAM at 2 words/bus-cycle easily outruns the 2-cycle-per-word bus.
+        assert plan.stall_cycles == 0
+        assert plan.streaming_efficiency == 1.0
+
+    def test_slow_dram_stalls(self):
+        head = HeadNode(dram_words_per_bus_cycle=0.25)
+        plan = head.plan_stream(0, 64)
+        assert plan.stall_cycles > 0
+        assert plan.streaming_efficiency < 1.0
+
+    def test_row_switches_counted(self):
+        head = HeadNode()
+        plan = head.plan_stream(0, 64)  # spans 2 rows
+        assert plan.row_switches == 2
+
+    def test_bus_cycles_per_word(self):
+        head = HeadNode(word_bits=64)
+        # 32 bits per bus cycle -> 2 cycles per 64-bit word.
+        assert head.bus_cycles_per_word() == 2
+
+    def test_fetch_returns_loaded_values(self):
+        head = HeadNode()
+        head.load(0, list(range(16)))
+        plan, values = head.fetch_burst(0, 16)
+        assert values == list(range(16))
+        assert plan.words == 16
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(MemoryModelError):
+            HeadNode().plan_stream(0, 0)

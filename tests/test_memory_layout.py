@@ -1,0 +1,106 @@
+"""Tests for the address-layout locality analyzer (repro.memory.layout)."""
+
+import pytest
+
+from repro.memory import DramConfig
+from repro.memory.layout import (
+    AccessPattern,
+    butterfly_span,
+    column_major_order,
+    first_nonlocal_stage,
+    row_major_order,
+    tiled_order,
+)
+from repro.util.errors import ConfigError
+
+
+class TestButterflySpans:
+    def test_span_doubles_per_stage(self):
+        """Paper Section V-B1: non-locality 'increases as 2^n'."""
+        assert [butterfly_span(s) for s in range(5)] == [1, 2, 4, 8, 16]
+
+    def test_first_nonlocal_stage(self):
+        # 128-sample local blocks: stages 0..6 local, stage 7 crosses.
+        assert first_nonlocal_stage(128) == 7
+
+    def test_matches_blocked_fft_split(self):
+        """Consistency with the Fig.-10 split used by BlockedFft: k blocks
+        of N/k samples run exactly log2(N/k) local stages."""
+        from repro.fft.blocks import BlockedFft
+
+        bf = BlockedFft(n=1024, k=8)
+        assert bf.local_stages == first_nonlocal_stage(1024 // 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            butterfly_span(-1)
+        with pytest.raises(ConfigError):
+            first_nonlocal_stage(12)
+
+
+class TestOrders:
+    def test_row_major_is_sequential(self):
+        assert row_major_order(2, 4) == list(range(8))
+
+    def test_column_major_strides_by_cols(self):
+        order = column_major_order(3, 4)
+        assert order[:3] == [0, 4, 8]
+
+    def test_orders_are_permutations(self):
+        for order in (
+            row_major_order(4, 8),
+            column_major_order(4, 8),
+            tiled_order(4, 8, 2),
+        ):
+            assert sorted(order) == list(range(32))
+
+    def test_tile_validation(self):
+        with pytest.raises(ConfigError):
+            tiled_order(4, 8, 3)
+
+
+class TestAccessPattern:
+    CFG = DramConfig(row_switch_cycles=8)  # 32 words/row
+
+    def test_row_major_hits_rows(self):
+        p = AccessPattern.from_order(row_major_order(32, 32))
+        assert p.row_hit_rate(self.CFG) == pytest.approx(1 - 32 / 1024)
+
+    def test_column_major_misses_every_access(self):
+        """The corner-turn pathology: every access opens a new row."""
+        p = AccessPattern.from_order(column_major_order(32, 32))
+        assert p.row_hit_rate(self.CFG) == 0.0
+
+    def test_corner_turn_penalty(self):
+        """Column-major: every word pays 1 + 8 cycles; row-major pays
+        1 + 8/32 amortized — a 7.2x penalty at this geometry."""
+        rows = cols = 32
+        seq = AccessPattern.from_order(row_major_order(rows, cols))
+        strided = AccessPattern.from_order(column_major_order(rows, cols))
+        expected = (1024 * 9) / (1024 + 32 * 8)
+        assert strided.penalty_vs(seq, self.CFG) == pytest.approx(expected)
+
+    def test_tiling_recovers_most_locality(self):
+        rows = cols = 32
+        seq = AccessPattern.from_order(row_major_order(rows, cols))
+        tiled = AccessPattern.from_order(tiled_order(rows, cols, 8))
+        strided = AccessPattern.from_order(column_major_order(rows, cols))
+        assert tiled.penalty_vs(seq, self.CFG) < strided.penalty_vs(seq, self.CFG)
+
+    def test_mean_stride(self):
+        seq = AccessPattern.from_order(row_major_order(4, 8))
+        strided = AccessPattern.from_order(column_major_order(4, 8))
+        assert seq.mean_stride() == pytest.approx(1.0)
+        assert strided.mean_stride() > 5.0
+
+    def test_dram_cycles_decomposition(self):
+        p = AccessPattern.from_order(row_major_order(2, 32))
+        assert p.dram_cycles(self.CFG) == 64 * 1 + 2 * 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AccessPattern(addresses=())
+        a = AccessPattern.from_order([0, 1])
+        b = AccessPattern.from_order([0, 1, 2])
+        with pytest.raises(ConfigError):
+            a.penalty_vs(b)

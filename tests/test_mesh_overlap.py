@@ -1,0 +1,62 @@
+"""Tests for the mesh Model II co-simulation (repro.mesh.overlap)."""
+
+import pytest
+
+from repro.mesh import MeshConfig, run_mesh_model2_overlap
+from repro.util.errors import ConfigError
+
+
+class TestMeasuredShape:
+    def test_delivery_efficiency_declines_with_k(self):
+        """The Section V-B2 effect, measured: smaller packets pay more
+        header and routing overhead per word."""
+        eds = []
+        for k in (1, 2, 4, 8):
+            r = run_mesh_model2_overlap(16, k, 64 // k, float(16 * (64 // k)))
+            eds.append(r.delivery_efficiency)
+        assert eds == sorted(eds, reverse=True)
+
+    def test_overall_efficiency_peaks_interior(self):
+        """Fig. 11's mesh curve: rises then falls."""
+        effs = []
+        for k in (1, 2, 4, 8):
+            r = run_mesh_model2_overlap(16, k, 64 // k, float(16 * (64 // k)))
+            effs.append(r.efficiency)
+        peak = effs.index(max(effs))
+        assert 0 < peak < 3
+
+    def test_higher_tr_lowers_delivery_efficiency(self):
+        base = run_mesh_model2_overlap(
+            16, 4, 16, 256.0, config=MeshConfig(header_route_cycles=1)
+        )
+        slow = run_mesh_model2_overlap(
+            16, 4, 16, 256.0, config=MeshConfig(header_route_cycles=4)
+        )
+        assert slow.delivery_efficiency < base.delivery_efficiency
+
+    def test_efficiency_below_one(self):
+        r = run_mesh_model2_overlap(16, 2, 8, 128.0)
+        assert 0 < r.efficiency < 1
+
+
+class TestMechanics:
+    def test_block_ready_counts(self):
+        r = run_mesh_model2_overlap(16, 4, 8, 100.0)
+        assert all(len(ready) == 4 for ready in r.block_ready.values())
+
+    def test_block_ready_monotone(self):
+        r = run_mesh_model2_overlap(16, 4, 8, 100.0)
+        for ready in r.block_ready.values():
+            assert ready == sorted(ready)
+
+    def test_makespan_at_least_network_plus_one_block(self):
+        r = run_mesh_model2_overlap(16, 2, 8, 50.0)
+        # Last block can't finish before its last word landed + compute.
+        last_delivery = max(ready[-1] for ready in r.block_ready.values())
+        assert r.makespan_cycles >= last_delivery + 50.0 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_mesh_model2_overlap(2, 1, 1, 1.0)
+        with pytest.raises(ConfigError):
+            run_mesh_model2_overlap(16, 1, 1, 0.0)

@@ -1,0 +1,98 @@
+"""Tests for routing policies (repro.mesh.routing)."""
+
+import pytest
+
+from repro.mesh import MeshTopology, MinimalAdaptiveRouting, Port, XYRouting
+from repro.mesh.routing import productive_ports
+
+
+class TestProductivePorts:
+    def test_diagonal(self):
+        assert set(productive_ports((0, 0), (2, 2))) == {Port.EAST, Port.NORTH}
+
+    def test_aligned(self):
+        assert productive_ports((0, 0), (3, 0)) == [Port.EAST]
+        assert productive_ports((0, 3), (0, 0)) == [Port.SOUTH]
+
+    def test_arrived(self):
+        assert productive_ports((1, 1), (1, 1)) == []
+
+    def test_west_and_south(self):
+        assert set(productive_ports((3, 3), (0, 0))) == {Port.WEST, Port.SOUTH}
+
+
+class TestXYRouting:
+    def setup_method(self):
+        self.topo = MeshTopology(4, 4)
+        self.policy = XYRouting()
+
+    def route(self, node, dest):
+        return self.policy.route(self.topo, node, dest, {})
+
+    def test_x_first(self):
+        assert self.route((0, 0), (2, 2)) is Port.EAST
+
+    def test_then_y(self):
+        assert self.route((2, 0), (2, 2)) is Port.NORTH
+
+    def test_west(self):
+        assert self.route((3, 1), (0, 1)) is Port.WEST
+
+    def test_south(self):
+        assert self.route((1, 3), (1, 0)) is Port.SOUTH
+
+    def test_arrival_is_local(self):
+        assert self.route((2, 2), (2, 2)) is Port.LOCAL
+
+    def test_deterministic_path_reaches_dest(self):
+        node, dest = (0, 0), (3, 2)
+        hops = 0
+        while node != dest:
+            port = self.route(node, dest)
+            node = self.topo.neighbor(node, port)
+            hops += 1
+            assert hops <= 10
+        assert hops == 5  # minimal
+
+
+class TestMinimalAdaptive:
+    def setup_method(self):
+        self.topo = MeshTopology(4, 4)
+        self.policy = MinimalAdaptiveRouting()
+
+    def test_single_productive_dimension(self):
+        out = self.policy.route(self.topo, (0, 0), (3, 0), {Port.EAST: 1})
+        assert out is Port.EAST
+
+    def test_prefers_emptier_buffer(self):
+        space = {Port.EAST: 0, Port.NORTH: 2}
+        out = self.policy.route(self.topo, (0, 0), (2, 2), space)
+        assert out is Port.NORTH
+
+    def test_tie_breaks_to_x(self):
+        space = {Port.EAST: 2, Port.NORTH: 2}
+        out = self.policy.route(self.topo, (0, 0), (2, 2), space)
+        assert out is Port.EAST
+
+    def test_west_first_restriction(self):
+        """WEST must be taken when productive, regardless of congestion."""
+        space = {Port.WEST: 0, Port.NORTH: 2}
+        out = self.policy.route(self.topo, (3, 0), (0, 2), space)
+        assert out is Port.WEST
+
+    def test_arrival_is_local(self):
+        assert self.policy.route(self.topo, (1, 1), (1, 1), {}) is Port.LOCAL
+
+    def test_route_stays_minimal(self):
+        """Adaptive choices never increase distance."""
+        node, dest = (0, 0), (3, 3)
+        space = {p: 2 for p in Port if p is not Port.LOCAL}
+        dist = self.topo.hop_distance(node, dest)
+        for _ in range(dist):
+            port = self.policy.route(self.topo, node, dest, space)
+            nxt = self.topo.neighbor(node, port)
+            assert self.topo.hop_distance(nxt, dest) == (
+                self.topo.hop_distance(node, dest) - 1
+            )
+            node = nxt
+        assert node == dest

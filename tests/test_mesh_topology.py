@@ -1,0 +1,102 @@
+"""Tests for mesh topology and ports (repro.mesh.topology)."""
+
+import pytest
+
+from repro.mesh import MeshTopology, Port
+from repro.util.errors import ConfigError
+
+
+class TestPorts:
+    def test_opposites(self):
+        assert Port.NORTH.opposite is Port.SOUTH
+        assert Port.SOUTH.opposite is Port.NORTH
+        assert Port.EAST.opposite is Port.WEST
+        assert Port.WEST.opposite is Port.EAST
+        assert Port.LOCAL.opposite is Port.LOCAL
+
+
+class TestTopology:
+    def test_square_factory(self):
+        topo = MeshTopology.square(16)
+        assert topo.width == 4 and topo.height == 4
+
+    def test_square_rejects_non_square(self):
+        with pytest.raises(ConfigError):
+            MeshTopology.square(12)
+
+    def test_node_count(self):
+        assert MeshTopology(3, 5).node_count == 15
+
+    def test_contains(self):
+        topo = MeshTopology(2, 2)
+        assert topo.contains((0, 0)) and topo.contains((1, 1))
+        assert not topo.contains((2, 0))
+        assert not topo.contains((0, -1))
+
+    def test_nodes_row_major(self):
+        topo = MeshTopology(2, 2)
+        assert topo.nodes() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_node_index_roundtrip(self):
+        topo = MeshTopology(4, 3)
+        for i, node in enumerate(topo.nodes()):
+            assert topo.node_index(node) == i
+
+
+class TestNeighbors:
+    def test_interior_neighbors(self):
+        topo = MeshTopology(3, 3)
+        assert topo.neighbor((1, 1), Port.NORTH) == (1, 2)
+        assert topo.neighbor((1, 1), Port.SOUTH) == (1, 0)
+        assert topo.neighbor((1, 1), Port.EAST) == (2, 1)
+        assert topo.neighbor((1, 1), Port.WEST) == (0, 1)
+
+    def test_edge_neighbors_none(self):
+        topo = MeshTopology(3, 3)
+        assert topo.neighbor((0, 0), Port.WEST) is None
+        assert topo.neighbor((0, 0), Port.SOUTH) is None
+        assert topo.neighbor((2, 2), Port.EAST) is None
+        assert topo.neighbor((2, 2), Port.NORTH) is None
+
+    def test_local_has_no_neighbor(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(2, 2).neighbor((0, 0), Port.LOCAL)
+
+    def test_mesh_ports_corner(self):
+        topo = MeshTopology(3, 3)
+        assert set(topo.mesh_ports((0, 0))) == {Port.NORTH, Port.EAST}
+
+    def test_mesh_ports_interior(self):
+        topo = MeshTopology(3, 3)
+        assert len(topo.mesh_ports((1, 1))) == 4
+
+
+class TestDistances:
+    def test_hop_distance(self):
+        topo = MeshTopology(4, 4)
+        assert topo.hop_distance((0, 0), (3, 3)) == 6
+        assert topo.hop_distance((2, 1), (2, 1)) == 0
+
+    def test_corners(self):
+        topo = MeshTopology(4, 4)
+        assert set(topo.corners()) == {(0, 0), (3, 0), (0, 3), (3, 3)}
+
+    def test_degenerate_corners_dedup(self):
+        assert MeshTopology(1, 1).corners() == [(0, 0)]
+
+    def test_average_hops_symmetry(self):
+        topo = MeshTopology(4, 4)
+        assert topo.average_hops_to((0, 0)) == topo.average_hops_to((3, 3))
+
+    def test_average_hops_value(self):
+        topo = MeshTopology(2, 2)
+        # Distances to (0,0): 0,1,1,2 -> mean 1.0.
+        assert topo.average_hops_to((0, 0)) == pytest.approx(1.0)
+
+    def test_link_length(self):
+        topo = MeshTopology(4, 4)
+        assert topo.link_length_mm(20.0) == pytest.approx(5.0)
+
+    def test_link_length_rejects_bad_chip(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(2, 2).link_length_mm(0.0)

@@ -1,0 +1,143 @@
+"""Tests for workload generators (repro.mesh.workloads)."""
+
+import pytest
+
+from repro.mesh import (
+    MeshTopology,
+    make_scatter_delivery,
+    make_transpose_gather,
+    make_uniform_random,
+)
+from repro.util.errors import ConfigError
+
+
+class TestTransposeGather:
+    def test_packet_count(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=8)
+        assert len(wl.packets) == 4 * 8  # one per element
+
+    def test_addresses_cover_matrix(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=8)
+        addresses = sorted(a for p in wl.packets for a in p.payloads)
+        assert addresses == list(range(32))
+
+    def test_column_major_addressing(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=2)
+        # Element (r=1, c=0) -> address 0*4+1 = 1.
+        pkt = [p for p in wl.packets if p.payloads == [1]]
+        assert len(pkt) == 1
+
+    def test_sources_match_row_owner(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=2)
+        for p in wl.packets:
+            addr = p.payloads[0]
+            r = addr % 4
+            assert p.source == (r % topo.width, r // topo.width)
+
+    def test_coalesced_packets(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=8, elements_per_packet=4)
+        assert len(wl.packets) == 4 * 2
+        assert all(len(p.payloads) == 4 for p in wl.packets)
+
+    def test_coalescing_must_divide(self):
+        topo = MeshTopology.square(4)
+        with pytest.raises(ConfigError):
+            make_transpose_gather(topo, cols=6, elements_per_packet=4)
+
+    def test_all_to_memory_node(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=2, memory_node=(1, 1))
+        assert all(p.dest == (1, 1) for p in wl.packets)
+
+    def test_total_elements(self):
+        topo = MeshTopology.square(9)
+        wl = make_transpose_gather(topo, cols=5)
+        assert wl.total_elements == 45
+
+
+class TestScatterDelivery:
+    def test_model1_one_packet_per_node(self):
+        topo = MeshTopology.square(4)
+        packets = make_scatter_delivery(topo, words_per_processor=8, k=1)
+        assert len(packets) == 4
+        assert all(len(p.payloads) == 8 for p in packets)
+
+    def test_model2_round_robin_order(self):
+        topo = MeshTopology.square(4)
+        packets = make_scatter_delivery(topo, words_per_processor=8, k=2)
+        assert len(packets) == 8
+        # First 4 packets are round 0, one per node.
+        first_round_dests = [p.dest for p in packets[:4]]
+        assert first_round_dests == topo.nodes()
+
+    def test_all_from_memory(self):
+        topo = MeshTopology.square(4)
+        packets = make_scatter_delivery(topo, 4, memory_node=(1, 0))
+        assert all(p.source == (1, 0) for p in packets)
+
+    def test_k_must_divide(self):
+        topo = MeshTopology.square(4)
+        with pytest.raises(ConfigError):
+            make_scatter_delivery(topo, words_per_processor=5, k=2)
+
+
+class TestUniformRandom:
+    def test_count_and_reproducibility(self):
+        topo = MeshTopology.square(4)
+        a = make_uniform_random(topo, packets_per_node=3, seed=42)
+        b = make_uniform_random(topo, packets_per_node=3, seed=42)
+        assert len(a) == 12
+        assert [p.dest for p in a] == [p.dest for p in b]
+
+    def test_different_seeds_differ(self):
+        topo = MeshTopology.square(16)
+        a = make_uniform_random(topo, packets_per_node=5, seed=1)
+        b = make_uniform_random(topo, packets_per_node=5, seed=2)
+        assert [p.dest for p in a] != [p.dest for p in b]
+
+    def test_payload_flit_count(self):
+        topo = MeshTopology.square(4)
+        pkts = make_uniform_random(topo, packets_per_node=1, payload_flits=3)
+        assert all(len(p.payloads) == 3 for p in pkts)
+
+    def test_validation(self):
+        topo = MeshTopology.square(4)
+        with pytest.raises(ConfigError):
+            make_uniform_random(topo, packets_per_node=0)
+
+
+class TestPacketFlits:
+    def test_flit_train_structure(self):
+        from repro.mesh import Packet
+
+        p = Packet(source=(0, 0), dest=(1, 1), payloads=["a", "b"])
+        flits = p.flits()
+        assert len(flits) == 3
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert [f.payload for f in flits] == [None, "a", "b"]
+
+    def test_single_flit_packet(self):
+        from repro.mesh import Packet
+
+        p = Packet(source=(0, 0), dest=(1, 1), payloads=[], header_flits=1)
+        flits = p.flits()
+        assert len(flits) == 1
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_unique_packet_ids(self):
+        from repro.mesh import Packet
+
+        ids = {Packet(source=(0, 0), dest=(0, 0)).packet_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_header_flits_validation(self):
+        from repro.mesh import Packet
+
+        with pytest.raises(ConfigError):
+            Packet(source=(0, 0), dest=(0, 0), header_flits=0)

@@ -1,0 +1,77 @@
+"""Tests for the LLMORE optimizers (repro.llmore.optimize)."""
+
+import pytest
+
+from repro.llmore import Fft2dApp, mesh_machine, psync_machine
+from repro.llmore.optimize import best_block_count, best_core_count
+from repro.util.errors import ConfigError
+
+
+class TestBestBlockCount:
+    def test_returns_a_candidate(self):
+        choice = best_block_count(n=1024, processors=256, bandwidth_gbps=512.0)
+        ks = [k for k, _t in choice.candidates]
+        assert choice.k in ks
+        assert choice.total_ns == min(t for _k, t in choice.candidates)
+
+    def test_low_bandwidth_prefers_small_k(self):
+        """Starved delivery: blocking buys nothing, serial final phase
+        dominates — optimizer stays at small k."""
+        slow = best_block_count(n=1024, processors=256, bandwidth_gbps=64.0)
+        fast = best_block_count(n=1024, processors=256, bandwidth_gbps=2048.0)
+        assert slow.k <= fast.k
+
+    def test_high_bandwidth_is_compute_bound(self):
+        choice = best_block_count(n=1024, processors=256, bandwidth_gbps=4096.0)
+        assert choice.compute_bound
+
+    def test_table1_balanced_point_recovered(self):
+        """At Table I's k=8 bandwidth (585.1 Gb/s) the optimizer picks a
+        k near 8 — the paper's own peak."""
+        choice = best_block_count(n=1024, processors=256, bandwidth_gbps=585.1)
+        assert choice.k in (4, 8, 16)
+
+    def test_max_k_respected(self):
+        choice = best_block_count(
+            n=1024, processors=256, bandwidth_gbps=2048.0, max_k=4
+        )
+        assert choice.k <= 4
+        assert max(k for k, _t in choice.candidates) == 4
+
+    def test_candidates_are_powers_of_two(self):
+        choice = best_block_count(n=256, processors=16, bandwidth_gbps=100.0)
+        for k, _t in choice.candidates:
+            assert k & (k - 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            best_block_count(n=1000, processors=4, bandwidth_gbps=1.0)
+        with pytest.raises(ConfigError):
+            best_block_count(n=16, processors=0, bandwidth_gbps=1.0)
+        with pytest.raises(ConfigError):
+            best_block_count(n=16, processors=4, bandwidth_gbps=1.0, max_k=3)
+
+
+class TestBestCoreCount:
+    def test_mesh_knee_found(self):
+        """The optimizer rediscovers the paper's Fig. 13 mesh peak."""
+        cores, gflops = best_core_count(mesh_machine)
+        assert cores == 256
+        assert gflops > 0
+
+    def test_psync_prefers_max_cores(self):
+        cores, _gflops = best_core_count(psync_machine)
+        assert cores >= 1024
+
+    def test_custom_sweep(self):
+        cores, _ = best_core_count(mesh_machine, core_counts=(4, 16))
+        assert cores == 16
+
+    def test_bad_factory_rejected(self):
+        with pytest.raises(ConfigError):
+            best_core_count(lambda cores: cores)
+
+    def test_custom_app(self):
+        app = Fft2dApp(rows=256, cols=256)
+        cores, gflops = best_core_count(psync_machine, app=app)
+        assert gflops > 0

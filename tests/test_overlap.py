@@ -1,0 +1,112 @@
+"""Tests for the event-driven Model II overlap executor (repro.core.overlap).
+
+The headline test family: realized efficiency measured from event
+timestamps must track the Eqs. 11-16 analytic model.
+"""
+
+import pytest
+
+from repro.analysis import efficiency_model2
+from repro.core import run_model2_overlap
+from repro.core.psync import PsyncConfig, PsyncMachine
+from repro.util.errors import ConfigError
+
+BUS_CYCLE_NS = 0.1  # paper WDM plan: one word per 0.1 ns schedule cycle
+
+
+def balanced_t_ck(processors: int, block_words: int, ratio: float = 1.0) -> float:
+    """t_ck with P*t_dk / t_ck = 1/ratio (ratio 1.0 = Eq. 19 balance)."""
+    t_dk = block_words * BUS_CYCLE_NS
+    return processors * t_dk * ratio
+
+
+class TestMatchesAnalyticModel:
+    @pytest.mark.parametrize("ratio", [0.5, 1.0, 2.0, 4.0])
+    def test_efficiency_tracks_model(self, ratio):
+        P, k, bw = 8, 4, 16
+        t_ck = balanced_t_ck(P, bw, ratio)
+        result = run_model2_overlap(P, k, bw, t_ck)
+        analytic = efficiency_model2(P, k, bw * BUS_CYCLE_NS, t_ck)
+        assert result.efficiency == pytest.approx(analytic, rel=0.02)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_more_blocks_higher_efficiency_at_balance(self, k):
+        """The Table I trend, measured: at balance, larger k wins."""
+        P, total_words = 8, 32
+        bw = total_words // k
+        t_ck = balanced_t_ck(P, bw)
+        result = run_model2_overlap(P, k, bw, t_ck)
+        analytic = efficiency_model2(P, k, bw * BUS_CYCLE_NS, t_ck)
+        assert result.efficiency == pytest.approx(analytic, rel=0.02)
+
+    def test_efficiency_ordering_matches_table1(self):
+        effs = []
+        P, total_words = 8, 32
+        for k in (1, 2, 4, 8):
+            bw = total_words // k
+            t_ck = balanced_t_ck(P, bw)
+            effs.append(run_model2_overlap(P, k, bw, t_ck).efficiency)
+        assert effs == sorted(effs)
+
+    def test_communication_bound_regime(self):
+        """Starved compute (tiny t_ck): efficiency collapses toward
+        t_c / (P k t_dk), Eq. 16."""
+        P, k, bw = 8, 4, 16
+        t_ck = balanced_t_ck(P, bw, ratio=0.25)
+        result = run_model2_overlap(P, k, bw, t_ck)
+        analytic = efficiency_model2(P, k, bw * BUS_CYCLE_NS, t_ck)
+        assert result.efficiency == pytest.approx(analytic, rel=0.03)
+        assert result.efficiency < 0.3
+
+
+class TestMechanics:
+    def test_block_ready_times_monotone(self):
+        result = run_model2_overlap(4, 3, 8, 10.0)
+        for ready in result.block_ready_ns.values():
+            assert ready == sorted(ready)
+
+    def test_k1_matches_model1(self):
+        # Blocks long enough that waveguide flight time (~0.4 ns across
+        # the chip) is amortized below the tolerance.
+        P, bw = 4, 64
+        t_ck = balanced_t_ck(P, bw)
+        result = run_model2_overlap(P, 1, bw, t_ck)
+        analytic = efficiency_model2(P, 1, bw * BUS_CYCLE_NS, t_ck)
+        assert result.efficiency == pytest.approx(analytic, rel=0.02)
+
+    def test_flight_time_is_the_only_gap(self):
+        """The measured-vs-analytic gap shrinks as the phase lengthens —
+        it is flight time, not a modelling error."""
+        P = 4
+        gaps = []
+        for bw in (16, 64, 256):
+            t_ck = balanced_t_ck(P, bw)
+            measured = run_model2_overlap(P, 1, bw, t_ck).efficiency
+            analytic = efficiency_model2(P, 1, bw * BUS_CYCLE_NS, t_ck)
+            gaps.append(abs(analytic - measured))
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_stall_accounting(self):
+        # Communication-bound: every processor stalls between blocks.
+        result = run_model2_overlap(8, 4, 16, balanced_t_ck(8, 16, 0.25))
+        stalls = [result.compute_stall_ns(p) for p in range(8)]
+        assert all(s > 0 for s in stalls)
+        # Compute-bound: the first processor, served first each round,
+        # never waits after its first block.
+        result2 = run_model2_overlap(8, 4, 16, balanced_t_ck(8, 16, 4.0))
+        assert result2.compute_stall_ns(0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_total_compute(self):
+        result = run_model2_overlap(4, 2, 8, 5.0)
+        assert result.total_compute_ns == 4 * 2 * 5.0
+
+    def test_machine_reuse_rejected_on_size_mismatch(self):
+        machine = PsyncMachine(PsyncConfig(processors=4))
+        with pytest.raises(ConfigError):
+            run_model2_overlap(8, 2, 4, 1.0, machine=machine)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_model2_overlap(0, 1, 1, 1.0)
+        with pytest.raises(ConfigError):
+            run_model2_overlap(1, 1, 1, 0.0)

@@ -1,0 +1,129 @@
+"""Tests for the generalized performance model (Eqs. 4-16)."""
+
+import pytest
+
+from repro.analysis import (
+    DeliveryModel,
+    balanced_block_delivery_time,
+    delivery_time,
+    efficiency_model1,
+    efficiency_model2,
+    is_compute_bound,
+    total_time_model2,
+)
+from repro.util.errors import ConfigError
+
+
+class TestDeliveryTime:
+    def test_eq9(self):
+        # t_d = lambda + S_b*S_s/W_p; 1024 bits at 512 Gb/s = 2 ns.
+        assert delivery_time(3.0, 1024, 512.0) == pytest.approx(5.0)
+
+    def test_zero_latency(self):
+        assert delivery_time(0.0, 64, 64.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            delivery_time(1.0, 10, 0.0)
+        with pytest.raises(ConfigError):
+            delivery_time(-1.0, 10, 1.0)
+
+
+class TestModel1:
+    def test_eq7(self):
+        # eta = t_c / (P t_d + t_c).
+        assert efficiency_model1(4, 1.0, 4.0) == pytest.approx(0.5)
+
+    def test_more_processors_less_efficient(self):
+        e4 = efficiency_model1(4, 1.0, 10.0)
+        e16 = efficiency_model1(16, 1.0, 10.0)
+        assert e16 < e4
+
+    def test_zero_compute(self):
+        assert efficiency_model1(4, 1.0, 0.0) == 0.0
+
+    def test_model2_with_k1_reduces_to_model1(self):
+        for P, t_d, t_c in [(4, 1.0, 4.0), (16, 0.5, 20.0), (256, 0.1, 40.0)]:
+            assert efficiency_model2(P, 1, t_d, t_c) == pytest.approx(
+                efficiency_model1(P, t_d, t_c)
+            )
+
+
+class TestModel2:
+    def test_eq11_compute_bound(self):
+        # P t_dk <= t_ck: T = P t_dk + (k-1) t_ck + t_ck.
+        T = total_time_model2(4, 3, 1.0, 10.0)
+        assert T == pytest.approx(4.0 + 2 * 10.0 + 10.0)
+
+    def test_eq11_comm_bound(self):
+        # P t_dk > t_ck: T = P t_dk * k + t_ck.
+        T = total_time_model2(8, 3, 2.0, 10.0)
+        assert T == pytest.approx(16.0 + 2 * 16.0 + 10.0)
+
+    def test_final_phase_added(self):
+        base = total_time_model2(4, 2, 1.0, 10.0)
+        with_final = total_time_model2(4, 2, 1.0, 10.0, t_cf_ns=5.0)
+        assert with_final == pytest.approx(base + 5.0)
+
+    def test_regimes(self):
+        assert is_compute_bound(4, 1.0, 10.0)
+        assert not is_compute_bound(16, 1.0, 10.0)
+
+    def test_balance_point(self):
+        t_dk = balanced_block_delivery_time(256, 40960.0)
+        assert t_dk == pytest.approx(160.0)
+        assert is_compute_bound(256, t_dk, 40960.0)
+
+    def test_slower_than_balanced_delivery_hurts(self):
+        """Eq. 19: once P*t_dk exceeds t_ck the system goes communication
+        bound and efficiency drops sharply."""
+        P, k, t_ck = 16, 4, 100.0
+        balanced = t_ck / P
+        eff_bal = efficiency_model2(P, k, balanced, t_ck)
+        for factor in (1.5, 2.0, 4.0):
+            eff = efficiency_model2(P, k, balanced * factor, t_ck)
+            assert eff < eff_bal
+
+    def test_balance_is_the_bandwidth_optimal_point(self):
+        """Faster-than-balanced delivery buys almost nothing: the gain from
+        doubling bandwidth beyond balance is only the start-up sliver,
+        while the bandwidth cost doubles (the Table I trade-off)."""
+        P, k, t_ck = 16, 4, 100.0
+        balanced = t_ck / P
+        eff_bal = efficiency_model2(P, k, balanced, t_ck)
+        eff_double = efficiency_model2(P, k, balanced / 2, t_ck)
+        assert (eff_double - eff_bal) < 0.25 * (eff_double * 0.5)
+
+    def test_increasing_k_improves_balanced_efficiency(self):
+        P, t_c = 16, 1000.0
+        effs = []
+        for k in (1, 2, 4, 8):
+            t_ck = t_c / k
+            effs.append(efficiency_model2(P, k, t_ck / P, t_ck))
+        assert effs == sorted(effs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            total_time_model2(0, 1, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            total_time_model2(1, 0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            total_time_model2(1, 1, -1.0, 1.0)
+
+
+class TestDeliveryModelDataclass:
+    def test_properties(self):
+        m = DeliveryModel(processors=4, k=2, t_dk_ns=1.0, t_ck_ns=4.0)
+        assert m.compute_bound
+        assert m.balanced
+        assert m.total_time_ns == pytest.approx(4.0 + 4.0 + 4.0)
+        assert m.efficiency == pytest.approx(8.0 / 12.0)
+
+    def test_not_balanced(self):
+        m = DeliveryModel(processors=4, k=2, t_dk_ns=2.0, t_ck_ns=4.0)
+        assert not m.balanced
+        assert not m.compute_bound
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            DeliveryModel(processors=0, k=1, t_dk_ns=1.0, t_ck_ns=1.0)

@@ -1,0 +1,139 @@
+"""Tests for the Fig.-7 instruction-level processor model."""
+
+import numpy as np
+import pytest
+
+from repro.core.processor import (
+    ExecutionReport,
+    Instruction,
+    Op,
+    Processor,
+    ProcessorConfig,
+    compile_fft_program,
+)
+from repro.fft import bit_reverse_permute
+from repro.util.errors import ConfigError
+
+
+class TestExecutionSemantics:
+    def test_load_store_roundtrip(self):
+        p = Processor()
+        p.load_data([1 + 2j, 3 + 4j])
+        p.run([
+            Instruction(Op.LOAD, dest=0, address=0),
+            Instruction(Op.STORE, src_a=0, address=1),
+        ])
+        assert p.data_memory[1] == 1 + 2j
+
+    def test_arithmetic(self):
+        p = Processor()
+        p.load_data([2 + 1j, 3 - 1j])
+        p.run([
+            Instruction(Op.LOAD, dest=0, address=0),
+            Instruction(Op.LOAD, dest=1, address=1),
+            Instruction(Op.CMUL, dest=2, src_a=0, src_b=1),
+            Instruction(Op.CADD, dest=3, src_a=0, src_b=1),
+            Instruction(Op.CSUB, dest=4, src_a=0, src_b=1),
+            Instruction(Op.STORE, src_a=2, address=0),
+            Instruction(Op.STORE, src_a=3, address=1),
+        ])
+        assert p.data_memory[0] == (2 + 1j) * (3 - 1j)
+        assert p.data_memory[1] == 5 + 0j
+
+    def test_limm(self):
+        p = Processor()
+        p.load_data([0j])
+        p.run([
+            Instruction(Op.LIMM, dest=0, immediate=1j),
+            Instruction(Op.STORE, src_a=0, address=0),
+        ])
+        assert p.data_memory[0] == 1j
+
+    def test_bad_address(self):
+        p = Processor()
+        p.load_data([0j])
+        with pytest.raises(ConfigError):
+            p.run([Instruction(Op.LOAD, dest=0, address=5)])
+
+
+class TestCompiledFft:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_program_computes_exact_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        p = Processor()
+        p.load_data(bit_reverse_permute(x))
+        p.run(compile_fft_program(n))
+        assert np.allclose(p.data_memory, np.fft.fft(x))
+
+    def test_partial_stages_match_blocked_fft(self):
+        """Stages [0, log2(block)) on a block equal BlockedFft's local
+        compute — the instruction stream implements Fig. 10."""
+        from repro.fft import BlockedFft
+
+        n, k = 64, 4
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        bf = BlockedFft(n=n, k=k)
+        block0 = x[bf.block_samples(0)]
+        p = Processor()
+        p.load_data(block0)
+        p.run(compile_fft_program(n // k))
+        bf.deliver(0, block0)
+        assert np.allclose(p.data_memory, bf._buffer[: n // k])
+
+    def test_butterfly_count_matches_theory(self):
+        n = 64
+        program = compile_fft_program(n)
+        muls = sum(1 for i in program if i.op is Op.CMUL)
+        assert muls == (n // 2) * 6  # (N/2) log2 N butterflies
+
+    def test_stage_range(self):
+        program = compile_fft_program(16, stages=(0, 2))
+        muls = sum(1 for i in program if i.op is Op.CMUL)
+        assert muls == 2 * 8  # two stages x N/2 butterflies
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compile_fft_program(12)
+        with pytest.raises(ConfigError):
+            compile_fft_program(16, stages=(3, 2))
+
+
+class TestCycleAccounting:
+    def test_cycle_decomposition(self):
+        n = 32
+        p = Processor()
+        p.load_data(np.zeros(n, dtype=complex))
+        report = p.run(compile_fft_program(n))
+        butterflies = (n // 2) * 5
+        assert report.multiply_cycles == butterflies * 4
+        assert report.cycles == (
+            report.multiply_cycles + report.memory_cycles
+            + report.add_cycles + butterflies * 1  # LIMMs
+        )
+
+    def test_table1_model_assumes_hidden_memory_ops(self):
+        """Quantifies the paper's 'only multiplies are counted': in a
+        single-issue unit the multiplier holds only ~36 % of cycles, so
+        Table I implicitly assumes loads/stores/adds hide behind the
+        (4-slot) multiply — achievable with dual issue, and exactly
+        recovered by the multiply-cycles component."""
+        n = 64
+        p = Processor()
+        p.load_data(np.zeros(n, dtype=complex))
+        report = p.run(compile_fft_program(n))
+        assert report.multiply_fraction == pytest.approx(4 / 11, abs=0.01)
+        # The multiply-only component reproduces Table I's clock model:
+        # 2 N log2 N multiplies x 2 ns at 0.5 GHz.
+        assert report.multiply_cycles / 0.5 == pytest.approx(2 * n * 6 * 2.0)
+
+    def test_report_time(self):
+        r = ExecutionReport(cycles=100)
+        assert r.time_ns(0.5) == pytest.approx(200.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ProcessorConfig(registers=2)
+        with pytest.raises(ConfigError):
+            ProcessorConfig(multiply_cycles=0)

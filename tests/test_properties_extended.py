@@ -1,0 +1,156 @@
+"""Second wave of property-based tests: codec, mesh delivery, banked DRAM,
+heatmaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommunicationProgram, Role, Slot
+from repro.core.encoding import decode_cp, encode_cp
+from repro.memory import DramConfig
+from repro.memory.banked import BankedDram
+from repro.mesh import MeshNetwork, MeshTopology, Packet
+from repro.viz import render_mesh_heatmap
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def slot_lists(draw):
+    """Random non-overlapping slot lists."""
+    n = draw(st.integers(min_value=0, max_value=8))
+    slots = []
+    cursor = 0
+    for _ in range(n):
+        gap = draw(st.integers(min_value=0, max_value=20))
+        length = draw(st.integers(min_value=1, max_value=30))
+        offset = draw(st.integers(min_value=0, max_value=1000))
+        role = draw(st.sampled_from([Role.DRIVE, Role.LISTEN]))
+        start = cursor + gap
+        slots.append(Slot(start, length, role, offset))
+        cursor = start + length
+    return slots
+
+
+class TestCodecProperties:
+    @given(slots=slot_lists())
+    @settings(max_examples=100)
+    def test_roundtrip_is_identity(self, slots):
+        cp = CommunicationProgram(node_id=5, slots=slots)
+        restored = decode_cp(encode_cp(cp), 5)
+        assert restored.slots == cp.slots
+
+    @given(slots=slot_lists())
+    @settings(max_examples=50)
+    def test_encoding_deterministic(self, slots):
+        cp = CommunicationProgram(node_id=0, slots=slots)
+        assert encode_cp(cp) == encode_cp(cp)
+
+
+class TestMeshDeliveryProperties:
+    @given(
+        side=st.integers(min_value=2, max_value=4),
+        n_packets=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_traffic_all_delivered_exactly_once(
+        self, side, n_packets, seed
+    ):
+        """No random workload loses, duplicates or corrupts a payload."""
+        rng = np.random.default_rng(seed)
+        topo = MeshTopology(side, side)
+        net = MeshNetwork(topo)
+        nodes = topo.nodes()
+        sent = []
+        for i in range(n_packets):
+            src = nodes[int(rng.integers(len(nodes)))]
+            dst = nodes[int(rng.integers(len(nodes)))]
+            n_words = int(rng.integers(1, 5))
+            payloads = [(i, j) for j in range(n_words)]
+            sent.extend(payloads)
+            net.inject(Packet(source=src, dest=dst, payloads=payloads))
+        stats = net.run()
+        got = sorted(r.payload for r in net.sunk if r.payload is not None)
+        assert got == sorted(sent)
+        assert stats.packets_delivered == n_packets
+
+    @given(
+        side=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_latency_at_least_distance(self, side, seed):
+        rng = np.random.default_rng(seed)
+        topo = MeshTopology(side, side)
+        net = MeshNetwork(topo)
+        nodes = topo.nodes()
+        src = nodes[int(rng.integers(len(nodes)))]
+        dst = nodes[int(rng.integers(len(nodes)))]
+        net.inject(Packet(source=src, dest=dst, payloads=[0]))
+        stats = net.run()
+        assert stats.packet_latencies[0] >= topo.hop_distance(src, dst)
+
+
+class TestBankedDramProperties:
+    @given(
+        banks=st.integers(min_value=1, max_value=8),
+        words=st.integers(min_value=1, max_value=512),
+        switch=st.integers(min_value=0, max_value=32),
+    )
+    @settings(max_examples=50)
+    def test_throughput_bounds(self, banks, words, switch):
+        cfg = DramConfig(row_switch_cycles=switch)
+        d = BankedDram(config=cfg, banks=banks)
+        report = d.stream_read(0, words)
+        # Never faster than one word per cycle; never slower than the
+        # fully serialized single-bank bound.
+        assert report.cycles >= words
+        rows = -(-words // cfg.words_per_row)
+        assert report.cycles <= words + rows * switch
+
+    @given(
+        banks_a=st.integers(min_value=1, max_value=4),
+        banks_b=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25)
+    def test_more_banks_never_slower(self, banks_a, banks_b):
+        lo, hi = sorted((banks_a, banks_b))
+        cfg = DramConfig(row_switch_cycles=8)
+        slow = BankedDram(config=cfg, banks=lo).stream_read(0, 256)
+        fast = BankedDram(config=cfg, banks=hi).stream_read(0, 256)
+        assert fast.cycles <= slow.cycles
+
+
+class TestHeatmapProperties:
+    @given(
+        side=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25)
+    def test_heatmap_shape(self, side, seed):
+        rng = np.random.default_rng(seed)
+        counts = {
+            (x, y): int(rng.integers(0, 100))
+            for x in range(side)
+            for y in range(side)
+        }
+        text = render_mesh_heatmap(counts, side, side)
+        lines = text.splitlines()
+        assert len(lines) == side + 1  # rows + scale line
+        assert all(len(line) == side for line in lines[:-1])
+
+    def test_heatmap_extremes(self):
+        counts = {(0, 0): 0, (1, 0): 100}
+        text = render_mesh_heatmap(counts, 2, 1)
+        row = text.splitlines()[0]
+        assert row[0] == " " and row[1] == "@"
+
+    def test_heatmap_validation(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            render_mesh_heatmap({}, 0, 1)
+        with pytest.raises(ConfigError):
+            render_mesh_heatmap({}, 1, 1, levels="x")

@@ -1,0 +1,124 @@
+"""Third wave of property tests: arbiter, multibus, rfft, control orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import control_then_data_order, scatter_schedule
+from repro.core.arbiter import Message, TdmArbiter
+from repro.core.multibus import MultiBusPscan
+from repro.core.schedule import gather_schedule, transpose_order
+from repro.fft.real import irfft, rfft
+
+POSITIONS = {i: i * 10.0 for i in range(6)}
+
+
+@st.composite
+def message_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    msgs = []
+    for _ in range(n):
+        src = draw(st.integers(min_value=0, max_value=5))
+        dst = draw(st.integers(min_value=0, max_value=5).filter(lambda d: d != src))
+        words = draw(st.integers(min_value=1, max_value=6))
+        msgs.append(Message(source=src, dest=dst, words=words))
+    return msgs
+
+
+class TestArbiterProperties:
+    @given(msgs=message_batches())
+    @settings(max_examples=60)
+    def test_grants_never_overlap_within_channel(self, msgs):
+        arb = TdmArbiter(POSITIONS)
+        result = arb.arbitrate(msgs)
+        for channel in ("downstream", "upstream"):
+            used: set[int] = set()
+            for alloc in result.allocations:
+                if alloc.channel != channel:
+                    continue
+                cells = set(range(alloc.start_cycle, alloc.end_cycle))
+                assert not (used & cells)
+                used |= cells
+
+    @given(msgs=message_batches())
+    @settings(max_examples=40)
+    def test_every_message_granted_exactly_its_words(self, msgs):
+        arb = TdmArbiter(POSITIONS)
+        result = arb.arbitrate(msgs)
+        assert len(result.allocations) == len(msgs)
+        for msg, alloc in zip(msgs, result.allocations):
+            assert alloc.words == msg.words
+
+    @given(msgs=message_batches())
+    @settings(max_examples=40)
+    def test_grants_avoid_reserved_cycles(self, msgs):
+        reserved = gather_schedule(transpose_order(3, 4))  # cycles 0..11
+        arb = TdmArbiter(POSITIONS, reserved=reserved)
+        result = arb.arbitrate(msgs)
+        for alloc in result.allocations:
+            if alloc.channel != "downstream":
+                continue
+            for c in range(alloc.start_cycle, alloc.end_cycle):
+                assert c >= 12 or c not in range(12)
+
+
+class TestMultiBusProperties:
+    @given(
+        rows=st.integers(min_value=2, max_value=5),
+        cols=st.integers(min_value=1, max_value=8),
+        w=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_striping_preserves_order(self, rows, cols, w):
+        positions = {i: i * 8.0 for i in range(rows)}
+        sched = gather_schedule(transpose_order(rows, cols))
+        data = {i: [1000 * i + c for c in range(cols)] for i in range(rows)}
+        expected = [1000 * r + c for c in range(cols) for r in range(rows)]
+        bus = MultiBusPscan(w, waveguide_length_mm=60.0, positions_mm=positions)
+        ex = bus.execute_gather(sched, data, receiver_mm=60.0)
+        assert ex.stream == expected
+        assert ex.all_gapless
+
+
+class TestRfftProperties:
+    @given(
+        n_exp=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_matches_numpy(self, n_exp, seed):
+        n = 2 ** n_exp
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        assert np.allclose(rfft(x), np.fft.rfft(x))
+
+    @given(
+        n_exp=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip(self, n_exp, seed):
+        n = 2 ** n_exp
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        assert np.allclose(irfft(rfft(x)), x)
+
+
+class TestControlOrderProperties:
+    @given(
+        nodes=st.integers(min_value=1, max_value=8),
+        control=st.integers(min_value=0, max_value=5),
+        blocks=st.integers(min_value=1, max_value=4),
+        block_words=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60)
+    def test_valid_full_utilization_schedule(
+        self, nodes, control, blocks, block_words
+    ):
+        data_words = blocks * block_words
+        order = control_then_data_order(nodes, control, data_words, k=blocks)
+        sched = scatter_schedule(order)
+        sched.validate()
+        assert sched.utilization == 1.0
+        assert sched.total_cycles == nodes * (control + data_words)

@@ -1,0 +1,190 @@
+"""Tests for the event-driven PSCAN executor (repro.core.pscan)."""
+
+import pytest
+
+from repro.core import Pscan, gather_schedule, scatter_schedule
+from repro.core.schedule import (
+    block_interleave_order,
+    round_robin_order,
+    transpose_order,
+)
+from repro.photonics import PhotonicLink, Photodiode, Waveguide, WdmPlan
+from repro.sim import Simulator
+from repro.util.errors import CollisionError, LinkBudgetError, ScheduleError
+
+
+def make_pscan(nodes=4, pitch_mm=10.0, wdm=None, link=None):
+    sim = Simulator()
+    length = nodes * pitch_mm + 10.0
+    wg = Waveguide(length_mm=length)
+    positions = {i: i * pitch_mm for i in range(nodes)}
+    pscan = Pscan(sim, wg, positions, wdm=wdm, link=link)
+    return pscan, length
+
+
+class TestGather:
+    def test_stream_matches_order(self):
+        pscan, length = make_pscan(4)
+        data = {i: [100 * i + w for w in range(6)] for i in range(4)}
+        sched = gather_schedule(transpose_order(4, 6))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        expected = [100 * r + c for c in range(6) for r in range(4)]
+        assert ex.stream == expected
+
+    def test_gapless_full_rate(self):
+        pscan, length = make_pscan(4)
+        data = {i: list(range(8)) for i in range(4)}
+        sched = gather_schedule(block_interleave_order(4, 8))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        assert ex.is_gapless
+        assert ex.bus_utilization == pytest.approx(1.0)
+
+    def test_arrivals_sorted_and_cycles_sequential(self):
+        pscan, length = make_pscan(3)
+        data = {i: list(range(4)) for i in range(3)}
+        sched = gather_schedule(block_interleave_order(3, 4))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        assert [a.cycle for a in ex.arrivals] == list(range(12))
+
+    def test_simultaneous_modulation_observed(self):
+        """The Fig.-4 property holds in the executed simulation."""
+        pscan, length = make_pscan(4, pitch_mm=30.0)
+        data = {i: list(range(16)) for i in range(4)}
+        sched = gather_schedule(block_interleave_order(4, 16))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        assert ex.simultaneous_modulation_pairs()
+        assert ex.is_gapless  # overlap in time, yet no collision
+
+    def test_model1_vs_model2_same_duration(self):
+        """Any valid full-utilization schedule takes the same bus time."""
+        results = []
+        for block in (16, 4, 1):
+            pscan, length = make_pscan(4)
+            data = {i: list(range(16)) for i in range(4)}
+            sched = gather_schedule(round_robin_order(4, 16, block=block))
+            ex = pscan.execute_gather(sched, data, receiver_mm=length)
+            results.append(ex.arrivals[-1].time_ns - ex.arrivals[0].time_ns)
+        assert results[0] == pytest.approx(results[1])
+        assert results[0] == pytest.approx(results[2])
+
+    def test_wrong_kind_rejected(self):
+        pscan, length = make_pscan(2)
+        sched = scatter_schedule(round_robin_order(2, 2, block=1))
+        with pytest.raises(ScheduleError):
+            pscan.execute_gather(sched, {}, receiver_mm=length)
+
+    def test_missing_word_raises(self):
+        pscan, length = make_pscan(2)
+        sched = gather_schedule(block_interleave_order(2, 4))
+        data = {0: list(range(4)), 1: [0]}  # node 1 too short
+        with pytest.raises(ScheduleError, match="no word"):
+            pscan.execute_gather(sched, data, receiver_mm=length)
+
+    def test_bits_accounting(self):
+        wdm = WdmPlan(data_wavelengths=32, rate_per_wavelength_gbps=10.0)
+        pscan, length = make_pscan(2, wdm=wdm)
+        data = {i: list(range(4)) for i in range(2)}
+        sched = gather_schedule(block_interleave_order(2, 4))
+        pscan.execute_gather(sched, data, receiver_mm=length)
+        assert pscan.total_bits_moved == 8 * 32
+
+
+class TestScatter:
+    def test_delivery_to_correct_nodes(self):
+        pscan, _ = make_pscan(4, pitch_mm=10.0)
+        sched = scatter_schedule(round_robin_order(4, 4, block=2))
+        burst = list(range(sched.total_cycles))
+        ex = pscan.execute_scatter(sched, burst, source_mm=0.0)
+        # Rebuild expectation from the schedule order.
+        expected = {}
+        for cycle, (node, _w) in enumerate(sched.order):
+            expected.setdefault(node, []).append(burst[cycle])
+        assert ex.delivered == expected
+
+    def test_burst_length_mismatch(self):
+        pscan, _ = make_pscan(2)
+        sched = scatter_schedule(round_robin_order(2, 2, block=1))
+        with pytest.raises(ScheduleError):
+            pscan.execute_scatter(sched, [1, 2, 3], source_mm=0.0)
+
+    def test_listener_upstream_rejected(self):
+        pscan, _ = make_pscan(3, pitch_mm=10.0)
+        sched = scatter_schedule(round_robin_order(3, 1, block=1))
+        with pytest.raises(ScheduleError):
+            pscan.execute_scatter(sched, [0, 1, 2], source_mm=15.0)
+
+    def test_wrong_kind_rejected(self):
+        pscan, _ = make_pscan(2)
+        sched = gather_schedule(block_interleave_order(2, 2))
+        with pytest.raises(ScheduleError):
+            pscan.execute_scatter(sched, [0, 1, 2, 3], source_mm=0.0)
+
+    def test_scatter_then_data_usable(self):
+        pscan, _ = make_pscan(2, pitch_mm=20.0)
+        sched = scatter_schedule(round_robin_order(2, 3, block=3))
+        burst = ["a", "b", "c", "d", "e", "f"]
+        ex = pscan.execute_scatter(sched, burst, source_mm=0.0)
+        assert ex.delivered[0] == ["a", "b", "c"]
+        assert ex.delivered[1] == ["d", "e", "f"]
+
+
+class TestPhysicalChecks:
+    def test_collision_detected_physically(self):
+        """Two nodes driving the same cycle collide at the receiver."""
+        from repro.core import CommunicationProgram, Slot
+        from repro.core.schedule import GlobalSchedule
+
+        pscan, length = make_pscan(2)
+        sched = GlobalSchedule(total_cycles=2, kind="gather")
+        sched.programs[0] = CommunicationProgram(0, [Slot(0, 2)])
+        sched.programs[1] = CommunicationProgram(1, [Slot(1, 1)])
+        sched.order = [(0, 0), (0, 1)]
+        data = {0: [1, 2], 1: [9]}
+        with pytest.raises(CollisionError):
+            pscan.execute_gather(sched, data, receiver_mm=length)
+
+    def test_link_budget_enforced(self):
+        link = PhotonicLink(
+            photodiode=Photodiode(sensitivity_dbm=-5.0),
+            waveguide_loss_db_per_mm=0.2,
+        )
+        pscan, length = make_pscan(4, pitch_mm=30.0, link=link)
+        data = {i: [0] for i in range(4)}
+        sched = gather_schedule(block_interleave_order(4, 1))
+        with pytest.raises(LinkBudgetError):
+            pscan.execute_gather(sched, data, receiver_mm=length)
+
+    def test_link_budget_ok_when_short(self):
+        link = PhotonicLink()
+        pscan, length = make_pscan(4, pitch_mm=5.0, link=link)
+        data = {i: [i] for i in range(4)}
+        sched = gather_schedule(block_interleave_order(4, 1))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        assert len(ex.arrivals) == 4
+
+    def test_node_position_outside_waveguide(self):
+        sim = Simulator()
+        wg = Waveguide(length_mm=10.0)
+        with pytest.raises(ScheduleError):
+            Pscan(sim, wg, {0: 20.0})
+
+
+class TestTimingExactness:
+    def test_arrival_times_match_clock_arithmetic(self):
+        pscan, length = make_pscan(3, pitch_mm=15.0)
+        data = {i: list(range(2)) for i in range(3)}
+        sched = gather_schedule(block_interleave_order(3, 2))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        clock = pscan.clock
+        for arrival in ex.arrivals:
+            expected = clock.edge_time(arrival.cycle, length) + pscan.response_ns
+            assert arrival.time_ns == pytest.approx(expected)
+
+    def test_duration_includes_flight(self):
+        pscan, length = make_pscan(2, pitch_mm=70.0)  # 1 ns between nodes
+        data = {i: [i] for i in range(2)}
+        sched = gather_schedule(block_interleave_order(2, 1))
+        ex = pscan.execute_gather(sched, data, receiver_mm=length)
+        # End-to-end: first modulation at ~t=response; last arrival is
+        # flight-dominated.
+        assert ex.duration_ns > 1.0

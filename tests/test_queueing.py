@@ -1,0 +1,113 @@
+"""Tests for the sink queueing model and the control+data order."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    SinkQueueModel,
+    implied_utilization,
+    md1_mean_wait,
+)
+from repro.core import control_then_data_order, scatter_schedule
+from repro.util.errors import ConfigError, ScheduleError
+
+
+class TestMd1:
+    def test_light_load_little_wait(self):
+        assert md1_mean_wait(0.01, 1.0) < 0.01
+
+    def test_wait_diverges_near_saturation(self):
+        w_half = md1_mean_wait(0.5, 1.0)
+        w_high = md1_mean_wait(0.95, 1.0)
+        assert w_high > 15 * w_half
+
+    def test_pk_formula_value(self):
+        # rho = 0.5, s = 2: W = 0.5*2 / (2*0.5) = 1.0.
+        assert md1_mean_wait(0.25, 2.0) == pytest.approx(1.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ConfigError):
+            md1_mean_wait(1.0, 1.0)
+        with pytest.raises(ConfigError):
+            md1_mean_wait(0.0, 1.0)
+
+
+class TestImpliedUtilization:
+    def test_inverse_of_dilation(self):
+        for rho in (0.1, 0.33, 0.58, 0.9):
+            m = SinkQueueModel(offered_load=rho)
+            assert implied_utilization(m.dilation) == pytest.approx(rho)
+
+    def test_paper_dilations(self):
+        """Table III's implied congestion factors map to sub-saturation
+        utilizations, higher for the faster sink."""
+        rho_tp1 = implied_utilization(1.68)
+        rho_tp4 = implied_utilization(1.25)
+        assert rho_tp1 == pytest.approx(0.576, abs=0.005)
+        assert rho_tp4 == pytest.approx(0.333, abs=0.005)
+        assert rho_tp1 > rho_tp4
+
+    def test_invalid_dilation(self):
+        with pytest.raises(ConfigError):
+            implied_utilization(1.0)
+
+
+class TestSinkQueueModel:
+    def test_service_cycles(self):
+        assert SinkQueueModel(reorder_cycles=4).service_cycles == 5
+
+    def test_from_paper_dilation_roundtrip(self):
+        m = SinkQueueModel.from_paper_dilation(1.68, reorder_cycles=1)
+        assert m.dilation == pytest.approx(1.68)
+
+    def test_predicted_cycles_in_table3_ballpark(self):
+        """Model from the paper's own dilation reproduces its cycle count."""
+        m = SinkQueueModel.from_paper_dilation(1.68, reorder_cycles=1)
+        predicted = m.predicted_transpose_cycles(1 << 20)
+        assert predicted == pytest.approx(3_526_620, rel=0.02)
+
+    def test_dilation_monotone_in_load(self):
+        dils = [
+            SinkQueueModel(offered_load=rho).dilation
+            for rho in (0.2, 0.4, 0.6, 0.8)
+        ]
+        assert dils == sorted(dils)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SinkQueueModel(offered_load=1.0)
+        with pytest.raises(ConfigError):
+            SinkQueueModel(reorder_cycles=0)
+        with pytest.raises(ConfigError):
+            SinkQueueModel().predicted_transpose_cycles(0)
+
+
+class TestControlThenData:
+    def test_round0_carries_control(self):
+        order = control_then_data_order(2, control_words=2, data_words=4, k=2)
+        # Node 0: control 0,1 then data 2,3; node 1 likewise; then round 2.
+        assert order[:4] == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert order[4:8] == [(1, 0), (1, 1), (1, 2), (1, 3)]
+        assert order[8:] == [(0, 4), (0, 5), (1, 4), (1, 5)]
+
+    def test_zero_control_is_plain_round_robin(self):
+        from repro.core import round_robin_order
+
+        a = control_then_data_order(3, 0, 6, k=2)
+        b = round_robin_order(3, 6, block=3)
+        assert a == b
+
+    def test_compiles_to_valid_scatter(self):
+        order = control_then_data_order(4, 3, 8, k=2)
+        sched = scatter_schedule(order)
+        sched.validate()
+        assert sched.utilization == 1.0
+
+    def test_total_words(self):
+        order = control_then_data_order(3, 2, 6, k=3)
+        assert len(order) == 3 * (2 + 6)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            control_then_data_order(0, 1, 1)
+        with pytest.raises(ScheduleError):
+            control_then_data_order(2, 1, 5, k=2)

@@ -1,0 +1,97 @@
+"""Tests for the reproduction scorecard and new PsyncMachine options."""
+
+import pytest
+
+from repro.core import PsyncConfig, PsyncMachine
+from repro.report import build_report
+from repro.util.errors import ConfigError
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(fast=True)
+
+    def test_all_claims_hold(self, report):
+        failing = [l.artifact for l in report.lines if not l.holds]
+        assert not failing, f"claims not reproduced: {failing}"
+
+    def test_covers_every_artifact(self, report):
+        artifacts = " ".join(l.artifact for l in report.lines)
+        for token in ("Table I", "Table II", "Table III", "Fig. 5",
+                      "Fig. 11", "Fig. 13", "Fig. 14"):
+            assert token in artifacts
+
+    def test_table_renders(self, report):
+        text = report.as_table()
+        assert "paper" in text and "measured" in text
+        assert text.count("\n") == len(report.lines)
+
+    def test_cli_summary(self, capsys):
+        from repro.cli import main
+
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "all claims reproduced" in out
+
+
+class TestWordGranularClock:
+    def test_cycles_per_word(self):
+        # 64-bit words on 32 x 10 Gb/s wavelengths: 2 bus cycles per word.
+        m = PsyncMachine(PsyncConfig(processors=4))
+        assert m.cycles_per_word == 2
+
+    def test_effective_period_stretched(self):
+        legacy = PsyncMachine(PsyncConfig(processors=4))
+        word = PsyncMachine(PsyncConfig(processors=4, word_granular_clock=True))
+        assert word.pscan.clock.period_ns == pytest.approx(
+            legacy.pscan.clock.period_ns * 2
+        )
+
+    def test_word_granular_duration_scales(self):
+        def run(granular):
+            m = PsyncMachine(
+                PsyncConfig(processors=4, word_granular_clock=granular)
+            )
+            for pid in range(4):
+                m.local_memory[pid] = list(range(8))
+            ex = m.gather(m.transpose_gather_schedule(row_length=8))
+            # Burst time at the receiver (excludes flight/start-up).
+            return ex.arrivals[-1].time_ns - ex.arrivals[0].time_ns
+
+        assert run(True) == pytest.approx(2 * run(False), rel=0.05)
+
+    def test_semantics_unchanged(self):
+        m = PsyncMachine(PsyncConfig(processors=4, word_granular_clock=True))
+        for pid in range(4):
+            m.local_memory[pid] = [10 * pid + c for c in range(3)]
+        ex = m.gather(m.transpose_gather_schedule(row_length=3))
+        assert ex.stream == [0, 10, 20, 30, 1, 11, 21, 31, 2, 12, 22, 32]
+        assert ex.is_gapless
+
+
+class TestStreamingEnforcement:
+    def test_slow_dram_rejected(self):
+        m = PsyncMachine(PsyncConfig(processors=2))
+        m.head.dram_words_per_bus_cycle = 0.05
+        m.head.load(0, list(range(64)))
+        sched = m.model1_scatter_schedule(words_per_processor=32)
+        with pytest.raises(ConfigError, match="stalls the bus"):
+            m.scatter_from_dram(sched, require_streaming=True)
+
+    def test_fast_dram_accepted(self):
+        m = PsyncMachine(PsyncConfig(processors=2))
+        m.head.dram_words_per_bus_cycle = 4.0
+        m.head.load(0, list(range(64)))
+        sched = m.model1_scatter_schedule(words_per_processor=32)
+        ex, plan = m.scatter_from_dram(sched, require_streaming=True)
+        assert plan.stall_cycles == 0
+        assert m.local_memory[0] == list(range(32))
+
+    def test_default_is_permissive(self):
+        m = PsyncMachine(PsyncConfig(processors=2))
+        m.head.dram_words_per_bus_cycle = 0.05
+        m.head.load(0, list(range(8)))
+        sched = m.model1_scatter_schedule(words_per_processor=4)
+        _ex, plan = m.scatter_from_dram(sched)  # no raise
+        assert plan.stall_cycles > 0

@@ -1,0 +1,107 @@
+"""Tests for SCA timing analysis (repro.core.sca)."""
+
+import pytest
+
+from repro.core import gather_schedule, sca_timing, transpose_order
+from repro.core.schedule import block_interleave_order
+from repro.photonics import PhotonicClock
+from repro.util.errors import ScheduleError
+
+
+def make_timing(rows=4, cols=8, pitch_mm=10.0, response_ns=0.01):
+    sched = gather_schedule(transpose_order(rows, cols))
+    clock = PhotonicClock(period_ns=0.1)
+    positions = {i: i * pitch_mm for i in range(rows)}
+    receiver = rows * pitch_mm
+    return sca_timing(sched, clock, positions, receiver, response_ns)
+
+
+class TestArrivalInvariants:
+    def test_gapless(self):
+        t = make_timing()
+        assert t.is_gapless
+
+    def test_full_utilization(self):
+        t = make_timing()
+        assert t.bus_utilization == pytest.approx(1.0)
+
+    def test_arrival_count(self):
+        t = make_timing(rows=4, cols=8)
+        assert len(t.arrival_times_ns) == 32
+
+    def test_arrival_independent_of_source_position(self):
+        """The core SCA property: arrival of cycle n at the receiver does
+        not depend on which node drove it."""
+        clock = PhotonicClock(period_ns=0.1)
+        sched = gather_schedule(block_interleave_order(4, 4))
+        wide = sca_timing(sched, clock, {i: i * 20.0 for i in range(4)}, 100.0)
+        narrow = sca_timing(sched, clock, {i: i * 1.0 for i in range(4)}, 100.0)
+        assert wide.arrival_times_ns == pytest.approx(narrow.arrival_times_ns)
+
+    def test_burst_duration(self):
+        t = make_timing(rows=2, cols=4)
+        assert t.burst_duration_ns == pytest.approx(8 * 0.1)
+
+    def test_empty_transaction_raises(self):
+        sched = gather_schedule([])
+        clock = PhotonicClock(period_ns=0.1)
+        t = sca_timing(sched, clock, {}, 10.0)
+        with pytest.raises(ScheduleError):
+            _ = t.first_arrival_ns
+
+
+class TestSimultaneousModulation:
+    def test_fig4_overlap_exists(self):
+        """Fig. 4 t4: upstream and downstream nodes modulate simultaneously
+        in absolute time thanks to flight-time separation."""
+        t = make_timing(rows=4, cols=8, pitch_mm=20.0)
+        assert t.simultaneous_pairs()
+
+    def test_no_overlap_when_zero_flight_separation(self):
+        """With all nodes at the same position there is no flight-time
+        window: slots abut exactly, so no simultaneous modulation."""
+        sched = gather_schedule(transpose_order(4, 8))
+        clock = PhotonicClock(period_ns=0.1)
+        positions = {i: 0.0 for i in range(4)}  # exactly the same spot
+        t = sca_timing(sched, clock, positions, 1.0)
+        assert not t.simultaneous_pairs()
+
+    def test_any_positive_pitch_creates_overlap(self):
+        """Physically, any downstream displacement makes the last driver's
+        window spill past the next upstream driver's start — the paper's
+        point that the skew is what the SCA exploits."""
+        sched = gather_schedule(transpose_order(4, 8))
+        clock = PhotonicClock(period_ns=0.1)
+        positions = {i: i * 0.01 for i in range(4)}
+        t = sca_timing(sched, clock, positions, 1.0)
+        assert t.simultaneous_pairs()
+
+    def test_intervals_cover_schedule(self):
+        t = make_timing(rows=3, cols=4)
+        total = sum(iv.n_cycles for iv in t.intervals)
+        assert total == t.schedule.total_cycles
+
+    def test_interval_duration(self):
+        t = make_timing(rows=2, cols=2)
+        for iv in t.intervals:
+            assert iv.duration_ns == pytest.approx(iv.n_cycles * 0.1)
+
+
+class TestValidation:
+    def test_contributor_downstream_of_receiver_rejected(self):
+        sched = gather_schedule(transpose_order(2, 2))
+        clock = PhotonicClock(period_ns=0.1)
+        with pytest.raises(ScheduleError):
+            sca_timing(sched, clock, {0: 0.0, 1: 50.0}, observer_mm=10.0)
+
+    def test_missing_position_rejected(self):
+        sched = gather_schedule(transpose_order(2, 2))
+        clock = PhotonicClock(period_ns=0.1)
+        with pytest.raises(ScheduleError):
+            sca_timing(sched, clock, {0: 0.0}, observer_mm=10.0)
+
+    def test_negative_response_rejected(self):
+        sched = gather_schedule(transpose_order(2, 2))
+        clock = PhotonicClock(period_ns=0.1)
+        with pytest.raises(ScheduleError):
+            sca_timing(sched, clock, {0: 0.0, 1: 1.0}, 10.0, response_ns=-1.0)

@@ -1,0 +1,91 @@
+"""Scaling-behaviour tests: complexity of the simulators themselves.
+
+These protect the engineering properties a user depends on: the event
+kernel stays O(words log words)-ish, the PSCAN executor handles
+hundreds of nodes, and the mesh simulator's cycle count (not wall time)
+scales the way the architecture says it should.
+"""
+
+import time
+
+import pytest
+
+from repro.core import PsyncConfig, PsyncMachine
+from repro.mesh import MeshConfig, MeshNetwork, MeshTopology, make_transpose_gather
+from repro.sim import Simulator
+
+
+class TestKernelScaling:
+    def test_event_throughput(self):
+        """The kernel processes >= 100k simple events per second."""
+        sim = Simulator()
+        n = 50_000
+        for i in range(n):
+            sim.timeout(float(i % 97))
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        assert sim.events_processed == n
+        assert elapsed < n / 100_000 + 1.0
+
+    def test_event_count_linear_in_words(self):
+        """PSCAN gather: one arrival event chain per word, no blow-up."""
+        counts = {}
+        for cols in (16, 32, 64):
+            machine = PsyncMachine(PsyncConfig(processors=16))
+            for pid in range(16):
+                machine.local_memory[pid] = list(range(cols))
+            machine.gather(machine.transpose_gather_schedule(row_length=cols))
+            counts[cols] = machine.sim.events_processed
+        # Doubling words roughly doubles events (within kernel overheads).
+        assert counts[32] / counts[16] == pytest.approx(2.0, rel=0.3)
+        assert counts[64] / counts[32] == pytest.approx(2.0, rel=0.3)
+
+
+class TestPscanScale:
+    def test_256_processor_gather(self):
+        """A 256-node PSCAN transpose executes correctly and quickly."""
+        machine = PsyncMachine(PsyncConfig(processors=256))
+        for pid in range(256):
+            machine.local_memory[pid] = [pid * 1000 + c for c in range(8)]
+        t0 = time.perf_counter()
+        ex = machine.gather(machine.transpose_gather_schedule(row_length=8))
+        elapsed = time.perf_counter() - t0
+        assert ex.is_gapless
+        assert len(ex.arrivals) == 2048
+        assert ex.stream[:4] == [0, 1000, 2000, 3000]
+        assert elapsed < 10.0
+
+    def test_waveguide_length_grows_with_sqrt(self):
+        small = PsyncMachine(PsyncConfig(processors=64))
+        large = PsyncMachine(PsyncConfig(processors=256))
+        ratio = large.waveguide.length_mm / small.waveguide.length_mm
+        # Serpentine over a fixed chip: rows double, runs roughly equal.
+        assert 1.5 < ratio < 2.5
+
+
+class TestMeshScale:
+    def test_cycles_linear_in_elements_at_fixed_p(self):
+        """Sink-bound transpose: cycles ~ elements (fixed mesh)."""
+        cycles = {}
+        for cols in (8, 16, 32):
+            topo = MeshTopology.square(16)
+            net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1))
+            net.add_memory_interface((0, 0))
+            for p in make_transpose_gather(topo, cols=cols).packets:
+                net.inject(p)
+            cycles[cols] = net.run().cycles
+        assert cycles[16] / cycles[8] == pytest.approx(2.0, rel=0.15)
+        assert cycles[32] / cycles[16] == pytest.approx(2.0, rel=0.15)
+
+    def test_wall_time_tractable_at_100_nodes(self):
+        topo = MeshTopology(10, 10)
+        net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1))
+        net.add_memory_interface((0, 0))
+        for p in make_transpose_gather(topo, cols=8).packets:
+            net.inject(p)
+        t0 = time.perf_counter()
+        stats = net.run()
+        elapsed = time.perf_counter() - t0
+        assert stats.packets_delivered == 800
+        assert elapsed < 20.0

@@ -1,0 +1,104 @@
+"""Tests for multi-segment PSCAN planning (repro.core.segments)."""
+
+import pytest
+
+from repro.core.segments import RepeaterModel, plan_segments
+from repro.photonics import SegmentLossModel
+from repro.util.errors import LinkBudgetError
+
+
+def tight_model(sites_per_segment: int) -> SegmentLossModel:
+    """A loss model that closes exactly ``sites_per_segment`` sites."""
+    # budget 30 dB; loss per site = 30 / sites (plus epsilon below).
+    per_site = 30.0 / sites_per_segment
+    return SegmentLossModel(
+        laser_power_dbm=10.0,
+        pd_sensitivity_dbm=-20.0,
+        ring_through_loss_db=per_site / 2,
+        waveguide_loss_db_per_mm=per_site / 2 / 0.5,
+        modulator_pitch_mm=0.5,
+    )
+
+
+class TestPlanning:
+    def test_single_segment_when_budget_ample(self):
+        plan = plan_segments(nodes=10)
+        assert len(plan.segments) == 1
+        assert plan.repeater_count == 0
+        assert plan.total_nodes == 10
+
+    def test_splits_when_budget_tight(self):
+        plan = plan_segments(nodes=100, loss_model=tight_model(32))
+        assert len(plan.segments) == 4  # 32+32+32+4
+        assert plan.repeater_count == 3
+        assert [s.node_count for s in plan.segments] == [32, 32, 32, 4]
+
+    def test_nodes_partitioned_contiguously(self):
+        plan = plan_segments(nodes=70, loss_model=tight_model(32))
+        covered = []
+        for seg in plan.segments:
+            covered.extend(range(seg.first_node, seg.last_node))
+        assert covered == list(range(70))
+
+    def test_budget_too_small_raises(self):
+        model = SegmentLossModel(
+            laser_power_dbm=-19.0,
+            pd_sensitivity_dbm=-20.0,
+            ring_through_loss_db=2.0,  # one site costs more than 1 dB budget
+        )
+        with pytest.raises(LinkBudgetError):
+            plan_segments(nodes=4, loss_model=model)
+
+    def test_segment_loss_within_budget(self):
+        model = tight_model(16)
+        plan = plan_segments(nodes=64, loss_model=model)
+        budget = model.laser_power_dbm - model.pd_sensitivity_dbm
+        for seg in plan.segments:
+            assert seg.loss_db <= budget + 1e-9
+
+
+class TestTimingAndEnergy:
+    def test_delay_includes_retiming(self):
+        repeater = RepeaterModel(retime_delay_ns=0.5)
+        plan = plan_segments(
+            nodes=96, loss_model=tight_model(32), repeater=repeater
+        )
+        flight = plan.total_length_mm / plan.velocity_mm_per_ns
+        assert plan.end_to_end_delay_ns == pytest.approx(flight + 2 * 0.5)
+
+    def test_repeater_energy_scales_with_bits_and_count(self):
+        plan = plan_segments(nodes=96, loss_model=tight_model(32))
+        e1 = plan.repeater_energy_pj(1000)
+        assert e1 == pytest.approx(
+            1000 * 2 * plan.repeater.energy_per_bit_pj
+        )
+        assert plan.repeater_energy_pj(0) == 0.0
+
+    def test_single_segment_has_no_repeater_cost(self):
+        plan = plan_segments(nodes=8)
+        assert plan.repeater_energy_pj(1e6) == 0.0
+        assert plan.end_to_end_delay_ns == pytest.approx(
+            plan.total_length_mm / plan.velocity_mm_per_ns
+        )
+
+    def test_added_skew_by_segment(self):
+        repeater = RepeaterModel(retime_delay_ns=0.25)
+        plan = plan_segments(
+            nodes=96, loss_model=tight_model(32), repeater=repeater
+        )
+        assert plan.added_skew_ns(0) == 0.0
+        assert plan.added_skew_ns(32) == pytest.approx(0.25)
+        assert plan.added_skew_ns(95) == pytest.approx(0.5)
+
+    def test_segment_of_unknown_node(self):
+        plan = plan_segments(nodes=8)
+        with pytest.raises(LinkBudgetError):
+            plan.segment_of(8)
+
+    def test_validation(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            plan_segments(nodes=0)
+        with pytest.raises(ConfigError):
+            RepeaterModel(retime_delay_ns=-1.0)

@@ -1,0 +1,86 @@
+"""Tests for the Fig. 13 calibration-sensitivity sweep."""
+
+import pytest
+
+from repro.analysis.sensitivity import SensitivityPoint, sweep_sensitivity
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def report():
+    return sweep_sensitivity()
+
+
+class TestSweep:
+    def test_grid_size(self, report):
+        assert len(report.points) == 27  # 3 x 3 x 3
+
+    def test_conclusions_mostly_robust(self, report):
+        """The paper's qualitative Fig. 13 claims survive most of the
+        calibration grid."""
+        assert report.fraction_holding >= 0.85
+
+    def test_default_calibration_holds(self, report):
+        default = next(
+            p
+            for p in report.points
+            if p.congestion_alpha == 1.0
+            and p.congestion_exponent == 0.9
+            and p.memory_controllers == 4
+        )
+        assert default.paper_conclusions_hold
+        assert default.mesh_peak_cores == 256
+
+    def test_stronger_congestion_earlier_peak(self, report):
+        """More congestion moves the mesh knee to fewer cores (or keeps
+        it); it never moves it later."""
+        by_alpha = {}
+        for p in report.points:
+            if p.congestion_exponent == 0.9 and p.memory_controllers == 4:
+                by_alpha[p.congestion_alpha] = p.mesh_peak_cores
+        assert by_alpha[2.0] <= by_alpha[1.0] <= by_alpha[0.5]
+
+    def test_advantage_grows_with_congestion(self, report):
+        by_alpha = {}
+        for p in report.points:
+            if p.congestion_exponent == 0.9 and p.memory_controllers == 4:
+                by_alpha[p.congestion_alpha] = p.psync_advantage_4096
+        assert by_alpha[2.0] > by_alpha[0.5]
+
+    def test_psync_always_converges(self, report):
+        """P-sync's convergence to ideal does not depend on the mesh
+        calibration at all."""
+        assert all(p.psync_converges for p in report.points)
+
+    def test_holding_list_consistent(self, report):
+        holding = report.holding()
+        assert len(holding) == round(report.fraction_holding * 27)
+        assert all(p.paper_conclusions_hold for p in holding)
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_sensitivity(alphas=())
+
+    def test_point_properties(self):
+        p = SensitivityPoint(
+            congestion_alpha=1.0,
+            congestion_exponent=0.9,
+            memory_controllers=4,
+            mesh_peak_cores=256,
+            psync_advantage_4096=4.5,
+            mesh_declines_after_peak=True,
+            psync_converges=True,
+        )
+        assert p.paper_conclusions_hold
+        weak = SensitivityPoint(
+            congestion_alpha=0.1,
+            congestion_exponent=0.5,
+            memory_controllers=4,
+            mesh_peak_cores=4096,
+            psync_advantage_4096=1.1,
+            mesh_declines_after_peak=False,
+            psync_converges=True,
+        )
+        assert not weak.paper_conclusions_hold

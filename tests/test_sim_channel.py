@@ -1,0 +1,192 @@
+"""Tests for Channel and Resource (repro.sim.channel)."""
+
+import pytest
+
+from repro.sim import Channel, Resource, Simulator
+from repro.util.errors import ConfigError
+
+
+class TestChannelBasics:
+    def test_put_then_get(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def proc():
+            yield ch.put("a")
+            v = yield ch.get()
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["a"]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield ch.put(i)
+
+        def consumer():
+            for _ in range(5):
+                v = yield ch.get()
+                got.append(v)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        times = []
+
+        def consumer():
+            v = yield ch.get()
+            times.append((sim.now, v))
+
+        def producer():
+            yield sim.timeout(4.0)
+            yield ch.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [(4.0, "late")]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=2)
+        log = []
+
+        def producer():
+            for i in range(3):
+                yield ch.put(i)
+                log.append((sim.now, "put", i))
+
+        def consumer():
+            yield sim.timeout(10.0)
+            yield ch.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        # Third put only completes after the consumer frees a slot at t=10.
+        assert log[:2] == [(0.0, "put", 0), (0.0, "put", 1)]
+        assert log[2] == (10.0, "put", 2)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            Channel(Simulator(), capacity=0)
+
+    def test_len_and_flags(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        assert ch.is_empty and not ch.is_full
+        ch.put("x")
+        sim.run()
+        assert len(ch) == 1
+        assert ch.is_full and not ch.is_empty
+
+    def test_try_put_try_get(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        assert ch.try_put("a") is True
+        assert ch.try_put("b") is False
+        ok, v = ch.try_get()
+        assert ok and v == "a"
+        ok, v = ch.try_get()
+        assert not ok and v is None
+
+    def test_peek(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ch.try_put("head")
+        ch.try_put("tail")
+        assert ch.peek() == "head"
+        assert len(ch) == 2
+
+    def test_waiting_getter_served_by_try_put(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def consumer():
+            v = yield ch.get()
+            got.append(v)
+
+        sim.process(consumer())
+        sim.run()  # consumer now blocked
+        ch.try_put("x")
+        sim.run()
+        assert got == ["x"]
+
+
+class TestResource:
+    def test_immediate_grant(self):
+        sim = Simulator()
+        res = Resource(sim)
+        granted = []
+
+        def proc():
+            yield res.request()
+            granted.append(sim.now)
+            res.release()
+
+        sim.process(proc())
+        sim.run()
+        assert granted == [0.0]
+        assert res.in_use == 0
+
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        res = Resource(sim)
+        log = []
+
+        def worker(name, hold):
+            yield res.request()
+            log.append((sim.now, name, "acquired"))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(worker("a", 5.0))
+        sim.process(worker("b", 3.0))
+        sim.run()
+        assert log == [(0.0, "a", "acquired"), (5.0, "b", "acquired")]
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name):
+            yield res.request()
+            log.append((sim.now, name))
+            yield sim.timeout(2.0)
+            res.release()
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert log == [(0.0, "a"), (0.0, "b"), (2.0, "c")]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+    def test_release_without_request_raises(self):
+        with pytest.raises(ConfigError):
+            Resource(Simulator()).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            Resource(Simulator(), capacity=0)

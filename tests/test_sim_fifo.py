@@ -1,0 +1,159 @@
+"""Tests for the dual-clock FIFO (repro.sim.fifo)."""
+
+import pytest
+
+from repro.sim import DualClockFifo, Simulator
+from repro.util.errors import ConfigError, SimulationError
+
+
+def make_fifo(sim, **kw):
+    defaults = dict(depth=4, write_period_ns=1.0, read_period_ns=0.5, sync_stages=2)
+    defaults.update(kw)
+    return DualClockFifo(sim, **defaults)
+
+
+class TestConstruction:
+    def test_bad_depth(self):
+        with pytest.raises(ConfigError):
+            make_fifo(Simulator(), depth=0)
+
+    def test_bad_periods(self):
+        with pytest.raises(ConfigError):
+            make_fifo(Simulator(), write_period_ns=0.0)
+        with pytest.raises(ConfigError):
+            make_fifo(Simulator(), read_period_ns=-1.0)
+
+    def test_bad_sync_stages(self):
+        with pytest.raises(ConfigError):
+            make_fifo(Simulator(), sync_stages=-1)
+
+
+class TestSynchronizerLatency:
+    def test_item_not_visible_immediately(self):
+        sim = Simulator()
+        fifo = make_fifo(sim)
+        assert fifo.write("x")
+        assert not fifo.readable_now()
+
+    def test_item_visible_after_sync_delay(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, read_period_ns=1.0, sync_stages=2)
+        fifo.write("x")  # at t=0; visible at first read edge >= 2.0
+        sim.timeout(2.0)
+        sim.run()
+        assert fifo.readable_now()
+        assert fifo.read() == "x"
+
+    def test_visibility_snaps_to_read_edge(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, read_period_ns=0.4, sync_stages=1)
+        # Write at t=0.5 via a process.
+        def writer():
+            yield sim.timeout(0.5)
+            fifo.write("w")
+
+        sim.process(writer())
+        sim.run()
+        # Earliest = 0.5 + 0.4 = 0.9 -> next edge at 1.2.
+        got = []
+        ev = fifo.read_event()
+        ev.callbacks.append(lambda e: got.append((sim.now, e.value)))
+        sim.run()
+        assert got == [(pytest.approx(1.2), "w")]
+
+    def test_zero_sync_stages_immediate_on_edge(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, sync_stages=0, read_period_ns=1.0)
+        fifo.write("x")  # t=0 is a read edge
+        assert fifo.readable_now()
+
+
+class TestCapacityAndErrors:
+    def test_overflow_returns_false_and_counts(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, depth=2)
+        assert fifo.write(1) and fifo.write(2)
+        assert not fifo.write(3)
+        assert fifo.stats.overflow_attempts == 1
+        assert len(fifo) == 2
+
+    def test_underflow_raises_and_counts(self):
+        sim = Simulator()
+        fifo = make_fifo(sim)
+        with pytest.raises(SimulationError):
+            fifo.read()
+        assert fifo.stats.underflow_attempts == 1
+
+    def test_is_full(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, depth=1)
+        assert not fifo.is_full
+        fifo.write("a")
+        assert fifo.is_full
+
+
+class TestOrderingAndStats:
+    def test_fifo_order_preserved(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, depth=10, read_period_ns=1.0)
+        for i in range(5):
+            fifo.write(i)
+        sim.timeout(10.0)
+        sim.run()
+        assert [fifo.read() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert fifo.stats.reads == 5
+        assert fifo.stats.writes == 5
+
+    def test_max_occupancy_tracked(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, depth=8)
+        for i in range(6):
+            fifo.write(i)
+        assert fifo.stats.max_occupancy == 6
+
+    def test_read_event_blocks_until_write(self):
+        sim = Simulator()
+        fifo = make_fifo(sim, read_period_ns=1.0, sync_stages=1)
+        got = []
+        ev = fifo.read_event()
+        ev.callbacks.append(lambda e: got.append((sim.now, e.value)))
+
+        def writer():
+            yield sim.timeout(3.0)
+            fifo.write("later")
+
+        sim.process(writer())
+        sim.run()
+        # Written at 3.0, visible at edge 4.0.
+        assert got == [(pytest.approx(4.0), "later")]
+
+
+class TestClockDomainSeparation:
+    def test_paper_sca_direction(self):
+        """SCA: core writes at its clock, PSCAN side drains at bus clock."""
+        sim = Simulator()
+        core_period = 0.4    # 2.5 GHz core
+        bus_period = 0.1     # 10 GHz bus
+        fifo = DualClockFifo(
+            sim, depth=16, write_period_ns=core_period,
+            read_period_ns=bus_period, sync_stages=2,
+        )
+        reads = []
+
+        def core():
+            for i in range(8):
+                yield sim.timeout(core_period)
+                assert fifo.write(i)
+
+        def bus():
+            for _ in range(8):
+                v = yield fifo.read_event()
+                reads.append((sim.now, v))
+
+        sim.process(core())
+        sim.process(bus())
+        sim.run()
+        assert [v for _t, v in reads] == list(range(8))
+        # Bus-side timestamps land on bus-clock edges.
+        for t, _v in reads:
+            assert abs(t / bus_period - round(t / bus_period)) < 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the skew-tolerance analysis (analysis.skew) and machine-level
+link-budget enforcement."""
+
+import pytest
+
+from repro.analysis.skew import SkewBudget, find_failure_threshold
+from repro.core import PsyncConfig, PsyncMachine
+from repro.photonics import Photodiode, PhotonicLink
+from repro.util.errors import ConfigError, LinkBudgetError
+
+
+class TestSkewBudget:
+    def test_timing_budget(self):
+        b = SkewBudget(bit_period_ns=0.1, alignment_window=0.25)
+        assert b.timing_budget_ns == pytest.approx(0.025)
+
+    def test_jitter_eats_budget(self):
+        b = SkewBudget(response_jitter_ns=0.01)
+        assert b.timing_budget_ns == pytest.approx(0.015)
+        drained = SkewBudget(response_jitter_ns=1.0)
+        assert drained.timing_budget_ns == 0.0
+
+    def test_path_mismatch_budget(self):
+        """The paper's parallel-waveguide caveat, quantified: ~1.75 mm of
+        clock/data path mismatch at 10 Gb/s."""
+        b = SkewBudget()
+        assert b.path_mismatch_budget_mm() == pytest.approx(1.75)
+
+    def test_faster_bus_tightens_budget(self):
+        slow = SkewBudget(bit_period_ns=0.4)   # 2.5 GHz
+        fast = SkewBudget(bit_period_ns=0.025)  # 40 GHz
+        assert fast.path_mismatch_budget_mm() < slow.path_mismatch_budget_mm()
+
+    def test_velocity_budget_scales_inverse_with_span(self):
+        b = SkewBudget()
+        assert b.velocity_error_budget(140.0) == pytest.approx(
+            b.velocity_error_budget(70.0) / 2
+        )
+
+    def test_max_span(self):
+        b = SkewBudget()
+        # At 1% velocity error: 0.025 ns * 70 mm/ns / 0.01 = 175 mm.
+        assert b.max_span_mm(0.01) == pytest.approx(175.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SkewBudget(alignment_window=0.5)
+        with pytest.raises(ConfigError):
+            SkewBudget(bit_period_ns=0.0)
+        with pytest.raises(ConfigError):
+            SkewBudget().velocity_error_budget(0.0)
+        with pytest.raises(ConfigError):
+            SkewBudget().max_span_mm(0.0)
+
+
+class TestEmpiricalThreshold:
+    def test_executor_fails_where_analysis_predicts(self):
+        """The executor's empirical desync threshold matches the analytic
+        alignment window within the bisection resolution."""
+        measured, analytic = find_failure_threshold()
+        assert measured == pytest.approx(analytic, rel=0.10)
+
+    def test_within_budget_always_succeeds(self):
+        """Half the analytic budget never desynchronizes (sanity floor)."""
+        from repro.analysis.skew import find_failure_threshold as _fft  # noqa: F401
+        # Reuse the module's internals via a tiny direct check.
+        measured, analytic = find_failure_threshold(steps=10)
+        assert measured > analytic * 0.5
+
+
+class TestMachineLinkBudget:
+    def test_realistic_machine_closes(self):
+        machine = PsyncMachine(PsyncConfig(processors=16), link=PhotonicLink())
+        for pid in range(16):
+            machine.local_memory[pid] = [pid]
+        ex = machine.gather(machine.transpose_gather_schedule(row_length=1))
+        assert ex.is_gapless
+
+    def test_deaf_photodiode_rejected(self):
+        bad = PhotonicLink(photodiode=Photodiode(sensitivity_dbm=8.0))
+        machine = PsyncMachine(PsyncConfig(processors=16), link=bad)
+        for pid in range(16):
+            machine.local_memory[pid] = [pid]
+        with pytest.raises(LinkBudgetError):
+            machine.gather(machine.transpose_gather_schedule(row_length=1))
+
+    def test_budget_scales_with_machine_size(self):
+        """A link that closes a small serpentine can fail a big one."""
+        marginal = PhotonicLink(
+            photodiode=Photodiode(sensitivity_dbm=-8.0),
+            waveguide_loss_db_per_mm=0.1,
+        )
+        small = PsyncMachine(PsyncConfig(processors=4), link=marginal)
+        for pid in range(4):
+            small.local_memory[pid] = [pid]
+        assert small.gather(small.transpose_gather_schedule(1)).is_gapless
+
+        big = PsyncMachine(PsyncConfig(processors=256), link=marginal)
+        for pid in range(256):
+            big.local_memory[pid] = [pid]
+        with pytest.raises(LinkBudgetError):
+            big.gather(big.transpose_gather_schedule(1))

@@ -1,0 +1,156 @@
+"""Tests for spectral planning, banked DRAM and bandwidth feasibility."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    achievable_efficiency,
+    feasible_k,
+    max_k_on_spectral_plan,
+)
+from repro.memory import DramConfig
+from repro.memory.banked import BankedDram, banks_needed_for_rate
+from repro.photonics import paper_pscan_plan
+from repro.photonics.spectrum import SpectralPlan, paper_spectral_plan
+from repro.photonics.wdm import WdmPlan
+from repro.util.errors import ConfigError, MemoryModelError
+
+
+class TestSpectralPlan:
+    def test_paper_plan_supports_33_channels(self):
+        """The 32-data + 1-clock choice fits in one FSR."""
+        plan = paper_spectral_plan()
+        assert plan.supports(33)
+
+    def test_fsr_formula(self):
+        plan = SpectralPlan(ring_radius_um=5.0, group_index=4.2)
+        # lambda^2 / (n_g * 2 pi R): 1.55^2 / (4.2 * 31.42) um = ~18.2 nm.
+        assert plan.fsr_nm == pytest.approx(18.2, abs=0.3)
+
+    def test_smaller_rings_larger_fsr(self):
+        small = SpectralPlan(ring_radius_um=3.0)
+        large = SpectralPlan(ring_radius_um=10.0)
+        assert small.fsr_nm > large.fsr_nm
+
+    def test_higher_q_narrower_linewidth_more_channels(self):
+        low_q = SpectralPlan(quality_factor=3000.0)
+        high_q = SpectralPlan(quality_factor=20000.0)
+        assert high_q.linewidth_nm < low_q.linewidth_nm
+        assert high_q.max_wavelengths >= low_q.max_wavelengths
+
+    def test_fast_modulation_limits_channels(self):
+        """At high rates the signal bandwidth, not crosstalk, binds."""
+        slow = SpectralPlan(rate_per_wavelength_gbps=10.0)
+        fast = SpectralPlan(rate_per_wavelength_gbps=100.0)
+        assert fast.channel_spacing_nm > slow.channel_spacing_nm
+        assert fast.max_wavelengths < slow.max_wavelengths
+
+    def test_channel_wavelengths_spacing(self):
+        plan = paper_spectral_plan()
+        chans = plan.channel_wavelengths_nm(8)
+        gaps = [b - a for a, b in zip(chans, chans[1:])]
+        assert all(g == pytest.approx(plan.channel_spacing_nm) for g in gaps)
+
+    def test_too_many_channels_rejected(self):
+        plan = paper_spectral_plan()
+        with pytest.raises(ConfigError):
+            plan.channel_wavelengths_nm(plan.max_wavelengths + 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpectralPlan(quality_factor=0.0)
+        with pytest.raises(ConfigError):
+            paper_spectral_plan().supports(0)
+
+
+class TestBankedDram:
+    def cfg(self):
+        return DramConfig(row_switch_cycles=8)
+
+    def test_single_bank_stalls_on_every_row(self):
+        d = BankedDram(config=self.cfg(), banks=1)
+        r = d.stream_read(0, 128)  # 4 rows
+        assert r.row_switches == 4
+        assert r.stall_cycles >= 3 * 8  # every switch after warm-up stalls
+
+    def test_two_banks_hide_activations(self):
+        d1 = BankedDram(config=self.cfg(), banks=1)
+        d2 = BankedDram(config=self.cfg(), banks=2)
+        r1 = d1.stream_read(0, 256)
+        r2 = d2.stream_read(0, 256)
+        assert r2.cycles < r1.cycles
+        # Only the cold-start activation remains.
+        assert r2.stall_cycles == 8
+
+    def test_throughput_approaches_one_word_per_cycle(self):
+        d = BankedDram(config=self.cfg(), banks=4)
+        r = d.stream_read(0, 4096)
+        assert r.words_per_cycle > 0.99
+
+    def test_bank_mapping_row_interleaved(self):
+        d = BankedDram(config=self.cfg(), banks=4)
+        wpr = self.cfg().words_per_row
+        assert d.bank_of(0) == 0
+        assert d.bank_of(wpr) == 1
+        assert d.bank_of(4 * wpr) == 0
+
+    def test_data_roundtrip(self):
+        d = BankedDram(banks=2)
+        d.write(10, ["a", "b", "c"])
+        assert d.read_values(10, 3) == ["a", "b", "c"]
+        assert d.read_values(0, 1) == [None]
+
+    def test_banks_needed_formula(self):
+        cfg = self.cfg()
+        n = banks_needed_for_rate(cfg, words_per_cycle=1.0)
+        # The formula's answer must actually achieve near-full rate.
+        d = BankedDram(config=cfg, banks=n)
+        r = d.stream_read(0, 2048)
+        assert r.words_per_cycle > 0.98
+
+    def test_faster_rate_needs_more_banks(self):
+        cfg = DramConfig(row_switch_cycles=32)
+        assert banks_needed_for_rate(cfg, 2.0) >= banks_needed_for_rate(cfg, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            banks_needed_for_rate(DramConfig(), 0.0)
+        with pytest.raises(MemoryModelError):
+            BankedDram().bank_of(-1)
+        with pytest.raises(ConfigError):
+            BankedDram(banks=0)
+
+
+class TestBandwidthFeasibility:
+    def test_paper_bus_cannot_balance_256_processors(self):
+        """A real finding: Table I's W_p column starts at 409.6 Gb/s, above
+        the 320 Gb/s PSCAN — the balanced points need more wavelengths."""
+        points = feasible_k(paper_pscan_plan())
+        assert all(not p.feasible for p in points)
+        assert points[0].headroom == pytest.approx(320.0 / 409.6)
+
+    def test_wider_bus_makes_points_feasible(self):
+        fat = WdmPlan(data_wavelengths=64, rate_per_wavelength_gbps=10.0)
+        points = feasible_k(fat)
+        assert any(p.feasible for p in points)
+        # Feasibility is a prefix of the k column (W_p is monotone).
+        flags = [p.feasible for p in points]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_achievable_efficiency_monotone_in_bandwidth(self):
+        effs = [achievable_efficiency(bw)[1] for bw in (160.0, 320.0, 640.0, 1024.0)]
+        assert effs == sorted(effs)
+
+    def test_achievable_at_table1_bandwidth_recovers_table1(self):
+        k, eff = achievable_efficiency(1024.0)
+        assert k == 64
+        assert eff == pytest.approx(0.9938, abs=0.001)
+
+    def test_spectral_plan_k_limit(self):
+        # 35 x 10 Gb/s = 350 Gb/s < 409.6: no balanced point fits at P=256.
+        assert max_k_on_spectral_plan(paper_spectral_plan()) == 0
+        # Fewer processors shrink W_p; points become feasible.
+        assert max_k_on_spectral_plan(paper_spectral_plan(), processors=128) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            achievable_efficiency(0.0)

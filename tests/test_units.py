@@ -1,0 +1,80 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero(self):
+        assert units.db_to_linear(0.0) == 1.0
+
+    def test_db_to_linear_10db(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_negative(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-20.0, -3.0, 0.0, 7.5, 30.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestDbm:
+    def test_dbm_to_mw_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_dbm_to_mw_10dbm(self):
+        assert units.dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_mw_to_dbm_roundtrip(self):
+        for dbm in (-30.0, -5.0, 0.0, 13.0):
+            assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+
+
+class TestTimeDistance:
+    def test_ns_seconds_roundtrip(self):
+        assert units.s_to_ns(units.ns_to_s(123.4)) == pytest.approx(123.4)
+
+    def test_ns_to_s_scale(self):
+        assert units.ns_to_s(1e9) == pytest.approx(1.0)
+
+    def test_mm_cm_roundtrip(self):
+        assert units.cm_to_mm(units.mm_to_cm(70.0)) == pytest.approx(70.0)
+
+    def test_cm_to_mm_scale(self):
+        assert units.cm_to_mm(2.0) == 20.0
+
+
+class TestBandwidth:
+    def test_one_gbps_is_one_bit_per_ns(self):
+        assert units.gbps_bits_in_ns(1.0, 1.0) == 1.0
+
+    def test_paper_pscan_link(self):
+        # 320 Gb/s for 0.1 ns moves 32 bits: one bit per wavelength.
+        assert units.gbps_bits_in_ns(320.0, 0.1) == pytest.approx(32.0)
+
+    def test_period_of_2p5_ghz(self):
+        assert units.ghz_period_ns(2.5) == pytest.approx(0.4)
+
+    def test_period_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.ghz_period_ns(0.0)
+
+    def test_period_frequency_inverse(self):
+        for f in (0.5, 1.0, 2.5, 10.0):
+            assert 1.0 / units.ghz_period_ns(f) == pytest.approx(f)

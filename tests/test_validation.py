@@ -1,0 +1,111 @@
+"""Tests for repro.util.validation and the error hierarchy."""
+
+import pytest
+
+from repro.util import validation
+from repro.util.errors import (
+    CollisionError,
+    ConfigError,
+    LinkBudgetError,
+    NetworkError,
+    PhotonicsError,
+    ProcessError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert validation.require_positive("x", 0.5) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError, match="x must be > 0"):
+            validation.require_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            validation.require_positive("x", -1.0)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert validation.require_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            validation.require_non_negative("x", -0.1)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_int(self):
+        assert validation.require_positive_int("n", 3) == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            validation.require_positive_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigError):
+            validation.require_positive_int("n", 3.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            validation.require_positive_int("n", 0)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 1 << 20])
+    def test_powers_accepted(self, n):
+        assert validation.is_power_of_two(n)
+        assert validation.require_power_of_two("n", n) == n
+
+    @pytest.mark.parametrize("n", [0, 3, 6, -4, 1023])
+    def test_non_powers_rejected(self, n):
+        assert not validation.is_power_of_two(n)
+        with pytest.raises(ConfigError):
+            validation.require_power_of_two("n", n)
+
+    def test_float_not_power_of_two(self):
+        assert not validation.is_power_of_two(4.0)
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert validation.require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert validation.require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigError):
+            validation.require_in_range("x", 1.01, 0.0, 1.0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            SimulationError,
+            ProcessError,
+            PhotonicsError,
+            LinkBudgetError,
+            CollisionError,
+            ScheduleError,
+            NetworkError,
+            RoutingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        # Callers may catch plain ValueError for validation problems.
+        assert issubclass(ConfigError, ValueError)
+
+    def test_collision_is_photonics_error(self):
+        assert issubclass(CollisionError, PhotonicsError)
+
+    def test_routing_is_network_error(self):
+        assert issubclass(RoutingError, NetworkError)

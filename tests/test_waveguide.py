@@ -1,0 +1,139 @@
+"""Tests for the waveguide model and the paper's Eqs. 1-3."""
+
+import pytest
+
+from repro.photonics import (
+    SegmentLossModel,
+    Waveguide,
+    bits_per_waveguide_window,
+    max_segments,
+    segment_loss_db,
+)
+from repro.util.errors import LinkBudgetError
+
+
+class TestEquations:
+    def test_eq2_segment_loss(self):
+        # L_ws = L_r_off + D_m * L_w
+        assert segment_loss_db(0.02, 0.5, 0.1) == pytest.approx(0.02 + 0.05)
+
+    def test_eq3_max_segments(self):
+        # 30 dB budget / 0.07 dB per segment -> 428 segments.
+        assert max_segments(10.0, -20.0, 0.07) == 428
+
+    def test_eq3_floor_behaviour(self):
+        assert max_segments(0.0, -1.0, 0.3) == 3  # 1.0/0.3 = 3.33 -> 3
+
+    def test_no_budget_raises(self):
+        with pytest.raises(LinkBudgetError):
+            max_segments(-20.0, -20.0, 0.1)
+
+    def test_bad_segment_loss_inputs(self):
+        with pytest.raises(Exception):
+            segment_loss_db(-0.1, 0.5, 0.1)
+        with pytest.raises(Exception):
+            segment_loss_db(0.1, 0.0, 0.1)
+
+
+class TestSegmentLossModel:
+    def test_defaults_give_positive_budget(self):
+        m = SegmentLossModel()
+        assert m.max_segments > 0
+
+    def test_eq1_detectable_within_budget(self):
+        m = SegmentLossModel()
+        n = m.max_segments
+        assert m.detectable_at_segment(n)
+        assert not m.detectable_at_segment(n + 1)
+
+    def test_power_decreases_linearly(self):
+        m = SegmentLossModel()
+        p0 = m.power_at_segment(0)
+        p10 = m.power_at_segment(10)
+        assert p0 - p10 == pytest.approx(10 * m.loss_per_segment_db)
+
+    def test_denser_modulators_reach_more_sites(self):
+        wide = SegmentLossModel(modulator_pitch_mm=1.0)
+        dense = SegmentLossModel(modulator_pitch_mm=0.25)
+        assert dense.max_segments > wide.max_segments
+
+
+class TestPropagation:
+    def test_flight_time_distance_independent_speed(self):
+        wg = Waveguide(length_mm=140.0)
+        # 70 mm at 70 mm/ns = 1 ns.
+        assert wg.propagation_delay_ns(0.0, 70.0) == pytest.approx(1.0)
+        assert wg.end_to_end_delay_ns() == pytest.approx(2.0)
+
+    def test_paper_seven_cm_per_ns(self):
+        wg = Waveguide(length_mm=70.0)
+        assert wg.end_to_end_delay_ns() == pytest.approx(1.0)
+
+    def test_directionality_enforced(self):
+        wg = Waveguide(length_mm=10.0)
+        with pytest.raises(LinkBudgetError):
+            wg.propagation_delay_ns(5.0, 1.0)
+
+    def test_position_bounds(self):
+        wg = Waveguide(length_mm=10.0)
+        with pytest.raises(LinkBudgetError):
+            wg.propagation_delay_ns(0.0, 11.0)
+
+    def test_propagation_loss(self):
+        wg = Waveguide(length_mm=100.0, loss_db_per_mm=0.1)
+        assert wg.propagation_loss_db(0.0, 50.0) == pytest.approx(5.0)
+
+    def test_zero_distance_zero_delay(self):
+        wg = Waveguide(length_mm=10.0)
+        assert wg.propagation_delay_ns(3.0, 3.0) == 0.0
+
+
+class TestTaps:
+    def test_uniform_taps(self):
+        wg = Waveguide(length_mm=30.0)
+        taps = wg.uniform_taps(4)
+        assert taps == pytest.approx([0.0, 10.0, 20.0, 30.0])
+
+    def test_uniform_single_tap(self):
+        assert Waveguide(length_mm=5.0).uniform_taps(1) == [0.0]
+
+    def test_uniform_taps_invalid(self):
+        with pytest.raises(LinkBudgetError):
+            Waveguide(length_mm=5.0).uniform_taps(0)
+
+    def test_add_tap_sorted(self):
+        wg = Waveguide(length_mm=10.0)
+        wg.add_tap(7.0)
+        wg.add_tap(3.0)
+        assert wg.taps_mm == [3.0, 7.0]
+
+    def test_add_tap_out_of_range(self):
+        with pytest.raises(LinkBudgetError):
+            Waveguide(length_mm=10.0).add_tap(12.0)
+
+    def test_constructor_tap_validation(self):
+        with pytest.raises(LinkBudgetError):
+            Waveguide(length_mm=10.0, taps_mm=[11.0])
+
+
+class TestBitsInFlight:
+    def test_paper_bus(self):
+        # 140 mm waveguide (2 ns flight) at 320 Gb/s holds 640 bits.
+        wg = Waveguide(length_mm=140.0)
+        assert wg.total_bits_in_flight(320.0) == pytest.approx(640.0)
+
+    def test_window_floor(self):
+        assert bits_per_waveguide_window(35.0, 10.0) == 5  # 0.5 ns * 10 Gb/s
+
+    def test_detectable_path(self):
+        wg = Waveguide(length_mm=100.0, loss_db_per_mm=0.1)
+        model = SegmentLossModel()
+        assert wg.detectable(model, 0.0, 100.0, rings_passed=10)
+        # 10 dB prop + 500 ring passes * 0.02 = 20 dB -> exactly at budget 30.
+        assert wg.detectable(model, 0.0, 100.0, rings_passed=1000)
+        assert not wg.detectable(model, 0.0, 100.0, rings_passed=1001)
+
+    def test_required_length_for_nodes(self):
+        wg = Waveguide(length_mm=100.0)
+        assert wg.required_length_for_nodes(5, 2.0) == pytest.approx(8.0)
+        assert wg.required_length_for_nodes(1, 2.0) == 0.0

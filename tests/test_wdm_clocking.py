@@ -1,0 +1,99 @@
+"""Tests for the WDM plan and the open-loop photonic clock."""
+
+import pytest
+
+from repro.photonics import PhotonicClock, WdmPlan, paper_pscan_plan
+from repro.util.errors import PhotonicsError
+
+
+class TestWdmPlan:
+    def test_paper_plan(self):
+        plan = paper_pscan_plan()
+        assert plan.data_wavelengths == 32
+        assert plan.rate_per_wavelength_gbps == 10.0
+        assert plan.aggregate_bandwidth_gbps == pytest.approx(320.0)
+        assert plan.total_wavelengths == 33  # + clock
+        assert plan.bus_cycle_ns == pytest.approx(0.1)
+
+    def test_cycles_for_bits(self):
+        plan = paper_pscan_plan()
+        assert plan.cycles_for_bits(32) == 1
+        assert plan.cycles_for_bits(33) == 2
+        assert plan.cycles_for_bits(0) == 0
+
+    def test_cycles_for_words(self):
+        plan = paper_pscan_plan()
+        # One 64-bit sample needs 2 bus cycles on 32 wavelengths.
+        assert plan.cycles_for_words(1, 64) == 2
+        assert plan.cycles_for_words(16, 64) == 32
+
+    def test_transfer_time(self):
+        plan = paper_pscan_plan()
+        # 2^20 x 64-bit samples at 320 Gb/s: 2097152 cycles x 0.1 ns.
+        bits = (1 << 20) * 64
+        assert plan.transfer_time_ns(bits) == pytest.approx(209715.2)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            paper_pscan_plan().cycles_for_bits(-1)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            WdmPlan(data_wavelengths=0)
+        with pytest.raises(Exception):
+            WdmPlan(rate_per_wavelength_gbps=0.0)
+
+
+class TestPhotonicClock:
+    def clock(self, period=0.1):
+        return PhotonicClock(period_ns=period)
+
+    def test_edge_time_at_origin(self):
+        clk = self.clock()
+        assert clk.edge_time(0, 0.0) == 0.0
+        assert clk.edge_time(5, 0.0) == pytest.approx(0.5)
+
+    def test_edge_time_includes_flight(self):
+        clk = self.clock()
+        # 70 mm downstream = 1 ns flight.
+        assert clk.edge_time(0, 70.0) == pytest.approx(1.0)
+        assert clk.edge_time(3, 70.0) == pytest.approx(1.3)
+
+    def test_skew_is_deliberate_and_exact(self):
+        clk = self.clock()
+        # Paper Section III-A: skew equals the inter-node flight time.
+        assert clk.skew_ns(0.0, 7.0) == pytest.approx(0.1)
+        assert clk.cycles_between(0.0, 7.0) == pytest.approx(1.0)
+
+    def test_edge_at_inverts_edge_time(self):
+        clk = self.clock()
+        for pos in (0.0, 3.5, 70.0):
+            for edge in (0, 1, 17):
+                t = clk.edge_time(edge, pos)
+                assert clk.edge_at(t, pos) == edge
+
+    def test_edge_at_before_first_edge_raises(self):
+        clk = self.clock()
+        with pytest.raises(PhotonicsError):
+            clk.edge_at(0.5, 70.0)  # flight alone is 1 ns
+
+    def test_upstream_position_raises(self):
+        clk = PhotonicClock(period_ns=0.1, origin_mm=10.0)
+        with pytest.raises(PhotonicsError):
+            clk.flight_delay_ns(5.0)
+
+    def test_negative_edge_rejected(self):
+        with pytest.raises(PhotonicsError):
+            self.clock().edge_time(-1, 0.0)
+
+    def test_frequency(self):
+        assert self.clock(0.1).frequency_ghz == pytest.approx(10.0)
+
+    def test_same_edge_different_observers(self):
+        """The same edge passes each observer later — unique local frames."""
+        clk = self.clock()
+        positions = [0.0, 10.0, 20.0, 30.0]
+        times = [clk.edge_time(7, p) for p in positions]
+        assert times == sorted(times)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(10.0 / 70.0) for d in deltas)
