@@ -1,0 +1,62 @@
+"""Resilience campaign — degradation under seeded faults (repro.faults).
+
+The paper presents a fault-free machine; this bench measures what its
+architecture does when the physics misbehaves.  One seeded Monte-Carlo
+campaign runs the Section V transpose workload twice over:
+
+* the CRC-protected PSCAN gather under a transient-BER sweep, reporting
+  delivered-correct fraction and retransmission overhead (cycles and
+  photonic energy);
+* the wormhole mesh under permanent link failures with fault-aware
+  adaptive rerouting, reporting delivered packets and latency inflation.
+
+Asserts the recovery-story claims: bit-exact delivery through BER
+<= 1e-3, 100 % packet delivery with one dead link, monotone (non-
+negative) retransmission overhead, and bit-for-bit campaign
+reproducibility under the same seed.
+"""
+
+from repro.faults import CampaignConfig, run_campaign
+
+from conftest import emit, once
+
+CONFIG = CampaignConfig(
+    processors=16,
+    row_samples=8,
+    trials=2,
+    seed=20130901,  # the paper's publication month
+    fault_rates=(0.0, 1e-5, 1e-4, 1e-3),
+    mesh_link_failures=2,
+)
+
+
+def test_resilience_campaign(benchmark):
+    report = once(benchmark, lambda: run_campaign(CONFIG))
+    emit("Resilience: seeded fault campaign", report.as_table().splitlines())
+
+    # Recovery is bit-exact through the whole swept BER range.
+    for row in report.gather_rows:
+        assert row.delivered_correct_fraction == 1.0, (
+            f"BER {row.ber:.0e}: delivered-correct "
+            f"{row.delivered_correct_fraction:.4f} < 1"
+        )
+        assert row.exhausted_trials == 0
+    # The fault-free row pays only the CRC sideband, never retransmits.
+    clean = report.gather_rows[0]
+    assert clean.ber == 0.0
+    assert clean.crc_nacks == 0
+    assert clean.retransmit_energy_pj == 0.0
+    # Overhead grows with the injected error rate at the sweep's ends.
+    worst = report.gather_rows[-1]
+    assert worst.mean_overhead_cycles >= clean.mean_overhead_cycles
+
+    # Dead links degrade latency at worst -- never delivery.
+    baseline = report.mesh_rows[0]
+    assert baseline.dead_links == 0
+    for row in report.mesh_rows:
+        assert row.delivered_fraction == 1.0, (
+            f"{row.dead_links} dead link(s): lost {row.packets_lost} packets"
+        )
+
+    # Same seed => same report, bit for bit.
+    assert run_campaign(CONFIG).as_table() == report.as_table()

@@ -21,6 +21,9 @@ Subpackages
 ``repro.fft``
     From-scratch radix-2 FFT, blocked (Model II) execution, distributed
     2D FFT over either simulated architecture.
+``repro.faults``
+    Fault injection (bit errors, drift, dead links, FIFO drops), CRC +
+    retransmission recovery, and seeded resilience campaigns.
 ``repro.analysis``
     Closed-form performance models (Eqs. 4-24, Tables I-III, Fig. 11).
 ``repro.llmore``
@@ -39,7 +42,19 @@ True
 [0, 10, 20, 30]
 """
 
-from . import analysis, core, energy, fft, llmore, memory, mesh, photonics, sim, util
+from . import (
+    analysis,
+    core,
+    energy,
+    faults,
+    fft,
+    llmore,
+    memory,
+    mesh,
+    photonics,
+    sim,
+    util,
+)
 
 __version__ = "0.1.0"
 
@@ -47,6 +62,7 @@ __all__ = [
     "analysis",
     "core",
     "energy",
+    "faults",
     "fft",
     "llmore",
     "memory",

@@ -202,6 +202,19 @@ def _cmd_lambda(args: argparse.Namespace) -> None:
           "serialization")
 
 
+def _cmd_faults(args: argparse.Namespace) -> None:
+    from .faults import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        processors=args.processors,
+        row_samples=args.row_samples,
+        trials=args.trials,
+        seed=args.seed,
+        mesh_link_failures=args.mesh_links,
+    )
+    print(run_campaign(config).as_table())
+
+
 def _cmd_optimize(args: argparse.Namespace) -> None:
     from .llmore.optimize import best_block_count
 
@@ -233,6 +246,7 @@ _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "heatmap": ("mesh congestion heat map (transpose)", _cmd_heatmap),
     "sensitivity": ("Fig. 13 calibration sensitivity", _cmd_sensitivity),
     "lambda": ("measured vs paper-implied mesh latency", _cmd_lambda),
+    "faults": ("seeded fault-injection / resilience campaign", _cmd_faults),
 }
 
 
@@ -267,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "lambda":
             p.add_argument("--processors", type=int, default=16)
             p.add_argument("--words", type=int, default=32)
+        elif name == "faults":
+            p.add_argument("--processors", type=int, default=16,
+                           help="contributing nodes (perfect square)")
+            p.add_argument("--row-samples", dest="row_samples", type=int,
+                           default=8)
+            p.add_argument("--trials", type=int, default=3,
+                           help="independent trials per fault rate")
+            p.add_argument("--seed", type=int, default=1234)
+            p.add_argument("--mesh-links", dest="mesh_links", type=int,
+                           default=2,
+                           help="sweep 0..N random dead mesh links")
         elif name == "optimize":
             p.add_argument("--n", type=int, default=1024)
             p.add_argument("--processors", type=int, default=256)

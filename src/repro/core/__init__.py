@@ -6,8 +6,11 @@ from .encoding import (
     ChainEntry,
     ChainEntryKind,
     CpChain,
+    crc16_ccitt,
     decode_cp,
+    decode_cp_protected,
     encode_cp,
+    encode_cp_protected,
     encoded_size_bits,
 )
 from .flowtiming import FlowTiming, run_fft2d_flow
@@ -28,9 +31,15 @@ from .segments import (
     SegmentedBusPlan,
     plan_segments,
 )
-from .pscan import Arrival, Pscan, ScaExecution
+from .pscan import Arrival, Pscan, RetryStats, ScaExecution
 from .psync import PsyncConfig, PsyncMachine
-from .sca import ModulationInterval, ScaTiming, sca_timing
+from .sca import (
+    ModulationInterval,
+    ReliabilityOverhead,
+    ScaTiming,
+    expected_retransmission_overhead,
+    sca_timing,
+)
 from .schedule import (
     GlobalSchedule,
     block_interleave_order,
@@ -58,6 +67,12 @@ __all__ = [
     "Pscan",
     "ScaExecution",
     "Arrival",
+    "RetryStats",
+    "ReliabilityOverhead",
+    "expected_retransmission_overhead",
+    "crc16_ccitt",
+    "encode_cp_protected",
+    "decode_cp_protected",
     "HeadNode",
     "StreamPlan",
     "PsyncConfig",

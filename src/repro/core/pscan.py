@@ -31,7 +31,7 @@ from ..util.errors import CollisionError, LinkBudgetError, ScheduleError
 from .cp import Role
 from .schedule import GlobalSchedule
 
-__all__ = ["Pscan", "ScaExecution", "Arrival"]
+__all__ = ["Pscan", "ScaExecution", "Arrival", "RetryStats"]
 
 #: Tolerance for matching an arrival time to a bus-cycle index, as a
 #: fraction of the clock period.
@@ -50,6 +50,44 @@ class Arrival:
 
 
 @dataclass
+class RetryStats:
+    """Recovery bookkeeping for a CRC-protected gather (see ``repro.faults``).
+
+    Attached to :attr:`ScaExecution.retry` by the reliable-transfer layer;
+    ``None`` on a plain (unprotected) execution.
+    """
+
+    #: Total epochs run: 1 initial + one per retransmission round.
+    epochs: int = 1
+    #: Words the head node NACKed over all epochs (CRC failures).
+    crc_nacks: int = 0
+    #: Words re-driven in retransmission epochs.
+    retransmitted_words: int = 0
+    #: Corrupted words whose CRC *passed* (undetected errors, delivered bad).
+    undetected_errors: int = 0
+    #: Idle bus cycles spent in epoch-level exponential backoff.
+    backoff_cycles: int = 0
+    #: Bus cycles of the fault-free baseline (first epoch's payload).
+    baseline_cycles: int = 0
+    #: Bus cycles actually consumed: payload + CRC sideband + retries + backoff.
+    total_cycles: int = 0
+    #: Extra bus cycles the CRC sideband costs (16 bits per word).
+    crc_overhead_cycles: int = 0
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles beyond the fault-free baseline."""
+        return self.total_cycles - self.baseline_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative cycle overhead of protection + recovery."""
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.baseline_cycles
+
+
+@dataclass
 class ScaExecution:
     """Result of executing one SCA or SCA⁻¹ on the event simulator."""
 
@@ -62,6 +100,9 @@ class ScaExecution:
     period_ns: float = 0.0
     #: For scatter: node id -> received words in arrival order.
     delivered: dict[int, list[Any]] = field(default_factory=dict)
+    #: Recovery statistics when executed through the reliable-transfer
+    #: layer (:mod:`repro.faults.recovery`); ``None`` otherwise.
+    retry: RetryStats | None = None
 
     @property
     def stream(self) -> list[Any]:
@@ -173,6 +214,11 @@ class Pscan:
                     f"[0, {waveguide.length_mm}] mm"
                 )
         self.total_bits_moved = 0
+        #: Optional fault-injection hook (see :mod:`repro.faults`): called
+        #: as ``hook(time_ns, node, word_index, value)`` for every word at
+        #: the detection point and returns the (possibly corrupted) value.
+        #: ``None`` — the default — leaves the fault-free path untouched.
+        self.fault_hook: Any = None
 
     # -- helpers --------------------------------------------------------------
 
@@ -251,6 +297,8 @@ class Pscan:
                     f"{claimed[cycle]} at the receiver"
                 )
             claimed[cycle] = node
+            if self.fault_hook is not None:
+                value = self.fault_hook(time_ns, node, word_index, value)
             result.arrivals.append(Arrival(time_ns, cycle, node, word_index, value))
             self.tracer.record("arrival", (cycle, node, word_index))
 
@@ -351,6 +399,8 @@ class Pscan:
                     f"cycle {cycle} reached node {node} at t={time_ns} ns, "
                     f"CP expected t={expected} ns — clock desynchronized"
                 )
+            if self.fault_hook is not None:
+                value = self.fault_hook(time_ns, node, word_index, value)
             result.delivered.setdefault(node, []).append(value)
             result.arrivals.append(Arrival(time_ns, cycle, node, word_index, value))
             self.tracer.record("deliver", (cycle, node, word_index))

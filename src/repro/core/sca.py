@@ -31,7 +31,13 @@ from ..util.errors import ScheduleError
 from .cp import Role
 from .schedule import GlobalSchedule
 
-__all__ = ["ModulationInterval", "ScaTiming", "sca_timing"]
+__all__ = [
+    "ModulationInterval",
+    "ScaTiming",
+    "sca_timing",
+    "ReliabilityOverhead",
+    "expected_retransmission_overhead",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -199,3 +205,86 @@ def sca_timing(
         for n in range(schedule.total_cycles)
     ]
     return timing
+
+
+# -- closed-form recovery cost ------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityOverhead:
+    """Expected cost of a CRC-protected gather under a flat bit-error rate.
+
+    The analytical counterpart of the measured
+    :class:`~repro.core.pscan.RetryStats`: the resilience benchmark
+    cross-checks the Monte-Carlo campaign against these expectations.
+    """
+
+    words: int
+    word_error_probability: float
+    expected_retransmitted_words: float
+    expected_backoff_cycles: float
+    crc_overhead_cycles: int
+    expected_total_cycles: float
+    #: Probability at least one word is still corrupt after the last retry.
+    residual_failure_probability: float
+
+    @property
+    def expected_overhead_fraction(self) -> float:
+        """Expected relative cycle overhead versus the unprotected gather."""
+        if self.words == 0:
+            return 0.0
+        return (self.expected_total_cycles - self.words) / self.words
+
+
+def expected_retransmission_overhead(
+    words: int,
+    ber: float,
+    bits_per_word: int = 64,
+    crc_bits: int = 16,
+    max_retries: int = 4,
+    backoff_cycles: int = 8,
+    backoff_factor: float = 2.0,
+    max_backoff_cycles: int = 256,
+) -> ReliabilityOverhead:
+    """Expected bus-cycle cost of CRC + retransmission recovery.
+
+    A word (payload + CRC sideband, ``bits_per_word + crc_bits`` exposed
+    bits) is corrupted with probability ``p = 1 - (1-ber)^bits``.  Each
+    retransmission epoch re-drives the corrupted words; the expected
+    count decays geometrically, so the expected retransmitted volume is
+    ``words * (p + p**2 + ... + p**max_retries)``.  Backoff is charged per
+    epoch weighted by the probability that the epoch is needed at all.
+    """
+    if words < 0:
+        raise ScheduleError(f"words must be >= 0, got {words}")
+    if not (0.0 <= ber < 1.0):
+        raise ScheduleError(f"ber must be in [0, 1), got {ber}")
+    if bits_per_word <= 0 or crc_bits < 0:
+        raise ScheduleError("bits_per_word must be > 0 and crc_bits >= 0")
+    exposed_bits = bits_per_word + crc_bits
+    p = 1.0 - (1.0 - ber) ** exposed_bits
+
+    expected_retx = 0.0
+    expected_backoff = 0.0
+    backoff = float(backoff_cycles)
+    for k in range(1, max_retries + 1):
+        survivors = words * p**k          # expected words still bad pre-epoch k
+        expected_retx += survivors
+        # Epoch k runs iff >= 1 word failed epoch k-1.
+        p_epoch = 1.0 - (1.0 - p**k) ** words if words else 0.0
+        expected_backoff += p_epoch * min(backoff, float(max_backoff_cycles))
+        backoff *= backoff_factor
+
+    total_tx = words + expected_retx
+    crc_overhead = -(-(words * crc_bits) // bits_per_word) if words else 0
+    expected_total = total_tx + expected_backoff + crc_overhead
+    residual = 1.0 - (1.0 - p ** (max_retries + 1)) ** words if words else 0.0
+    return ReliabilityOverhead(
+        words=words,
+        word_error_probability=p,
+        expected_retransmitted_words=expected_retx,
+        expected_backoff_cycles=expected_backoff,
+        crc_overhead_cycles=crc_overhead,
+        expected_total_cycles=expected_total,
+        residual_failure_probability=residual,
+    )

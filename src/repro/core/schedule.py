@@ -35,6 +35,7 @@ __all__ = [
     "transpose_order",
     "round_robin_order",
     "control_then_data_order",
+    "retransmission_order",
 ]
 
 
@@ -251,6 +252,36 @@ def control_then_data_order(
                 order.extend((node, w) for w in range(control_words))
             base = control_words + r * block
             order.extend((node, base + i) for i in range(block))
+    return order
+
+
+def retransmission_order(
+    original: list[tuple[int, int]],
+    failed: set[tuple[int, int]] | list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Synthesize a retransmission epoch's order from NACKed words.
+
+    Given the ``order`` of a completed (but partially corrupted) gather
+    and the set of ``(node, word)`` pairs the head node NACKed, emit a
+    compact order covering *only* the failed words, preserving their
+    relative position in the original burst (so the head node can merge
+    the retried words back by provenance).  The resulting order compiles
+    with :func:`gather_schedule` into a valid, gapless epoch — the
+    scheduler's answer to a NACK is an ordinary (small) SCA.
+
+    Raises :class:`ScheduleError` when a failed pair never appeared in
+    the original order (a protocol bug: the head node NACKed a word no
+    node drove).
+    """
+    failed_set = set(failed)
+    if not failed_set:
+        return []
+    order = [pair for pair in original if pair in failed_set]
+    missing = failed_set - set(order)
+    if missing:
+        raise ScheduleError(
+            f"NACKed words never scheduled: {sorted(missing)[:5]}"
+        )
     return order
 
 

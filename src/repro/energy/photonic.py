@@ -171,3 +171,25 @@ class PhotonicEnergyModel:
     def energy_per_bit_pj(self, nodes: int) -> float:
         """Convenience: total pJ/bit for ``nodes`` contributors."""
         return self.gather_energy(nodes).total_pj_per_bit
+
+    def retransmission_energy_pj(
+        self,
+        nodes: int,
+        retransmitted_words: int,
+        bits_per_word: int = 64,
+        crc_bits: int = 16,
+    ) -> float:
+        """Photonic energy re-spent on retransmission epochs, pJ.
+
+        Every word a CRC NACK forces back onto the bus costs its payload
+        *and* sideband bits again at the gather's per-bit energy — the
+        recovery overhead the resilience campaign charges against the
+        Fig.-5 efficiency story.  Zero words ⇒ zero joules: the protocol
+        has no standing energy cost beyond the CRC sideband accounted in
+        cycle overhead.
+        """
+        require_non_negative("retransmitted_words", retransmitted_words)
+        require_positive("bits_per_word", bits_per_word)
+        require_non_negative("crc_bits", crc_bits)
+        bits = retransmitted_words * (bits_per_word + crc_bits)
+        return bits * self.energy_per_bit_pj(nodes)

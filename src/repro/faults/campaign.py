@@ -1,0 +1,299 @@
+"""Seeded Monte-Carlo resilience campaigns over the 2D-FFT workload.
+
+The harness the ISSUE's acceptance criteria run end-to-end: for each
+fault rate in a sweep, execute ``trials`` independent CRC-protected
+transpose gathers of a distributed 2D FFT's row-FFT outputs (the
+paper's Section V workload) under a seeded
+:class:`~repro.faults.models.PscanFaultModel`, and measure
+
+* **delivered-correct fraction** — words equal to the source data after
+  recovery (undetected CRC collisions and exhausted retries count
+  against it);
+* **retransmission overhead** — extra bus cycles (CRC sideband +
+  re-driven words + backoff) and extra photonic energy
+  (:meth:`repro.energy.photonic.PhotonicEnergyModel.retransmission_energy_pj`);
+* the **degradation curve** of both vs the fault rate.
+
+A mesh section does the same for permanent link failures: the transpose
+workload on the wormhole mesh with ``k`` random dead links, measuring
+delivered packets and latency inflation via
+:meth:`~repro.mesh.MeshNetwork.run_resilient`.
+
+Determinism: every trial's injector seed derives from ``config.seed``
+via a private ``random.Random``, so the same config replays the same
+report, bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.pscan import Pscan
+from ..core.schedule import transpose_order
+from ..energy.photonic import PhotonicEnergyModel
+from ..fft import fft
+from ..mesh import MeshNetwork, MeshTopology, make_transpose_gather
+from ..photonics.waveguide import Waveguide
+from ..sim.engine import Simulator
+from ..util.errors import ConfigError
+from .models import MeshFaultPlan, PscanFaultModel
+from .recovery import ReliableGather, RetryPolicy
+
+__all__ = [
+    "CampaignConfig",
+    "GatherCampaignRow",
+    "MeshCampaignRow",
+    "CampaignReport",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignConfig:
+    """Shape of one resilience campaign."""
+
+    #: Contributing nodes (= rows of the FFT matrix).
+    processors: int = 16
+    #: Words gathered per node (= row samples / matrix columns).
+    row_samples: int = 8
+    #: Independent trials per fault rate.
+    trials: int = 3
+    #: Master seed; everything derives from it.
+    seed: int = 1234
+    #: BER sweep (the degradation curve's x axis).
+    fault_rates: tuple[float, ...] = (0.0, 1e-5, 1e-4, 1e-3)
+    #: Retry policy of the reliable gather.
+    max_retries: int = 6
+    backoff_cycles: int = 8
+    #: Mesh section: sweep 0..this many random dead links.
+    mesh_link_failures: int = 2
+    #: Node pitch along the PSCAN waveguide, mm.
+    node_pitch_mm: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.processors < 2:
+            raise ConfigError("processors must be >= 2")
+        if self.row_samples < 1:
+            raise ConfigError("row_samples must be >= 1")
+        if self.trials < 1:
+            raise ConfigError("trials must be >= 1")
+        if self.mesh_link_failures < 0:
+            raise ConfigError("mesh_link_failures must be >= 0")
+        side = int(self.processors ** 0.5)
+        if side * side != self.processors:
+            raise ConfigError(
+                f"processors must be a perfect square for the mesh section, "
+                f"got {self.processors}"
+            )
+
+
+@dataclass
+class GatherCampaignRow:
+    """Aggregate outcome of all trials at one BER."""
+
+    ber: float
+    trials: int
+    words_per_trial: int
+    delivered_correct_fraction: float
+    mean_epochs: float
+    crc_nacks: int
+    retransmitted_words: int
+    undetected_errors: int
+    exhausted_trials: int
+    mean_overhead_cycles: float
+    mean_overhead_fraction: float
+    retransmit_energy_pj: float
+
+
+@dataclass
+class MeshCampaignRow:
+    """Mesh transpose under ``dead_links`` random link failures."""
+
+    dead_links: int
+    packets: int
+    packets_delivered: int
+    packets_lost: int
+    cycles: int
+    mean_latency: float
+    quarantine_events: int
+    report_kind: str | None
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Packets delivered over packets injected."""
+        if self.packets == 0:
+            return 1.0
+        return self.packets_delivered / self.packets
+
+
+@dataclass
+class CampaignReport:
+    """Everything a resilience campaign measured."""
+
+    config: CampaignConfig
+    gather_rows: list[GatherCampaignRow] = field(default_factory=list)
+    mesh_rows: list[MeshCampaignRow] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        """Human-readable summary (what the CLI prints)."""
+        lines = [
+            f"PSCAN gather under transient BER "
+            f"({self.config.processors} nodes x {self.config.row_samples} "
+            f"words, {self.config.trials} trial(s)/rate, "
+            f"seed {self.config.seed}):",
+            f"{'BER':>8} {'correct %':>9} {'epochs':>7} {'NACKs':>6} "
+            f"{'retx':>5} {'undet':>6} {'exh':>4} {'ovh cyc':>8} "
+            f"{'ovh %':>7} {'retx pJ':>9}",
+        ]
+        for r in self.gather_rows:
+            lines.append(
+                f"{r.ber:>8.0e} {100 * r.delivered_correct_fraction:>9.3f} "
+                f"{r.mean_epochs:>7.2f} {r.crc_nacks:>6} "
+                f"{r.retransmitted_words:>5} {r.undetected_errors:>6} "
+                f"{r.exhausted_trials:>4} {r.mean_overhead_cycles:>8.1f} "
+                f"{100 * r.mean_overhead_fraction:>7.2f} "
+                f"{r.retransmit_energy_pj:>9.2f}"
+            )
+        lines.append("")
+        lines.append(
+            "mesh transpose under permanent link failures "
+            "(fault-aware adaptive rerouting):"
+        )
+        lines.append(
+            f"{'dead':>5} {'delivered %':>11} {'lost':>5} {'cycles':>7} "
+            f"{'latency':>8} {'quar':>5} {'outcome':>9}"
+        )
+        for m in self.mesh_rows:
+            lines.append(
+                f"{m.dead_links:>5} {100 * m.delivered_fraction:>11.2f} "
+                f"{m.packets_lost:>5} {m.cycles:>7} {m.mean_latency:>8.1f} "
+                f"{m.quarantine_events:>5} {(m.report_kind or 'clean'):>9}"
+            )
+        return "\n".join(lines)
+
+
+def _fft_row_data(config: CampaignConfig, seed: int) -> dict[int, list[complex]]:
+    """Each node's row-FFT output: the words the transpose gathers."""
+    rng = np.random.default_rng(seed)
+    data: dict[int, list[complex]] = {}
+    for node in range(config.processors):
+        row = rng.standard_normal(config.row_samples) + 1j * rng.standard_normal(
+            config.row_samples
+        )
+        data[node] = [complex(v) for v in fft(row)]
+    return data
+
+
+def _run_gather_trial(
+    config: CampaignConfig, ber: float, trial_seed: int
+) -> tuple[float, int, int, int, int, bool, int, float]:
+    """One seeded protected gather; returns the row's raw ingredients."""
+    sim = Simulator()
+    length = config.node_pitch_mm * (config.processors + 1)
+    positions = {
+        i: config.node_pitch_mm * (i + 1) for i in range(config.processors)
+    }
+    pscan = Pscan(sim, Waveguide(length_mm=length), positions)
+    if ber > 0.0:
+        PscanFaultModel(ber=ber, seed=trial_seed).install(pscan)
+    reliable = ReliableGather(
+        pscan,
+        RetryPolicy(
+            max_retries=config.max_retries,
+            backoff_cycles=config.backoff_cycles,
+        ),
+    )
+    data = _fft_row_data(config, trial_seed)
+    order = transpose_order(rows=config.processors, cols=config.row_samples)
+    result = reliable.gather(
+        order, data, receiver_mm=length, raise_on_exhaust=False
+    )
+    stats = result.stats
+    return (
+        result.correct_fraction(data),
+        stats.epochs,
+        stats.crc_nacks,
+        stats.retransmitted_words,
+        stats.undetected_errors,
+        bool(result.residual),
+        stats.overhead_cycles,
+        stats.overhead_fraction,
+    )
+
+
+def _run_mesh_trial(config: CampaignConfig, dead_links: int, seed: int) -> MeshCampaignRow:
+    """Transpose workload on the mesh with ``dead_links`` random failures."""
+    topology = MeshTopology.square(config.processors)
+    network = MeshNetwork(topology)
+    network.add_memory_interface((0, 0))
+    if dead_links:
+        MeshFaultPlan.random_links(topology, dead_links, seed=seed).install(network)
+    workload = make_transpose_gather(topology, cols=config.row_samples)
+    for packet in workload.packets:
+        network.inject(packet)
+    total = len(workload.packets)
+    stats, report = network.run_resilient(max_cycles=500_000)
+    return MeshCampaignRow(
+        dead_links=dead_links,
+        packets=total,
+        packets_delivered=stats.packets_delivered,
+        packets_lost=len(stats.packets_lost),
+        cycles=stats.cycles,
+        mean_latency=stats.mean_packet_latency,
+        quarantine_events=stats.quarantine_events,
+        report_kind=report.kind if report is not None else None,
+    )
+
+
+def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
+    """Run the full campaign; same config (incl. seed) ⇒ same report."""
+    config = config or CampaignConfig()
+    report = CampaignReport(config=config)
+    seeder = random.Random(config.seed)
+    energy_model = PhotonicEnergyModel()
+
+    for ber in config.fault_rates:
+        trial_seeds = [seeder.randrange(2**32) for _ in range(config.trials)]
+        fractions: list[float] = []
+        overhead_cycles: list[int] = []
+        overhead_fracs: list[float] = []
+        epochs = nacks = retx = undetected = exhausted = 0
+        for trial_seed in trial_seeds:
+            (frac, ep, nk, rt, ud, exh, ovh, ovf) = _run_gather_trial(
+                config, ber, trial_seed
+            )
+            fractions.append(frac)
+            overhead_cycles.append(ovh)
+            overhead_fracs.append(ovf)
+            epochs += ep
+            nacks += nk
+            retx += rt
+            undetected += ud
+            exhausted += int(exh)
+        report.gather_rows.append(
+            GatherCampaignRow(
+                ber=ber,
+                trials=config.trials,
+                words_per_trial=config.processors * config.row_samples,
+                delivered_correct_fraction=sum(fractions) / len(fractions),
+                mean_epochs=epochs / config.trials,
+                crc_nacks=nacks,
+                retransmitted_words=retx,
+                undetected_errors=undetected,
+                exhausted_trials=exhausted,
+                mean_overhead_cycles=sum(overhead_cycles) / len(overhead_cycles),
+                mean_overhead_fraction=sum(overhead_fracs) / len(overhead_fracs),
+                retransmit_energy_pj=energy_model.retransmission_energy_pj(
+                    config.processors, retx
+                )
+                / config.trials,
+            )
+        )
+
+    for dead in range(config.mesh_link_failures + 1):
+        mesh_seed = seeder.randrange(2**32)
+        report.mesh_rows.append(_run_mesh_trial(config, dead, mesh_seed))
+    return report

@@ -1,0 +1,89 @@
+"""CRC-protected SCA frames: the wire format of reliable transfers.
+
+A plain SCA word is an opaque payload riding one bus cycle.  The
+reliable-transfer layer (:mod:`repro.faults.recovery`) instead drives
+*frames*: the serialized payload followed by a CRC-16/CCITT-FALSE
+checksum (:func:`repro.core.encoding.crc16_ccitt` — the same polynomial
+the protected CP codec uses).  The head node verifies the CRC of every
+arrival; failures become NACKs and trigger a retransmission epoch.
+
+The frame really is the bytes on the wire: fault injectors flip bits in
+the *frame*, so multi-bit flips can genuinely collide with the checksum
+(``check_frame`` passes on a corrupted payload).  That keeps the
+undetected-error statistics of campaigns honest instead of assuming a
+perfect oracle detector.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..core.encoding import CRC_BITS, crc16_ccitt
+from ..util.errors import TransientFaultError
+
+__all__ = [
+    "CRC_BITS",
+    "pack_word",
+    "unpack_word",
+    "check_frame",
+    "flip_bits",
+    "frame_bits",
+]
+
+
+def pack_word(value: Any) -> bytes:
+    """Serialize one word into its protected frame (payload + CRC-16)."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = crc16_ccitt(payload)
+    return payload + bytes([crc >> 8, crc & 0xFF])
+
+
+def check_frame(frame: bytes) -> bool:
+    """True when the trailing CRC matches the payload bytes."""
+    if len(frame) < 3:
+        return False
+    expect = (frame[-2] << 8) | frame[-1]
+    return crc16_ccitt(frame[:-2]) == expect
+
+
+def unpack_word(frame: bytes) -> Any:
+    """Verify the CRC and reconstruct the payload value.
+
+    Raises
+    ------
+    TransientFaultError
+        When the CRC check fails, or the CRC *collides* but the payload
+        no longer deserializes (a malformed symbol — also detectable at
+        the receiver, also recoverable by retransmission).
+    """
+    if not check_frame(frame):
+        raise TransientFaultError(
+            f"SCA frame failed CRC ({len(frame)} bytes); NACK + retransmit"
+        )
+    try:
+        return pickle.loads(frame[:-2])
+    except Exception as exc:  # corrupted payload that slipped past the CRC
+        raise TransientFaultError(
+            f"SCA frame CRC passed but payload is undecodable: {exc}"
+        ) from exc
+
+
+def frame_bits(frame: bytes) -> int:
+    """Length of a frame in bits (bit-flip address space)."""
+    return 8 * len(frame)
+
+
+def flip_bits(frame: bytes, positions: list[int]) -> bytes:
+    """Return ``frame`` with the given bit positions inverted.
+
+    Positions index MSB-first within each byte, matching how the word
+    is serialized onto the wavelengths.  Out-of-range positions raise
+    ``IndexError`` — the injector must draw within :func:`frame_bits`.
+    """
+    if not positions:
+        return frame
+    out = bytearray(frame)
+    for pos in positions:
+        out[pos // 8] ^= 0x80 >> (pos % 8)
+    return bytes(out)

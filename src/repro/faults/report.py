@@ -1,0 +1,82 @@
+"""Structured fault reports and the simulation watchdog.
+
+A fault campaign must never *hang*: every failure mode ends in a
+:class:`FaultReport` —
+
+* the event kernel's watchdog (``Simulator.run(max_events=...)``)
+  converts livelocked simulations into ``kind="watchdog"`` reports;
+* :meth:`repro.mesh.MeshNetwork.run_resilient` returns a
+  :class:`~repro.mesh.network.MeshFaultReport` that
+  :meth:`FaultReport.from_mesh` lifts into the common shape;
+* :class:`~repro.util.errors.RetryExhaustedError` from the reliable
+  transfer layer becomes ``kind="retry-exhausted"`` with the residual
+  ``(node, word)`` pairs attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.engine import Simulator
+from ..util.errors import RetryExhaustedError, SimulationError
+
+__all__ = ["FaultReport", "run_with_watchdog"]
+
+
+@dataclass
+class FaultReport:
+    """One structured failure observation (never an unexplained hang)."""
+
+    kind: str
+    detail: str
+    time_ns: float = 0.0
+    #: What was lost: residual ``(node, word)`` pairs, lost packet ids...
+    residual: list[Any] = field(default_factory=list)
+
+    @classmethod
+    def from_retry_exhausted(
+        cls, exc: RetryExhaustedError, time_ns: float = 0.0
+    ) -> "FaultReport":
+        """Lift a retry-cap failure into a report."""
+        return cls(
+            kind="retry-exhausted",
+            detail=str(exc),
+            time_ns=time_ns,
+            residual=list(exc.residual),
+        )
+
+    @classmethod
+    def from_mesh(cls, mesh_report) -> "FaultReport":
+        """Lift a :class:`~repro.mesh.network.MeshFaultReport`."""
+        return cls(
+            kind=f"mesh-{mesh_report.kind}",
+            detail=mesh_report.message,
+            time_ns=float(mesh_report.cycle),
+            residual=list(mesh_report.lost_packets)
+            + list(mesh_report.undelivered_packets),
+        )
+
+
+def run_with_watchdog(
+    sim: Simulator,
+    until: Any = None,
+    max_events: int = 1_000_000,
+) -> FaultReport | None:
+    """Run the kernel under an event budget; hangs become reports.
+
+    Returns ``None`` on a clean run.  A simulation that processes
+    ``max_events`` events without finishing — the signature of a
+    fault-induced livelock (e.g. a retry loop whose condition a dropped
+    word can never satisfy) — is stopped and summarized instead of
+    spinning forever.  Other :class:`SimulationError` causes re-raise.
+    """
+    try:
+        sim.run(until, max_events=max_events)
+    except SimulationError as exc:
+        if "watchdog" in str(exc):
+            return FaultReport(
+                kind="watchdog", detail=str(exc), time_ns=sim.now
+            )
+        raise
+    return None

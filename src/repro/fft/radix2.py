@@ -16,8 +16,6 @@ the stage loop itself is explicit so the block-scheduling code in
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..util.errors import ConfigError

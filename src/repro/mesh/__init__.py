@@ -2,9 +2,22 @@
 
 from .flit import Flit, Packet
 from .flowtiming import MeshFlowTiming, run_mesh_fft2d_flow
-from .network import MeshConfig, MeshNetwork, MeshStats, SinkRecord
+from .network import (
+    MeshConfig,
+    MeshFaultConfig,
+    MeshFaultReport,
+    MeshNetwork,
+    MeshStats,
+    SinkRecord,
+)
 from .overlap import MeshOverlapResult, run_mesh_model2_overlap
-from .routing import MinimalAdaptiveRouting, RoutingPolicy, XYRouting, productive_ports
+from .routing import (
+    MinimalAdaptiveRouting,
+    RoutingPolicy,
+    XYRouting,
+    fault_aware_route,
+    productive_ports,
+)
 from .topology import MeshTopology, Port
 from .vc_network import VcMeshConfig, VcMeshNetwork, VcMeshStats
 from .workloads import (
@@ -24,7 +37,10 @@ __all__ = [
     "MinimalAdaptiveRouting",
     "RoutingPolicy",
     "productive_ports",
+    "fault_aware_route",
     "MeshConfig",
+    "MeshFaultConfig",
+    "MeshFaultReport",
     "MeshNetwork",
     "MeshStats",
     "SinkRecord",

@@ -36,6 +36,10 @@ class Flit:
     payload: Any = None
     ready_cycle: int = 0
     injected_cycle: int = -1
+    #: Links traversed so far.  Fault-aware (possibly non-minimal)
+    #: rerouting uses this as a livelock bound; always maintained, so
+    #: the fault-free hot path stays branch-free.
+    hops: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

@@ -21,12 +21,24 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..util.errors import ConfigError, NetworkError
+from ..util.errors import ConfigError, NetworkError, RoutingError
 from .flit import Flit, Packet
-from .routing import MinimalAdaptiveRouting, RoutingPolicy
+from .routing import (
+    MinimalAdaptiveRouting,
+    RoutingPolicy,
+    fault_aware_route,
+    productive_ports,
+)
 from .topology import MeshTopology, Port
 
-__all__ = ["MeshConfig", "SinkRecord", "MeshStats", "MeshNetwork"]
+__all__ = [
+    "MeshConfig",
+    "MeshFaultConfig",
+    "MeshFaultReport",
+    "SinkRecord",
+    "MeshStats",
+    "MeshNetwork",
+]
 
 _MESH_PORTS = (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
 _ALL_PORTS = (Port.LOCAL, *_MESH_PORTS)
@@ -57,6 +69,64 @@ class MeshConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class MeshFaultConfig:
+    """Tuning of the mesh's fault-detection and recovery machinery.
+
+    Only consulted once :meth:`MeshNetwork.fail_link` or
+    :meth:`MeshNetwork.fail_router` has armed the fault layer; a
+    fault-free network never reads these knobs.
+    """
+
+    #: Consecutive cycles a routed packet may point at a dead output
+    #: link before the router quarantines the port and re-routes.  This
+    #: models a credit/heartbeat timeout: a healthy downstream router
+    #: returns credits within a bounded window, so silence for this long
+    #: is evidence the link is gone.
+    link_timeout_cycles: int = 32
+    #: Livelock bound for fault-aware (possibly non-minimal) routing: a
+    #: packet is declared lost once it has traversed more than
+    #: ``max_hop_factor * (minimal_distance + 2)`` links.  Needed
+    #: because the west-first turn restriction — the deadlock/livelock
+    #: guarantee of minimal adaptive routing — is deliberately dropped
+    #: when routing around dead regions (see
+    #: :func:`repro.mesh.routing.fault_aware_route`).
+    max_hop_factor: int = 6
+
+    def __post_init__(self) -> None:
+        if self.link_timeout_cycles < 1:
+            raise ConfigError("link_timeout_cycles must be >= 1")
+        if self.max_hop_factor < 2:
+            raise ConfigError("max_hop_factor must be >= 2")
+
+
+@dataclass
+class MeshFaultReport:
+    """Structured outcome of a degraded :meth:`MeshNetwork.run_resilient`.
+
+    ``kind`` is ``"degraded"`` (all remaining traffic delivered, but
+    packets were lost to faults), ``"stall"`` (the watchdog fired: no
+    flit moved for ``deadlock_cycles``) or ``"max-cycles"``.
+    """
+
+    kind: str
+    cycle: int
+    #: Packets still somewhere in the network when the run ended.
+    undelivered_packets: list[int]
+    #: Packets the recovery layer explicitly declared lost (cut off,
+    #: hop budget exhausted, or stranded mid-wormhole by a dead link).
+    lost_packets: list[int]
+    flits_dropped: int
+    #: (node, port) pairs quarantined by the credit-timeout detector.
+    quarantined_links: list[tuple[tuple[int, int], Port]]
+    message: str
+
+    @property
+    def delivered_all(self) -> bool:
+        """True when nothing was lost or left in flight."""
+        return not self.undelivered_packets and not self.lost_packets
+
+
+@dataclass(frozen=True, slots=True)
 class SinkRecord:
     """One flit delivered at a sink."""
 
@@ -81,6 +151,11 @@ class MeshStats:
     memory_busy_cycles: dict[tuple[int, int], int] = field(default_factory=dict)
     #: Flits forwarded through each router (congestion heat map data).
     flits_through_node: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Fault-layer accounting (all zero on a fault-free run).
+    flits_dropped: int = 0
+    packets_lost: list[int] = field(default_factory=list)
+    reroutes: int = 0
+    quarantine_events: int = 0
 
     @property
     def mean_packet_latency(self) -> float:
@@ -107,10 +182,30 @@ class MeshNetwork:
         topology: MeshTopology,
         config: MeshConfig | None = None,
         routing: RoutingPolicy | None = None,
+        fault_config: MeshFaultConfig | None = None,
     ) -> None:
         self.topology = topology
         self.config = config or MeshConfig()
         self.routing = routing or MinimalAdaptiveRouting()
+        self.fault_config = fault_config or MeshFaultConfig()
+        # Fault layer: inert (and branch-cheap) until fail_link/fail_router
+        # arms it.  The fault-free scheduling path is untouched, so default
+        # runs stay byte- and cycle-identical to the seed simulator.
+        self._faults_enabled = False
+        #: Dead *output* links as (node, out_port) — flits cannot traverse.
+        self._dead: set[tuple[tuple[int, int], Port]] = set()
+        #: Ports each router has quarantined after a credit timeout.
+        self._quarantined: dict[tuple[int, int], set[Port]] = {}
+        #: Credit-timeout counters per dead (node, out_port).
+        self._blocked: dict[tuple[tuple[int, int], Port], int] = {}
+        #: Packets found optically/electrically cut off (no healthy port).
+        self._cut_off: set[int] = set()
+        #: Packets in "detour mode": misrouted around a quarantined port
+        #: and not yet back on a productive path.  While flagged, every
+        #: router — not just quarantined ones — routes them fault-aware
+        #: with the backward port avoided, so they circle the dead
+        #: region instead of ping-ponging into it.
+        self._detour: set[int] = set()
         self.cycle = 0
         # Input buffers: (node, port) -> deque of flits.
         self._buffers: dict[tuple[tuple[int, int], Port], deque[Flit]] = {}
@@ -177,6 +272,51 @@ class MeshNetwork:
         self._inject[packet.source].extend(flits)
         self._pending_flits += len(flits)
 
+    # -- fault injection ----------------------------------------------------
+
+    def _arm_faults(self) -> None:
+        if self._faults_enabled:
+            return
+        self._faults_enabled = True
+        self._quarantined = {node: set() for node in self._nodes}
+
+    def fail_link(self, a: tuple[int, int], b: tuple[int, int]) -> None:
+        """Kill the (bidirectional) mesh link between adjacent ``a``, ``b``.
+
+        Flits can no longer traverse the link in either direction.
+        Routers on each side discover the failure through the credit
+        timeout (``fault_config.link_timeout_cycles``) and re-route via
+        :func:`~repro.mesh.routing.fault_aware_route`.  May be called
+        before or during a run.
+        """
+        self.topology.require_node(a)
+        self.topology.require_node(b)
+        port = next(
+            (p for p in _MESH_PORTS if self.topology.neighbor(a, p) == b),
+            None,
+        )
+        if port is None:
+            raise ConfigError(f"nodes {a} and {b} are not mesh neighbours")
+        self._arm_faults()
+        self._dead.add((a, port))
+        self._dead.add((b, port.opposite))
+
+    def fail_router(self, node: tuple[int, int]) -> None:
+        """Kill router ``node``: every link into and out of it dies.
+
+        Traffic already inside the router, and packets addressed to it,
+        are eventually declared lost (cut off / hop budget); traffic that
+        merely routed *through* it detours around the dead region.
+        """
+        self.topology.require_node(node)
+        self._arm_faults()
+        for port in _MESH_PORTS:
+            nbr = self.topology.neighbor(node, port)
+            if nbr is None:
+                continue
+            self._dead.add((node, port))
+            self._dead.add((nbr, port.opposite))
+
     # -- helpers --------------------------------------------------------------
 
     def _buffer_space(self, node: tuple[int, int], port: Port) -> int:
@@ -225,6 +365,129 @@ class MeshNetwork:
             self.stats.packet_latencies.append(self.cycle - inject_cycle)
             self.stats.packets_delivered += 1
 
+    # -- fault detection & recovery -----------------------------------------
+
+    def _hop_limit(self, flit: Flit) -> int:
+        """Livelock bound for ``flit`` (generous multiple of minimal path)."""
+        _cycle, src = self._packet_meta[flit.packet_id]
+        dist = abs(flit.dest[0] - src[0]) + abs(flit.dest[1] - src[1])
+        return self.fault_config.max_hop_factor * (dist + 2)
+
+    def _quarantine(self, node: tuple[int, int], port: Port) -> None:
+        """Declare (node, port) dead locally and re-route or drop its users."""
+        self._quarantined[node].add(port)
+        self.stats.quarantine_events += 1
+        self._blocked.pop((node, port), None)
+        for (n, pid), r in list(self._route.items()):
+            if n != node or r != port:
+                continue
+            if self._owner.get((node, port)) == pid:
+                # The head already crossed before the link died: the body
+                # flits here are stranded mid-wormhole.  Re-routing them
+                # would break flit ordering, so the packet is lost.
+                self._drop_packet(pid)
+            else:
+                # The head is still waiting at this router: clear the
+                # cached route so the next cycle recomputes it with
+                # fault_aware_route (which sees the quarantine set).
+                del self._route[(n, pid)]
+                self.stats.reroutes += 1
+
+    def _drop_packet(self, packet_id: int) -> None:
+        """Remove every flit of ``packet_id`` from the network (lost)."""
+        dropped = 0
+        for (node, _port), buf in self._buffers.items():
+            if not buf:
+                continue
+            kept = [f for f in buf if f.packet_id != packet_id]
+            removed = len(buf) - len(kept)
+            if removed:
+                self._occupancy[node] -= removed
+                dropped += removed
+                buf.clear()
+                buf.extend(kept)
+        for queue in self._inject.values():
+            if not queue:
+                continue
+            kept = [f for f in queue if f.packet_id != packet_id]
+            removed = len(queue) - len(kept)
+            if removed:
+                dropped += removed
+                queue.clear()
+                queue.extend(kept)
+        self._pending_flits -= dropped
+        self.stats.flits_dropped += dropped
+        self._detour.discard(packet_id)
+        if packet_id not in self.stats.packets_lost:
+            self.stats.packets_lost.append(packet_id)
+        for chan in [k for k, owner in self._owner.items() if owner == packet_id]:
+            del self._owner[chan]
+        for key in [k for k in self._route if k[1] == packet_id]:
+            del self._route[key]
+
+    def _fault_tick(self) -> None:
+        """Per-cycle fault bookkeeping (only runs once faults are armed)."""
+        timeout = self.fault_config.link_timeout_cycles
+        # 1. Credit-timeout detection: a packet pinned at a dead output
+        #    link for `timeout` cycles quarantines the port.
+        pinned: set[tuple[tuple[int, int], Port]] = set()
+        for (node, _pid), route in self._route.items():
+            if route is Port.LOCAL:
+                continue
+            link = (node, route)
+            if link in self._dead and route not in self._quarantined[node]:
+                pinned.add(link)
+        for link in sorted(pinned, key=lambda lk: (lk[0], int(lk[1]))):
+            count = self._blocked.get(link, 0) + 1
+            self._blocked[link] = count
+            if count >= timeout:
+                self._quarantine(*link)
+        # 2. Packets declared cut off by fault-aware routing.
+        for pid in sorted(self._cut_off):
+            self._drop_packet(pid)
+        self._cut_off.clear()
+        # 3. Hop budget: bound livelock of non-minimal detours.
+        over: set[int] = set()
+        for node in self._nodes:
+            if self._occupancy[node] == 0:
+                continue
+            for in_port in _ALL_PORTS:
+                buf = self._buffers.get((node, in_port))
+                if not buf:
+                    continue
+                flit = buf[0]
+                if flit.hops > self._hop_limit(flit):
+                    over.add(flit.packet_id)
+        for pid in sorted(over):
+            self._drop_packet(pid)
+
+    def _break_stall(self) -> bool:
+        """Shed one blocking packet to break a fault-induced deadlock.
+
+        Misrouting around quarantined ports abandons the west-first turn
+        model, so cyclic channel waits become possible near a cut.  When
+        :meth:`run_resilient` observes a bounded window with no movement,
+        this backstop drops the lowest-id packet buffered at a router
+        with quarantined ports (falling back to any buffered packet) —
+        the NoC analogue of end-to-end recovery: shed locally, report,
+        let the upper layer retransmit.  Returns False when there was
+        nothing to drop (the stall is not fault-induced).
+        """
+        candidates: list[tuple[int, int]] = []
+        for node in self._nodes:
+            if self._occupancy[node] == 0:
+                continue
+            near_quarantine = 0 if self._quarantined.get(node) else 1
+            for in_port in _ALL_PORTS:
+                buf = self._buffers.get((node, in_port))
+                if buf:
+                    candidates.append((near_quarantine, buf[0].packet_id))
+        if not candidates:
+            return False
+        _prio, packet_id = min(candidates)
+        self._drop_packet(packet_id)
+        return True
+
     # -- one simulation cycle ----------------------------------------------
 
     def _plan_moves(
@@ -246,6 +509,8 @@ class MeshNetwork:
         buffers = self._buffers
         owner_map = self._owner
         cycle = self.cycle
+        faults_on = self._faults_enabled
+        dead = self._dead
         for node in self._nodes:
             if self._occupancy[node] == 0:
                 continue
@@ -260,8 +525,12 @@ class MeshNetwork:
                 flit = buf[0]
                 if flit.ready_cycle > cycle:
                     continue
-                route = self._flit_route(node, flit, downstream)
+                route = self._flit_route(node, flit, downstream, in_port)
                 if route is None:  # head still in route computation
+                    continue
+                if faults_on and route is not Port.LOCAL and (node, route) in dead:
+                    # Dead link: the flit cannot traverse.  It sits here
+                    # until the credit timeout quarantines the port.
                     continue
                 owner = owner_map.get((node, route))
                 if owner is not None and flit.packet_id != owner:
@@ -314,6 +583,7 @@ class MeshNetwork:
         node: tuple[int, int],
         flit: Flit,
         downstream: dict[Port, int],
+        in_port: Port = Port.LOCAL,
     ) -> Port | None:
         """Route of ``flit`` at ``node``; computes (and charges t_r) for heads."""
         key = (node, flit.packet_id)
@@ -325,7 +595,38 @@ class MeshNetwork:
                 f"body flit of packet {flit.packet_id} reached {node} with no "
                 "route — wormhole ordering violated"
             )
-        route = self.routing.route(self.topology, node, flit.dest, downstream)
+        quarantined = (
+            self._quarantined.get(node) if self._faults_enabled else None
+        )
+        if quarantined or (
+            self._faults_enabled and flit.packet_id in self._detour
+        ):
+            # Recovery path: route around locally quarantined links,
+            # preferring not to bounce straight back where we came from.
+            # Packets in detour mode stay on this path at *every* router
+            # until they regain productive progress, because routers away
+            # from the cut would otherwise send them right back into it.
+            avoid = in_port if in_port is not Port.LOCAL else None
+            try:
+                route = fault_aware_route(
+                    self.topology,
+                    node,
+                    flit.dest,
+                    downstream,
+                    quarantined or set(),
+                    avoid,
+                )
+            except RoutingError:
+                # Every output is quarantined: the packet is cut off.
+                # Flag it; the next fault tick converts it into a loss.
+                self._cut_off.add(flit.packet_id)
+                return None
+            if route in productive_ports(node, flit.dest) or route is Port.LOCAL:
+                self._detour.discard(flit.packet_id)
+            else:
+                self._detour.add(flit.packet_id)
+        else:
+            route = self.routing.route(self.topology, node, flit.dest, downstream)
         self._route[key] = route
         if self.config.header_route_cycles > 0:
             flit.ready_cycle = self.cycle + self.config.header_route_cycles
@@ -358,6 +659,7 @@ class MeshNetwork:
                 self._eject(node, flit)
                 self._pending_flits -= 1
             else:
+                flit.hops += 1
                 self._buffers[(to_node, to_port)].append(flit)
                 self._occupancy[to_node] += 1
                 self.stats.flit_hops += 1
@@ -381,6 +683,8 @@ class MeshNetwork:
 
     def step(self) -> int:
         """Advance one cycle; returns flits moved (incl. injections)."""
+        if self._faults_enabled:
+            self._fault_tick()
         moves = self._plan_moves()
         moved = self._commit_moves(moves)
         moved += self._do_injection()
@@ -419,3 +723,66 @@ class MeshNetwork:
                 idle = 0
         self.stats.cycles = self.cycle
         return self.stats
+
+    def run_resilient(
+        self, max_cycles: int | None = None
+    ) -> tuple[MeshStats, MeshFaultReport | None]:
+        """Simulate to completion, degrading gracefully instead of raising.
+
+        The recovery counterpart of :meth:`run`: stalls and cycle
+        overruns become a structured :class:`MeshFaultReport` rather
+        than a :class:`~repro.util.errors.NetworkError`, so fault
+        campaigns can measure *how much* was delivered instead of dying
+        on the first hang.  Returns ``(stats, report)`` where ``report``
+        is ``None`` for a perfectly clean run.
+        """
+        idle = 0
+        aborted: str | None = None
+        stall_window = max(4 * self.fault_config.link_timeout_cycles, 64)
+        while self.traffic_remaining:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                aborted = "max-cycles"
+                break
+            moved = self.step()
+            if moved == 0:
+                idle += 1
+                if self._faults_enabled and idle >= stall_window:
+                    # Fault-induced deadlock: shed one packet and go on.
+                    if self._break_stall():
+                        idle = 0
+                        continue
+                if idle >= self.config.deadlock_cycles:
+                    aborted = "stall"
+                    break
+            else:
+                idle = 0
+        self.stats.cycles = self.cycle
+        lost = list(self.stats.packets_lost)
+        if aborted is None and not lost and not self.stats.flits_dropped:
+            return self.stats, None
+        undelivered = sorted(
+            {f.packet_id for buf in self._buffers.values() for f in buf}
+            | {f.packet_id for q in self._inject.values() for f in q}
+        )
+        quarantined = sorted(
+            (
+                (node, port)
+                for node, ports in self._quarantined.items()
+                for port in ports
+            ),
+            key=lambda lk: (lk[0], int(lk[1])),
+        )
+        kind = aborted or "degraded"
+        report = MeshFaultReport(
+            kind=kind,
+            cycle=self.cycle,
+            undelivered_packets=undelivered,
+            lost_packets=lost,
+            flits_dropped=self.stats.flits_dropped,
+            quarantined_links=quarantined,
+            message=(
+                f"{kind}: {len(lost)} packet(s) lost, "
+                f"{len(undelivered)} in flight at cycle {self.cycle}"
+            ),
+        )
+        return self.stats, report

@@ -21,7 +21,13 @@ from typing import Protocol
 from ..util.errors import RoutingError
 from .topology import MeshTopology, Port
 
-__all__ = ["RoutingPolicy", "XYRouting", "MinimalAdaptiveRouting", "productive_ports"]
+__all__ = [
+    "RoutingPolicy",
+    "XYRouting",
+    "MinimalAdaptiveRouting",
+    "productive_ports",
+    "fault_aware_route",
+]
 
 
 def productive_ports(
@@ -125,3 +131,73 @@ class MinimalAdaptiveRouting:
                 f"no downstream space info for productive port {best} at {node}"
             )
         return best
+
+
+def fault_aware_route(
+    topology: MeshTopology,
+    node: tuple[int, int],
+    dest: tuple[int, int],
+    downstream_space: dict[Port, int],
+    quarantined: set[Port],
+    avoid: Port | None = None,
+) -> Port:
+    """Choose an output port around locally quarantined (suspected-dead) links.
+
+    The recovery counterpart of :class:`MinimalAdaptiveRouting`: a router
+    that has observed a credit/heartbeat timeout on some of its output
+    links re-routes head flits with this function instead of raising.
+    Selection order:
+
+    1. **productive, healthy** ports — adaptive pick by downstream space
+       (graceful: zero extra hops when a minimal detour exists);
+       preferring ports other than ``avoid`` (the port leading back to
+       the previous hop), so a freshly misrouted packet makes progress
+       *around* the dead region instead of bouncing into it again;
+    2. **non-productive, healthy** ports — a one-hop misroute around the
+       dead region, again preferring not to bounce straight back;
+    3. the ``avoid`` port itself, when it is the only healthy way out.
+
+    Note the west-first restriction is deliberately *dropped* here: turn-
+    model deadlock freedom no longer holds once links die, so the network
+    layer must bound livelock with a hop budget instead (it does — see
+    ``MeshFaultConfig.max_hop_factor``).
+
+    Raises :class:`RoutingError` when every output port is quarantined —
+    the node is optically/electrically cut off (a permanent fault the
+    caller converts into a structured report).
+    """
+    topology.require_node(node)
+    topology.require_node(dest)
+    if node == dest:
+        return Port.LOCAL
+    candidates = productive_ports(node, dest)
+    healthy_productive = [
+        p for p in candidates
+        if p not in quarantined and topology.neighbor(node, p) is not None
+    ]
+
+    def space_key(p: Port) -> tuple[int, int]:
+        return (downstream_space.get(p, 0), 1 if p is Port.EAST else 0)
+
+    if healthy_productive:
+        not_back = [p for p in healthy_productive if p is not avoid]
+        return max(not_back or healthy_productive, key=space_key)
+    healthy_other = [
+        p
+        for p in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH)
+        if p not in quarantined
+        and p is not avoid
+        and topology.neighbor(node, p) is not None
+    ]
+    if healthy_other:
+        return max(healthy_other, key=space_key)
+    if (
+        avoid is not None
+        and avoid not in quarantined
+        and topology.neighbor(node, avoid) is not None
+    ):
+        return avoid
+    raise RoutingError(
+        f"node {node} has no healthy output port toward {dest}: "
+        f"quarantined={sorted(int(p) for p in quarantined)}"
+    )

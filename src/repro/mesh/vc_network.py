@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..util.errors import ConfigError, NetworkError
 from .flit import Flit, Packet
+from .network import MeshFaultReport
 from .routing import MinimalAdaptiveRouting, RoutingPolicy
 from .topology import MeshTopology, Port
 
@@ -123,6 +124,11 @@ class VcMeshNetwork:
         }
         self.stats = VcMeshStats()
         self.sunk: list = []
+        # Fault layer (lite): dead links block traffic; run_resilient
+        # converts the resulting stall into a structured report.  Full
+        # quarantine-and-reroute recovery lives in MeshNetwork.
+        self._faults_enabled = False
+        self._dead: set[tuple[tuple[int, int], Port]] = set()
 
     # -- construction ------------------------------------------------------
 
@@ -144,6 +150,25 @@ class VcMeshNetwork:
         )
         self._inject[packet.source].extend(flits)
         self._pending_flits += len(flits)
+
+    def fail_link(self, a: tuple[int, int], b: tuple[int, int]) -> None:
+        """Kill the (bidirectional) link between adjacent ``a`` and ``b``.
+
+        The VC mesh only *detects* the resulting loss of progress (see
+        :meth:`run_resilient`); re-routing recovery is a
+        :class:`~repro.mesh.network.MeshNetwork` feature.
+        """
+        self.topology.require_node(a)
+        self.topology.require_node(b)
+        port = next(
+            (p for p in _MESH_PORTS if self.topology.neighbor(a, p) == b),
+            None,
+        )
+        if port is None:
+            raise ConfigError(f"nodes {a} and {b} are not mesh neighbours")
+        self._faults_enabled = True
+        self._dead.add((a, port))
+        self._dead.add((b, port.opposite))
 
     # -- helpers -----------------------------------------------------------
 
@@ -213,6 +238,12 @@ class VcMeshNetwork:
                     assign = self._route_flit(node, flit, space_view)
                     if assign is None:
                         continue
+                    if (
+                        self._faults_enabled
+                        and assign[0] is not Port.LOCAL
+                        and (node, assign[0]) in self._dead
+                    ):
+                        continue  # dead link: flit cannot traverse
                     wants.setdefault(assign[0], []).append((in_port, vc))
 
             for out_port, candidates in wants.items():
@@ -367,3 +398,49 @@ class VcMeshNetwork:
                 idle = 0
         self.stats.cycles = self.cycle
         return self.stats
+
+    def run_resilient(
+        self, max_cycles: int | None = None
+    ) -> tuple[VcMeshStats, MeshFaultReport | None]:
+        """Simulate; convert stalls/overruns into a structured report.
+
+        Detection-only counterpart of
+        :meth:`~repro.mesh.network.MeshNetwork.run_resilient`: traffic
+        blocked by dead links ends the run with a ``"stall"`` report
+        listing the undelivered packets instead of raising
+        :class:`~repro.util.errors.NetworkError`.
+        """
+        idle = 0
+        aborted: str | None = None
+        while self.traffic_remaining:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                aborted = "max-cycles"
+                break
+            moved = self.step()
+            if moved == 0:
+                idle += 1
+                if idle >= self.config.deadlock_cycles:
+                    aborted = "stall"
+                    break
+            else:
+                idle = 0
+        self.stats.cycles = self.cycle
+        if aborted is None:
+            return self.stats, None
+        undelivered = sorted(
+            {f.packet_id for buf in self._buffers.values() for f in buf}
+            | {f.packet_id for q in self._inject.values() for f in q}
+        )
+        report = MeshFaultReport(
+            kind=aborted,
+            cycle=self.cycle,
+            undelivered_packets=undelivered,
+            lost_packets=[],
+            flits_dropped=0,
+            quarantined_links=[],
+            message=(
+                f"{aborted}: {len(undelivered)} packet(s) in flight "
+                f"at cycle {self.cycle}"
+            ),
+        )
+        return self.stats, report

@@ -6,7 +6,14 @@ Fig.-5 energy study build on (see DESIGN.md).
 """
 
 from .clocking import PhotonicClock
-from .devices import Laser, Photodiode, PhotonicLink, RingModulator, RingResonator
+from .devices import (
+    Laser,
+    Photodiode,
+    PhotonicLink,
+    RingModulator,
+    RingResonator,
+    ber_from_margin_db,
+)
 from .layout import SerpentineLayout
 from .spectrum import SpectralPlan, paper_spectral_plan
 from .thermal import ThermalModel
@@ -30,6 +37,7 @@ __all__ = [
     "RingModulator",
     "Photodiode",
     "PhotonicLink",
+    "ber_from_margin_db",
     "WdmPlan",
     "paper_pscan_plan",
     "PhotonicClock",

@@ -9,6 +9,7 @@ behaviour — *when* a modulator drives the waveguide — lives in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..util import constants
@@ -19,7 +20,38 @@ from ..util.validation import (
     require_positive,
 )
 
-__all__ = ["Laser", "RingResonator", "RingModulator", "Photodiode", "PhotonicLink"]
+__all__ = [
+    "Laser",
+    "RingResonator",
+    "RingModulator",
+    "Photodiode",
+    "PhotonicLink",
+    "ber_from_margin_db",
+]
+
+#: Receiver Q-factor at exactly the sensitivity point.  Photodiode
+#: sensitivity is conventionally specified at BER 1e-12, i.e. Q ~= 7.
+Q_AT_SENSITIVITY = 7.0
+
+
+def ber_from_margin_db(margin_db: float, q_at_sensitivity: float = Q_AT_SENSITIVITY) -> float:
+    """Bit-error rate of a photodiode given its optical power margin.
+
+    The decision Q-factor scales with received *amplitude*: a power
+    margin of ``m`` dB over sensitivity multiplies Q by ``10**(m/20)``
+    (shot/thermal-noise-limited receiver).  With sensitivity specified at
+    BER 1e-12 (``Q = 7``), the BER at margin ``m`` is
+
+        BER = 0.5 * erfc( Q(m) / sqrt(2) ),   Q(m) = 7 * 10**(m/20)
+
+    Negative margins — e.g. during a thermal ring-drift episode that adds
+    detuning loss — push Q below threshold and the BER climbs steeply;
+    this is the physical source of the transient bit errors the
+    :mod:`repro.faults` injectors draw.
+    """
+    require_positive("q_at_sensitivity", q_at_sensitivity)
+    q = q_at_sensitivity * 10.0 ** (margin_db / 20.0)
+    return 0.5 * math.erfc(q / math.sqrt(2.0))
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,6 +166,12 @@ class Photodiode:
                 f"sensitivity {self.sensitivity_dbm:.2f} dBm"
             )
 
+    def ber(self, power_dbm: float, q_at_sensitivity: float = Q_AT_SENSITIVITY) -> float:
+        """Bit-error rate at the given incident power (see :func:`ber_from_margin_db`)."""
+        return ber_from_margin_db(
+            power_dbm - self.sensitivity_dbm, q_at_sensitivity
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class PhotonicLink:
@@ -176,4 +214,23 @@ class PhotonicLink:
         return (
             self.received_power_dbm(distance_mm, rings_passed)
             - self.photodiode.sensitivity_dbm
+        )
+
+    def ber(
+        self,
+        distance_mm: float,
+        rings_passed: int,
+        extra_loss_db: float = 0.0,
+        q_at_sensitivity: float = Q_AT_SENSITIVITY,
+    ) -> float:
+        """End-to-end bit-error rate of the link at this geometry.
+
+        ``extra_loss_db`` models transient impairments (e.g. a thermal
+        ring-drift episode adding detuning loss) on top of the static
+        budget; the fault injectors pass the episode penalty here.
+        """
+        require_non_negative("extra_loss_db", extra_loss_db)
+        return ber_from_margin_db(
+            self.margin_db(distance_mm, rings_passed) - extra_loss_db,
+            q_at_sensitivity,
         )

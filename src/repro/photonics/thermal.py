@@ -79,3 +79,29 @@ class ThermalModel:
         """Mean tuning power amortized over a fully utilized wavelength."""
         require_positive("rate_per_wavelength_gbps", rate_per_wavelength_gbps)
         return self.mean_tuning_mw / rate_per_wavelength_gbps
+
+    def detuning_penalty_db(
+        self,
+        drift_nm: float,
+        linewidth_nm: float = 0.05,
+        peak_penalty_db: float = 15.0,
+    ) -> float:
+        """Signal-power penalty when a ring drifts ``drift_nm`` off its channel.
+
+        During a transient thermal episode — before the heater control
+        loop catches up — the ring's Lorentzian response slides off the
+        signal wavelength and modulation/drop efficiency collapses.  The
+        penalty follows the Lorentzian coupling roll-off
+
+            penalty(δ) = P_max * x² / (1 + x²),   x = 2δ / Δλ_FWHM
+
+        0 dB on-resonance, saturating at ``peak_penalty_db`` (the signal
+        effectively lost) when the drift is many linewidths.  The fault
+        injectors subtract this from the link margin to derive the
+        episode's bit-error rate (:func:`~repro.photonics.devices.ber_from_margin_db`).
+        """
+        require_non_negative("drift_nm", drift_nm)
+        require_positive("linewidth_nm", linewidth_nm)
+        require_non_negative("peak_penalty_db", peak_penalty_db)
+        x = 2.0 * drift_nm / linewidth_nm
+        return peak_penalty_db * x * x / (1.0 + x * x)

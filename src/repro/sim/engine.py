@@ -404,7 +404,12 @@ class Simulator:
         """Time of the next event, or ``float('inf')`` if queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def run(self, until: float | Event | None = None) -> Any:
+    def run(
+        self,
+        until: float | Event | None = None,
+        *,
+        max_events: int | None = None,
+    ) -> Any:
         """Run until the deadline, an event triggers, or the queue drains.
 
         Parameters
@@ -416,10 +421,28 @@ class Simulator:
             the clock is advanced to the deadline).
             ``Event`` — run until the event is processed and return its
             value (raising its exception if it failed).
+        max_events:
+            Watchdog budget: abort with :class:`SimulationError` after
+            processing this many events in this call.  Converts livelocks
+            (self-rescheduling event storms that never let ``until``
+            trigger) into a structured failure the fault-report machinery
+            (:mod:`repro.faults.report`) can catch; ``None`` disables it.
         """
+        budget = max_events if max_events is not None else -1
+
+        def tick() -> None:
+            nonlocal budget
+            if budget == 0:
+                raise SimulationError(
+                    f"watchdog: {max_events} events processed at t={self._now} "
+                    "without reaching the run target — livelock suspected"
+                )
+            budget -= 1
+            self.step()
+
         if until is None:
             while self._queue:
-                self.step()
+                tick()
             return None
         if isinstance(until, Event):
             sentinel: list[Any] = []
@@ -433,7 +456,7 @@ class Simulator:
                     raise SimulationError(
                         "event queue drained before the awaited event triggered"
                     )
-                self.step()
+                tick()
             if not until._ok:
                 raise until._value
             return until._value
@@ -443,6 +466,6 @@ class Simulator:
                 f"cannot run until {deadline}, already at {self._now}"
             )
         while self._queue and self._queue[0][0] < deadline:
-            self.step()
+            tick()
         self._now = deadline
         return None

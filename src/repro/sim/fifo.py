@@ -23,6 +23,10 @@ from .engine import Event, Simulator
 __all__ = ["DualClockFifo", "FifoStats"]
 
 
+#: Valid overflow policies for :class:`DualClockFifo`.
+_OVERFLOW_POLICIES = ("reject", "raise", "drop-count")
+
+
 @dataclass
 class FifoStats:
     """Occupancy statistics for a :class:`DualClockFifo`."""
@@ -32,6 +36,10 @@ class FifoStats:
     max_occupancy: int = 0
     overflow_attempts: int = 0
     underflow_attempts: int = 0
+    #: Items accepted but lost: overflow drops under the ``"drop-count"``
+    #: policy plus any words a fault injector discarded.  Distinguishes
+    #: *loss* from *backpressure* (``overflow_attempts``) in campaigns.
+    dropped_items: int = 0
 
 
 class DualClockFifo:
@@ -49,6 +57,14 @@ class DualClockFifo:
         Number of synchronizer flip-flop stages; an item written at
         write-edge ``t`` becomes readable at the first read edge at or
         after ``t + sync_stages * read_period_ns``.
+    on_overflow:
+        What a full-FIFO write does.  ``"reject"`` (default, the seed
+        behaviour) returns ``False`` and counts an ``overflow_attempt`` —
+        backpressure the producer observes.  ``"raise"`` raises
+        :class:`SimulationError` — for schedules where overflow is a bug,
+        not a flow-control event.  ``"drop-count"`` accepts the write but
+        discards the item, counting it in ``stats.dropped_items`` —
+        silent loss, the failure mode fault campaigns measure.
     """
 
     def __init__(
@@ -58,6 +74,7 @@ class DualClockFifo:
         write_period_ns: float,
         read_period_ns: float,
         sync_stages: int = 2,
+        on_overflow: str = "reject",
     ) -> None:
         if depth < 1:
             raise ConfigError(f"fifo depth must be >= 1, got {depth!r}")
@@ -65,12 +82,22 @@ class DualClockFifo:
             raise ConfigError("clock periods must be > 0")
         if sync_stages < 0:
             raise ConfigError(f"sync_stages must be >= 0, got {sync_stages!r}")
+        if on_overflow not in _OVERFLOW_POLICIES:
+            raise ConfigError(
+                f"on_overflow must be one of {_OVERFLOW_POLICIES}, "
+                f"got {on_overflow!r}"
+            )
         self.sim = sim
         self.depth = depth
         self.write_period_ns = write_period_ns
         self.read_period_ns = read_period_ns
         self.sync_stages = sync_stages
+        self.on_overflow = on_overflow
         self.stats = FifoStats()
+        #: Optional fault hook (see :mod:`repro.faults`): called as
+        #: ``hook(item) -> bool`` on every write; returning True drops the
+        #: item (counted in ``stats.dropped_items``).  ``None`` = fault-free.
+        self.fault_hook: Any = None
         # Items, each tagged with the time it becomes visible to the reader.
         self._items: deque[tuple[float, Any]] = deque()
         self._read_waiters: deque[Event] = deque()
@@ -93,12 +120,26 @@ class DualClockFifo:
     def write(self, item: Any) -> bool:
         """Producer-side write at the current time.
 
-        Returns False (and counts an overflow attempt) when full — the
-        caller decides whether that is a schedule bug or backpressure.
+        The full-FIFO outcome depends on ``on_overflow`` (see class
+        docstring): ``"reject"`` returns ``False``; ``"raise"`` raises;
+        ``"drop-count"`` returns ``True`` but the item is lost and
+        counted.  A successful buffered write always returns ``True``.
         """
         if self.is_full:
             self.stats.overflow_attempts += 1
+            if self.on_overflow == "raise":
+                raise SimulationError(
+                    f"dual-clock FIFO overflow at t={self.sim.now}: "
+                    f"depth {self.depth} exceeded"
+                )
+            if self.on_overflow == "drop-count":
+                self.stats.dropped_items += 1
+                return True
             return False
+        if self.fault_hook is not None and self.fault_hook(item):
+            # Injected write-path fault: the word never lands in the RAM.
+            self.stats.dropped_items += 1
+            return True
         visible = self._visible_at(self.sim.now)
         self._items.append((visible, item))
         self.stats.writes += 1

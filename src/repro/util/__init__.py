@@ -4,15 +4,19 @@ from . import constants, units, validation
 from .errors import (
     CollisionError,
     ConfigError,
+    FaultError,
     LinkBudgetError,
     MemoryModelError,
     NetworkError,
+    PermanentFaultError,
     PhotonicsError,
     ProcessError,
     ReproError,
+    RetryExhaustedError,
     RoutingError,
     ScheduleError,
     SimulationError,
+    TransientFaultError,
 )
 
 __all__ = [
@@ -30,4 +34,8 @@ __all__ = [
     "NetworkError",
     "RoutingError",
     "MemoryModelError",
+    "FaultError",
+    "TransientFaultError",
+    "PermanentFaultError",
+    "RetryExhaustedError",
 ]

@@ -7,6 +7,30 @@ layer and the PSCAN scheduler each have dedicated types because their
 failure modes are part of the system's contract (e.g. a
 :class:`CollisionError` on the waveguide means a communication-program bug,
 not a library bug).
+
+Recoverable vs. terminal faults
+-------------------------------
+The :class:`FaultError` branch models *injected hardware faults* (see
+:mod:`repro.faults`) and has an explicit recoverability contract:
+
+* :class:`TransientFaultError` — a fault that a retry can clear: a
+  photodetector bit error, a thermal ring-drift episode, a dropped FIFO
+  word.  Recovery machinery (CRC + retransmission epochs, fault-aware
+  rerouting) is *expected* to catch these; library code raises them only
+  when no recovery layer is installed to absorb the fault.
+* :class:`PermanentFaultError` — a fault that retrying the same resource
+  cannot clear: a dead waveguide segment, a failed router, a stuck mesh
+  link.  Recovery means routing *around* the resource; when no alternate
+  path exists the error is terminal.
+* :class:`RetryExhaustedError` — the recovery machinery itself gave up:
+  the configured retry cap was reached with the fault still active.
+  Always terminal; carries the residual failure set so callers can report
+  partial delivery.
+
+Everything *outside* the ``FaultError`` branch keeps its original
+meaning: a modelling-contract violation (bad schedule, blown link
+budget, kernel misuse) that indicates a bug in the caller's setup, not a
+simulated hardware fault, and is therefore always terminal.
 """
 
 from __future__ import annotations
@@ -58,3 +82,38 @@ class RoutingError(NetworkError):
 
 class MemoryModelError(ReproError, ValueError):
     """The DRAM model was driven outside its geometry (bad row/burst)."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Base class for injected-hardware-fault errors (see module docstring).
+
+    Raised by the :mod:`repro.faults` machinery and by fault-aware code
+    paths in the simulators.  Subclasses encode recoverability.
+    """
+
+
+class TransientFaultError(FaultError):
+    """A retryable fault: bit error, drift episode, dropped word.
+
+    A retry of the *same* operation on the *same* resource may succeed.
+    """
+
+
+class PermanentFaultError(FaultError):
+    """A non-retryable fault: dead link, failed router, stuck device.
+
+    Retrying the same resource cannot succeed; recovery requires an
+    alternate resource (e.g. rerouting around a dead mesh link).
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """Recovery gave up: the retry cap was hit with the fault still active.
+
+    ``residual`` (when provided) lists the still-failing units — e.g.
+    ``(node, word_index)`` pairs of a gather that never arrived intact.
+    """
+
+    def __init__(self, message: str, residual: list | None = None) -> None:
+        super().__init__(message)
+        self.residual = list(residual) if residual is not None else []

@@ -1,7 +1,5 @@
 """Tests for routing policies (repro.mesh.routing)."""
 
-import pytest
-
 from repro.mesh import MeshTopology, MinimalAdaptiveRouting, Port, XYRouting
 from repro.mesh.routing import productive_ports
 

@@ -1,7 +1,6 @@
 """Third wave of property tests: arbiter, multibus, rfft, control orders."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

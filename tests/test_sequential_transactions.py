@@ -6,8 +6,6 @@ gathers, mixed directions) with only the small epoch guard between them
 — Section IV's CP chains assume exactly this.
 """
 
-import pytest
-
 from repro.core import PsyncConfig, PsyncMachine
 from repro.report import build_report
 

@@ -1,7 +1,5 @@
 """Tests for the stats accumulators and the tracer."""
 
-import math
-
 import pytest
 
 from repro.sim import (

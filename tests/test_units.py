@@ -1,7 +1,5 @@
 """Tests for repro.util.units."""
 
-import math
-
 import pytest
 
 from repro.util import units
