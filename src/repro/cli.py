@@ -212,7 +212,27 @@ def _cmd_faults(args: argparse.Namespace) -> None:
         seed=args.seed,
         mesh_link_failures=args.mesh_links,
     )
-    print(run_campaign(config).as_table())
+    print(run_campaign(config, parallel=args.parallel).as_table())
+
+
+def _cmd_perf(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .perf.cli import main as perf_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    argv += ["--tolerance", str(args.tolerance)]
+    # Default the bench/baseline dir to the repo root when running from
+    # a source checkout (src/repro/cli.py -> repo root), else the cwd.
+    root = Path(__file__).resolve().parent.parent.parent
+    default_dir = root if (root / "benchmarks").is_dir() else Path.cwd()
+    code = perf_main(argv, default_dir=default_dir)
+    if code != 0:
+        raise SystemExit(code)
 
 
 def _cmd_optimize(args: argparse.Namespace) -> None:
@@ -247,6 +267,7 @@ _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "sensitivity": ("Fig. 13 calibration sensitivity", _cmd_sensitivity),
     "lambda": ("measured vs paper-implied mesh latency", _cmd_lambda),
     "faults": ("seeded fault-injection / resilience campaign", _cmd_faults),
+    "perf": ("simulator fast-path benchmarks (BENCH_*.json)", _cmd_perf),
 }
 
 
@@ -292,6 +313,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--mesh-links", dest="mesh_links", type=int,
                            default=2,
                            help="sweep 0..N random dead mesh links")
+            p.add_argument("--parallel", action="store_true",
+                           help="fan trials out over a process pool "
+                                "(identical report, seeded merge)")
+        elif name == "perf":
+            p.add_argument("--quick", action="store_true",
+                           help="CI-scale workloads (~seconds)")
+            p.add_argument("--check", action="store_true",
+                           help="fail on regression vs checked-in baselines")
+            p.add_argument("--tolerance", type=float, default=0.30,
+                           help="allowed fractional slowdown (default 0.30)")
         elif name == "optimize":
             p.add_argument("--n", type=int, default=1024)
             p.add_argument("--processors", type=int, default=256)

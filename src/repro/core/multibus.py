@@ -15,6 +15,7 @@ clock shrinks by ~W (flight time does not shrink — it is distance).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -116,13 +117,15 @@ class MultiBusPscan:
                 bus.execute_gather(sub, data, receiver_mm=receiver_mm)
             )
         # Interleave back: sub-burst i supplies cycles i, i+W, i+2W, ...
-        streams = [list(ex.stream) for ex in result.per_bus]
+        # (deques make the head-pops O(1); a list.pop(0) here is
+        # quadratic in the burst length)
+        streams = [deque(ex.stream) for ex in result.per_bus]
         merged: list[Any] = []
         idx = 0
         while any(streams):
             bus_i = idx % len(streams)
             if streams[bus_i]:
-                merged.append(streams[bus_i].pop(0))
+                merged.append(streams[bus_i].popleft())
             idx += 1
         result.stream = merged
         if len(result.stream) != schedule.total_cycles:

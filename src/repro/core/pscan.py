@@ -14,6 +14,15 @@ the simulator *demonstrates* (rather than assumes) the SCA properties:
 Granularity: one event per *bus word* (``wdm.bits_per_cycle`` bits moved
 per cycle across all data wavelengths), not per bit — the timing is
 identical because all wavelengths are modulated in lock-step.
+
+Performance: scheduler *dead time* — the gap between a node's drive (or
+listen) slots, which can span thousands of bus cycles in sparse
+schedules — costs a single :class:`~repro.sim.engine.Timeout` rather
+than per-cycle ticks: each driver sleeps directly until its next slot's
+modulation instant (the event-driven analogue of the mesh simulators'
+cycle-skipping; see ``docs/performance.md``).  Within a slot the
+per-cycle Timeouts are fixed-granularity, which is exactly the traffic
+the engine's bucket queue and Timeout pool are built for.
 """
 
 from __future__ import annotations
@@ -308,6 +317,9 @@ class Pscan:
             cp = schedule.programs[node]
             buffer = data.get(node, [])
             mods = result.modulation_times.setdefault(node, [])
+            # Loop-invariant per driver: the word flight time to the
+            # receiver does not depend on the cycle being driven.
+            flight = self.waveguide.propagation_delay_ns(x, receiver_mm)
             for slot in cp:
                 if slot.role is not Role.DRIVE:
                     continue
@@ -320,6 +332,9 @@ class Pscan:
                             f"node {node} missed cycle {cycle} "
                             f"(needed t={t_mod}, now={self.sim.now})"
                         )
+                    # One Timeout jumps straight to the modulation
+                    # instant, whether that is the next bus cycle or the
+                    # far side of a long inter-slot gap (dead time).
                     yield self.sim.timeout(max(0.0, t_mod - self.sim.now))
                     word = slot.word_offset + i
                     if word >= len(buffer):
@@ -331,7 +346,6 @@ class Pscan:
                     if not first_mod or self.sim.now < first_mod[0]:
                         first_mod[:] = [self.sim.now]
                     self.tracer.record("modulate", (node, cycle))
-                    flight = self.waveguide.propagation_delay_ns(x, receiver_mm)
                     arr = self.sim.timeout(
                         flight, (self.sim.now + flight, node, word, buffer[word])
                     )
@@ -407,6 +421,9 @@ class Pscan:
 
         def source() -> Any:
             mods = result.modulation_times.setdefault(-1, [])
+            # Per-listener flight times are loop-invariant; budget checks
+            # likewise only depend on the listener's position.
+            flight_to: dict[int, float] = {}
             for cycle, value in enumerate(burst):
                 t_mod = (
                     self.clock.edge_time(epoch + cycle, source_mm)
@@ -418,9 +435,12 @@ class Pscan:
                 if not first_mod:
                     first_mod.append(self.sim.now)
                 node, _w = listener_of[cycle]
-                x = self.positions_mm[node]
-                self._check_budget(source_mm, x)
-                flight = self.waveguide.propagation_delay_ns(source_mm, x)
+                flight = flight_to.get(node)
+                if flight is None:
+                    x = self.positions_mm[node]
+                    self._check_budget(source_mm, x)
+                    flight = self.waveguide.propagation_delay_ns(source_mm, x)
+                    flight_to[node] = flight
                 arr = self.sim.timeout(flight, (self.sim.now + flight, cycle, value))
                 arr.callbacks.append(lambda ev: deliver(*ev.value))
                 self.total_bits_moved += self.wdm.bits_per_cycle

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..photonics.layout import SerpentineLayout
 from ..util import constants
@@ -32,6 +33,48 @@ from ..util.validation import (
 )
 
 __all__ = ["PhotonicEnergyModel", "PscanEnergyBreakdown"]
+
+
+# ---------------------------------------------------------------------------
+# Memoized closed forms.
+#
+# PhotonicEnergyModel is a frozen slots dataclass, hence hashable; caching
+# at module level on ``(model, nodes)`` keys means every model instance with
+# equal coefficients shares one cache entry.  The scaling and ablation
+# sweeps re-evaluate the same handful of coefficient sets for thousands of
+# node counts, and each evaluation rebuilds a SerpentineLayout — these
+# caches turn that into a dict hit.  Invalid inputs raise before caching.
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def _total_loss_db(model: "PhotonicEnergyModel", nodes: int) -> float:
+    layout = model.serpentine_for(nodes)
+    return (
+        layout.total_length_mm * model.waveguide_loss_db_per_mm
+        + nodes * model.ring_through_loss_db
+    )
+
+
+@lru_cache(maxsize=4096)
+def _segments_needed(model: "PhotonicEnergyModel", nodes: int) -> int:
+    budget = model.segment_budget_db
+    if budget <= 0:
+        raise ValueError(
+            "no per-segment budget: launch power below sensitivity + margin"
+        )
+    return max(1, math.ceil(_total_loss_db(model, nodes) / budget))
+
+
+@lru_cache(maxsize=4096)
+def _laser_pj_per_bit(model: "PhotonicEnergyModel", nodes: int) -> float:
+    segments = _segments_needed(model, nodes)
+    seg_loss = _total_loss_db(model, nodes) / segments
+    launch_dbm = model.pd_sensitivity_dbm + seg_loss + model.loss_margin_db
+    launch_mw = 10.0 ** (launch_dbm / 10.0)
+    optical_mw = launch_mw * model.wavelengths * segments
+    electrical_mw = optical_mw / model.wall_plug_efficiency
+    return electrical_mw / model.aggregate_gbps
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,21 +156,15 @@ class PhotonicEnergyModel:
         Each node contributes one ring per wavelength group; following the
         paper's segment definition (Eq. 2) we count one ring pass per
         modulation site.
+
+        Delegates to a memoized module-level closed form (see
+        :func:`_total_loss_db`).
         """
-        layout = self.serpentine_for(nodes)
-        return (
-            layout.total_length_mm * self.waveguide_loss_db_per_mm
-            + nodes * self.ring_through_loss_db
-        )
+        return _total_loss_db(self, nodes)
 
     def segments_needed(self, nodes: int) -> int:
         """Optical segments (1 = no repeater) to cover the serpentine."""
-        budget = self.segment_budget_db
-        if budget <= 0:
-            raise ValueError(
-                "no per-segment budget: launch power below sensitivity + margin"
-            )
-        return max(1, math.ceil(self.total_loss_db(nodes) / budget))
+        return _segments_needed(self, nodes)
 
     def laser_pj_per_bit(self, nodes: int) -> float:
         """Laser wall-plug energy per bit.
@@ -137,13 +174,7 @@ class PhotonicEnergyModel:
         segments and wavelengths, then divided by the aggregate bandwidth
         (the SCA keeps the link fully utilized).
         """
-        segments = self.segments_needed(nodes)
-        seg_loss = self.total_loss_db(nodes) / segments
-        launch_dbm = self.pd_sensitivity_dbm + seg_loss + self.loss_margin_db
-        launch_mw = 10.0 ** (launch_dbm / 10.0)
-        optical_mw = launch_mw * self.wavelengths * segments
-        electrical_mw = optical_mw / self.wall_plug_efficiency
-        return electrical_mw / self.aggregate_gbps
+        return _laser_pj_per_bit(self, nodes)
 
     def tuning_pj_per_bit(self, nodes: int) -> float:
         """Thermal tuning power amortized over the fully utilized link."""

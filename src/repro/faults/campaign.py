@@ -248,23 +248,56 @@ def _run_mesh_trial(config: CampaignConfig, dead_links: int, seed: int) -> MeshC
     )
 
 
-def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
-    """Run the full campaign; same config (incl. seed) ⇒ same report."""
+def run_campaign(
+    config: CampaignConfig | None = None,
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> CampaignReport:
+    """Run the full campaign; same config (incl. seed) ⇒ same report.
+
+    With ``parallel=True`` the independent trials fan out over
+    :func:`repro.perf.sweep.run_sweep` (a process pool).  Every trial's
+    seed is drawn *before* dispatch, in the exact order the serial loop
+    draws them, and results merge back in grid order — so the report is
+    bit-for-bit identical either way (differentially tested).
+    """
+    from ..perf.sweep import run_sweep
+
     config = config or CampaignConfig()
     report = CampaignReport(config=config)
     seeder = random.Random(config.seed)
     energy_model = PhotonicEnergyModel()
 
+    # Draw every seed up front, in serial-loop order: per-BER trial
+    # seeds first, then the mesh sweep's seeds.
+    seeds_by_ber = {
+        ber: [seeder.randrange(2**32) for _ in range(config.trials)]
+        for ber in config.fault_rates
+    }
+    mesh_seeds = [
+        seeder.randrange(2**32)
+        for _ in range(config.mesh_link_failures + 1)
+    ]
+
+    gather_grid = [
+        (config, ber, trial_seed)
+        for ber in config.fault_rates
+        for trial_seed in seeds_by_ber[ber]
+    ]
+    gather_results = run_sweep(
+        _gather_point, gather_grid, parallel=parallel, max_workers=max_workers
+    )
+    by_ber: dict[float, list[tuple]] = {}
+    for (cfg_, ber, _seed), row in zip(gather_grid, gather_results):
+        by_ber.setdefault(ber, []).append(row)
+
     for ber in config.fault_rates:
-        trial_seeds = [seeder.randrange(2**32) for _ in range(config.trials)]
         fractions: list[float] = []
         overhead_cycles: list[int] = []
         overhead_fracs: list[float] = []
         epochs = nacks = retx = undetected = exhausted = 0
-        for trial_seed in trial_seeds:
-            (frac, ep, nk, rt, ud, exh, ovh, ovf) = _run_gather_trial(
-                config, ber, trial_seed
-            )
+        for frac, ep, nk, rt, ud, exh, ovh, ovf in by_ber[ber]:
             fractions.append(frac)
             overhead_cycles.append(ovh)
             overhead_fracs.append(ovf)
@@ -293,7 +326,25 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
             )
         )
 
-    for dead in range(config.mesh_link_failures + 1):
-        mesh_seed = seeder.randrange(2**32)
-        report.mesh_rows.append(_run_mesh_trial(config, dead, mesh_seed))
+    mesh_grid = [
+        (config, dead, mesh_seeds[dead])
+        for dead in range(config.mesh_link_failures + 1)
+    ]
+    report.mesh_rows.extend(
+        run_sweep(
+            _mesh_point, mesh_grid, parallel=parallel, max_workers=max_workers
+        )
+    )
     return report
+
+
+def _gather_point(point: tuple) -> tuple:
+    """Picklable sweep worker: one seeded protected-gather trial."""
+    config, ber, trial_seed = point
+    return _run_gather_trial(config, ber, trial_seed)
+
+
+def _mesh_point(point: tuple) -> MeshCampaignRow:
+    """Picklable sweep worker: one seeded faulty-mesh transpose."""
+    config, dead_links, seed = point
+    return _run_mesh_trial(config, dead_links, seed)

@@ -1,5 +1,6 @@
 """Electronic wormhole mesh substrate (the paper's comparison network)."""
 
+from .fast_network import FastMeshNetwork
 from .flit import Flit, Packet
 from .flowtiming import MeshFlowTiming, run_mesh_fft2d_flow
 from .network import (
@@ -42,6 +43,7 @@ __all__ = [
     "MeshFaultConfig",
     "MeshFaultReport",
     "MeshNetwork",
+    "FastMeshNetwork",
     "MeshStats",
     "SinkRecord",
     "MeshOverlapResult",

@@ -56,6 +56,20 @@ class MeshConfig:
     #: Give up and report deadlock after this many consecutive idle
     #: cycles with undelivered traffic.
     deadlock_cycles: int = 10_000
+    #: Simulation engine: ``"reference"`` is the seed flit-by-flit
+    #: simulator; ``"fast"`` selects the structure-of-arrays
+    #: :class:`~repro.mesh.fast_network.FastMeshNetwork`, which produces
+    #: identical :class:`MeshStats` and delivery orderings
+    #: (differentially tested in ``tests/test_fast_engine.py``) but runs
+    #: several times faster.
+    engine: str = "reference"
+    #: Jump the clock over quiescent intervals (no movable flit, no
+    #: pending injection, no sink becoming free) instead of idling
+    #: cycle-by-cycle.  ``None`` means "auto": enabled for the fast
+    #: engine, off for the reference engine (preserving seed behaviour
+    #: exactly).  Cycle totals and stats are unaffected either way; the
+    #: skip fires only on cycles where the reference would do nothing.
+    cycle_skip: bool | None = None
 
     def __post_init__(self) -> None:
         if self.buffer_flits < 1:
@@ -66,6 +80,17 @@ class MeshConfig:
             raise ConfigError("memory_reorder_cycles must be >= 1")
         if self.deadlock_cycles < 10:
             raise ConfigError("deadlock_cycles must be >= 10")
+        if self.engine not in ("reference", "fast"):
+            raise ConfigError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
+
+    @property
+    def cycle_skip_enabled(self) -> bool:
+        """Resolved cycle-skip setting (auto follows the engine choice)."""
+        if self.cycle_skip is None:
+            return self.engine == "fast"
+        return self.cycle_skip
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,6 +201,20 @@ class MeshNetwork:
             net.inject(packet)
         stats = net.run()
     """
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "MeshNetwork":
+        # Engine dispatch: ``MeshConfig(engine="fast")`` transparently
+        # instantiates the structure-of-arrays subclass, so call sites
+        # never import it explicitly.  Subclasses are left alone.
+        if cls is MeshNetwork:
+            config = kwargs.get("config")
+            if config is None and len(args) >= 2:
+                config = args[1]
+            if config is not None and config.engine == "fast":
+                from .fast_network import FastMeshNetwork
+
+                return object.__new__(FastMeshNetwork)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -698,6 +737,64 @@ class MeshNetwork:
             return True
         return any(self._buffers.values()) or any(self._inject.values())
 
+    # -- cycle skipping ------------------------------------------------------
+
+    def _next_wake_cycle(self) -> float:
+        """Earliest future cycle at which *time alone* can unblock a flit.
+
+        Only meaningful right after a cycle in which nothing moved: every
+        buffered head has then been routed (route computation happens
+        during planning even on move-less cycles), so the only
+        time-driven state changes left are router-pipeline delays
+        (``Flit.ready_cycle``), future-dated injections
+        (``Flit.injected_cycle``) and memory-interface reorder pipelines
+        draining (``_memory_nodes`` busy-until).  Contributors at the
+        *current* cycle count too — they were charged during the plan
+        that just ran and become actionable on the very next step, so a
+        wake equal to ``self.cycle`` means "do not jump".  Returns
+        ``inf`` when no time-driven wake-up exists (a true deadlock).
+        """
+        cycle = self.cycle
+        wake = float("inf")
+        for buf in self._buffers.values():
+            if buf:
+                ready = buf[0].ready_cycle
+                if cycle <= ready < wake:
+                    wake = ready
+        for queue in self._inject.values():
+            if queue:
+                inj = queue[0].injected_cycle
+                if cycle <= inj < wake:
+                    wake = inj
+        for busy_until in self._memory_nodes.values():
+            if cycle <= busy_until < wake:
+                wake = busy_until
+        return wake
+
+    def _skip_idle_cycles(
+        self, idle: int, max_cycles: int | None
+    ) -> int:
+        """Jump the clock over a quiescent interval; returns the new idle count.
+
+        Called right after a move-less :meth:`step`.  Advances
+        ``self.cycle`` to the earliest wake-up (capped so the deadlock
+        watchdog and ``max_cycles`` fire at exactly the same cycle the
+        cycle-by-cycle loop would reach) and credits the skipped cycles
+        to the idle counter.  Skipped cycles are ones where the
+        reference loop would plan, move nothing and re-plan — stats and
+        delivery orders are untouched.
+        """
+        wake = self._next_wake_cycle()
+        limit = self.cycle + (self.config.deadlock_cycles - idle)
+        if max_cycles is not None and max_cycles < limit:
+            limit = max_cycles
+        target = min(wake, limit)
+        if target > self.cycle:
+            jumped = int(target) - self.cycle
+            idle += jumped
+            self.cycle += jumped
+        return idle
+
     def run(self, max_cycles: int | None = None) -> MeshStats:
         """Simulate until all traffic is delivered.
 
@@ -706,6 +803,7 @@ class MeshNetwork:
         ``max_cycles`` elapses with traffic still in the network.
         """
         idle = 0
+        skip = self.config.cycle_skip_enabled
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
                 raise NetworkError(
@@ -714,6 +812,8 @@ class MeshNetwork:
             moved = self.step()
             if moved == 0:
                 idle += 1
+                if skip and not self._faults_enabled:
+                    idle = self._skip_idle_cycles(idle, max_cycles)
                 if idle >= self.config.deadlock_cycles:
                     raise NetworkError(
                         f"deadlock: no flit moved for {idle} cycles at "
@@ -738,6 +838,7 @@ class MeshNetwork:
         """
         idle = 0
         aborted: str | None = None
+        skip = self.config.cycle_skip_enabled
         stall_window = max(4 * self.fault_config.link_timeout_cycles, 64)
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
@@ -746,6 +847,8 @@ class MeshNetwork:
             moved = self.step()
             if moved == 0:
                 idle += 1
+                if skip and not self._faults_enabled:
+                    idle = self._skip_idle_cycles(idle, max_cycles)
                 if self._faults_enabled and idle >= stall_window:
                     # Fault-induced deadlock: shed one packet and go on.
                     if self._break_stall():

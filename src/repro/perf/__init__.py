@@ -1,0 +1,40 @@
+"""Performance layer: parallel sweeps, perf benches, regression gates.
+
+Three pieces (see ``docs/performance.md``):
+
+* :mod:`repro.perf.sweep` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  fan-out for seeded parameter grids with grid-order (serial-identical)
+  result merging;
+* :mod:`repro.perf.harness` — the benchmarks behind ``BENCH_mesh.json``
+  and ``BENCH_engine.json`` (fast vs reference mesh engine, bucket vs
+  heap event queue), each asserting result equality before reporting a
+  speedup;
+* :mod:`repro.perf.regression` — compares a fresh bench run against the
+  checked-in baselines so CI can fail on real slowdowns.
+"""
+
+from .harness import (
+    SCHEMA_VERSION,
+    bench_engine_timeout_storm,
+    bench_mesh_transpose,
+    run_engine_benches,
+    run_mesh_benches,
+    write_bench_file,
+)
+from .regression import Regression, check_files, compare_payloads
+from .sweep import default_workers, grid_points, run_sweep
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_engine_timeout_storm",
+    "bench_mesh_transpose",
+    "run_engine_benches",
+    "run_mesh_benches",
+    "write_bench_file",
+    "Regression",
+    "check_files",
+    "compare_payloads",
+    "default_workers",
+    "grid_points",
+    "run_sweep",
+]

@@ -1,0 +1,92 @@
+"""Shared CLI behind ``benchmarks/perf_harness.py`` and ``python -m repro perf``.
+
+Runs the perf benches (:mod:`repro.perf.harness`), writes
+``BENCH_mesh.json`` / ``BENCH_engine.json``, prints a summary, and with
+``--check`` exits non-zero when a throughput metric regressed beyond
+tolerance against the checked-in baselines
+(:mod:`repro.perf.regression`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from .harness import run_engine_benches, run_mesh_benches, write_bench_file
+from .regression import compare_payloads
+
+__all__ = ["BENCH_FILES", "main"]
+
+BENCH_FILES = ("BENCH_mesh.json", "BENCH_engine.json")
+
+
+def _summarize(payload: dict) -> list[str]:
+    lines = []
+    for name, bench in payload["benches"].items():
+        for variant, metrics in bench.items():
+            if isinstance(metrics, dict) and "wall_s" in metrics:
+                rate_key = next(k for k in metrics if k.endswith("_per_s"))
+                lines.append(
+                    f"  {name:>16s} {variant:>10s}: "
+                    f"{metrics['wall_s']:8.3f} s  "
+                    f"{metrics[rate_key]:>14,.0f} {rate_key[:-6]}/s"
+                )
+        if "speedup" in bench:
+            lines.append(
+                f"  {name:>16s} {'speedup':>10s}: {bench['speedup']:8.2f}x"
+            )
+    return lines
+
+
+def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
+    """Run the harness; returns a process exit code."""
+    default_dir = default_dir or Path.cwd()
+    parser = argparse.ArgumentParser(
+        prog="perf_harness",
+        description="Simulator fast-path benchmarks with JSON baselines.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale workloads (~seconds)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against baselines; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown before --check "
+                             "fails (default 0.30)")
+    parser.add_argument("--out-dir", type=Path, default=default_dir,
+                        help="where to write BENCH_*.json")
+    parser.add_argument("--baseline-dir", type=Path, default=default_dir,
+                        help="where the baseline BENCH_*.json live")
+    args = parser.parse_args(argv)
+
+    payloads = {
+        "BENCH_mesh.json": run_mesh_benches(quick=args.quick),
+        "BENCH_engine.json": run_engine_benches(quick=args.quick),
+    }
+
+    regressions = []
+    for filename, payload in payloads.items():
+        print(f"{filename} ({payload['mode']} mode):")
+        for line in _summarize(payload):
+            print(line)
+        if args.check:
+            baseline = args.baseline_dir / filename
+            if baseline.exists():
+                base = json.loads(baseline.read_text())
+                regressions.extend(
+                    compare_payloads(payload, base, tolerance=args.tolerance)
+                )
+            else:
+                print(f"  (no baseline at {baseline}; skipping check)")
+        out = args.out_dir / filename
+        write_bench_file(out, payload)
+        print(f"  -> wrote {out}")
+
+    if regressions:
+        print("\nPERF REGRESSIONS (vs checked-in baseline):")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    if args.check:
+        print("\nno perf regressions")
+    return 0

@@ -1,0 +1,112 @@
+"""Compare perf-bench payloads against checked-in baselines.
+
+CI runs ``benchmarks/perf_harness.py --quick --check`` on every push:
+the harness regenerates ``BENCH_mesh.json`` / ``BENCH_engine.json`` and
+this module diffs the throughput numbers against the committed
+baselines, failing the job when any rate drops by more than the
+tolerance (default 30%).
+
+Two families of metrics are compared:
+
+* ``*_per_s`` leaves (simulated cycles or events per wall second) —
+  absolute machine speed, noisy across hosts but the canonical
+  regression signal on a stable runner;
+* ``speedup`` leaves (fast path over reference path on the *same*
+  host) — nearly machine-independent, so a regression here is almost
+  always a real code change.
+
+Improvements never fail the check; only slowdowns do.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..util.errors import ConfigError
+
+__all__ = ["Regression", "compare_payloads", "check_files"]
+
+#: Metric-name suffixes treated as "bigger is better" throughputs.
+_RATE_SUFFIXES = ("_per_s",)
+_RATIO_KEYS = ("speedup",)
+
+
+@dataclass(frozen=True, slots=True)
+class Regression:
+    """One metric that fell below tolerance."""
+
+    path: str
+    baseline: float
+    current: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Relative slowdown versus the baseline (0.25 = 25% slower)."""
+        if self.baseline == 0:
+            return 0.0
+        return 1.0 - self.current / self.baseline
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.path}: {self.current:,.0f} vs baseline "
+            f"{self.baseline:,.0f} ({100 * self.drop_fraction:.0f}% slower)"
+        )
+
+
+def _iter_metrics(node: Any, prefix: str):
+    """Yield ``(dotted_path, value)`` for every tracked metric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                yield from _iter_metrics(value, path)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key.endswith(_RATE_SUFFIXES) or key in _RATIO_KEYS:
+                    yield path, float(value)
+
+
+def compare_payloads(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.30,
+) -> list[Regression]:
+    """Metrics in ``current`` more than ``tolerance`` below ``baseline``.
+
+    Metrics present in only one payload are ignored (benches may be
+    added or retired); comparing quick-mode numbers against a full-mode
+    baseline is rejected because their workloads differ.
+    """
+    if not (0.0 < tolerance < 1.0):
+        raise ConfigError(f"tolerance must be in (0, 1), got {tolerance}")
+    cur_mode = current.get("mode")
+    base_mode = baseline.get("mode")
+    if cur_mode != base_mode:
+        raise ConfigError(
+            f"cannot compare mode={cur_mode!r} run against "
+            f"mode={base_mode!r} baseline — regenerate the baseline"
+        )
+    base_metrics = dict(
+        _iter_metrics(baseline.get("benches", {}), "benches")
+    )
+    regressions: list[Regression] = []
+    for path, value in _iter_metrics(current.get("benches", {}), "benches"):
+        ref = base_metrics.get(path)
+        if ref is None or ref <= 0:
+            continue
+        if value < (1.0 - tolerance) * ref:
+            regressions.append(Regression(path=path, baseline=ref, current=value))
+    return regressions
+
+
+def check_files(
+    current_path: str | Path,
+    baseline_path: str | Path,
+    tolerance: float = 0.30,
+) -> list[Regression]:
+    """File-level wrapper around :func:`compare_payloads`."""
+    current = json.loads(Path(current_path).read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    return compare_payloads(current, baseline, tolerance=tolerance)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..util import constants
 from ..util.errors import LinkBudgetError
@@ -23,6 +24,7 @@ from ..util.validation import require_non_negative, require_positive
 __all__ = ["Waveguide", "SegmentLossModel", "max_segments", "segment_loss_db"]
 
 
+@lru_cache(maxsize=1024)
 def segment_loss_db(
     ring_through_loss_db: float,
     modulator_pitch_mm: float,
@@ -32,6 +34,11 @@ def segment_loss_db(
 
     A *segment* is one detuned ring resonator plus a waveguide section one
     modulator-pitch long.
+
+    Memoized (:func:`functools.lru_cache`): the scaling sweeps evaluate
+    the same handful of device parameter sets millions of times.
+    Arguments are plain floats, so keys are cheap and exact; invalid
+    arguments raise and are never cached.
     """
     require_non_negative("ring_through_loss_db", ring_through_loss_db)
     require_positive("modulator_pitch_mm", modulator_pitch_mm)
@@ -39,6 +46,7 @@ def segment_loss_db(
     return ring_through_loss_db + modulator_pitch_mm * waveguide_loss_db_per_mm
 
 
+@lru_cache(maxsize=1024)
 def max_segments(
     laser_power_dbm: float,
     pd_sensitivity_dbm: float,
@@ -47,6 +55,9 @@ def max_segments(
     """Maximum PSCAN segment count, paper Eq. 3.
 
     ``N <= (P_i - P_min_pd) / L_ws``, floored to an integer.
+
+    Memoized like :func:`segment_loss_db` — the scaling sweeps call this
+    in a tight loop with a handful of distinct parameter sets.
     """
     budget = laser_power_dbm - pd_sensitivity_dbm
     if budget <= 0:

@@ -27,7 +27,7 @@ __all__ = ["DualClockFifo", "FifoStats"]
 _OVERFLOW_POLICIES = ("reject", "raise", "drop-count")
 
 
-@dataclass
+@dataclass(slots=True)
 class FifoStats:
     """Occupancy statistics for a :class:`DualClockFifo`."""
 
@@ -66,6 +66,19 @@ class DualClockFifo:
         discards the item, counting it in ``stats.dropped_items`` —
         silent loss, the failure mode fault campaigns measure.
     """
+
+    __slots__ = (
+        "sim",
+        "depth",
+        "write_period_ns",
+        "read_period_ns",
+        "sync_stages",
+        "on_overflow",
+        "stats",
+        "fault_hook",
+        "_items",
+        "_read_waiters",
+    )
 
     def __init__(
         self,

@@ -1,0 +1,131 @@
+"""Cached vs uncached agreement for the memoized analytic closed forms.
+
+The scaling sweeps hammer a handful of device-parameter sets millions of
+times, so ``segment_loss_db`` / ``max_segments`` (repro.photonics) and the
+laser-power closed forms (repro.energy) are wrapped in
+:func:`functools.lru_cache`.  Memoization must be *invisible*: every cached
+function must agree bit-for-bit with its unwrapped body, and error paths
+must keep raising on every call (lru_cache never caches exceptions).
+"""
+
+import pytest
+
+from repro.energy.photonic import (
+    PhotonicEnergyModel,
+    _laser_pj_per_bit,
+    _segments_needed,
+    _total_loss_db,
+)
+from repro.photonics.waveguide import (
+    SegmentLossModel,
+    max_segments,
+    segment_loss_db,
+)
+from repro.util.errors import ConfigError, LinkBudgetError
+
+
+class TestWaveguideClosedForms:
+    def test_segment_loss_cached_matches_uncached(self):
+        segment_loss_db.cache_clear()
+        grid = [
+            (0.005, 0.5, 0.03),
+            (0.01, 1.0, 0.1),
+            (0.0, 0.25, 0.0),
+            (0.02, 2.0, 0.05),
+        ]
+        uncached = [segment_loss_db.__wrapped__(*args) for args in grid]
+        cached_cold = [segment_loss_db(*args) for args in grid]
+        cached_warm = [segment_loss_db(*args) for args in grid]
+        assert cached_cold == uncached
+        assert cached_warm == uncached
+
+    def test_segment_loss_cache_actually_hits(self):
+        segment_loss_db.cache_clear()
+        for _ in range(5):
+            segment_loss_db(0.005, 0.5, 0.03)
+        info = segment_loss_db.cache_info()
+        assert info.misses == 1
+        assert info.hits == 4
+
+    def test_max_segments_cached_matches_uncached(self):
+        max_segments.cache_clear()
+        grid = [(10.0, -26.0, 0.5), (0.0, -20.0, 0.1), (10.0, -26.0, 36.0)]
+        uncached = [max_segments.__wrapped__(*args) for args in grid]
+        assert [max_segments(*args) for args in grid] == uncached
+        assert [max_segments(*args) for args in grid] == uncached
+
+    def test_invalid_arguments_raise_every_call(self):
+        # Exceptions are never cached: each bad call must raise afresh.
+        for _ in range(2):
+            with pytest.raises(ConfigError):
+                segment_loss_db(-1.0, 0.5, 0.03)
+            with pytest.raises(LinkBudgetError):
+                max_segments(-30.0, -26.0, 0.5)
+            with pytest.raises(ConfigError):
+                max_segments(10.0, -26.0, 0.0)
+
+    def test_model_properties_use_cache_transparently(self):
+        model = SegmentLossModel()
+        expected_loss = segment_loss_db.__wrapped__(
+            model.ring_through_loss_db,
+            model.modulator_pitch_mm,
+            model.waveguide_loss_db_per_mm,
+        )
+        assert model.loss_per_segment_db == expected_loss
+        assert model.max_segments == max_segments.__wrapped__(
+            model.laser_power_dbm, model.pd_sensitivity_dbm, expected_loss
+        )
+
+
+class TestPhotonicEnergyClosedForms:
+    def test_cached_matches_uncached(self):
+        _total_loss_db.cache_clear()
+        _segments_needed.cache_clear()
+        _laser_pj_per_bit.cache_clear()
+        model = PhotonicEnergyModel()
+        for nodes in (4, 16, 64, 256, 1024):
+            assert model.total_loss_db(nodes) == _total_loss_db.__wrapped__(
+                model, nodes
+            )
+            assert model.segments_needed(nodes) == _segments_needed.__wrapped__(
+                model, nodes
+            )
+            assert model.laser_pj_per_bit(nodes) == _laser_pj_per_bit.__wrapped__(
+                model, nodes
+            )
+
+    def test_equal_models_share_cache_entries(self):
+        # Frozen slots dataclasses hash by value: two equal instances must
+        # land on the same cache line.
+        _total_loss_db.cache_clear()
+        a = PhotonicEnergyModel()
+        b = PhotonicEnergyModel()
+        assert a == b and a is not b
+        a_val = a.total_loss_db(64)
+        before = _total_loss_db.cache_info()
+        b_val = b.total_loss_db(64)
+        after = _total_loss_db.cache_info()
+        assert b_val == a_val
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_distinct_models_do_not_collide(self):
+        base = PhotonicEnergyModel()
+        lossy = PhotonicEnergyModel(waveguide_loss_db_per_mm=0.3)
+        assert lossy.total_loss_db(64) > base.total_loss_db(64)
+        assert lossy.laser_pj_per_bit(64) > base.laser_pj_per_bit(64)
+
+    def test_no_budget_raises_every_call(self):
+        starved = PhotonicEnergyModel(
+            max_launch_dbm_per_wavelength=-30.0, loss_margin_db=0.0
+        )
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                starved.segments_needed(64)
+
+    def test_gather_energy_consistent_with_cached_pieces(self):
+        model = PhotonicEnergyModel()
+        breakdown = model.gather_energy(256)
+        assert breakdown.total_loss_db == model.total_loss_db(256)
+        assert breakdown.segments == model.segments_needed(256)
+        assert breakdown.laser_pj_per_bit == model.laser_pj_per_bit(256)

@@ -1,0 +1,171 @@
+"""Tests for the parallel sweep runner and the perf regression gate.
+
+The contract of :mod:`repro.perf.sweep` is *determinism*: a parallel run
+must return bit-identical results to the serial run, in the same order,
+because the fault campaigns and figure sweeps that ride on it are seeded
+experiments.  The contract of :mod:`repro.perf.regression` is a stable
+comparison of ``BENCH_*.json`` payloads: only rate/ratio leaves count,
+modes must match, and the tolerance is a strict fraction.
+"""
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.perf.harness import SCHEMA_VERSION, write_bench_file
+from repro.perf.regression import check_files, compare_payloads
+from repro.perf.sweep import default_workers, grid_points, run_sweep
+from repro.util.errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# module-level workers (must be picklable for ProcessPoolExecutor)
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _combine(a, b):
+    return (a, b, a * 10 + b)
+
+
+# ---------------------------------------------------------------------------
+# grid + sweep
+# ---------------------------------------------------------------------------
+
+
+class TestGridPoints:
+    def test_odometer_order(self):
+        pts = grid_points(a=[1, 2], b=["x", "y", "z"])
+        assert pts == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 1, "b": "z"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+            {"a": 2, "b": "z"},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            grid_points(a=[1, 2], b=[])
+
+    def test_default_workers_bounds(self):
+        assert default_workers(0) >= 1
+        assert default_workers(1) == 1
+        assert default_workers(10**6) >= 1
+
+
+class TestRunSweep:
+    def test_serial_order_preserved(self):
+        xs = list(range(20))
+        assert run_sweep(_square, xs, parallel=False) == [x * x for x in xs]
+
+    def test_parallel_matches_serial(self):
+        xs = list(range(24))
+        serial = run_sweep(_square, xs, parallel=False)
+        parallel = run_sweep(_square, xs, parallel=True, max_workers=2)
+        assert parallel == serial
+
+    def test_mapping_points_become_kwargs(self):
+        pts = grid_points(a=[1, 2], b=[3, 4])
+        out = run_sweep(_combine, pts, parallel=False)
+        assert out == [(1, 3, 13), (1, 4, 14), (2, 3, 23), (2, 4, 24)]
+        assert run_sweep(_combine, pts, parallel=True, max_workers=2) == out
+
+    def test_single_point_runs_serial(self):
+        assert run_sweep(_square, [7]) == [49]
+
+
+class TestCampaignParallelDeterminism:
+    def test_parallel_campaign_identical_to_serial(self):
+        config = CampaignConfig(
+            processors=16,
+            row_samples=4,
+            trials=2,
+            fault_rates=(0.0, 1e-4),
+            mesh_link_failures=1,
+        )
+        serial = run_campaign(config, parallel=False)
+        parallel = run_campaign(config, parallel=True, max_workers=2)
+        assert parallel.as_table() == serial.as_table()
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+
+
+def _payload(mode="quick", **rates):
+    benches = {"storm": dict(rates)}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "engine",
+        "mode": mode,
+        "benches": benches,
+    }
+
+
+class TestComparePayloads:
+    def test_no_regression_when_equal(self):
+        p = _payload(events_per_s=1000.0, speedup=1.2)
+        assert compare_payloads(p, p) == []
+
+    def test_improvement_is_not_a_regression(self):
+        cur = _payload(events_per_s=2000.0)
+        base = _payload(events_per_s=1000.0)
+        assert compare_payloads(cur, base) == []
+
+    def test_drop_beyond_tolerance_flagged(self):
+        cur = _payload(events_per_s=600.0)
+        base = _payload(events_per_s=1000.0)
+        regs = compare_payloads(cur, base, tolerance=0.30)
+        assert len(regs) == 1
+        assert regs[0].path.endswith("events_per_s")
+        assert regs[0].drop_fraction == pytest.approx(0.4)
+
+    def test_drop_within_tolerance_passes(self):
+        cur = _payload(events_per_s=750.0)
+        base = _payload(events_per_s=1000.0)
+        assert compare_payloads(cur, base, tolerance=0.30) == []
+
+    def test_speedup_ratio_is_checked(self):
+        cur = _payload(speedup=1.0)
+        base = _payload(speedup=8.0)
+        regs = compare_payloads(cur, base)
+        assert [r.path for r in regs] == ["benches.storm.speedup"]
+
+    def test_non_rate_leaves_ignored(self):
+        cur = _payload(wall_s=99.0, cycles=5)
+        base = _payload(wall_s=1.0, cycles=500)
+        assert compare_payloads(cur, base) == []
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_payloads(_payload(mode="quick"), _payload(mode="full"))
+
+    @pytest.mark.parametrize("tol", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_tolerance_rejected(self, tol):
+        p = _payload(events_per_s=1.0)
+        with pytest.raises(ConfigError):
+            compare_payloads(p, p, tolerance=tol)
+
+    def test_new_bench_in_current_ignored(self):
+        cur = _payload(events_per_s=1000.0)
+        cur["benches"]["extra"] = {"events_per_s": 1.0}
+        base = _payload(events_per_s=1000.0)
+        assert compare_payloads(cur, base) == []
+
+
+class TestCheckFiles:
+    def test_round_trip_through_files(self, tmp_path):
+        cur = write_bench_file(
+            tmp_path / "cur.json", _payload(events_per_s=500.0)
+        )
+        base = write_bench_file(
+            tmp_path / "base.json", _payload(events_per_s=1000.0)
+        )
+        regs = check_files(cur, base, tolerance=0.30)
+        assert len(regs) == 1
+        assert regs[0].baseline == 1000.0
+        assert regs[0].current == 500.0
