@@ -226,11 +226,27 @@ def _cmd_perf(args: argparse.Namespace) -> None:
     if args.check:
         argv.append("--check")
     argv += ["--tolerance", str(args.tolerance)]
+    if args.obs_overhead_limit is not None:
+        argv += ["--obs-overhead-limit", str(args.obs_overhead_limit)]
     # Default the bench/baseline dir to the repo root when running from
     # a source checkout (src/repro/cli.py -> repo root), else the cwd.
     root = Path(__file__).resolve().parent.parent.parent
     default_dir = root if (root / "benchmarks").is_dir() else Path.cwd()
     code = perf_main(argv, default_dir=default_dir)
+    if code != 0:
+        raise SystemExit(code)
+
+
+def _cmd_obs(args: argparse.Namespace) -> None:
+    from .obs.cli import main as obs_main
+
+    argv = ["--workload", args.workload, "--out-dir", str(args.out_dir),
+            "--engine", args.engine, "--sample-cycles", str(args.sample_cycles)]
+    if args.sim_dispatch:
+        argv.append("--sim-dispatch")
+    if args.max_trace_events is not None:
+        argv += ["--max-trace-events", str(args.max_trace_events)]
+    code = obs_main(argv)
     if code != 0:
         raise SystemExit(code)
 
@@ -268,6 +284,7 @@ _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "lambda": ("measured vs paper-implied mesh latency", _cmd_lambda),
     "faults": ("seeded fault-injection / resilience campaign", _cmd_faults),
     "perf": ("simulator fast-path benchmarks (BENCH_*.json)", _cmd_perf),
+    "obs": ("instrumented workload -> trace.json + metrics.json", _cmd_obs),
 }
 
 
@@ -323,6 +340,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fail on regression vs checked-in baselines")
             p.add_argument("--tolerance", type=float, default=0.30,
                            help="allowed fractional slowdown (default 0.30)")
+            p.add_argument("--obs-overhead-limit", dest="obs_overhead_limit",
+                           type=float, default=None, metavar="FRAC",
+                           help="fail if disabled-instrumentation overhead "
+                                "exceeds FRAC (default: no gate)")
+        elif name == "obs":
+            from pathlib import Path as _Path
+            p.add_argument("--workload", default="transpose",
+                           help="canned instrumented workload "
+                                "(fig4/faults/fft2d/transpose)")
+            p.add_argument("--out-dir", dest="out_dir", type=_Path,
+                           default=_Path.cwd(),
+                           help="directory for trace.json / metrics.json")
+            p.add_argument("--engine", choices=("reference", "fast"),
+                           default="reference",
+                           help="mesh engine for the transpose workload")
+            p.add_argument("--sim-dispatch", dest="sim_dispatch",
+                           action="store_true",
+                           help="also record per-event kernel dispatches")
+            p.add_argument("--sample-cycles", dest="sample_cycles", type=int,
+                           default=16,
+                           help="mesh occupancy sampling interval (0 = off)")
+            p.add_argument("--max-trace-events", dest="max_trace_events",
+                           type=int, default=None,
+                           help="ring-buffer cap on kept trace events")
         elif name == "optimize":
             p.add_argument("--n", type=int, default=1024)
             p.add_argument("--processors", type=int, default=256)

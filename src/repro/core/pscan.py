@@ -228,6 +228,20 @@ class Pscan:
         #: the detection point and returns the (possibly corrupted) value.
         #: ``None`` — the default — leaves the fault-free path untouched.
         self.fault_hook: Any = None
+        # Optional observability hook (duck-typed ObsSession); None keeps
+        # the hot paths at one pointer comparison per hook site.
+        self._obs: Any = None
+
+    def attach_observer(self, obs: Any) -> None:
+        """Attach an observability session (see :mod:`repro.obs`).
+
+        ``obs`` duck-types :class:`repro.obs.session.ObsSession`: the
+        executor calls ``sca_modulate`` / ``sca_arrival`` /
+        ``sca_deliver`` per word (timestamps are absolute simulator ns)
+        and ``sca_execution`` with the finished
+        :class:`ScaExecution`.  Pass ``None`` to detach.
+        """
+        self._obs = obs
 
     # -- helpers --------------------------------------------------------------
 
@@ -309,7 +323,11 @@ class Pscan:
             if self.fault_hook is not None:
                 value = self.fault_hook(time_ns, node, word_index, value)
             result.arrivals.append(Arrival(time_ns, cycle, node, word_index, value))
-            self.tracer.record("arrival", (cycle, node, word_index))
+            tr = self.tracer
+            if tr.enabled:  # guard: no tuple built on disabled runs
+                tr.record("arrival", (cycle, node, word_index))
+            if self._obs is not None:
+                self._obs.sca_arrival(time_ns, node, cycle, word_index)
 
         def driver(node: int) -> Any:
             x = self.positions_mm[node]
@@ -345,7 +363,11 @@ class Pscan:
                     mods.append((cycle, self.sim.now))
                     if not first_mod or self.sim.now < first_mod[0]:
                         first_mod[:] = [self.sim.now]
-                    self.tracer.record("modulate", (node, cycle))
+                    tr = self.tracer
+                    if tr.enabled:  # guard: no tuple built on disabled runs
+                        tr.record("modulate", (node, cycle))
+                    if self._obs is not None:
+                        self._obs.sca_modulate(self.sim.now, node, cycle)
                     arr = self.sim.timeout(
                         flight, (self.sim.now + flight, node, word, buffer[word])
                     )
@@ -367,6 +389,8 @@ class Pscan:
             )
         result.start_ns = first_mod[0] if first_mod else 0.0
         result.end_ns = result.arrivals[-1].time_ns if result.arrivals else 0.0
+        if self._obs is not None:
+            self._obs.sca_execution(result)
         return result
 
     # -- SCA⁻¹ (scatter) -----------------------------------------------------
@@ -417,7 +441,11 @@ class Pscan:
                 value = self.fault_hook(time_ns, node, word_index, value)
             result.delivered.setdefault(node, []).append(value)
             result.arrivals.append(Arrival(time_ns, cycle, node, word_index, value))
-            self.tracer.record("deliver", (cycle, node, word_index))
+            tr = self.tracer
+            if tr.enabled:  # guard: no tuple built on disabled runs
+                tr.record("deliver", (cycle, node, word_index))
+            if self._obs is not None:
+                self._obs.sca_deliver(time_ns, node, cycle, word_index)
 
         def source() -> Any:
             mods = result.modulation_times.setdefault(-1, [])
@@ -452,4 +480,6 @@ class Pscan:
         result.arrivals.sort(key=lambda a: a.time_ns)
         result.start_ns = first_mod[0] if first_mod else 0.0
         result.end_ns = result.arrivals[-1].time_ns if result.arrivals else 0.0
+        if self._obs is not None:
+            self._obs.sca_execution(result)
         return result

@@ -105,6 +105,19 @@ class ReliableGather:
     def __init__(self, pscan: Pscan, policy: RetryPolicy | None = None) -> None:
         self.pscan = pscan
         self.policy = policy or RetryPolicy()
+        # Optional observability hook (duck-typed ObsSession).
+        self._obs: Any = None
+
+    def attach_observer(self, obs: Any) -> None:
+        """Attach an observability session (see :mod:`repro.obs`).
+
+        ``obs`` duck-types :class:`repro.obs.session.ObsSession`: the
+        recovery loop calls ``fault_epoch_begin`` / ``fault_epoch_end``
+        around each (re)transmission epoch, ``fault_nack`` per CRC
+        failure and ``fault_backoff`` for each idle backoff window.
+        Timestamps are absolute simulator ns.  Pass ``None`` to detach.
+        """
+        self._obs = obs
 
     def _epoch_cycles(self, words: int) -> tuple[int, int]:
         """(payload, crc-sideband) bus cycles of an epoch of ``words``."""
@@ -140,6 +153,10 @@ class ReliableGather:
 
         for epoch_index in range(self.policy.max_retries + 1):
             schedule = gather_schedule(current_order)
+            if self._obs is not None:
+                self._obs.fault_epoch_begin(
+                    self.pscan.sim.now, epoch_index, len(current_order)
+                )
             execution = self.pscan.execute_gather(schedule, frames, receiver_mm)
             if first_execution is None:
                 first_execution = execution
@@ -154,7 +171,16 @@ class ReliableGather:
                     values[pair] = unpack_word(arrival.value)
                 except TransientFaultError:
                     failed.append(pair)  # head node NACKs this word
+                    if self._obs is not None:
+                        self._obs.fault_nack(
+                            arrival.time_ns, arrival.source_node,
+                            arrival.word_index,
+                        )
             stats.crc_nacks += len(failed)
+            if self._obs is not None:
+                self._obs.fault_epoch_end(
+                    self.pscan.sim.now, epoch_index, len(failed)
+                )
             if not failed:
                 break
 
@@ -176,6 +202,10 @@ class ReliableGather:
             stats.backoff_cycles += backoff
             if backoff:
                 delay_ns = backoff * self.pscan.clock.period_ns
+                if self._obs is not None:
+                    self._obs.fault_backoff(
+                        self.pscan.sim.now, backoff, delay_ns
+                    )
                 self.pscan.sim.run(self.pscan.sim.timeout(delay_ns))
             current_order = retransmission_order(order, set(failed))
             stats.retransmitted_words += len(current_order)

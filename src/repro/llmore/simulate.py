@@ -31,6 +31,7 @@ Phase models
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..util.errors import ConfigError
 from .app import PHASE_SEQUENCE, Fft2dApp, PhaseKind
@@ -149,6 +150,7 @@ def simulate_fft2d(
     machine: MachineModel,
     mapping: BlockRowMap | None = None,
     delivery_k: int = 1,
+    obs: Any = None,
 ) -> PhaseBreakdown:
     """Run the five-phase flow; returns the per-phase breakdown.
 
@@ -158,6 +160,12 @@ def simulate_fft2d(
     Section VI-B expects to "improve [performance] further".  Overlapped
     (delivery + compute) pairs are reported under the compute phase's
     key, with the delivery key set to 0 so the phase sum stays the total.
+
+    ``obs`` optionally duck-types
+    :class:`repro.obs.session.ObsSession`: each phase is reported as a
+    ``phase_complete(machine, phase, t0_ns, dur_ns)`` span (phases laid
+    end to end in :data:`PHASE_SEQUENCE` order) and the finished
+    breakdown as ``llmore_result``.
     """
     mapping = mapping or BlockRowMap(app.rows, app.cols, machine.cores)
     if mapping.cores != machine.cores:
@@ -185,6 +193,7 @@ def simulate_fft2d(
             else:  # pragma: no cover - PHASE_SEQUENCE is fixed
                 raise ConfigError(f"unknown phase {phase!r}")
             result.phases[phase] = t
+        _report_phases(obs, machine.name, result)
         return result
 
     # Model II: each delivery overlaps its compute phase.
@@ -197,4 +206,17 @@ def simulate_fft2d(
     result.phases["col_fft"] = _overlapped_phase_ns(
         app, machine, post_map, "col_fft", delivery_k
     )
+    _report_phases(obs, machine.name, result)
     return result
+
+
+def _report_phases(obs: Any, machine: str, result: PhaseBreakdown) -> None:
+    """Emit the breakdown's phases (laid end to end) to an observer."""
+    if obs is None:
+        return
+    t0 = 0.0
+    for phase in PHASE_SEQUENCE:
+        dur = result.phases.get(phase, 0.0)
+        obs.phase_complete(machine, phase, t0, dur)
+        t0 += dur
+    obs.llmore_result(result)

@@ -288,8 +288,26 @@ class MeshNetwork:
             self._adjacent[node] = entries
         self.stats = MeshStats()
         self.sunk: list[SinkRecord] = []
+        # Optional observability hook (duck-typed ObsSession); None keeps
+        # the hot loops at one pointer comparison per hook site.  Shared
+        # by the fast engine, which inherits every instrumented method.
+        self._obs: Any = None
 
     # -- construction -------------------------------------------------------
+
+    def attach_observer(self, obs: Any) -> None:
+        """Attach an observability session (see :mod:`repro.obs`).
+
+        ``obs`` duck-types :class:`repro.obs.session.ObsSession`: the
+        mesh calls its ``mesh_inject`` / ``mesh_deliver`` /
+        ``mesh_fault`` / ``mesh_cycle`` / ``mesh_run_begin`` /
+        ``mesh_run_end`` hooks.  Semantic events come from methods shared
+        by every engine, so reference and fast runs produce identical
+        event sequences (the trace-oracle contract); only the sampled
+        ``mesh.sample`` category is engine-dependent.  Pass ``None`` to
+        detach.
+        """
+        self._obs = obs
 
     def add_memory_interface(self, node: tuple[int, int]) -> None:
         """Attach a memory interface (with reorder cost) at ``node``."""
@@ -310,6 +328,11 @@ class MeshNetwork:
         )
         self._inject[packet.source].extend(flits)
         self._pending_flits += len(flits)
+        if self._obs is not None:
+            self._obs.mesh_inject(
+                self.cycle, packet.packet_id, packet.source, packet.dest,
+                len(flits),
+            )
 
     # -- fault injection ----------------------------------------------------
 
@@ -399,10 +422,17 @@ class MeshNetwork:
                 source=self._packet_meta[flit.packet_id][1],
             )
         )
+        latency: int | None = None
         if flit.is_tail:
             inject_cycle, _src = self._packet_meta[flit.packet_id]
-            self.stats.packet_latencies.append(self.cycle - inject_cycle)
+            latency = self.cycle - inject_cycle
+            self.stats.packet_latencies.append(latency)
             self.stats.packets_delivered += 1
+        if self._obs is not None:
+            self._obs.mesh_deliver(
+                self.cycle, node, flit.packet_id,
+                self._packet_meta[flit.packet_id][1], flit.is_tail, latency,
+            )
 
     # -- fault detection & recovery -----------------------------------------
 
@@ -416,6 +446,10 @@ class MeshNetwork:
         """Declare (node, port) dead locally and re-route or drop its users."""
         self._quarantined[node].add(port)
         self.stats.quarantine_events += 1
+        if self._obs is not None:
+            self._obs.mesh_fault(
+                self.cycle, "quarantine", node=node, port=port.name
+            )
         self._blocked.pop((node, port), None)
         for (n, pid), r in list(self._route.items()):
             if n != node or r != port:
@@ -431,6 +465,10 @@ class MeshNetwork:
                 # fault_aware_route (which sees the quarantine set).
                 del self._route[(n, pid)]
                 self.stats.reroutes += 1
+                if self._obs is not None:
+                    self._obs.mesh_fault(
+                        self.cycle, "reroute", packet=pid, node=node
+                    )
 
     def _drop_packet(self, packet_id: int) -> None:
         """Remove every flit of ``packet_id`` from the network (lost)."""
@@ -463,6 +501,10 @@ class MeshNetwork:
             del self._owner[chan]
         for key in [k for k in self._route if k[1] == packet_id]:
             del self._route[key]
+        if self._obs is not None:
+            self._obs.mesh_fault(
+                self.cycle, "drop", packet=packet_id, flits=dropped
+            )
 
     def _fault_tick(self) -> None:
         """Per-cycle fault bookkeeping (only runs once faults are armed)."""
@@ -524,6 +566,8 @@ class MeshNetwork:
         if not candidates:
             return False
         _prio, packet_id = min(candidates)
+        if self._obs is not None:
+            self._obs.mesh_fault(self.cycle, "stall_break", packet=packet_id)
         self._drop_packet(packet_id)
         return True
 
@@ -727,6 +771,8 @@ class MeshNetwork:
         moves = self._plan_moves()
         moved = self._commit_moves(moves)
         moved += self._do_injection()
+        if self._obs is not None:
+            self._obs.mesh_cycle(self.cycle, moved, self._pending_flits)
         self.cycle += 1
         return moved
 
@@ -804,6 +850,8 @@ class MeshNetwork:
         """
         idle = 0
         skip = self.config.cycle_skip_enabled
+        if self._obs is not None:
+            self._obs.mesh_run_begin(self.cycle, "run")
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
                 raise NetworkError(
@@ -822,6 +870,8 @@ class MeshNetwork:
             else:
                 idle = 0
         self.stats.cycles = self.cycle
+        if self._obs is not None:
+            self._obs.mesh_run_end(self.cycle, "run", self.stats)
         return self.stats
 
     def run_resilient(
@@ -840,6 +890,8 @@ class MeshNetwork:
         aborted: str | None = None
         skip = self.config.cycle_skip_enabled
         stall_window = max(4 * self.fault_config.link_timeout_cycles, 64)
+        if self._obs is not None:
+            self._obs.mesh_run_begin(self.cycle, "run_resilient")
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
                 aborted = "max-cycles"
@@ -860,6 +912,8 @@ class MeshNetwork:
             else:
                 idle = 0
         self.stats.cycles = self.cycle
+        if self._obs is not None:
+            self._obs.mesh_run_end(self.cycle, "run_resilient", self.stats)
         lost = list(self.stats.packets_lost)
         if aborted is None and not lost and not self.stats.flits_dropped:
             return self.stats, None

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..util.errors import ConfigError, NetworkError
 from .flit import Flit, Packet
@@ -134,8 +135,23 @@ class VcMeshNetwork:
         # quarantine-and-reroute recovery lives in MeshNetwork.
         self._faults_enabled = False
         self._dead: set[tuple[tuple[int, int], Port]] = set()
+        # Optional observability hook (duck-typed ObsSession); None keeps
+        # the hot loops at one pointer comparison per hook site.
+        self._obs: Any = None
 
     # -- construction ------------------------------------------------------
+
+    def attach_observer(self, obs: Any) -> None:
+        """Attach an observability session (see :mod:`repro.obs`).
+
+        Same duck-typed hook contract as
+        :meth:`repro.mesh.network.MeshNetwork.attach_observer`:
+        ``mesh_inject`` / ``mesh_deliver`` / ``mesh_cycle`` /
+        ``mesh_run_begin`` / ``mesh_run_end``.  The VC mesh has no
+        quarantine/reroute recovery, so it never emits ``mesh_fault``
+        events.  Pass ``None`` to detach.
+        """
+        self._obs = obs
 
     def add_memory_interface(self, node: tuple[int, int]) -> None:
         """Attach a reorder-cost memory interface at ``node``."""
@@ -155,6 +171,11 @@ class VcMeshNetwork:
         )
         self._inject[packet.source].extend(flits)
         self._pending_flits += len(flits)
+        if self._obs is not None:
+            self._obs.mesh_inject(
+                self.cycle, packet.packet_id, packet.source, packet.dest,
+                len(flits),
+            )
 
     def fail_link(self, a: tuple[int, int], b: tuple[int, int]) -> None:
         """Kill the (bidirectional) link between adjacent ``a`` and ``b``.
@@ -198,10 +219,17 @@ class VcMeshNetwork:
         if flit.payload is not None or not flit.is_head:
             self.stats.flits_delivered += 1
         self.sunk.append((self.cycle, node, flit.packet_id, flit.payload))
+        latency: int | None = None
         if flit.is_tail:
             inject_cycle, _src = self._packet_meta[flit.packet_id]
-            self.stats.packet_latencies.append(self.cycle - inject_cycle)
+            latency = self.cycle - inject_cycle
+            self.stats.packet_latencies.append(latency)
             self.stats.packets_delivered += 1
+        if self._obs is not None:
+            self._obs.mesh_deliver(
+                self.cycle, node, flit.packet_id,
+                self._packet_meta[flit.packet_id][1], flit.is_tail, latency,
+            )
 
     # -- one cycle ----------------------------------------------------------
 
@@ -376,6 +404,8 @@ class VcMeshNetwork:
         """Advance one cycle; returns flits moved."""
         moved = self._commit(self._plan())
         moved += self._do_injection()
+        if self._obs is not None:
+            self._obs.mesh_cycle(self.cycle, moved, self._pending_flits)
         self.cycle += 1
         return moved
 
@@ -436,6 +466,8 @@ class VcMeshNetwork:
         """Simulate to completion; detects deadlock and cycle overrun."""
         idle = 0
         skip = self.config.cycle_skip
+        if self._obs is not None:
+            self._obs.mesh_run_begin(self.cycle, "run")
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
                 raise NetworkError(f"undelivered after max_cycles={max_cycles}")
@@ -451,6 +483,8 @@ class VcMeshNetwork:
             else:
                 idle = 0
         self.stats.cycles = self.cycle
+        if self._obs is not None:
+            self._obs.mesh_run_end(self.cycle, "run", self.stats)
         return self.stats
 
     def run_resilient(
@@ -467,6 +501,8 @@ class VcMeshNetwork:
         idle = 0
         aborted: str | None = None
         skip = self.config.cycle_skip
+        if self._obs is not None:
+            self._obs.mesh_run_begin(self.cycle, "run_resilient")
         while self.traffic_remaining:
             if max_cycles is not None and self.cycle >= max_cycles:
                 aborted = "max-cycles"
@@ -482,6 +518,8 @@ class VcMeshNetwork:
             else:
                 idle = 0
         self.stats.cycles = self.cycle
+        if self._obs is not None:
+            self._obs.mesh_run_end(self.cycle, "run_resilient", self.stats)
         if aborted is None:
             return self.stats, None
         undelivered = sorted(

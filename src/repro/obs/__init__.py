@@ -1,0 +1,57 @@
+"""Unified observability layer: metrics, span tracing, Chrome export.
+
+The substrate every simulator in this repo reports through:
+
+``repro.obs.tracing``
+    :class:`SpanTracer` — categorized instant/span/counter events with a
+    near-zero-overhead disabled path and a ring-buffer capped mode.
+``repro.obs.metrics``
+    :class:`MetricsRegistry` — Prometheus-style labeled counters,
+    gauges, series, histograms and time-weighted stats built on the
+    :mod:`repro.sim.stats` accumulators, with strict-JSON round-trip.
+``repro.obs.chrome``
+    Chrome ``trace_event``-format export + schema validator, so traces
+    open directly in ``chrome://tracing`` / Perfetto.
+``repro.obs.session`` / ``repro.obs.config``
+    :class:`ObsSession` bundles the recorders behind per-layer
+    :class:`ObsConfig` switches and is what ``attach_observer`` methods
+    on :class:`~repro.sim.engine.Simulator`,
+    :class:`~repro.mesh.network.MeshNetwork`,
+    :class:`~repro.mesh.vc_network.VcMeshNetwork`,
+    :class:`~repro.core.pscan.Pscan` and
+    :class:`~repro.faults.recovery.ReliableGather` accept.
+``repro.obs.workloads`` / ``repro.obs.cli``
+    Canned instrumented workloads and the ``python -m repro obs``
+    entry point emitting ``trace.json`` + ``metrics.json``.
+
+Design: instrumented modules never import this package — they hold an
+opaque ``_obs`` attribute (``None`` when unattached) and call duck-typed
+hook methods, so the fault-free, unobserved hot paths pay exactly one
+``is not None`` comparison per hook site.
+"""
+
+from .chrome import (
+    normalize_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .config import ObsConfig
+from .metrics import MetricsRegistry, registry_from_dict, registry_from_json
+from .session import ObsSession
+from .tracing import SpanTracer, TraceEvent, wall_clock_us
+
+__all__ = [
+    "ObsConfig",
+    "ObsSession",
+    "SpanTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "registry_from_dict",
+    "registry_from_json",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "normalize_events",
+    "wall_clock_us",
+]

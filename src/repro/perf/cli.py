@@ -36,7 +36,22 @@ def _summarize(payload: dict) -> list[str]:
             lines.append(
                 f"  {name:>16s} {'speedup':>10s}: {bench['speedup']:8.2f}x"
             )
+        if "overhead_fraction" in bench:
+            lines.append(
+                f"  {name:>16s} {'overhead':>10s}: "
+                f"{100 * bench['overhead_fraction']:+8.2f}%"
+            )
     return lines
+
+
+def _obs_overheads(payloads: dict[str, dict]) -> list[tuple[str, float]]:
+    """``(bench_path, overhead_fraction)`` for every obs-overhead bench."""
+    found = []
+    for filename, payload in payloads.items():
+        for name, bench in payload.get("benches", {}).items():
+            if isinstance(bench, dict) and "overhead_fraction" in bench:
+                found.append((f"{filename}:{name}", bench["overhead_fraction"]))
+    return found
 
 
 def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
@@ -53,6 +68,11 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional slowdown before --check "
                              "fails (default 0.30)")
+    parser.add_argument("--obs-overhead-limit", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail if disabled-instrumentation overhead "
+                             "exceeds FRAC (e.g. 0.05 for the 5%% "
+                             "acceptance bar); default: no gate")
     parser.add_argument("--out-dir", type=Path, default=default_dir,
                         help="where to write BENCH_*.json")
     parser.add_argument("--baseline-dir", type=Path, default=default_dir,
@@ -82,10 +102,33 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
         write_bench_file(out, payload)
         print(f"  -> wrote {out}")
 
+    failed = False
     if regressions:
         print("\nPERF REGRESSIONS (vs checked-in baseline):")
         for r in regressions:
             print(f"  {r}")
+        failed = True
+
+    if args.obs_overhead_limit is not None:
+        overheads = _obs_overheads(payloads)
+        if not overheads:
+            print("\nOBS OVERHEAD: no obs-overhead bench in the payloads")
+            failed = True
+        for path, frac in overheads:
+            if frac > args.obs_overhead_limit:
+                print(
+                    f"\nOBS OVERHEAD LIMIT EXCEEDED: {path} = "
+                    f"{100 * frac:.2f}% > "
+                    f"{100 * args.obs_overhead_limit:.2f}% allowed"
+                )
+                failed = True
+            else:
+                print(
+                    f"obs overhead ok: {path} = {100 * frac:.2f}% "
+                    f"(limit {100 * args.obs_overhead_limit:.2f}%)"
+                )
+
+    if failed:
         return 1
     if args.check:
         print("\nno perf regressions")

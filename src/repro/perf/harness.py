@@ -35,6 +35,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "bench_engine_timeout_storm",
     "bench_mesh_transpose",
+    "bench_obs_overhead",
     "run_engine_benches",
     "run_mesh_benches",
     "write_bench_file",
@@ -146,6 +147,85 @@ def bench_mesh_transpose(
     }
 
 
+def _run_mesh_obs_once(
+    engine: str, processors: int, cols: int, reorder: int
+) -> tuple[float, tuple]:
+    """Like :func:`_run_mesh_once` but with a disabled observer attached.
+
+    This is the shape the observability contract promises is nearly
+    free: instrumented code holds a reference to an
+    :class:`~repro.obs.ObsSession` whose config disables every layer,
+    so each hook site costs one attribute load and one branch.
+    """
+    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..mesh.workloads import make_transpose_gather
+    from ..obs import ObsConfig, ObsSession
+
+    topo = MeshTopology.square(processors)
+    net = MeshNetwork(
+        topo, MeshConfig(engine=engine, memory_reorder_cycles=reorder)
+    )
+    net.attach_observer(ObsSession(ObsConfig.disabled()))
+    net.add_memory_interface((0, 0))
+    for packet in make_transpose_gather(topo, cols=cols).packets:
+        net.inject(packet)
+    t0 = time.perf_counter()
+    stats = net.run()
+    wall = time.perf_counter() - t0
+    return wall, _mesh_signature(net, stats)
+
+
+def bench_obs_overhead(
+    processors: int = 64,
+    cols: int = 8,
+    reorder: int = 4,
+    repeats: int = 3,
+    engine: str = "fast",
+) -> dict[str, Any]:
+    """Disabled-instrumentation overhead on the transpose gather.
+
+    Runs the same workload plain and with a fully *disabled*
+    :class:`~repro.obs.ObsSession` attached, asserts identical results,
+    and reports ``overhead_fraction`` — the fractional wall-time cost of
+    merely carrying the hooks.  The acceptance bar is <5 %; the perf CLI
+    gates on it via ``--obs-overhead-limit``.
+
+    The fast engine is benchmarked because its per-cycle work is the
+    smallest, making it the *worst* case for relative hook overhead.
+    """
+    plain_wall, plain_sig = _best_of(
+        lambda: _run_mesh_once(engine, processors, cols, reorder), repeats
+    )
+    obs_wall, obs_sig = _best_of(
+        lambda: _run_mesh_obs_once(engine, processors, cols, reorder), repeats
+    )
+    if plain_sig != obs_sig:
+        raise AssertionError(
+            "attaching a disabled observer changed the simulation result"
+        )
+    cycles = plain_sig[0]
+    overhead = (obs_wall - plain_wall) / plain_wall if plain_wall > 0 else 0.0
+    return {
+        "workload": {
+            "kind": "transpose_gather",
+            "engine": engine,
+            "processors": processors,
+            "cols": cols,
+            "memory_reorder_cycles": reorder,
+        },
+        "simulated_cycles": cycles,
+        "plain": {
+            "wall_s": plain_wall,
+            "cycles_per_s": cycles / plain_wall if plain_wall > 0 else 0.0,
+        },
+        "observed_disabled": {
+            "wall_s": obs_wall,
+            "cycles_per_s": cycles / obs_wall if obs_wall > 0 else 0.0,
+        },
+        "overhead_fraction": overhead,
+    }
+
+
 def run_mesh_benches(quick: bool = False, repeats: int | None = None) -> dict[str, Any]:
     """The ``BENCH_mesh.json`` payload."""
     reps = repeats if repeats is not None else (2 if quick else 3)
@@ -153,6 +233,9 @@ def run_mesh_benches(quick: bool = False, repeats: int | None = None) -> dict[st
     benches = {
         "transpose_8x8": bench_mesh_transpose(
             processors=64, cols=cols, repeats=reps
+        ),
+        "obs_overhead": bench_obs_overhead(
+            processors=64, cols=cols, repeats=max(reps, 3)
         ),
     }
     return _payload("mesh", quick, benches)

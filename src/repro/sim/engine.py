@@ -493,7 +493,8 @@ class Simulator:
     [5.0]
     """
 
-    __slots__ = ("_now", "_queue", "_event_count", "_timeout_pool", "_pooling")
+    __slots__ = ("_now", "_queue", "_event_count", "_timeout_pool", "_pooling",
+                 "_obs")
 
     def __init__(self, *, queue: str = "bucket", pool_timeouts: bool = True) -> None:
         try:
@@ -507,6 +508,19 @@ class Simulator:
         self._event_count: int = 0
         self._timeout_pool: list[Timeout] = []
         self._pooling = bool(pool_timeouts)
+        # Optional observability hook (duck-typed ObsSession); None keeps
+        # the dispatch loop at a single pointer comparison per event.
+        self._obs: Any = None
+
+    def attach_observer(self, obs: Any) -> None:
+        """Attach an observability session (see :mod:`repro.obs`).
+
+        ``obs`` duck-types :class:`repro.obs.session.ObsSession`; its
+        ``sim_event(name, ts, queue_depth)`` hook is called once per
+        dispatched event when the session's ``sim_dispatch`` layer is
+        enabled.  Pass ``None`` to detach.
+        """
+        self._obs = obs
 
     # -- clock ----------------------------------------------------------------
 
@@ -588,6 +602,11 @@ class Simulator:
         event.callbacks = None
         event._processed = True
         self._event_count += 1
+        if self._obs is not None:
+            # Depth is sampled post-pop, pre-callback: both event queues
+            # hold the identical pending set at this point, so the
+            # heap-vs-bucket trace oracle sees identical records.
+            self._obs.sim_event(type(event).__name__, time, len(self._queue))
         if len(callbacks) == 1:
             # Fast path: the overwhelmingly common single-waiter case
             # (``yield sim.timeout(d)``) — skip loop setup.

@@ -151,7 +151,21 @@ class Histogram:
             self.overflow += 1
         else:
             idx = int((value - self.lo) / (self.hi - self.lo) * self.bins)
-            self.counts[min(idx, self.bins - 1)] += 1
+            if idx > self.bins - 1:
+                idx = self.bins - 1
+            # Float-boundary correction: the scaled division above can
+            # disagree with ``bin_edges()`` by one bin when ``value``
+            # sits exactly on (or within one ulp of) an edge.  Nudge so
+            # the invariant ``edges[idx] <= value < edges[idx + 1]``
+            # (last bin capped at ``hi``) holds for every sample — the
+            # contract the property tests check against a brute-force
+            # edge scan.
+            width = (self.hi - self.lo) / self.bins
+            while idx > 0 and value < self.lo + idx * width:
+                idx -= 1
+            while idx < self.bins - 1 and value >= self.lo + (idx + 1) * width:
+                idx += 1
+            self.counts[idx] += 1
 
     def bin_edges(self) -> list[float]:
         """The ``bins + 1`` edges of the histogram."""

@@ -4,14 +4,35 @@ A :class:`Tracer` records ``(time, category, payload)`` tuples.  Traces
 power the Fig.-4-style SCA waveform reconstruction and the mesh simulator's
 flit timelines, and give tests a way to assert on *when* things happened,
 not just end states.
+
+Long-run hygiene
+----------------
+Two mechanisms keep week-long benchmark runs from exhausting memory or
+wasting time on records nobody reads:
+
+* **Ring-buffer cap** — ``max_records=N`` keeps only the newest ``N``
+  records; older ones are silently discarded and counted in
+  :attr:`Tracer.dropped`.  Uncapped tracers append to a plain list,
+  exactly as before.
+* **Lazy payloads** — ``record`` accepts a zero-argument callable as the
+  payload and only invokes it when tracing is enabled, so hot paths can
+  write ``tracer.record("x", lambda: expensive())`` without paying for
+  the payload on disabled runs.  Callers that build tuples inline should
+  additionally guard with ``if tracer.enabled:`` so no object is
+  constructed at all (the pattern the instrumented simulators use).
+
+For categorized, span-capable, Chrome-exportable tracing see
+:class:`repro.obs.tracing.SpanTracer`, which generalizes this class.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..util.errors import ConfigError
 from .engine import Simulator
 
 __all__ = ["TraceRecord", "Tracer"]
@@ -31,17 +52,41 @@ class Tracer:
     """Append-only trace log bound to a simulator clock.
 
     Tracing can be disabled (``enabled=False``) to remove overhead from
-    large benchmark runs; ``record`` then becomes a no-op.
+    large benchmark runs; ``record`` then becomes a no-op.  With
+    ``max_records=N`` the log becomes a ring buffer keeping the newest
+    ``N`` records (discards counted in :attr:`dropped`).
     """
 
     sim: Simulator
     enabled: bool = True
-    records: list[TraceRecord] = field(default_factory=list)
+    records: Any = field(default_factory=list)
+    #: Keep only the newest N records (None = unbounded, the seed mode).
+    max_records: int | None = None
+    #: Records discarded by the ring buffer.
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None:
+            if self.max_records < 1:
+                raise ConfigError(
+                    f"max_records must be >= 1 or None, got {self.max_records}"
+                )
+            self.records = deque(self.records, maxlen=self.max_records)
 
     def record(self, category: str, payload: Any = None) -> None:
-        """Append a record stamped with the current simulation time."""
-        if self.enabled:
-            self.records.append(TraceRecord(self.sim.now, category, payload))
+        """Append a record stamped with the current simulation time.
+
+        A callable ``payload`` is invoked (with no arguments) only when
+        tracing is enabled — the guarded-lambda pattern for hot paths.
+        """
+        if not self.enabled:
+            return
+        if callable(payload):
+            payload = payload()
+        records = self.records
+        if self.max_records is not None and len(records) == self.max_records:
+            self.dropped += 1
+        records.append(TraceRecord(self.sim.now, category, payload))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -55,7 +100,7 @@ class Tracer:
         predicate: Callable[[TraceRecord], bool] | None = None,
     ) -> list[TraceRecord]:
         """Records matching ``category`` (exact) and/or ``predicate``."""
-        out = self.records
+        out: Any = self.records
         if category is not None:
             out = [r for r in out if r.category == category]
         if predicate is not None:
@@ -74,5 +119,5 @@ class Tracer:
         return None
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (the drop counter is kept)."""
         self.records.clear()

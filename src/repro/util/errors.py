@@ -84,6 +84,15 @@ class MemoryModelError(ReproError, ValueError):
     """The DRAM model was driven outside its geometry (bad row/burst)."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An exported artifact failed a schema/contract check.
+
+    Raised by the observability layer when a Chrome ``trace_event``
+    object is malformed (missing required keys, unknown phase, or a
+    timestamp that goes backwards on a track).
+    """
+
+
 class FaultError(ReproError, RuntimeError):
     """Base class for injected-hardware-fault errors (see module docstring).
 
