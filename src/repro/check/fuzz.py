@@ -1,0 +1,910 @@
+"""Seeded differential fuzzer: cross-execute every equivalent-engine pair.
+
+The repo ships several *pairs* (or families) of implementations that claim
+observational equivalence — a fast mesh engine behind
+``MeshConfig(engine="fast")``, a calendar event queue behind
+``Simulator(queue="bucket")``, cycle skipping behind
+``MeshConfig(cycle_skip=...)``, an analytic Table III model next to the
+measured flit simulator, a canonical CRC frame codec, and the
+CRC-protected retransmitting gather.  Each pair is covered by targeted
+unit tests on a handful of hand-picked workloads; this module generates
+*randomized* workloads from a seed and fails on any divergence.
+
+Case kinds
+----------
+
+``mesh``
+    Reference vs fast engine (and cycle-skip on/off) on randomized
+    topology size / workload / reorder latency / fault plan, compared by
+    full observable signature (stats, per-packet delivery order,
+    normalized packet ids) and — when ``trace`` is set — by the
+    normalized semantic obs trace (categories ``mesh``/``mesh.fault``).
+
+``queue``
+    Heap vs bucket event queue under a randomized timeout storm with
+    priority ties, compared by the exact firing trace; timeout pooling
+    must be invisible.
+
+``crc``
+    The canonical frame codec: round-trip, frame determinism across
+    equal values, guaranteed detection of 1–3 bit flips (CRC-16/CCITT
+    has Hamming distance 4 at these frame lengths), involutive
+    ``flip_bits`` and exhaustive accounting of heavier corruption into
+    detected / collision / decode-error bins.
+
+``analytic``
+    Measured mesh transpose vs :func:`mesh_transpose_cycles_model`
+    within the documented calibration band (see
+    ``docs/correctness.md``): the measured/model ratio must lie in
+    ``ANALYTIC_BAND`` and the measurement must respect the sink
+    serialization floor ``elements * (1 + t_p)``.
+
+``gather``
+    The CRC-protected :class:`~repro.faults.ReliableGather` under a
+    seeded BER: bit-identical determinism across two runs, word
+    conservation, and exact zero-overhead behaviour at BER 0.
+
+``schedule``
+    The static analyzer itself: every compiled schedule from the
+    :mod:`repro.core.schedule` front-ends must lint clean, and every
+    random single mutation of its raw spec (dropped / extended /
+    shifted slot, corrupted word offset) must produce at least one
+    ERROR diagnostic.
+
+Every case is reconstructible from ``(kind, seed, params)`` — the JSON
+form committed under ``tests/corpus/`` by :mod:`repro.check.shrink`.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "ANALYTIC_BAND",
+    "CASE_KINDS",
+    "FuzzCase",
+    "Divergence",
+    "FuzzResult",
+    "generate_case",
+    "run_case",
+    "run_fuzz",
+]
+
+#: Documented calibration band for measured/model transpose cycles at
+#: sub-paper scales (empirical range 0.716..0.882 over 16..100
+#: processors; see docs/correctness.md for the derivation sweep).
+ANALYTIC_BAND = (0.65, 1.00)
+
+CASE_KINDS = ("mesh", "queue", "crc", "analytic", "gather", "schedule")
+
+
+# ---------------------------------------------------------------------------
+# case / result plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzCase:
+    """One reproducible differential-execution case."""
+
+    kind: str
+    seed: int
+    params: dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-safe dict (the corpus seed format)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": self.params,
+        }
+        if self.note:
+            out["note"] = self.note
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FuzzCase":
+        return cls(
+            kind=str(data["kind"]),
+            seed=int(data["seed"]),
+            params=dict(data.get("params", {})),
+            note=str(data.get("note", "")),
+        )
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}(seed={self.seed}, {inner})"
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between supposedly equivalent paths."""
+
+    case: FuzzCase
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.case.describe()}: {self.detail}"
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a fuzzing run."""
+
+    cases_run: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    by_kind: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{k}:{n}" for k, n in sorted(self.by_kind.items()))
+        verdict = "OK" if self.ok else f"{len(self.divergences)} divergence(s)"
+        return (
+            f"fuzz: {self.cases_run} case(s) [{kinds}] "
+            f"in {self.elapsed_s:.1f}s — {verdict}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# case generation
+# ---------------------------------------------------------------------------
+
+
+def generate_case(seed: int, kinds: Iterable[str] | None = None) -> FuzzCase:
+    """Deterministically derive one case from ``seed``.
+
+    ``kinds`` restricts the pool (default: all of :data:`CASE_KINDS`).
+    The seed fully determines the case; the same seed always fuzzes the
+    same workload, which is what makes corpus seeds replayable.
+    """
+    pool = tuple(kinds) if kinds is not None else CASE_KINDS
+    for kind in pool:
+        if kind not in CASE_KINDS:
+            raise ValueError(f"unknown fuzz kind {kind!r}; know {CASE_KINDS}")
+    rng = random.Random(seed)
+    kind = pool[rng.randrange(len(pool))]
+    params = _GENERATORS[kind](rng)
+    return FuzzCase(kind=kind, seed=seed, params=params)
+
+
+def _gen_mesh(rng: random.Random) -> dict[str, Any]:
+    processors = rng.choice([4, 9, 16, 25])
+    workload = rng.choice(["transpose", "random", "scatter"])
+    params: dict[str, Any] = {
+        "processors": processors,
+        "workload": workload,
+        "reorder": rng.choice([1, 2, 4]),
+        "fault": rng.choice(["none", "none", "link", "router"]),
+        "trace": rng.random() < 0.5,
+    }
+    if workload == "transpose":
+        params["cols"] = rng.choice([2, 4])
+    elif workload == "random":
+        params["packets_per_node"] = rng.choice([2, 4])
+        params["wseed"] = rng.randrange(1000)
+    else:
+        k = rng.choice([1, 2])
+        params["k"] = k
+        params["words_per_processor"] = k * rng.choice([2, 3])
+    return params
+
+
+def _gen_queue(rng: random.Random) -> dict[str, Any]:
+    return {
+        "processes": rng.randrange(4, 17),
+        "count": rng.randrange(8, 33),
+        "delay_mod": rng.choice([2, 3, 5]),
+        "ties": rng.randrange(12, 37),
+    }
+
+
+def _gen_crc(rng: random.Random) -> dict[str, Any]:
+    return {
+        "values": rng.randrange(4, 13),
+        "depth": rng.choice([1, 2, 3]),
+        "flip_trials": rng.randrange(8, 25),
+        "max_flips": rng.choice([4, 6, 8]),
+    }
+
+
+def _gen_analytic(rng: random.Random) -> dict[str, Any]:
+    processors = rng.choice([16, 36, 64])
+    # pscan reference needs processors*cols*64 bits to fill whole
+    # 2048-bit DRAM rows: processors * cols % 32 == 0.
+    cols_pool = {16: [2, 4, 8], 36: [8, 16], 64: [2, 4]}[processors]
+    return {
+        "processors": processors,
+        "cols": rng.choice(cols_pool),
+        "reorder": rng.choice([1, 2, 4, 8]),
+    }
+
+
+def _gen_gather(rng: random.Random) -> dict[str, Any]:
+    return {
+        "nodes": rng.choice([4, 8]),
+        "words": rng.choice([4, 8]),
+        # BER exponent: 0 disables the injector entirely.
+        "ber_exp": rng.choice([0, 0, 4, 3]),
+        "drift": rng.random() < 0.3,
+        "fseed": rng.randrange(1000),
+    }
+
+
+def _gen_schedule(rng: random.Random) -> dict[str, Any]:
+    family = rng.choice(
+        ["transpose", "round_robin", "block", "control", "permuted"]
+    )
+    params: dict[str, Any] = {"family": family, "mutation": rng.choice(
+        ["none", "drop_slot", "extend_slot", "shift_slot", "word_offset"]
+    )}
+    if family == "transpose":
+        params["rows"] = rng.choice([4, 8, 16])
+        params["cols"] = rng.choice([2, 4, 8])
+    elif family == "round_robin":
+        params["nodes"] = rng.choice([2, 4, 8])
+        block = rng.choice([1, 2, 4])
+        params["block"] = block
+        params["words"] = block * rng.choice([1, 2, 4])
+    elif family == "block":
+        params["nodes"] = rng.choice([2, 4, 8, 16])
+        params["words"] = rng.choice([2, 4, 8])
+    elif family == "control":
+        params["nodes"] = rng.choice([2, 4, 8])
+        params["control_words"] = rng.choice([0, 1, 2])
+        k = rng.choice([1, 2])
+        params["k"] = k
+        params["data_words"] = k * rng.choice([2, 3])
+    else:  # permuted: a random bijection order
+        params["nodes"] = rng.choice([2, 3, 4, 6])
+        params["words"] = rng.choice([2, 3, 5])
+        params["pseed"] = rng.randrange(1000)
+    return params
+
+
+_GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
+    "mesh": _gen_mesh,
+    "queue": _gen_queue,
+    "crc": _gen_crc,
+    "analytic": _gen_analytic,
+    "gather": _gen_gather,
+    "schedule": _gen_schedule,
+}
+
+
+# ---------------------------------------------------------------------------
+# mesh oracle
+# ---------------------------------------------------------------------------
+
+#: Engine-independent obs categories compared by the trace oracle.
+SEMANTIC_CATEGORIES = ("mesh", "mesh.fault")
+
+
+def _mesh_packets(topology, params: dict[str, Any]):
+    from ..mesh.workloads import (
+        make_scatter_delivery,
+        make_transpose_gather,
+        make_uniform_random,
+    )
+
+    workload = params["workload"]
+    if workload == "transpose":
+        return make_transpose_gather(topology, cols=params["cols"]).packets
+    if workload == "random":
+        return make_uniform_random(
+            topology,
+            packets_per_node=params["packets_per_node"],
+            seed=params["wseed"],
+        )
+    if workload == "scatter":
+        return make_scatter_delivery(
+            topology,
+            words_per_processor=params["words_per_processor"],
+            k=params["k"],
+        )
+    raise ValueError(f"unknown mesh workload {workload!r}")
+
+
+def _mesh_signature(net, stats):
+    """Full observable signature with packet ids normalized to the run."""
+    base = min(net._packet_meta)
+    return (
+        stats.cycles,
+        stats.packets_delivered,
+        stats.flits_delivered,
+        stats.flit_hops,
+        tuple(stats.packet_latencies),
+        stats.memory_busy_cycles,
+        tuple(sorted(stats.flits_through_node.items())),
+        tuple(
+            (r.cycle, r.node, r.packet_id - base, r.payload, r.source)
+            for r in net.sunk
+        ),
+    )
+
+
+def _run_mesh_case(
+    params: dict[str, Any],
+    engine: str,
+    *,
+    cycle_skip: bool | None = None,
+    session=None,
+):
+    """One observed run; returns ``(signature, fault_report_or_None)``."""
+    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+
+    topology = MeshTopology.square(params["processors"])
+    net = MeshNetwork(
+        topology,
+        MeshConfig(
+            engine=engine,
+            memory_reorder_cycles=params["reorder"],
+            cycle_skip=cycle_skip,
+        ),
+    )
+    if session is not None:
+        net.attach_observer(session)
+    net.add_memory_interface((0, 0))
+    for packet in _mesh_packets(topology, params):
+        net.inject(packet)
+    fault = params.get("fault", "none")
+    if fault == "link":
+        net.fail_link((1, 0), (0, 0))
+    elif fault == "router":
+        net.fail_router((1, 1))
+    if fault == "none":
+        return _mesh_signature(net, net.run()), None
+    stats, report = net.run_resilient()
+    base = min(net._packet_meta)
+    rep = None
+    if report is not None:
+        rep = (
+            report.kind,
+            report.cycle,
+            tuple(p - base for p in report.undelivered_packets),
+            tuple(p - base for p in report.lost_packets),
+            report.flits_dropped,
+            tuple(report.quarantined_links),
+        )
+    return (
+        (_mesh_signature(net, stats), stats.reroutes, stats.quarantine_events),
+        rep,
+    )
+
+
+def _canon_trace(events: list[dict]) -> list[dict]:
+    """Remap packet ids by first appearance (process-global counter)."""
+    remap: dict[int, int] = {}
+    out = []
+    for ev in events:
+        args = ev.get("args")
+        if isinstance(args, dict) and "packet" in args:
+            pid = args["packet"]
+            if pid not in remap:
+                remap[pid] = len(remap)
+            ev = {**ev, "args": {**args, "packet": remap[pid]}}
+        out.append(ev)
+    return out
+
+
+def _mesh_trace(params: dict[str, Any], engine: str) -> list[dict]:
+    from ..obs import ObsConfig, ObsSession, normalize_events
+
+    session = ObsSession(ObsConfig())
+    _run_mesh_case(params, engine, session=session)
+    return _canon_trace(
+        normalize_events(session.tracer.events, categories=SEMANTIC_CATEGORIES)
+    )
+
+
+def _check_mesh(case: FuzzCase) -> list[Divergence]:
+    out: list[Divergence] = []
+    p = case.params
+    ref = _run_mesh_case(p, "reference")
+    fast = _run_mesh_case(p, "fast")
+    if ref != fast:
+        out.append(Divergence(case, "mesh.engine", _diff_repr(ref, fast)))
+    skip_on = _run_mesh_case(p, "reference", cycle_skip=True)
+    skip_off = _run_mesh_case(p, "reference", cycle_skip=False)
+    if skip_on != skip_off:
+        out.append(
+            Divergence(case, "mesh.cycle_skip", _diff_repr(skip_on, skip_off))
+        )
+    if p.get("trace"):
+        ref_tr = _mesh_trace(p, "reference")
+        fast_tr = _mesh_trace(p, "fast")
+        if not ref_tr:
+            out.append(
+                Divergence(case, "mesh.trace", "semantic trace is empty")
+            )
+        elif ref_tr != fast_tr:
+            out.append(
+                Divergence(case, "mesh.trace", _diff_repr(ref_tr, fast_tr))
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# queue oracle
+# ---------------------------------------------------------------------------
+
+
+def _storm_trace(
+    params: dict[str, Any], queue: str, *, pool_timeouts: bool = True
+):
+    """A mixed-granularity timeout storm plus a same-instant priority wave."""
+    from ..sim.engine import LOW, NORMAL, URGENT, Simulator
+
+    sim = Simulator(queue=queue, pool_timeouts=pool_timeouts)
+    trace: list[tuple] = []
+
+    def ticker(name: str, count: int, delay: float):
+        for i in range(count):
+            yield sim.timeout(delay)
+            trace.append((sim.now, name, i))
+
+    for i in range(params["processes"]):
+        delay = 1.0 + 0.5 * (i % params["delay_mod"])
+        sim.process(ticker(f"p{i}", params["count"], delay))
+    prios = (URGENT, NORMAL, LOW)
+    for i in range(params["ties"]):
+        tmo = sim.timeout(float(i % 5), priority=prios[i % 3])
+        tmo.callbacks.append(
+            lambda ev, i=i: trace.append((sim.now, "tie", i))
+        )
+    sim.run()
+    return trace, sim.events_processed, sim.now
+
+
+def _check_queue(case: FuzzCase) -> list[Divergence]:
+    out: list[Divergence] = []
+    heap = _storm_trace(case.params, "heap")
+    bucket = _storm_trace(case.params, "bucket")
+    if heap != bucket:
+        out.append(Divergence(case, "queue.order", _diff_repr(heap, bucket)))
+    unpooled = _storm_trace(case.params, "bucket", pool_timeouts=False)
+    if bucket != unpooled:
+        out.append(
+            Divergence(case, "queue.pooling", _diff_repr(bucket, unpooled))
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# crc oracle
+# ---------------------------------------------------------------------------
+
+
+def _random_value(rng: random.Random, depth: int) -> Any:
+    kinds = ["int", "bigint", "float", "complex", "str", "bytes", "none",
+             "bool"]
+    if depth > 0:
+        kinds += ["tuple", "list"]
+    kind = rng.choice(kinds)
+    if kind == "int":
+        return rng.randrange(-(2 ** 16), 2 ** 16)
+    if kind == "bigint":
+        return rng.randrange(-(2 ** 80), 2 ** 80)
+    if kind == "float":
+        # Exact binary fractions round-trip bit-for-bit through the
+        # big-endian double encoding.
+        return rng.randrange(-(2 ** 20), 2 ** 20) / 1024.0
+    if kind == "complex":
+        return complex(rng.randrange(-100, 100) / 8.0,
+                       rng.randrange(-100, 100) / 8.0)
+    if kind == "str":
+        alphabet = "abcXYZ012 éπ"
+        return "".join(
+            rng.choice(alphabet) for _ in range(rng.randrange(0, 12))
+        )
+    if kind == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 10)))
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    items = [_random_value(rng, depth - 1) for _ in range(rng.randrange(0, 4))]
+    return tuple(items) if kind == "tuple" else list(items)
+
+
+def _check_crc(case: FuzzCase) -> list[Divergence]:
+    from ..faults.crc import (
+        check_frame,
+        flip_bits,
+        frame_bits,
+        pack_word,
+        unpack_word,
+    )
+    from ..util.errors import TransientFaultError
+
+    out: list[Divergence] = []
+    rng = random.Random(case.seed ^ 0xC2C)
+    p = case.params
+    values = [_random_value(rng, p["depth"]) for _ in range(p["values"])]
+    for value in values:
+        frame = pack_word(value)
+        # Round-trip.
+        try:
+            back = unpack_word(frame)
+        except TransientFaultError as exc:
+            out.append(Divergence(
+                case, "crc.roundtrip",
+                f"clean frame for {value!r} rejected: {exc}",
+            ))
+            continue
+        if back != value or type(back) is not type(value):
+            out.append(Divergence(
+                case, "crc.roundtrip", f"{value!r} decoded as {back!r}",
+            ))
+        # Frame determinism across object identity (the pack_word bug
+        # this subsystem regression-guards: see tests/corpus/).
+        twin = pack_word(copy.deepcopy(value))
+        if twin != frame:
+            out.append(Divergence(
+                case, "crc.determinism",
+                f"{value!r}: frame differs for an equal copy "
+                f"({frame.hex()} vs {twin.hex()})",
+            ))
+        nbits = frame_bits(frame)
+        # 1-3 bit flips are always detected: CRC-16/CCITT keeps Hamming
+        # distance 4 far beyond these frame lengths.
+        for k in (1, 2, 3):
+            if k > nbits:
+                continue
+            positions = rng.sample(range(nbits), k)
+            corrupted = flip_bits(frame, positions)
+            if check_frame(corrupted):
+                out.append(Divergence(
+                    case, "crc.detection",
+                    f"{k}-bit flip at {positions} passed CRC for {value!r}",
+                ))
+            if flip_bits(corrupted, positions) != frame:
+                out.append(Divergence(
+                    case, "crc.involution",
+                    f"flip_bits not involutive at {positions}",
+                ))
+    # Heavy-corruption accounting on one representative frame.
+    frame = pack_word(tuple(values) if values else 0)
+    nbits = frame_bits(frame)
+    detected = collisions = decode_errors = 0
+    for _ in range(p["flip_trials"]):
+        k = rng.randrange(1, min(p["max_flips"], nbits) + 1)
+        corrupted = flip_bits(frame, rng.sample(range(nbits), k))
+        if not check_frame(corrupted):
+            detected += 1
+            continue
+        collisions += 1
+        try:
+            unpack_word(corrupted)
+        except TransientFaultError:
+            decode_errors += 1
+    if detected + collisions != p["flip_trials"]:
+        out.append(Divergence(
+            case, "crc.accounting",
+            f"{detected} detected + {collisions} collisions != "
+            f"{p['flip_trials']} trials",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# analytic oracle
+# ---------------------------------------------------------------------------
+
+
+def _check_analytic(case: FuzzCase) -> list[Divergence]:
+    from ..analysis.transpose_model import (
+        measure_mesh_transpose,
+        mesh_transpose_cycles_model,
+    )
+
+    p = case.params
+    out: list[Divergence] = []
+    measured = measure_mesh_transpose(
+        p["processors"], p["cols"], reorder_cycles=p["reorder"]
+    )
+    model = mesh_transpose_cycles_model(
+        p["processors"], p["cols"], reorder_cycles=p["reorder"]
+    )
+    # The hot sink serializes every element at (header decode + t_p)
+    # cycles apiece; the final element's service overlaps run teardown,
+    # hence the (elements - 1) floor.
+    floor = (measured.elements - 1) * (1 + p["reorder"])
+    if measured.mesh_cycles < floor:
+        out.append(Divergence(
+            case, "analytic.floor",
+            f"measured {measured.mesh_cycles} below the sink serialization "
+            f"floor {floor}",
+        ))
+    ratio = measured.mesh_cycles / model
+    lo, hi = ANALYTIC_BAND
+    if not (lo <= ratio <= hi):
+        out.append(Divergence(
+            case, "analytic.band",
+            f"measured/model ratio {ratio:.3f} outside [{lo}, {hi}] "
+            f"(measured={measured.mesh_cycles}, model={model:.1f})",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# gather oracle
+# ---------------------------------------------------------------------------
+
+
+def _gather_run(p: dict[str, Any]):
+    """One protected gather; fresh simulator/fault model per run."""
+    from ..core.pscan import Pscan
+    from ..core.schedule import transpose_order
+    from ..faults import DriftEpisode, PscanFaultModel, ReliableGather, RetryPolicy
+    from ..photonics import Waveguide
+    from ..sim import Simulator
+
+    nodes, words = p["nodes"], p["words"]
+    sim = Simulator()
+    pitch = 2.0
+    length = pitch * (nodes + 1)
+    pscan = Pscan(
+        sim,
+        Waveguide(length_mm=length),
+        {i: pitch * (i + 1) for i in range(nodes)},
+    )
+    if p["ber_exp"]:
+        episodes = ()
+        if p["drift"]:
+            episodes = (
+                DriftEpisode(start_ns=0.0, end_ns=50.0, drift_nm=0.02,
+                             node=0, peak_penalty_db=2.0),
+            )
+        PscanFaultModel(
+            ber=10.0 ** -p["ber_exp"],
+            drift_episodes=episodes,
+            seed=p["fseed"],
+        ).install(pscan)
+    order = transpose_order(nodes, words)
+    data = {
+        n: [complex(n + 0.25 * w, -w) for w in range(words)]
+        for n in range(nodes)
+    }
+    gather = ReliableGather(pscan, RetryPolicy(max_retries=16))
+    result = gather.gather(order, data, receiver_mm=length,
+                           raise_on_exhaust=False)
+    stats = result.stats
+    return (
+        {
+            "epochs": stats.epochs,
+            "crc_nacks": stats.crc_nacks,
+            "retransmitted": stats.retransmitted_words,
+            "undetected": stats.undetected_errors,
+            "backoff": stats.backoff_cycles,
+            "baseline": stats.baseline_cycles,
+            "total": stats.total_cycles,
+            "crc_overhead": stats.crc_overhead_cycles,
+            "values": sorted(result.values.items()),
+            "residual": result.residual,
+        },
+        order,
+        data,
+        result,
+    )
+
+
+def _check_gather(case: FuzzCase) -> list[Divergence]:
+    out: list[Divergence] = []
+    p = case.params
+    sig_a, order, data, result_a = _gather_run(p)
+    sig_b, _, _, _ = _gather_run(p)
+    if sig_a != sig_b:
+        out.append(Divergence(
+            case, "gather.determinism", _diff_repr(sig_a, sig_b)
+        ))
+    pairs = set(order)
+    extra = set(dict(sig_a["values"])) - pairs
+    if extra:
+        out.append(Divergence(
+            case, "gather.conservation",
+            f"delivered words never scheduled: {sorted(extra)[:5]}",
+        ))
+    if result_a.complete:
+        wrong = [
+            (node, w)
+            for (node, w), v in result_a.values.items()
+            if sig_a["undetected"] == 0 and v != data[node][w]
+        ]
+        if wrong:
+            out.append(Divergence(
+                case, "gather.payload",
+                f"complete gather delivered wrong words: {wrong[:5]}",
+            ))
+    if p["ber_exp"] == 0:
+        clean = (
+            sig_a["epochs"] == 1
+            and sig_a["crc_nacks"] == 0
+            and sig_a["retransmitted"] == 0
+            and sig_a["backoff"] == 0
+            and sig_a["total"] == sig_a["baseline"] + sig_a["crc_overhead"]
+            and not sig_a["residual"]
+        )
+        if not clean:
+            out.append(Divergence(
+                case, "gather.zero_overhead",
+                f"fault-free gather shows recovery activity: {sig_a}",
+            ))
+        if dict(sig_a["values"]) != {
+            (n, w): data[n][w] for n, w in pairs
+        }:
+            out.append(Divergence(
+                case, "gather.payload", "fault-free gather payload mismatch"
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# schedule / analyzer oracle
+# ---------------------------------------------------------------------------
+
+
+def _schedule_order(p: dict[str, Any]) -> list[tuple[int, int]]:
+    from ..core.schedule import (
+        block_interleave_order,
+        control_then_data_order,
+        round_robin_order,
+        transpose_order,
+    )
+
+    family = p["family"]
+    if family == "transpose":
+        return transpose_order(p["rows"], p["cols"])
+    if family == "round_robin":
+        return round_robin_order(p["nodes"], p["words"], p["block"])
+    if family == "block":
+        return block_interleave_order(p["nodes"], p["words"])
+    if family == "control":
+        return control_then_data_order(
+            p["nodes"], p["control_words"], p["data_words"], p["k"]
+        )
+    if family == "permuted":
+        rng = random.Random(p["pseed"])
+        order = [
+            (n, w) for n in range(p["nodes"]) for w in range(p["words"])
+        ]
+        rng.shuffle(order)
+        return order
+    raise ValueError(f"unknown schedule family {family!r}")
+
+
+def _mutate_spec(spec, mutation: str, rng: random.Random) -> None:
+    """Apply one raw-level mutation in place.  Every mutation is a bug."""
+    nodes = sorted(spec.programs)
+    node = nodes[rng.randrange(len(nodes))]
+    slots = spec.programs[node]
+    idx = rng.randrange(len(slots))
+    start, length, role, offset = slots[idx]
+    if mutation == "drop_slot":
+        # Vacates >= 1 cycle: guaranteed SCH002 gap (or SCH005/6).
+        del slots[idx]
+        if not slots:
+            del spec.programs[node]
+    elif mutation == "extend_slot":
+        # Claims one extra cycle: collision or beyond-total.
+        slots[idx] = (start, length + 1, role, offset)
+    elif mutation == "shift_slot":
+        # Vacates its first cycle and claims one past its end.
+        slots[idx] = (start + 1, length, role, offset)
+    elif mutation == "word_offset":
+        # Moves the wrong words: conservation / order mismatch.
+        slots[idx] = (start, length, role, offset + 1 + rng.randrange(3))
+    else:
+        raise ValueError(f"unknown mutation {mutation!r}")
+
+
+def _check_schedule(case: FuzzCase) -> list[Divergence]:
+    from ..core.schedule import gather_schedule
+    from .analyzer import ScheduleSpec, analyze_schedule
+
+    out: list[Divergence] = []
+    p = case.params
+    order = _schedule_order(p)
+    schedule = gather_schedule(order)
+    expected_words: dict[int, list[int]] = {}
+    for node, word in order:
+        expected_words.setdefault(node, []).append(word)
+    spec = ScheduleSpec.from_schedule(schedule, expected_words=expected_words)
+    report = analyze_schedule(spec)
+    if not report.ok:
+        out.append(Divergence(
+            case, "schedule.clean",
+            f"valid compiled schedule flagged: {report.codes()}",
+        ))
+    mutation = p["mutation"]
+    if mutation != "none":
+        rng = random.Random(case.seed ^ 0x5CED)
+        mutant = copy.deepcopy(spec)
+        _mutate_spec(mutant, mutation, rng)
+        mutant_report = analyze_schedule(mutant)
+        if not mutant_report.errors:
+            out.append(Divergence(
+                case, "schedule.mutant",
+                f"mutation {mutation!r} produced no ERROR diagnostic",
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def _diff_repr(a: Any, b: Any, limit: int = 300) -> str:
+    ra, rb = repr(a), repr(b)
+    if ra == rb:
+        return "objects differ but share a repr (identity-level divergence)"
+    # Find the first point of disagreement for a readable excerpt.
+    i = next(
+        (k for k, (x, y) in enumerate(zip(ra, rb)) if x != y),
+        min(len(ra), len(rb)),
+    )
+    lo = max(0, i - 40)
+    return (
+        f"first differs at char {i}: "
+        f"...{ra[lo:i + 80]}... vs ...{rb[lo:i + 80]}..."
+    )[:limit]
+
+
+_ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
+    "mesh": _check_mesh,
+    "queue": _check_queue,
+    "crc": _check_crc,
+    "analytic": _check_analytic,
+    "gather": _check_gather,
+    "schedule": _check_schedule,
+}
+
+
+def run_case(case: FuzzCase) -> list[Divergence]:
+    """Execute one case's oracle; unexpected exceptions are divergences."""
+    oracle = _ORACLES.get(case.kind)
+    if oracle is None:
+        raise ValueError(f"unknown fuzz kind {case.kind!r}")
+    try:
+        return oracle(case)
+    except Exception as exc:  # noqa: BLE001 — a crash *is* a finding
+        return [
+            Divergence(case, f"{case.kind}.exception",
+                       f"{type(exc).__name__}: {exc}")
+        ]
+
+
+def run_fuzz(
+    cases: int = 50,
+    seed: int = 0,
+    kinds: Iterable[str] | None = None,
+    on_divergence: Callable[[Divergence], None] | None = None,
+) -> FuzzResult:
+    """Generate and run ``cases`` cases derived from ``seed``.
+
+    Case ``i`` uses derived seed ``seed * 1_000_003 + i``, so a corpus
+    seed file can name the exact case without replaying the run.
+    """
+    result = FuzzResult()
+    start = time.perf_counter()
+    for i in range(cases):
+        case = generate_case(seed * 1_000_003 + i, kinds=kinds)
+        result.by_kind[case.kind] = result.by_kind.get(case.kind, 0) + 1
+        found = run_case(case)
+        result.divergences.extend(found)
+        if on_divergence is not None:
+            for div in found:
+                on_divergence(div)
+        result.cases_run += 1
+    result.elapsed_s = time.perf_counter() - start
+    return result

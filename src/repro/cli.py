@@ -146,7 +146,7 @@ def _cmd_flow(args: argparse.Namespace) -> None:
           f"   (P-sync {mesh.total_ns / psync.total_ns:.2f}x faster)")
 
 
-def _cmd_summary(args: argparse.Namespace) -> None:
+def _cmd_summary(args: argparse.Namespace) -> int:
     from .report import build_report
 
     report = build_report(fast=not args.measure)
@@ -155,6 +155,9 @@ def _cmd_summary(args: argparse.Namespace) -> None:
         "\nall claims reproduced" if report.all_hold
         else "\nSOME CLAIMS NOT REPRODUCED"
     )
+    # A validation mismatch is a failure: propagate it as a nonzero exit
+    # so scripts and CI can gate on the scorecard.
+    return 0 if report.all_hold else 1
 
 
 def _cmd_heatmap(args: argparse.Namespace) -> None:
@@ -215,7 +218,7 @@ def _cmd_faults(args: argparse.Namespace) -> None:
     print(run_campaign(config, parallel=args.parallel).as_table())
 
 
-def _cmd_perf(args: argparse.Namespace) -> None:
+def _cmd_perf(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .perf.cli import main as perf_main
@@ -232,12 +235,10 @@ def _cmd_perf(args: argparse.Namespace) -> None:
     # a source checkout (src/repro/cli.py -> repo root), else the cwd.
     root = Path(__file__).resolve().parent.parent.parent
     default_dir = root if (root / "benchmarks").is_dir() else Path.cwd()
-    code = perf_main(argv, default_dir=default_dir)
-    if code != 0:
-        raise SystemExit(code)
+    return perf_main(argv, default_dir=default_dir)
 
 
-def _cmd_obs(args: argparse.Namespace) -> None:
+def _cmd_obs(args: argparse.Namespace) -> int:
     from .obs.cli import main as obs_main
 
     argv = ["--workload", args.workload, "--out-dir", str(args.out_dir),
@@ -246,9 +247,13 @@ def _cmd_obs(args: argparse.Namespace) -> None:
         argv.append("--sim-dispatch")
     if args.max_trace_events is not None:
         argv += ["--max-trace-events", str(args.max_trace_events)]
-    code = obs_main(argv)
-    if code != 0:
-        raise SystemExit(code)
+    return obs_main(argv)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check.cli import main as check_main
+
+    return check_main(list(args.check_args))
 
 
 def _cmd_optimize(args: argparse.Namespace) -> None:
@@ -266,7 +271,7 @@ def _cmd_optimize(args: argparse.Namespace) -> None:
         print(f"{k:>4} {total:>12,.0f}{marker}")
 
 
-_COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
+_COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], int | None]]] = {
     "table1": ("Table I: zero-latency FFT efficiency", _cmd_table1),
     "table2": ("Table II: mesh efficiency with latency", _cmd_table2),
     "table3": ("Table III: transpose completion time", _cmd_table3),
@@ -285,6 +290,7 @@ _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "faults": ("seeded fault-injection / resilience campaign", _cmd_faults),
     "perf": ("simulator fast-path benchmarks (BENCH_*.json)", _cmd_perf),
     "obs": ("instrumented workload -> trace.json + metrics.json", _cmd_obs),
+    "check": ("static invariant lint + differential fuzzer", _cmd_check),
 }
 
 
@@ -364,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-trace-events", dest="max_trace_events",
                            type=int, default=None,
                            help="ring-buffer cap on kept trace events")
+        elif name == "check":
+            p.add_argument("check_args", nargs=argparse.REMAINDER,
+                           help="arguments for the check sub-CLI "
+                                "(lint / fuzz / replay / shrink)")
         elif name == "optimize":
             p.add_argument("--n", type=int, default=1024)
             p.add_argument("--processors", type=int, default=256)
@@ -381,8 +391,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name:>9}  {help_text}")
         return 0
     _help, fn = _COMMANDS[args.command]
-    fn(args)
-    return 0
+    # Failure paths (validation mismatches, regression-gate hits, lint
+    # findings, fuzz divergences) surface as nonzero exits; commands that
+    # return ``None`` succeeded.
+    code = fn(args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

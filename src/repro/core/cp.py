@@ -137,6 +137,33 @@ class CommunicationProgram:
         """Last active cycle, or None for an empty program."""
         return max((s.end_cycle - 1 for s in self.slots), default=None)
 
+    # -- introspection hooks (consumed by repro.check) -----------------------
+
+    def iter_claims(self) -> Iterator[tuple[int, Slot]]:
+        """Yield every ``(bus_cycle, slot)`` pair this program occupies.
+
+        A flat, non-raising view of the program's timeline: unlike the
+        constructor's overlap check this never throws, so analyzers can
+        enumerate *all* problems instead of dying on the first.  Cycles
+        are yielded in slot order (sorted by start), so an overlapping
+        pair shows up as a repeated cycle.
+        """
+        for slot in self.slots:
+            for cycle in slot.cycles():
+                yield cycle, slot
+
+    def as_raw(self) -> list[tuple[int, int, str, int]]:
+        """The program as plain ``(start, length, role, word_offset)`` rows.
+
+        The neutral exchange format of :mod:`repro.check`: raw rows can
+        describe *invalid* programs (overlaps, negative spans), which is
+        exactly what a linter must be able to represent.
+        """
+        return [
+            (s.start_cycle, s.length, s.role.value, s.word_offset)
+            for s in self.slots
+        ]
+
     def role_at(self, cycle: int) -> Role | None:
         """Role on ``cycle``, or None when idle."""
         for slot in self.slots:

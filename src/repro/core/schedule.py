@@ -86,6 +86,51 @@ class GlobalSchedule:
             )
 
     @property
+    def active_role(self) -> Role:
+        """The role that claims bus cycles for this schedule's kind."""
+        return Role.DRIVE if self.kind == "gather" else Role.LISTEN
+
+    def iter_claims(self):
+        """Yield ``(cycle, node_id, slot)`` for every active-role claim.
+
+        The non-raising sibling of :meth:`validate`: collisions appear
+        as repeated cycles and gaps as absent ones, so an analyzer (see
+        :mod:`repro.check.analyzer`) can report *every* violation with a
+        source span instead of stopping at the first.  Nodes are visited
+        in sorted order for deterministic diagnostics.
+        """
+        active = self.active_role
+        for node_id in sorted(self.programs):
+            for slot in self.programs[node_id]:
+                if slot.role is not active:
+                    continue
+                for cycle in slot.cycles():
+                    yield cycle, node_id, slot
+
+    def timeline(self) -> dict[int, list[tuple[int, "Slot"]]]:
+        """Map each claimed bus cycle to the ``(node, slot)`` claimants.
+
+        A valid schedule has exactly one claimant per cycle in
+        ``[0, total_cycles)``; anything else is a lintable violation.
+        """
+        out: dict[int, list[tuple[int, Slot]]] = {}
+        for cycle, node_id, slot in self.iter_claims():
+            out.setdefault(cycle, []).append((node_id, slot))
+        return out
+
+    def word_map(self) -> dict[tuple[int, int], list[int]]:
+        """Map ``(node, word)`` to the cycle(s) that move it.
+
+        Each word of a valid schedule moves on exactly one cycle; a
+        repeated word shows up as a multi-cycle entry.
+        """
+        out: dict[tuple[int, int], list[int]] = {}
+        for cycle, node_id, slot in self.iter_claims():
+            word = slot.word_offset + (cycle - slot.start_cycle)
+            out.setdefault((node_id, word), []).append(cycle)
+        return out
+
+    @property
     def utilization(self) -> float:
         """Fraction of bus cycles carrying data (1.0 for a valid SCA)."""
         if self.total_cycles == 0:

@@ -12,11 +12,31 @@ the *frame*, so multi-bit flips can genuinely collide with the checksum
 (``check_frame`` passes on a corrupted payload).  That keeps the
 undetected-error statistics of campaigns honest instead of assuming a
 perfect oracle detector.
+
+Wire encoding
+-------------
+The payload serialization is a small, *stable* structural codec rather
+than :mod:`pickle`.  Pickle's output depends on the pickle protocol and
+on object identity (memoization makes ``(s, s)`` shorter than
+``(s1, s2)`` for equal-but-distinct strings), so :func:`frame_bits` —
+and therefore the BER-driven flip probability of every fault campaign —
+would drift across interpreter versions and object graphs.  The codec
+below is canonical: equal values always produce identical bytes, so a
+campaign's frame lengths replay bit-exactly from its seed.
+
+Supported word types (the common SCA payloads): ``None``, ``bool``,
+``int`` (any magnitude), ``float``, ``complex``, ``str``, ``bytes``,
+and ``tuple``/``list`` of these, nested arbitrarily.  Exotic values
+fall back to pickle at a *pinned* protocol and are tagged as such; the
+fallback keeps round-trips working but its frame length carries no
+stability guarantee (``tests/test_crc_properties.py`` pins the stable
+family's frame lengths).
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 from typing import Any
 
 from ..core.encoding import CRC_BITS, crc16_ccitt
@@ -24,6 +44,8 @@ from ..util.errors import TransientFaultError
 
 __all__ = [
     "CRC_BITS",
+    "encode_value",
+    "decode_value",
     "pack_word",
     "unpack_word",
     "check_frame",
@@ -31,10 +53,171 @@ __all__ = [
     "frame_bits",
 ]
 
+# -- canonical structural codec ---------------------------------------------
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_COMPLEX = 0x05
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_TUPLE = 0x08
+_TAG_LIST = 0x09
+#: Escape hatch for types outside the stable family.  Pickle protocol is
+#: pinned so the encoding does not drift with ``pickle.HIGHEST_PROTOCOL``,
+#: but identity-dependent memoization still applies inside the blob.
+_TAG_PICKLE = 0x7F
+_PICKLE_PROTOCOL = 4
+
+
+def _encode_uvarint(value: int, out: bytearray) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 1024:  # pragma: no cover - defensive
+            raise ValueError("varint too long")
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif type(value) is int:
+        out.append(_TAG_INT)
+        # ZigZag-map the sign, then LEB128 the magnitude: canonical and
+        # minimal for any width.
+        _encode_uvarint(_zigzag_big(value), out)
+    elif type(value) is float:
+        out.append(_TAG_FLOAT)
+        out += struct.pack(">d", value)
+    elif type(value) is complex:
+        out.append(_TAG_COMPLEX)
+        out += struct.pack(">dd", value.real, value.imag)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _encode_uvarint(len(raw), out)
+        out += raw
+    elif type(value) is bytes:
+        out.append(_TAG_BYTES)
+        _encode_uvarint(len(value), out)
+        out += value
+    elif type(value) is tuple or type(value) is list:
+        out.append(_TAG_TUPLE if type(value) is tuple else _TAG_LIST)
+        _encode_uvarint(len(value), out)
+        for item in value:
+            _encode(item, out)
+    else:
+        blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        out.append(_TAG_PICKLE)
+        _encode_uvarint(len(blob), out)
+        out += blob
+
+
+def _zigzag_big(value: int) -> int:
+    """ZigZag for arbitrary-magnitude ints (sign via parity)."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def _decode(buf: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(buf):
+        raise ValueError("truncated frame payload")
+    tag = buf[pos]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_INT:
+        raw, pos = _decode_uvarint(buf, pos)
+        return _unzigzag(raw), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise ValueError("truncated float")
+        return struct.unpack_from(">d", buf, pos)[0], pos + 8
+    if tag == _TAG_COMPLEX:
+        if pos + 16 > len(buf):
+            raise ValueError("truncated complex")
+        re, im = struct.unpack_from(">dd", buf, pos)
+        return complex(re, im), pos + 16
+    if tag in (_TAG_STR, _TAG_BYTES, _TAG_PICKLE):
+        length, pos = _decode_uvarint(buf, pos)
+        if pos + length > len(buf):
+            raise ValueError("truncated blob")
+        raw = buf[pos:pos + length]
+        pos += length
+        if tag == _TAG_STR:
+            return raw.decode("utf-8"), pos
+        if tag == _TAG_BYTES:
+            return raw, pos
+        return pickle.loads(raw), pos
+    if tag in (_TAG_TUPLE, _TAG_LIST):
+        count, pos = _decode_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode(buf, pos)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    raise ValueError(f"unknown wire tag {tag:#x}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Canonical payload bytes for ``value`` (no CRC).
+
+    Equal values of the stable type family always produce identical
+    bytes, independent of object identity, pickle protocol, or
+    interpreter version.
+    """
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def decode_value(payload: bytes) -> Any:
+    """Inverse of :func:`encode_value`; raises ``ValueError`` on garbage."""
+    value, pos = _decode(payload, 0)
+    if pos != len(payload):
+        raise ValueError(f"{len(payload) - pos} trailing byte(s) after payload")
+    return value
+
+
+# -- frames ------------------------------------------------------------------
+
 
 def pack_word(value: Any) -> bytes:
     """Serialize one word into its protected frame (payload + CRC-16)."""
-    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = encode_value(value)
     crc = crc16_ccitt(payload)
     return payload + bytes([crc >> 8, crc & 0xFF])
 
@@ -62,7 +245,7 @@ def unpack_word(frame: bytes) -> Any:
             f"SCA frame failed CRC ({len(frame)} bytes); NACK + retransmit"
         )
     try:
-        return pickle.loads(frame[:-2])
+        return decode_value(frame[:-2])
     except Exception as exc:  # corrupted payload that slipped past the CRC
         raise TransientFaultError(
             f"SCA frame CRC passed but payload is undecodable: {exc}"

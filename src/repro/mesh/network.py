@@ -442,6 +442,25 @@ class MeshNetwork:
         dist = abs(flit.dest[0] - src[0]) + abs(flit.dest[1] - src[1])
         return self.fault_config.max_hop_factor * (dist + 2)
 
+    def _dest_unreachable(self, dest: tuple[int, int]) -> bool:
+        """True when every link *into* ``dest`` is dead (router failed).
+
+        ``fail_router`` kills both directions of every link touching the
+        router, so a destination is unreachable exactly when all its
+        inbound half-links are in the dead set.  Cheap: degree <= 4.
+        """
+        if not self._dead:
+            return False
+        found = False
+        for port in _MESH_PORTS:
+            nbr = self.topology.neighbor(dest, port)
+            if nbr is None:
+                continue
+            found = True
+            if (nbr, port.opposite) not in self._dead:
+                return False
+        return found
+
     def _quarantine(self, node: tuple[int, int], port: Port) -> None:
         """Declare (node, port) dead locally and re-route or drop its users."""
         self._quarantined[node].add(port)
@@ -674,10 +693,14 @@ class MeshNetwork:
         if route is not None:
             return route
         if not flit.is_head:
-            raise NetworkError(
+            exc = NetworkError(
                 f"body flit of packet {flit.packet_id} reached {node} with no "
                 "route — wormhole ordering violated"
             )
+            # Structured context so run_resilient can shed the packet and
+            # degrade instead of dying (found by repro.check fuzzing).
+            exc.packet_id = flit.packet_id
+            raise exc
         quarantined = (
             self._quarantined.get(node) if self._faults_enabled else None
         )
@@ -689,6 +712,15 @@ class MeshNetwork:
             # Packets in detour mode stay on this path at *every* router
             # until they regain productive progress, because routers away
             # from the cut would otherwise send them right back into it.
+            if self._dest_unreachable(flit.dest):
+                # Every link into the destination is dead (a failed
+                # router): no detour can ever deliver this packet, and
+                # letting the head wander re-splices the wormhole across
+                # routers, scrambling flit order.  Cut it off now; the
+                # next fault tick converts that into a clean loss.
+                # (Found by repro.check differential fuzzing.)
+                self._cut_off.add(flit.packet_id)
+                return None
             avoid = in_port if in_port is not Port.LOCAL else None
             try:
                 route = fault_aware_route(
@@ -896,7 +928,22 @@ class MeshNetwork:
             if max_cycles is not None and self.cycle >= max_cycles:
                 aborted = "max-cycles"
                 break
-            moved = self.step()
+            try:
+                moved = self.step()
+            except NetworkError as exc:
+                # Wormhole-order violations under extreme fault patterns
+                # are sheddable, not fatal, in the resilient runner: drop
+                # the offending packet and keep delivering the rest.
+                pid = getattr(exc, "packet_id", None)
+                if pid is None:
+                    raise
+                if self._obs is not None:
+                    self._obs.mesh_fault(
+                        self.cycle, "order_violation", packet=pid
+                    )
+                self._drop_packet(pid)
+                idle = 0
+                continue
             if moved == 0:
                 idle += 1
                 if skip and not self._faults_enabled:

@@ -21,7 +21,12 @@ from .harness import (
     run_mesh_benches,
     write_bench_file,
 )
-from .regression import Regression, check_files, compare_payloads
+from .regression import (
+    Regression,
+    ZeroBaselineWarning,
+    check_files,
+    compare_payloads,
+)
 from .sweep import default_workers, grid_points, run_sweep
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "run_mesh_benches",
     "write_bench_file",
     "Regression",
+    "ZeroBaselineWarning",
     "check_files",
     "compare_payloads",
     "default_workers",

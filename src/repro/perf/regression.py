@@ -21,13 +21,29 @@ Improvements never fail the check; only slowdowns do.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from ..util.errors import ConfigError
 
-__all__ = ["Regression", "compare_payloads", "check_files"]
+__all__ = [
+    "Regression",
+    "ZeroBaselineWarning",
+    "compare_payloads",
+    "check_files",
+]
+
+
+class ZeroBaselineWarning(UserWarning):
+    """A baseline metric recorded as <= 0 cannot gate regressions.
+
+    A zero (or negative) baseline makes any current value pass the
+    relative-drop check, silently disabling the gate for that metric.
+    The comparison surfaces each such metric with this warning instead
+    of skipping it without a trace — regenerate the baseline.
+    """
 
 #: Metric-name suffixes treated as "bigger is better" throughputs.
 _RATE_SUFFIXES = ("_per_s",)
@@ -44,9 +60,20 @@ class Regression:
 
     @property
     def drop_fraction(self) -> float:
-        """Relative slowdown versus the baseline (0.25 = 25% slower)."""
+        """Relative slowdown versus the baseline (0.25 = 25% slower).
+
+        Raises
+        ------
+        ConfigError
+            When the baseline is zero: a relative drop is undefined, and
+            returning 0.0 here (the old behaviour) would make any metric
+            whose baseline recorded as 0 silently pass every gate.
+        """
         if self.baseline == 0:
-            return 0.0
+            raise ConfigError(
+                f"metric {self.path!r} has a zero baseline; the relative "
+                "drop is undefined — regenerate the baseline file"
+            )
         return 1.0 - self.current / self.baseline
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -94,7 +121,18 @@ def compare_payloads(
     regressions: list[Regression] = []
     for path, value in _iter_metrics(current.get("benches", {}), "benches"):
         ref = base_metrics.get(path)
-        if ref is None or ref <= 0:
+        if ref is None:
+            continue  # metric added since the baseline was cut
+        if ref <= 0:
+            # A degenerate baseline would pass *any* current value; that
+            # is a broken gate, not a healthy metric — say so out loud.
+            warnings.warn(
+                f"baseline metric {path} recorded as {ref!r}; the "
+                "regression gate cannot evaluate it — regenerate the "
+                "baseline",
+                ZeroBaselineWarning,
+                stacklevel=2,
+            )
             continue
         if value < (1.0 - tolerance) * ref:
             regressions.append(Regression(path=path, baseline=ref, current=value))

@@ -1,0 +1,51 @@
+"""Replay every committed regression seed in ``tests/corpus/``.
+
+Each seed is a shrunk fuzz case that once exposed a real divergence (or
+pins an invariant worth keeping watch on).  A seed diverging again means
+a fixed bug has regressed — the failure message carries the seed's own
+``note`` explaining what it guards.
+
+Add seeds with ``python -m repro check fuzz --shrink tests/corpus`` or
+``python -m repro check shrink <failing-seed> --out tests/corpus``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.fuzz import run_case
+from repro.check.shrink import iter_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+SEEDS = iter_corpus(CORPUS)
+
+
+def test_corpus_is_not_empty():
+    assert SEEDS, f"no regression seeds under {CORPUS}"
+
+
+@pytest.mark.parametrize(
+    "path,case", SEEDS, ids=[p.name for p, _ in SEEDS]
+)
+def test_seed_replays_clean(path, case):
+    divergences = run_case(case)
+    note = json.loads(path.read_text()).get("note", "")
+    assert not divergences, (
+        f"regression seed {path.name} diverged again!\n"
+        f"guards: {note}\n" + "\n".join(str(d) for d in divergences)
+    )
+
+
+@pytest.mark.parametrize(
+    "path,case", SEEDS, ids=[p.name for p, _ in SEEDS]
+)
+def test_seed_files_are_canonical(path, case):
+    """Seeds must round-trip: hand-edited fields would silently vanish."""
+    payload = json.loads(path.read_text())
+    assert payload["kind"] == case.kind
+    assert payload["seed"] == case.seed
+    assert set(payload) <= {"kind", "seed", "params", "note", "oracles"}

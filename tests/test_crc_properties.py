@@ -1,0 +1,185 @@
+"""Property tests for the canonical CRC frame codec (repro.faults.crc).
+
+The satellite bugfix this guards: ``pack_word`` used to pickle the live
+object, so ``frame_bits`` depended on the pickle protocol *and on object
+identity* — ``("a"*3, "a"*3)`` with shared vs distinct string objects
+produced different frame lengths, which silently shifted every seeded
+fault-injector RNG draw downstream.  The codec now emits a canonical
+structural encoding; these tests pin the frame bytes for representative
+values and prove identity independence, plus randomized round-trip and
+corruption-accounting properties under ``flip_bits``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.crc import (
+    CRC_BITS,
+    check_frame,
+    crc16_ccitt,
+    decode_value,
+    encode_value,
+    flip_bits,
+    frame_bits,
+    pack_word,
+    unpack_word,
+)
+from repro.util.errors import TransientFaultError
+
+# Scalars whose encoding must round-trip exactly (NaN excluded: x != x).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 100), max_value=2 ** 100),
+    st.floats(allow_nan=False),
+    st.complex_numbers(allow_nan=False, allow_infinity=True),
+    st.text(max_size=24),
+    st.binary(max_size=24),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+    ),
+    max_leaves=8,
+)
+
+
+class TestRoundTrip:
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_unpack_inverts_pack(self, value):
+        back = unpack_word(pack_word(value))
+        assert back == value
+        assert type(back) is type(value)
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_frame_is_payload_plus_crc(self, value):
+        frame = pack_word(value)
+        payload = encode_value(value)
+        assert frame[:-2] == payload
+        assert frame_bits(frame) == 8 * len(payload) + CRC_BITS
+        assert check_frame(frame)
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_value_inverts_encode_value(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestIdentityIndependence:
+    """The pack_word regression: frames must depend on value, not identity."""
+
+    def test_shared_vs_distinct_substructure(self):
+        shared = "ab" * 3
+        # Equal string, separate object — built at runtime so CPython's
+        # constant folder cannot intern it away.
+        distinct = "".join(["ab" for _ in range(3)])
+        assert shared is not distinct  # the premise of the old bug
+        assert pack_word((shared, shared)) == pack_word((shared, distinct))
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_values_equal_frames(self, value):
+        import copy
+
+        assert pack_word(value) == pack_word(copy.deepcopy(value))
+
+    def test_frame_lengths_pinned(self):
+        """Regression pin: a codec change that alters frame lengths shifts
+        every seeded fault-model RNG stream (rng.sample over frame_bits),
+        invalidating committed campaign numbers.  Update deliberately."""
+        # Pairs, not a dict: True == 1 would collapse two distinct pins.
+        expected = [
+            (0, 4),
+            (1, 4),
+            (-1, 4),
+            (300, 5),
+            (3.5, 11),
+            (complex(0.5, -0.25), 19),
+            ("payload", 11),
+            (b"\x00\x01", 6),
+            (None, 3),
+            (True, 3),
+            (("a", "a"), 10),
+            ((), 4),
+        ]
+        for value, length in expected:
+            assert len(pack_word(value)) == length, (
+                f"pack_word({value!r}) frame length changed "
+                f"({len(pack_word(value))} != {length})"
+            )
+
+    def test_crc16_reference_vector(self):
+        # CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+
+class TestCorruption:
+    @given(values, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_up_to_three_flips_always_detected(self, value, data):
+        # CRC-16/CCITT keeps Hamming distance 4 well beyond these frame
+        # lengths: 1-3 bit errors can never collide.
+        frame = pack_word(value)
+        nbits = frame_bits(frame)
+        k = data.draw(st.integers(min_value=1, max_value=min(3, nbits)))
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nbits - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        corrupted = flip_bits(frame, positions)
+        assert not check_frame(corrupted)
+        with pytest.raises(TransientFaultError):
+            unpack_word(corrupted)
+
+    @given(values, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_flip_bits_is_involutive(self, value, data):
+        frame = pack_word(value)
+        nbits = frame_bits(frame)
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nbits - 1),
+                max_size=8, unique=True,
+            )
+        )
+        assert flip_bits(flip_bits(frame, positions), positions) == frame
+
+    @given(values, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_corruption_accounting_is_exhaustive(self, value, data):
+        """Every corrupted frame is detected, or a CRC collision — and a
+        collision either decodes (delivered-bad, counted by the recovery
+        layer as undetected) or fails payload decode (still an error to
+        the caller).  No fourth outcome."""
+        frame = pack_word(value)
+        nbits = frame_bits(frame)
+        k = data.draw(st.integers(min_value=1, max_value=min(12, nbits)))
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nbits - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        corrupted = flip_bits(frame, positions)
+        if not check_frame(corrupted):
+            with pytest.raises(TransientFaultError):
+                unpack_word(corrupted)
+        else:
+            try:
+                unpack_word(corrupted)
+            except TransientFaultError:
+                pass  # collision with undecodable payload: still flagged
+
+    def test_flip_position_out_of_range_rejected(self):
+        frame = pack_word(1)
+        with pytest.raises(Exception):
+            flip_bits(frame, [frame_bits(frame)])

@@ -8,11 +8,18 @@ comparison of ``BENCH_*.json`` payloads: only rate/ratio leaves count,
 modes must match, and the tolerance is a strict fraction.
 """
 
+import warnings
+
 import pytest
 
 from repro.faults.campaign import CampaignConfig, run_campaign
 from repro.perf.harness import SCHEMA_VERSION, write_bench_file
-from repro.perf.regression import check_files, compare_payloads
+from repro.perf.regression import (
+    Regression,
+    ZeroBaselineWarning,
+    check_files,
+    compare_payloads,
+)
 from repro.perf.sweep import default_workers, grid_points, run_sweep
 from repro.util.errors import ConfigError
 
@@ -169,3 +176,49 @@ class TestCheckFiles:
         assert len(regs) == 1
         assert regs[0].baseline == 1000.0
         assert regs[0].current == 500.0
+
+
+class TestZeroBaseline:
+    """The drop_fraction zero-baseline satellite: a baseline of 0 must be
+    loud (ConfigError / ZeroBaselineWarning), never a silent pass."""
+
+    def test_drop_fraction_zero_baseline_raises(self):
+        reg = Regression(path="benches.storm.events_per_s",
+                         baseline=0.0, current=500.0)
+        with pytest.raises(ConfigError, match="zero baseline"):
+            reg.drop_fraction
+
+    def test_drop_fraction_normal_direction_unchanged(self):
+        reg = Regression(path="p", baseline=1000.0, current=600.0)
+        assert reg.drop_fraction == pytest.approx(0.4)
+        improved = Regression(path="p", baseline=1000.0, current=1500.0)
+        assert improved.drop_fraction == pytest.approx(-0.5)
+
+    def test_zero_baseline_metric_warns_and_is_skipped(self):
+        cur = _payload(events_per_s=1.0, speedup=2.0)
+        base = _payload(events_per_s=0.0, speedup=2.0)
+        with pytest.warns(ZeroBaselineWarning, match="events_per_s"):
+            regs = compare_payloads(cur, base)
+        assert regs == []  # skipped, not silently "passing"
+
+    def test_negative_baseline_also_warns(self):
+        cur = _payload(events_per_s=1.0)
+        base = _payload(events_per_s=-3.0)
+        with pytest.warns(ZeroBaselineWarning):
+            assert compare_payloads(cur, base) == []
+
+    def test_healthy_baselines_do_not_warn(self):
+        cur = _payload(events_per_s=900.0)
+        base = _payload(events_per_s=1000.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ZeroBaselineWarning)
+            assert compare_payloads(cur, base) == []
+
+    def test_zero_baseline_does_not_mask_other_regressions(self):
+        # A dead metric next to a live one: warn on the dead one, still
+        # flag the real regression on the live one.
+        cur = _payload(events_per_s=1.0, speedup=1.0)
+        base = _payload(events_per_s=0.0, speedup=8.0)
+        with pytest.warns(ZeroBaselineWarning):
+            regs = compare_payloads(cur, base)
+        assert [r.path for r in regs] == ["benches.storm.speedup"]
