@@ -9,7 +9,10 @@ that the paper's 2-flit choice is not what limits the mesh.
 
 from repro.mesh import MeshConfig, MeshNetwork, MeshTopology, make_transpose_gather
 
-from conftest import emit, once
+from conftest import ablation_sweep, emit, once
+
+#: The swept buffer depths (grid order; 2 is the paper's configuration).
+DEPTHS = (1, 2, 4, 8, 16)
 
 
 def run_depth(depth: int):
@@ -29,7 +32,7 @@ def run_depth(depth: int):
 
 def test_ablation_buffer_depth(benchmark):
     def run():
-        return {d: run_depth(d) for d in (1, 2, 4, 8, 16)}
+        return dict(zip(DEPTHS, ablation_sweep(run_depth, DEPTHS)))
 
     results = once(benchmark, run)
     base = results[2].cycles  # the paper's configuration

@@ -16,7 +16,10 @@ from repro.mesh import (
     make_transpose_gather_multi_mc,
 )
 
-from conftest import emit, once
+from conftest import ablation_sweep, emit, once
+
+#: Swept memory-interface counts (paper fixes 1; corners bound it at 4).
+PORT_COUNTS = (1, 2, 4)
 
 
 def run_with_ports(ports: int):
@@ -39,7 +42,7 @@ def run_with_ports(ports: int):
 
 def test_ablation_memory_ports(benchmark):
     def run():
-        return {ports: run_with_ports(ports) for ports in (1, 2, 4)}
+        return dict(zip(PORT_COUNTS, ablation_sweep(run_with_ports, PORT_COUNTS)))
 
     results = once(benchmark, run)
     base = results[1].cycles

@@ -10,17 +10,21 @@ import numpy as np
 
 from repro.analysis import measure_mesh_transpose
 
-from conftest import emit, once
+from conftest import ablation_sweep, emit, once
+
+#: Swept reorder costs (paper evaluates 1 and 4).
+TPS = (1, 2, 4, 8)
+
+
+def run_tp(tp: int):
+    return measure_mesh_transpose(
+        processors=36, row_samples=32, reorder_cycles=tp
+    )
 
 
 def test_ablation_tp_sweep(benchmark):
     def run():
-        return {
-            tp: measure_mesh_transpose(
-                processors=36, row_samples=32, reorder_cycles=tp
-            )
-            for tp in (1, 2, 4, 8)
-        }
+        return dict(zip(TPS, ablation_sweep(run_tp, TPS)))
 
     results = once(benchmark, run)
     lines = [f"{'t_p':>3} {'cycles':>8} {'multiplier':>10} {'cyc/elem':>9}"]

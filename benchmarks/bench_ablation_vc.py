@@ -14,9 +14,17 @@ from repro.analysis import pscan_transpose_cycles
 from repro.mesh import MeshTopology, make_transpose_gather
 from repro.mesh.vc_network import VcMeshConfig, VcMeshNetwork
 
-from conftest import emit, once
+from conftest import ablation_sweep, emit, once
 
 PROCESSORS, COLS = 36, 32
+
+#: The (VCs, t_p) grid, odometer order: t_p outer, VC count inner.
+VC_GRID = tuple((v, tp) for tp in (1, 4) for v in (1, 2, 4))
+
+
+def run_vc_point(point):
+    v, tp = point
+    return run_vc(v, tp)
 
 
 def run_vc(v: int, tp: int):
@@ -36,9 +44,7 @@ def run_vc(v: int, tp: int):
 
 def test_ablation_virtual_channels(benchmark):
     def run():
-        return {
-            (v, tp): run_vc(v, tp) for tp in (1, 4) for v in (1, 2, 4)
-        }
+        return dict(zip(VC_GRID, ablation_sweep(run_vc_point, VC_GRID)))
 
     results = once(benchmark, run)
     elements = PROCESSORS * COLS

@@ -11,23 +11,26 @@ from repro.energy import PhotonicEnergyModel
 from repro.photonics import WdmPlan
 from repro.photonics.spectrum import paper_spectral_plan
 
-from conftest import emit, once
+from conftest import ablation_sweep, emit, once
+
+#: Swept WDM channel counts (paper: 32 data + 1 clock).
+WAVELENGTH_COUNTS = (8, 16, 32, 64)
+
+
+def run_wavelengths(wavelengths: int):
+    spectral = paper_spectral_plan()
+    plan = WdmPlan(data_wavelengths=wavelengths)
+    fits = spectral.supports(wavelengths + plan.clock_wavelengths)
+    model = PhotonicEnergyModel(wavelengths=wavelengths)
+    energy = model.energy_per_bit_pj(256)
+    feasible = [p.row.k for p in feasible_k(plan) if p.feasible]
+    return (wavelengths, plan.aggregate_bandwidth_gbps, fits,
+            energy, max(feasible, default=0))
 
 
 def test_ablation_wavelength_count(benchmark):
-    spectral = paper_spectral_plan()
-
     def run():
-        rows = []
-        for wavelengths in (8, 16, 32, 64):
-            plan = WdmPlan(data_wavelengths=wavelengths)
-            fits = spectral.supports(wavelengths + plan.clock_wavelengths)
-            model = PhotonicEnergyModel(wavelengths=wavelengths)
-            energy = model.energy_per_bit_pj(256)
-            feasible = [p.row.k for p in feasible_k(plan) if p.feasible]
-            rows.append((wavelengths, plan.aggregate_bandwidth_gbps, fits,
-                         energy, max(feasible, default=0)))
-        return rows
+        return ablation_sweep(run_wavelengths, WAVELENGTH_COUNTS)
 
     rows = once(benchmark, run)
     lines = [

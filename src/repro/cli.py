@@ -215,7 +215,16 @@ def _cmd_faults(args: argparse.Namespace) -> None:
         seed=args.seed,
         mesh_link_failures=args.mesh_links,
     )
-    print(run_campaign(config, parallel=args.parallel).as_table())
+    print(
+        run_campaign(
+            config,
+            parallel=args.parallel,
+            checkpoint=(
+                str(args.checkpoint) if args.checkpoint is not None else None
+            ),
+            resume=args.resume,
+        ).as_table()
+    )
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -256,6 +265,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return check_main(list(args.check_args))
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .store.cli import main as sweep_main
+
+    return sweep_main(list(args.sweep_args))
+
+
 def _cmd_optimize(args: argparse.Namespace) -> None:
     from .llmore.optimize import best_block_count
 
@@ -291,6 +306,7 @@ _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], int | None]]] = {
     "perf": ("simulator fast-path benchmarks (BENCH_*.json)", _cmd_perf),
     "obs": ("instrumented workload -> trace.json + metrics.json", _cmd_obs),
     "check": ("static invariant lint + differential fuzzer", _cmd_check),
+    "sweep": ("resumable checkpointed sweeps (run/status/gc)", _cmd_sweep),
 }
 
 
@@ -339,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--parallel", action="store_true",
                            help="fan trials out over a process pool "
                                 "(identical report, seeded merge)")
+            from pathlib import Path as _P
+            p.add_argument("--checkpoint", type=_P, default=None,
+                           help="persist/resume per-trial results through "
+                                "a content-addressed store (docs/sweeps.md)")
+            p.add_argument("--no-resume", dest="resume",
+                           action="store_false",
+                           help="with --checkpoint: re-execute every point")
         elif name == "perf":
             p.add_argument("--quick", action="store_true",
                            help="CI-scale workloads (~seconds)")
@@ -374,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("check_args", nargs=argparse.REMAINDER,
                            help="arguments for the check sub-CLI "
                                 "(lint / fuzz / replay / shrink)")
+        elif name == "sweep":
+            p.add_argument("sweep_args", nargs=argparse.REMAINDER,
+                           help="arguments for the sweep sub-CLI "
+                                "(run / status / gc)")
         elif name == "optimize":
             p.add_argument("--n", type=int, default=1024)
             p.add_argument("--processors", type=int, default=256)

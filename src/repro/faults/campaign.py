@@ -253,6 +253,10 @@ def run_campaign(
     *,
     parallel: bool = False,
     max_workers: int | None = None,
+    checkpoint: str | None = None,
+    resume: bool = True,
+    obs: object = None,
+    stop_after: int | None = None,
 ) -> CampaignReport:
     """Run the full campaign; same config (incl. seed) ⇒ same report.
 
@@ -261,6 +265,20 @@ def run_campaign(
     seed is drawn *before* dispatch, in the exact order the serial loop
     draws them, and results merge back in grid order — so the report is
     bit-for-bit identical either way (differentially tested).
+
+    ``checkpoint``/``resume`` enable the content-addressed result store
+    (see ``docs/sweeps.md``): every trial is persisted as it completes,
+    an interrupted campaign resumes by re-executing only the missing
+    grid points, and a warm store regenerates the report without
+    running a single simulation.  Grid points are canonical by
+    construction — ``(CampaignConfig, ber, trial_seed)`` tuples of a
+    frozen dataclass and plain numbers — so their store keys are stable
+    across processes and pickle protocols.  ``obs`` (an
+    :class:`repro.obs.ObsSession`) receives per-point spans/metrics;
+    ``stop_after`` bounds how many *pending* points each of the two
+    sweeps may execute before raising
+    :class:`~repro.util.errors.SweepInterrupted` (completed points stay
+    checkpointed).
     """
     from ..perf.sweep import run_sweep
 
@@ -286,7 +304,15 @@ def run_campaign(
         for trial_seed in seeds_by_ber[ber]
     ]
     gather_results = run_sweep(
-        _gather_point, gather_grid, parallel=parallel, max_workers=max_workers
+        _gather_point,
+        gather_grid,
+        parallel=parallel,
+        max_workers=max_workers,
+        checkpoint=checkpoint,
+        resume=resume,
+        obs=obs,
+        label="faults-gather",
+        stop_after=stop_after,
     )
     by_ber: dict[float, list[tuple]] = {}
     for (cfg_, ber, _seed), row in zip(gather_grid, gather_results):
@@ -332,19 +358,40 @@ def run_campaign(
     ]
     report.mesh_rows.extend(
         run_sweep(
-            _mesh_point, mesh_grid, parallel=parallel, max_workers=max_workers
+            _mesh_point,
+            mesh_grid,
+            parallel=parallel,
+            max_workers=max_workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            obs=obs,
+            label="faults-mesh",
+            stop_after=stop_after,
         )
     )
     return report
 
 
 def _gather_point(point: tuple) -> tuple:
-    """Picklable sweep worker: one seeded protected-gather trial."""
+    """Picklable sweep worker: one seeded protected-gather trial.
+
+    Point payloads are *canonical* — ``(CampaignConfig, ber, trial_seed)``
+    with a frozen dataclass of plain values — so the content-addressed
+    store key (:func:`repro.store.keys.point_key`) is identical across
+    processes, platforms and pickle protocols; the result is a plain
+    tuple of numbers/bools, safe for the pickled object store.
+    """
     config, ber, trial_seed = point
     return _run_gather_trial(config, ber, trial_seed)
 
 
 def _mesh_point(point: tuple) -> MeshCampaignRow:
-    """Picklable sweep worker: one seeded faulty-mesh transpose."""
+    """Picklable sweep worker: one seeded faulty-mesh transpose.
+
+    Canonical payload ``(CampaignConfig, dead_links, seed)``; the
+    :class:`MeshCampaignRow` result is a dataclass of plain values
+    (``report_kind`` is pre-flattened to ``str | None`` rather than a
+    live report object, keeping the stored result small and canonical).
+    """
     config, dead_links, seed = point
     return _run_mesh_trial(config, dead_links, seed)

@@ -99,36 +99,75 @@ class SweepResult:
         return [p.psync.reorg_fraction for p in self.points]
 
 
+def _core_point(point: tuple) -> SweepPoint:
+    """Picklable sweep worker: one core count across the three machines.
+
+    The point payload — ``(Fft2dApp, cores, reorder_cycles, delivery_k)``,
+    a frozen dataclass plus plain ints — is canonical for the
+    content-addressed store (:func:`repro.store.keys.canonicalize`), so
+    figure regenerations against a warm checkpoint are cache reads.
+    """
+    app, cores, reorder_cycles, delivery_k = point
+    return SweepPoint(
+        cores=cores,
+        mesh=simulate_fft2d(
+            app, mesh_machine(cores, reorder_cycles), delivery_k=delivery_k
+        ),
+        psync=simulate_fft2d(
+            app, psync_machine(cores), delivery_k=delivery_k
+        ),
+        ideal=simulate_fft2d(
+            app, _ideal_machine(cores), delivery_k=delivery_k
+        ),
+    )
+
+
 def figure13_sweep(
     app: Fft2dApp | None = None,
     core_counts: tuple[int, ...] = DEFAULT_CORE_SWEEP,
     reorder_cycles: int = 1,
     delivery_k: int = 1,
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    checkpoint: str | None = None,
+    resume: bool = True,
+    obs: object = None,
 ) -> SweepResult:
     """Simulate the three machines across the core sweep.
 
     ``delivery_k > 1`` switches every machine to Model II overlapped
     delivery (the paper's Section VI-B note) — the ideal machine too, so
     convergence claims stay apples-to-apples.
+
+    The per-core-count points run through
+    :func:`repro.perf.sweep.run_sweep`, so the sweep inherits the
+    checkpointed runtime: ``parallel=True`` fans the (independent,
+    deterministic) core counts over a process pool with grid-order
+    merging, and ``checkpoint=dir`` persists/resumes per-point results
+    through the content-addressed store (see ``docs/sweeps.md``).
+    Results are identical on every path — the models are closed-form
+    and seedless.
     """
+    from ..perf.sweep import run_sweep
+
     app = app or Fft2dApp()
+    grid = [
+        (app, cores, reorder_cycles, delivery_k) for cores in core_counts
+    ]
     result = SweepResult()
-    for cores in core_counts:
-        result.points.append(
-            SweepPoint(
-                cores=cores,
-                mesh=simulate_fft2d(
-                    app, mesh_machine(cores, reorder_cycles),
-                    delivery_k=delivery_k,
-                ),
-                psync=simulate_fft2d(
-                    app, psync_machine(cores), delivery_k=delivery_k
-                ),
-                ideal=simulate_fft2d(
-                    app, _ideal_machine(cores), delivery_k=delivery_k
-                ),
-            )
+    result.points.extend(
+        run_sweep(
+            _core_point,
+            grid,
+            parallel=parallel,
+            max_workers=max_workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            obs=obs,
+            label="fig13",
         )
+    )
     return result
 
 
@@ -136,6 +175,7 @@ def figure14_sweep(
     app: Fft2dApp | None = None,
     core_counts: tuple[int, ...] = DEFAULT_CORE_SWEEP,
     reorder_cycles: int = 1,
+    **sweep_kwargs: object,
 ) -> SweepResult:
     """Fig. 14 uses the same simulations; provided for symmetry/clarity."""
-    return figure13_sweep(app, core_counts, reorder_cycles)
+    return figure13_sweep(app, core_counts, reorder_cycles, **sweep_kwargs)

@@ -16,6 +16,11 @@ config decides which layers record:
     Semantic events from the mesh simulators (inject/deliver/fault), the
     PSCAN executor (modulate/arrival/deliver), the recovery layer
     (epochs/NACKs/backoff) and the LLMORE phase simulator.
+``sweep``
+    Per-point spans and cache-hit metrics from the checkpointed sweep
+    runtime (:func:`repro.perf.sweep.run_sweep`) — one instant per grid
+    point (executed or cache hit) plus a run-level begin/end span, so
+    hour-long campaigns are observable mid-flight.
 ``mesh_sample_cycles``
     When > 0, sample mesh occupancy counters every N cycles into the
     ``mesh.sample`` category.  Sampled events are *engine-dependent*
@@ -47,6 +52,7 @@ class ObsConfig:
     sca: bool = True
     faults: bool = True
     phases: bool = True
+    sweep: bool = True
 
     def __post_init__(self) -> None:
         if self.max_trace_events is not None and self.max_trace_events < 1:

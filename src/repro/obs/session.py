@@ -33,6 +33,7 @@ sca        sca          modulate/arrival/deliver instants
 faults     faults       epoch B/E, nack instants, backoff X spans
 llmore     llmore       phase X spans per machine
 perf       perf         harness phase spans (wall-clock µs)
+sweep      sweep        run B/E spans, per-point / cache-hit instants
 ========== ============ ==========================================
 """
 
@@ -76,6 +77,7 @@ class ObsSession:
         self._sca = active and cfg.sca
         self._faults = active and cfg.faults
         self._phases = active and cfg.phases
+        self._sweep = active and cfg.sweep
 
     @property
     def active(self) -> bool:
@@ -362,6 +364,66 @@ class ObsSession:
             m.gauge("llmore_reorg_fraction", machine=breakdown.machine).set(
                 breakdown.reorg_fraction
             )
+
+    # -- sweep runtime -------------------------------------------------------
+
+    def sweep_begin(
+        self, label: str, total: int, cached: int, pending: int
+    ) -> None:
+        """A checkpointed sweep run started (``run_sweep`` duck-types this)."""
+        if not self._sweep:
+            return
+        if self.tracer.enabled:
+            self.tracer.begin(
+                "sweep", label or "sweep", track="sweep",
+                args={"total": total, "cached": cached, "pending": pending},
+            )
+        m = self.metrics
+        if m.enabled:
+            m.counter("sweep_points_total").inc(total)
+            m.counter("sweep_points_cached").inc(cached)
+
+    def sweep_point(
+        self, index: int, key: str | None, cached: bool, wall_s: float
+    ) -> None:
+        """One grid point finished: executed (``cached=False``) or a hit."""
+        if not self._sweep:
+            return
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "sweep", "cache_hit" if cached else "point", track="sweep",
+                args={
+                    "index": index,
+                    "key": key[:12] if key else None,
+                    "wall_s": round(wall_s, 6),
+                },
+            )
+        m = self.metrics
+        if m.enabled:
+            if cached:
+                m.counter("sweep_cache_hits").inc()
+            else:
+                m.counter("sweep_points_executed").inc()
+                m.series("sweep_point_wall_s").add(wall_s)
+
+    def sweep_end(
+        self, label: str, executed: int, cached: int, wall_s: float
+    ) -> None:
+        """The sweep run finished (or raised past its last completion)."""
+        if not self._sweep:
+            return
+        if self.tracer.enabled:
+            self.tracer.end(
+                "sweep", label or "sweep", track="sweep",
+                args={
+                    "executed": executed,
+                    "cached": cached,
+                    "wall_s": round(wall_s, 6),
+                },
+            )
+        m = self.metrics
+        if m.enabled:
+            m.gauge("sweep_wall_s", label=label or "sweep").set(wall_s)
 
     # -- export --------------------------------------------------------------
 

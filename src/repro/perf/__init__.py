@@ -2,9 +2,13 @@
 
 Three pieces (see ``docs/performance.md``):
 
-* :mod:`repro.perf.sweep` — a :class:`~concurrent.futures.ProcessPoolExecutor`
-  fan-out for seeded parameter grids with grid-order (serial-identical)
-  result merging;
+* :mod:`repro.perf.sweep` — the resumable sweep runtime: a
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out for seeded
+  parameter grids with grid-order (serial-identical) result merging,
+  loud per-point failure semantics (:class:`~repro.util.errors.SweepPointError`,
+  explicit ``BrokenProcessPool`` recovery), and ``checkpoint=``/
+  ``resume=`` persistence through the :mod:`repro.store`
+  content-addressed result cache (see ``docs/sweeps.md``);
 * :mod:`repro.perf.harness` — the benchmarks behind ``BENCH_mesh.json``
   and ``BENCH_engine.json`` (fast vs reference mesh engine, bucket vs
   heap event queue), each asserting result equality before reporting a

@@ -1,0 +1,197 @@
+"""Canonical serialization and content-addressed keys for sweep points.
+
+Every result the sweep runtime checkpoints is addressed by a **stable,
+content-derived key**::
+
+    key = sha256(canonical_json({
+        "worker":      <module-qualified name of the worker function>,
+        "fingerprint": <sha256 of the worker's source code>,
+        "point":       canonicalize(<grid point payload>),
+        "extra":       canonicalize(<caller-supplied salt, optional>),
+    }))
+
+so that
+
+* the same worker evaluated at the same grid point always maps to the
+  same key (warm-cache regeneration is a no-op);
+* editing the worker's source invalidates every cached result computed
+  with the old code (the ``fingerprint`` component changes);
+* two different points can never collide on a formatting accident,
+  because :func:`canonicalize` is injective on the supported payload
+  vocabulary (see below) and :func:`canonical_json` emits one byte
+  stream per canonical form (sorted keys, fixed separators, tagged
+  non-finite floats).
+
+Supported payload vocabulary
+----------------------------
+``None``, ``bool``, ``int``, ``str``, finite and non-finite ``float``,
+``complex``, ``bytes``, ``list``/``tuple``, ``dict`` (any canonical
+keys), ``set``/``frozenset`` (sorted by canonical form), :mod:`enum`
+members, frozen-or-not ``dataclasses`` (by qualified class name +
+per-field canonical form), and NumPy scalars (via ``.item()``).  The
+repo's campaign / bench / figure configs are frozen dataclasses of plain
+values, so they all canonicalize; anything outside the vocabulary (an
+open file, a live simulator, a lambda) raises
+:class:`~repro.util.errors.ConfigError` *before* dispatch — a
+non-canonical point is a bug in the sweep's construction, not something
+to hash by ``repr`` luck.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import math
+from collections.abc import Callable, Mapping, Sequence, Set
+from typing import Any
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "canonicalize",
+    "canonical_json",
+    "code_fingerprint",
+    "worker_name",
+    "point_key",
+]
+
+#: Tag used for values that need a type marker to stay injective.
+_TAG = "__repro__"
+
+
+def _qualified_name(obj: type | Callable[..., Any]) -> str:
+    module = getattr(obj, "__module__", None) or "?"
+    qualname = getattr(obj, "__qualname__", None) or getattr(
+        obj, "__name__", repr(obj)
+    )
+    return f"{module}:{qualname}"
+
+
+def canonicalize(value: Any) -> Any:
+    """Map ``value`` onto a canonical, JSON-serializable form.
+
+    The mapping is deterministic (no id()/repr() dependence, dict order
+    irrelevant, sets sorted) and injective on the supported vocabulary:
+    distinct payloads get distinct canonical forms.  Unsupported values
+    raise :class:`ConfigError` naming the offending type.
+    """
+    if value is None or value is True or value is False:
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            # float.hex() is exact and round-trippable; repr would also
+            # work on CPython >= 3.1 but hex makes the intent explicit.
+            return [_TAG, "float", value.hex()]
+        return [_TAG, "float", str(value)]  # 'nan', 'inf', '-inf'
+    if isinstance(value, complex):
+        return [_TAG, "complex",
+                canonicalize(value.real), canonicalize(value.imag)]
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return [_TAG, "bytes", bytes(value).hex()]
+    if isinstance(value, enum.Enum):
+        return [_TAG, "enum", _qualified_name(type(value)), value.name]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [_TAG, "dataclass", _qualified_name(type(value)), fields]
+    if isinstance(value, Mapping):
+        items = [
+            [canonicalize(k), canonicalize(v)] for k, v in value.items()
+        ]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return [_TAG, "map", items]
+    if isinstance(value, Set):
+        members = sorted(
+            (canonicalize(v) for v in value),
+            key=lambda c: json.dumps(c, sort_keys=True),
+        )
+        return [_TAG, "set", members]
+    if isinstance(value, Sequence):
+        # Lists and tuples canonicalize identically on purpose: the
+        # sweep runtime treats both as "a positional point payload".
+        return [canonicalize(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):  # NumPy scalar duck-typing (no hard numpy dep)
+        scalar = item()
+        if type(scalar) is not type(value):
+            return canonicalize(scalar)
+    raise ConfigError(
+        f"sweep point payload of type {type(value).__name__!r} has no "
+        f"canonical serialization; use plain values, dataclasses, or "
+        f"enums (got {value!r})"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """One byte stream per canonical form: sorted keys, fixed separators."""
+    return json.dumps(
+        canonicalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def worker_name(fn: Callable[..., Any]) -> str:
+    """Module-qualified name of a worker function (key component)."""
+    return _qualified_name(fn)
+
+
+def code_fingerprint(fn: Callable[..., Any]) -> str:
+    """A stable hash of the worker's *code*, for cache invalidation.
+
+    Prefers the source text (editing the worker invalidates its cached
+    results); falls back to the compiled bytecode + constants when the
+    source is unavailable (frozen apps, REPL-defined workers), and to
+    the qualified name alone as a last resort (C extensions).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(worker_name(fn).encode())
+    try:
+        hasher.update(inspect.getsource(fn).encode())
+        return hasher.hexdigest()
+    except (OSError, TypeError):
+        pass
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        hasher.update(code.co_code)
+        hasher.update(repr(code.co_consts).encode())
+    return hasher.hexdigest()
+
+
+def point_key(
+    fn: Callable[..., Any],
+    point: Any,
+    *,
+    fingerprint: str | None = None,
+    extra: Any = None,
+) -> str:
+    """The content-addressed store key for ``fn`` evaluated at ``point``.
+
+    ``fingerprint`` lets callers amortize :func:`code_fingerprint` over a
+    grid (it is invariant per worker); ``extra`` is an optional salt for
+    callers that need to segregate otherwise-identical evaluations (for
+    example an environment revision).
+    """
+    envelope = {
+        "worker": worker_name(fn),
+        "fingerprint": (
+            fingerprint if fingerprint is not None else code_fingerprint(fn)
+        ),
+        "point": canonicalize(point),
+        "extra": canonicalize(extra),
+    }
+    payload = json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

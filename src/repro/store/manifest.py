@@ -1,0 +1,199 @@
+"""Sweep-run manifests and per-point completion journals.
+
+A **manifest** describes one sweep run's identity: which worker, which
+code fingerprint, and the grid-ordered list of content-addressed keys.
+Its ``run_id`` is itself content-derived (hash of worker + fingerprint +
+keys), so *resuming* a sweep naturally maps onto the same manifest —
+there is no session state to reconcile, just a set membership question
+per key against the object store.
+
+A **journal** is an append-only JSON-lines file next to the manifest.
+One line is appended (with an ``os.replace``-free ``O_APPEND`` write —
+a line either lands whole or the point simply looks incomplete) every
+time a point's result is committed to the store, recording the index,
+key, wall time, and whether the result came from cache.  Journals are
+purely observational: resume correctness derives from the object store,
+the journal exists so ``python -m repro sweep status`` can narrate a
+half-finished campaign (and so post-mortems can see the completion
+order a crashed run achieved).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..util.errors import ConfigError
+
+__all__ = ["SweepManifest", "JournalEntry", "append_journal", "read_journal"]
+
+SCHEMA_VERSION = 1
+
+
+def _run_id(worker: str, fingerprint: str, keys: Iterable[str]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(worker.encode())
+    hasher.update(fingerprint.encode())
+    for key in keys:
+        hasher.update(key.encode())
+    return hasher.hexdigest()[:16]
+
+
+@dataclass(slots=True)
+class SweepManifest:
+    """Identity + grid-ordered keys of one sweep run (JSON on disk)."""
+
+    worker: str
+    fingerprint: str
+    keys: list[str]
+    label: str = ""
+    created_at: float = field(default_factory=time.time)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def run_id(self) -> str:
+        """Content-derived id: same grid ⇒ same manifest file."""
+        return _run_id(self.worker, self.fingerprint, self.keys)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.keys)
+
+    # -- persistence ---------------------------------------------------------
+
+    def path(self, runs_dir: Path) -> Path:
+        return runs_dir / f"{self.run_id}.json"
+
+    def journal_path(self, runs_dir: Path) -> Path:
+        return runs_dir / f"{self.run_id}.journal"
+
+    def save(self, runs_dir: Path) -> Path:
+        """Atomically (re)write the manifest; returns its path."""
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path(runs_dir)
+        payload = {
+            "schema_version": self.schema_version,
+            "worker": self.worker,
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "created_at": self.created_at,
+            "keys": self.keys,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "SweepManifest":
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable sweep manifest {path}: {exc}") from exc
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigError(
+                f"sweep manifest {path} has schema_version {version!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        return cls(
+            worker=payload["worker"],
+            fingerprint=payload["fingerprint"],
+            keys=list(payload["keys"]),
+            label=payload.get("label", ""),
+            created_at=float(payload.get("created_at", 0.0)),
+        )
+
+    @classmethod
+    def iter_dir(cls, runs_dir: Path) -> Iterator["SweepManifest"]:
+        """Every parseable manifest under ``runs_dir`` (sorted by file name)."""
+        if not runs_dir.is_dir():
+            return
+        for path in sorted(runs_dir.glob("*.json")):
+            try:
+                yield cls.load(path)
+            except ConfigError:
+                continue  # a foreign/corrupt file must not wedge status/gc
+
+    # -- status --------------------------------------------------------------
+
+    def completed(self, store: Any) -> list[bool]:
+        """Per-point completion flags against a :class:`ResultStore`."""
+        return [store.has(key) for key in self.keys]
+
+    def status_line(self, store: Any) -> str:
+        done = sum(self.completed(store))
+        state = (
+            "complete" if done == self.n_points
+            else f"{done}/{self.n_points} points"
+        )
+        label = f" [{self.label}]" if self.label else ""
+        return f"{self.run_id}{label} {self.worker}: {state}"
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """One committed point, as appended to the run's journal."""
+
+    index: int
+    key: str
+    cached: bool
+    wall_s: float
+    ts: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "index": self.index,
+                "key": self.key,
+                "cached": self.cached,
+                "wall_s": round(self.wall_s, 6),
+                "ts": self.ts,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def append_journal(path: Path, entry: JournalEntry) -> None:
+    """Append one completion line (``O_APPEND``; whole-line or nothing)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = entry.to_json() + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+
+
+def read_journal(path: Path) -> list[JournalEntry]:
+    """Parse a journal, skipping any torn trailing line."""
+    entries: list[JournalEntry] = []
+    try:
+        text = path.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            entries.append(
+                JournalEntry(
+                    index=int(payload["index"]),
+                    key=str(payload["key"]),
+                    cached=bool(payload["cached"]),
+                    wall_s=float(payload["wall_s"]),
+                    ts=float(payload["ts"]),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            continue  # torn line from a crash; the store is the truth
+    return entries

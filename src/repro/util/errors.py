@@ -126,3 +126,60 @@ class RetryExhaustedError(FaultError):
     def __init__(self, message: str, residual: list | None = None) -> None:
         super().__init__(message)
         self.residual = list(residual) if residual is not None else []
+
+
+class SweepError(ReproError, RuntimeError):
+    """Base class for parameter-sweep runtime failures (:mod:`repro.perf.sweep`).
+
+    The sweep runtime never silently degrades a *worker* failure into a
+    serial re-run of the grid (that was a real bug: a single ``OSError``
+    from a worker re-executed — and double-executed — every point).
+    Worker failures surface as :class:`SweepPointError`; infrastructure
+    failures as :class:`SweepPoolError`; a deliberately bounded run stops
+    with :class:`SweepInterrupted` (completed points stay checkpointed).
+    """
+
+
+class SweepPointError(SweepError):
+    """One grid point's worker raised; carries the point for triage.
+
+    ``index`` is the point's position in grid order, ``point`` the
+    parameter payload that was dispatched, ``key`` the content-addressed
+    store key (``None`` when the sweep ran without a checkpoint).  The
+    worker's original exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int,
+        point: object = None,
+        key: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.point = point
+        self.key = key
+
+
+class SweepPoolError(SweepError):
+    """The process pool broke repeatedly (workers dying, not raising).
+
+    Raised only after the sweep runtime has already rebuilt the pool and
+    resubmitted the missing points ``max_pool_restarts`` times; the
+    checkpoint (when enabled) retains every point that did complete.
+    """
+
+
+class SweepInterrupted(SweepError):
+    """A bounded sweep (``stop_after=N``) stopped with points remaining.
+
+    Not a failure: the ``remaining`` points are simply still pending, and
+    a resumed run (``resume=True`` with the same checkpoint) picks up
+    exactly where this one stopped.
+    """
+
+    def __init__(self, message: str, *, remaining: int) -> None:
+        super().__init__(message)
+        self.remaining = remaining

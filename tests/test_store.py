@@ -1,0 +1,362 @@
+"""Tests for the content-addressed result store (:mod:`repro.store`).
+
+Three contracts:
+
+* **canonical serialization** (`keys.canonicalize`) — deterministic,
+  injective on the supported vocabulary, order-independent for mappings
+  and sets, and *loud* (ConfigError) outside the vocabulary — never a
+  repr-based hash that silently changes between runs;
+* **key derivation** (`keys.point_key`) — same worker + same point ⇒
+  same key; different point, different worker, or different worker
+  *source* ⇒ different key (cache invalidation by construction);
+* **store mechanics** — atomic object writes, manifest round-trip,
+  torn-journal tolerance, and reference/age-aware garbage collection.
+"""
+
+import json
+import math
+import os
+import pickle
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig
+from repro.llmore.app import Fft2dApp
+from repro.llmore.machine import ReorgMechanism
+from repro.store import (
+    JournalEntry,
+    ResultStore,
+    SweepManifest,
+    append_journal,
+    canonical_json,
+    canonicalize,
+    code_fingerprint,
+    point_key,
+    read_journal,
+    worker_name,
+)
+from repro.util.errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# module-level workers (for key derivation tests)
+# ---------------------------------------------------------------------------
+
+
+def _worker_a(x):
+    return x + 1
+
+
+def _worker_b(x):
+    return x + 2
+
+
+# ---------------------------------------------------------------------------
+# canonicalize / canonical_json
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+        assert canonicalize(42) == 42
+        assert canonicalize("x") == "x"
+
+    def test_floats_are_exact(self):
+        a = canonical_json(0.1)
+        b = canonical_json(0.1 + 2**-55)
+        assert a != b  # nearby but distinct floats stay distinct
+
+    def test_nonfinite_floats_supported(self):
+        assert canonical_json(float("nan")) == canonical_json(float("nan"))
+        assert canonical_json(float("inf")) != canonical_json(float("-inf"))
+
+    def test_int_float_distinct(self):
+        assert canonical_json(1) != canonical_json(1.0)
+
+    def test_complex_and_bytes(self):
+        assert canonical_json(1 + 2j) == canonical_json(complex(1.0, 2.0))
+        assert canonical_json(b"\x00\xff") != canonical_json(b"\x00\xfe")
+
+    def test_dict_order_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_non_string_dict_keys(self):
+        assert canonical_json({1e-4: "x", 0.0: "y"}) == canonical_json(
+            {0.0: "y", 1e-4: "x"}
+        )
+
+    def test_set_order_irrelevant(self):
+        assert canonical_json({3, 1, 2}) == canonical_json({2, 3, 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_dataclass_by_fields(self):
+        a = CampaignConfig(seed=7)
+        b = CampaignConfig(seed=7)
+        c = CampaignConfig(seed=8)
+        assert canonical_json(a) == canonical_json(b)
+        assert canonical_json(a) != canonical_json(c)
+
+    def test_enum_members(self):
+        assert canonical_json(ReorgMechanism.IDEAL) == canonical_json(
+            ReorgMechanism.IDEAL
+        )
+        members = list(ReorgMechanism)
+        if len(members) > 1:
+            assert canonical_json(members[0]) != canonical_json(members[1])
+
+    def test_numpy_scalars(self):
+        np = pytest.importorskip("numpy")
+        assert canonicalize(np.int64(5)) == canonicalize(5)
+        assert canonical_json(np.float64(0.25)) == canonical_json(0.25)
+
+    def test_unsupported_payloads_are_loud(self):
+        with pytest.raises(ConfigError, match="no canonical serialization"):
+            canonicalize(lambda: None)
+        with pytest.raises(ConfigError):
+            canonicalize(object())
+
+    def test_output_is_strict_json(self):
+        # Everything canonicalize produces must survive strict JSON.
+        payload = {
+            "cfg": CampaignConfig(),
+            "z": 1 + 2j,
+            "nan": float("nan"),
+            "mech": ReorgMechanism.IDEAL,
+        }
+        text = canonical_json(payload)
+        json.loads(text)  # does not raise
+
+    def test_campaign_grid_is_canonical(self):
+        """The satellite audit: real campaign points must canonicalize."""
+        config = CampaignConfig(trials=2, fault_rates=(0.0, 1e-4))
+        for ber in config.fault_rates:
+            canonical_json((config, ber, 12345))
+        canonical_json((config, 1, 999))  # mesh point shape
+
+    def test_llmore_grid_is_canonical(self):
+        canonical_json((Fft2dApp(), 256, 1, 1))
+
+
+# ---------------------------------------------------------------------------
+# key derivation
+# ---------------------------------------------------------------------------
+
+
+class TestPointKey:
+    def test_stable_across_calls(self):
+        assert point_key(_worker_a, (1, 2)) == point_key(_worker_a, (1, 2))
+
+    def test_distinct_points_distinct_keys(self):
+        assert point_key(_worker_a, (1, 2)) != point_key(_worker_a, (1, 3))
+
+    def test_distinct_workers_distinct_keys(self):
+        assert point_key(_worker_a, (1, 2)) != point_key(_worker_b, (1, 2))
+
+    def test_fingerprint_covers_source(self):
+        # Same point, but the two workers differ in source ⇒ the code
+        # fingerprint (and thus the key) differs: editing a worker
+        # invalidates its cached results.
+        assert code_fingerprint(_worker_a) != code_fingerprint(_worker_b)
+
+    def test_precomputed_fingerprint_matches(self):
+        fp = code_fingerprint(_worker_a)
+        assert point_key(_worker_a, 5, fingerprint=fp) == point_key(
+            _worker_a, 5
+        )
+
+    def test_extra_salt_segregates(self):
+        assert point_key(_worker_a, 5) != point_key(_worker_a, 5, extra="v2")
+
+    def test_worker_name_is_module_qualified(self):
+        assert worker_name(_worker_a).endswith(":_worker_a")
+        assert "test_store" in worker_name(_worker_a)
+
+
+# ---------------------------------------------------------------------------
+# result store mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 3)
+        assert not store.has(key)
+        store.store(key, {"x": [1, 2, 3], "y": (4.5, None)})
+        assert store.has(key)
+        assert store.load(key) == {"x": [1, 2, 3], "y": (4.5, None)}
+
+    def test_missing_key_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.load(point_key(_worker_a, 99))
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigError):
+            store.has("../../etc/passwd")
+        with pytest.raises(ConfigError):
+            store.has("short")
+
+    def test_overwrite_is_atomic_no_temp_residue(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 1)
+        store.store(key, "first")
+        store.store(key, "second")
+        assert store.load(key) == "second"
+        shard = store._object_path(key).parent
+        assert not list(shard.glob(".*.tmp"))
+
+    def test_keys_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        wanted = {point_key(_worker_a, i) for i in range(5)}
+        for i, key in enumerate(sorted(wanted)):
+            store.store(key, i)
+        assert set(store.keys()) == wanted
+        assert store.object_count() == 5
+        assert store.total_bytes() > 0
+
+    def test_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 1)
+        store.store(key, 1)
+        assert store.delete(key) is True
+        assert store.delete(key) is False
+        assert not store.has(key)
+
+    def test_torn_object_is_not_visible(self, tmp_path):
+        # A crash mid-write leaves only a dot-tmp file, which has() and
+        # keys() ignore (the object either exists whole or not at all).
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 7)
+        path = store._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        (path.parent / f".{key[:12]}.xyz.tmp").write_bytes(
+            pickle.dumps("partial")[:3]
+        )
+        assert not store.has(key)
+        assert list(store.keys()) == []
+
+
+# ---------------------------------------------------------------------------
+# manifests + journals
+# ---------------------------------------------------------------------------
+
+
+class TestManifest:
+    def _manifest(self):
+        fp = code_fingerprint(_worker_a)
+        keys = [point_key(_worker_a, i, fingerprint=fp) for i in range(4)]
+        return SweepManifest(
+            worker=worker_name(_worker_a),
+            fingerprint=fp,
+            keys=keys,
+            label="unit",
+        )
+
+    def test_round_trip(self, tmp_path):
+        manifest = self._manifest()
+        path = manifest.save(tmp_path)
+        loaded = SweepManifest.load(path)
+        assert loaded.run_id == manifest.run_id
+        assert loaded.keys == manifest.keys
+        assert loaded.label == "unit"
+
+    def test_run_id_content_derived(self, tmp_path):
+        a, b = self._manifest(), self._manifest()
+        assert a.run_id == b.run_id  # same grid ⇒ same manifest identity
+        b.keys = list(reversed(b.keys))
+        assert a.run_id != b.run_id
+
+    def test_iter_dir_skips_corrupt(self, tmp_path):
+        manifest = self._manifest()
+        manifest.save(tmp_path)
+        (tmp_path / "zz-corrupt.json").write_text("{not json")
+        (tmp_path / "zz-foreign.json").write_text('{"schema_version": 99}')
+        found = list(SweepManifest.iter_dir(tmp_path))
+        assert [m.run_id for m in found] == [manifest.run_id]
+
+    def test_status_against_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.ensure_dirs()
+        manifest = self._manifest()
+        store.store(manifest.keys[0], "r0")
+        assert manifest.completed(store) == [True, False, False, False]
+        assert "1/4" in manifest.status_line(store)
+
+    def test_journal_round_trip_and_torn_line(self, tmp_path):
+        path = tmp_path / "run.journal"
+        for i in range(3):
+            append_journal(
+                path,
+                JournalEntry(
+                    index=i, key="ab" * 32, cached=bool(i % 2),
+                    wall_s=0.5 * i, ts=1000.0 + i,
+                ),
+            )
+        with path.open("a") as fh:
+            fh.write('{"index": 3, "key": "tor')  # crash mid-append
+        entries = read_journal(path)
+        assert [e.index for e in entries] == [0, 1, 2]
+        assert entries[1].cached is True
+        assert math.isclose(entries[2].wall_s, 1.0)
+
+    def test_read_missing_journal(self, tmp_path):
+        assert read_journal(tmp_path / "absent.journal") == []
+
+
+# ---------------------------------------------------------------------------
+# garbage collection
+# ---------------------------------------------------------------------------
+
+
+class TestGc:
+    def test_orphans_removed_referenced_kept(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.ensure_dirs()
+        fp = code_fingerprint(_worker_a)
+        kept_keys = [point_key(_worker_a, i, fingerprint=fp) for i in range(3)]
+        SweepManifest(
+            worker=worker_name(_worker_a), fingerprint=fp, keys=kept_keys
+        ).save(store.runs_dir)
+        orphan = point_key(_worker_b, 0)
+        for key in [*kept_keys, orphan]:
+            store.store(key, "v")
+        report = store.gc()
+        assert report.removed == 1
+        assert report.kept == 3
+        assert not store.has(orphan)
+        assert all(store.has(k) for k in kept_keys)
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.ensure_dirs()
+        orphan = point_key(_worker_b, 1)
+        store.store(orphan, "v")
+        report = store.gc(dry_run=True)
+        assert report.removed == 1 and report.dry_run
+        assert store.has(orphan)
+
+    def test_age_cutoff_with_all(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.ensure_dirs()
+        old = point_key(_worker_a, 1)
+        new = point_key(_worker_a, 2)
+        store.store(old, "old")
+        store.store(new, "new")
+        stale = 10 * 86400
+        path = store._object_path(old)
+        os.utime(path, (path.stat().st_atime - stale,
+                        path.stat().st_mtime - stale))
+        report = store.gc(max_age_days=7, unreferenced_only=False)
+        assert report.removed == 1
+        assert not store.has(old) and store.has(new)
+
+    def test_negative_age_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ResultStore(tmp_path).gc(max_age_days=-1)
