@@ -1,0 +1,177 @@
+"""Service-layer load generator — latency percentiles under chaos.
+
+Drives an in-process :class:`repro.serve.ServeServer` through four
+phases of mixed multi-tenant load:
+
+* **cold**: distinct points, one tenant — every answer pays the worker;
+* **warm**: the same points again from three more tenants — every
+  answer must come from the store without executing anything;
+* **chaos**: a fresh server runs the same shape of load with the chaos
+  driver killing a quarter of all attempts — every job must still
+  terminate in a classified state and no point may cold-execute twice;
+* **degraded**: the circuit breaker is tripped open on that server and
+  the answered points are requested again — warm-cache-only mode must
+  keep answering, and do it *fast*.  That is the P99 gate: a degraded
+  service that still burns attempt timeouts per request has failed
+  closed in all but name.
+
+The absolute gates are generous (sandbox CI machines); the *relative*
+claims are the tight ones — a warm or degraded answer never pays the
+cold sleep, even at P99.  Torn-write and stale-across-code-revision
+behaviour is pinned by tests/test_serve_chaos.py and
+tests/test_serve_breaker.py; this bench owns the latency story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from repro.faults.chaos import ChaosConfig, ChaosDriver
+from repro.serve import JobRequest, JobState, ServeConfig, ServeServer
+
+from conftest import emit, once
+
+#: The cold workload sleeps this long, so any answer faster than it
+#: provably skipped cold execution.
+COLD_S = 0.08
+#: Absolute ceiling for warm/degraded P99 — an order of magnitude above
+#: a store hit, comfortably under the cold floor.
+FAST_P99_S = 0.05
+
+N_POINTS = 8
+WARM_TENANTS = 3
+
+
+def _config(**overrides) -> ServeConfig:
+    defaults = dict(
+        executor_mode="thread",
+        workers=4,
+        max_concurrency=8,
+        default_deadline_s=20.0,
+        attempt_timeout_s=2.0,
+        max_attempts=3,
+        breaker_failures=6,
+        breaker_cooldown_s=30.0,  # stays open through the degraded phase
+        tenant_quota=64,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _run_load(server: ServeServer, requests: list[JobRequest]) -> list:
+    records = [server.submit(r) for r in requests]
+    asyncio.run(server.run_until_idle())
+    return records
+
+
+def _sleep_points(tenant: str) -> list[JobRequest]:
+    return [
+        JobRequest(tenant=tenant, workload="sleep",
+                   point={"duration_s": COLD_S, "p": p})
+        for p in range(N_POINTS)
+    ]
+
+
+def _p(ordered: list[float], q: float) -> float:
+    assert ordered, "no samples for percentile"
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _fmt(label: str, ordered: list[float]) -> str:
+    return (
+        f"{label:9s} n={len(ordered):3d}  "
+        f"p50={_p(ordered, 0.50) * 1e3:7.1f} ms  "
+        f"p95={_p(ordered, 0.95) * 1e3:7.1f} ms  "
+        f"p99={_p(ordered, 0.99) * 1e3:7.1f} ms"
+    )
+
+
+def test_service_latency_under_chaos(benchmark, tmp_path):
+    chaos = ChaosDriver(ChaosConfig(seed=20130901, kill_worker_rate=0.25))
+    clean = ServeServer(tmp_path / "clean", _config())
+    chaotic = ServeServer(tmp_path / "chaos", _config(), chaos=chaos)
+    phases: dict[str, list] = {}
+
+    def drive():
+        # Phases 1-2: cold fill, then pure warm traffic.
+        phases["cold"] = _run_load(clean, _sleep_points("tenant-0"))
+        phases["warm"] = _run_load(clean, [
+            r for t in range(1, WARM_TENANTS + 1)
+            for r in _sleep_points(f"tenant-{t}")
+        ])
+        # Phase 3: the same load shape, attempts dying under chaos.
+        phases["chaos"] = _run_load(chaotic, [
+            r for t in range(4) for r in _sleep_points(f"storm-{t}")
+        ])
+        # Phase 4: trip the breaker (one permanently failing point burns
+        # its whole attempt budget), then re-request answered points.
+        trip = JobRequest(
+            tenant="victim", workload="flaky",
+            point={"marker": str(tmp_path / "flaky-marks"),
+                   "fail_times": 99, "tag": "trip"},
+        )
+        for _ in range(2):
+            _run_load(chaotic, [JobRequest(
+                tenant="victim", workload="flaky", point=dict(trip.point),
+            )])
+        phases["degraded"] = _run_load(
+            chaotic, _sleep_points("degraded-tenant"))
+        return clean.stats(), chaotic.stats()
+
+    clean_stats, chaos_stats = once(benchmark, drive)
+    clean.close()
+    chaotic.close()
+
+    def latencies(phase: str) -> list[float]:
+        return sorted(
+            r.latency_s for r in phases[phase]
+            if r.state is JobState.DONE
+        )
+
+    cold, warm, degraded = (
+        latencies("cold"), latencies("warm"), latencies("degraded"))
+    emit(
+        "Service latency (cold / warm / degraded)",
+        [
+            _fmt("cold", cold),
+            _fmt("warm", warm),
+            _fmt("degraded", degraded),
+            f"chaos injected: {chaos.summary()}",
+            f"chaos run states: {chaos_stats['states']} "
+            f"breaker={chaos_stats['breaker']} "
+            f"(trips={chaos_stats['breaker_trips']})",
+        ],
+    )
+
+    # Clean server: one cold execution per distinct point, all later
+    # tenants answered from the store.
+    assert clean_stats["cold_keys"] == N_POINTS
+    assert clean_stats["cold_executions"] == N_POINTS
+    assert len(cold) == N_POINTS
+    assert len(warm) == N_POINTS * WARM_TENANTS
+    assert all(r.cache == "warm" for r in phases["warm"])
+
+    # Chaos run: every job terminal; every non-DONE classified Serve*;
+    # no point committed by more than one cold execution.
+    assert chaos.summary()["kill_worker"] > 0
+    for record in chaotic.jobs.values():
+        assert record.state.terminal
+        if record.state is not JobState.DONE:
+            assert record.error and record.error.startswith("Serve")
+    assert all(n == 1 for n in chaotic.cold_executions.values())
+
+    # Degraded phase: breaker open, yet every request answered from the
+    # cache (warm hit or stale index) with zero new executions.
+    assert chaos_stats["breaker"] == "open"
+    assert len(degraded) == N_POINTS
+    assert all(r.cache in ("warm", "stale") for r in phases["degraded"])
+
+    # The latency gates.  Cold pays the sleep; warm and degraded never
+    # do, even at P99 — this is what keeps degraded mode useful.
+    assert _p(cold, 0.50) >= COLD_S
+    assert _p(warm, 0.99) < FAST_P99_S
+    assert _p(degraded, 0.99) < FAST_P99_S
+    assert _p(warm, 0.99) < _p(cold, 0.50)
+    assert _p(degraded, 0.99) < _p(cold, 0.50)

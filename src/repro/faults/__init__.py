@@ -19,6 +19,10 @@ P-sync architecture does when the physics misbehaves, in three layers:
     workload: delivered-correct %, retransmission overhead in cycles
     and energy, degradation curves vs fault rate.  CLI:
     ``python -m repro faults``.
+``repro.faults.chaos``
+    Seeded infrastructure chaos for the :mod:`repro.serve` job server:
+    worker kills, torn store writes, slow tenants, clock-skewed
+    deadlines — every injection recorded for replayable scenarios.
 
 Dependency direction: this package builds on ``repro.core``,
 ``repro.mesh``, ``repro.sim`` and ``repro.photonics`` — never the
@@ -32,6 +36,7 @@ from .campaign import (
     MeshCampaignRow,
     run_campaign,
 )
+from .chaos import ChaosConfig, ChaosDriver
 from .crc import check_frame, flip_bits, frame_bits, pack_word, unpack_word
 from .models import DriftEpisode, FifoDropFault, MeshFaultPlan, PscanFaultModel
 from .recovery import ReliableGather, ReliableGatherResult, RetryPolicy
@@ -57,4 +62,6 @@ __all__ = [
     "GatherCampaignRow",
     "MeshCampaignRow",
     "run_campaign",
+    "ChaosConfig",
+    "ChaosDriver",
 ]

@@ -1,0 +1,160 @@
+"""Chaos driver for the job server: seeded, injectable misbehaviour.
+
+Where :mod:`repro.faults.models` perturbs the *simulated physics*
+(photodetector bit errors, ring drift), this module perturbs the
+*serving infrastructure* around the simulations — the four failure
+families the resilience gates in ``tests/test_serve_chaos.py`` and
+``benchmarks/bench_service.py`` exercise:
+
+* **worker kills** — with probability ``kill_worker_rate`` per cold
+  attempt, SIGKILL a live pool worker (process mode) or raise a
+  synthetic :class:`~repro.util.errors.SweepPoolError` (thread/inline
+  modes, where there is no process to kill).  Either way the attempt
+  fails like a real worker death and feeds the circuit breaker.
+* **torn store writes** — with probability ``torn_write_rate`` per
+  committed result, truncate the stored object in place, simulating a
+  writer that died mid-write *without* the atomic-rename discipline.
+  The server's warm-read path must detect the torn pickle, treat the
+  key as missing and re-execute exactly once.
+* **slow tenants** — every submission from ``slow_tenant`` stalls
+  ``slow_tenant_delay_s`` before processing, modelling one tenant whose
+  requests are expensive to even look at; quota + aging must keep the
+  other tenants' latency percentiles inside their gates.
+* **clock-skewed deadlines** — each admitted deadline is shifted by a
+  seeded uniform draw from ``±deadline_skew_s``, modelling clients
+  whose clocks disagree with the server's.  Jobs must still terminate
+  in a classified state (some legitimately ``EXPIRED``), never hang.
+
+All draws come from one ``random.Random(seed)`` — a chaos run is a
+replayable scenario, not noise.  Every injection is appended to
+:attr:`ChaosDriver.events` so tests can assert *what* chaos actually
+happened, not just that the server survived something.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from ..util.errors import ConfigError, SweepPoolError
+
+__all__ = ["ChaosConfig", "ChaosDriver"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Injection rates/targets for one chaos scenario (all off by default)."""
+
+    seed: int = 0
+    #: Probability per cold attempt of killing its worker.
+    kill_worker_rate: float = 0.0
+    #: Probability per committed result of tearing the stored object.
+    torn_write_rate: float = 0.0
+    #: Tenant whose submissions are stalled (None: nobody).
+    slow_tenant: str | None = None
+    #: Stall applied to the slow tenant's submissions, seconds.
+    slow_tenant_delay_s: float = 0.0
+    #: Max absolute deadline shift, seconds (uniform in ±skew).
+    deadline_skew_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_worker_rate", "torn_write_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.slow_tenant_delay_s < 0:
+            raise ConfigError(
+                f"slow_tenant_delay_s must be >= 0, got {self.slow_tenant_delay_s}"
+            )
+        if self.deadline_skew_s < 0:
+            raise ConfigError(
+                f"deadline_skew_s must be >= 0, got {self.deadline_skew_s}"
+            )
+
+
+class ChaosDriver:
+    """Stateful injector the server calls at its four hook points."""
+
+    __slots__ = ("config", "_rng", "events")
+
+    def __init__(self, config: ChaosConfig | None = None) -> None:
+        self.config = config or ChaosConfig()
+        self._rng = random.Random(self.config.seed)
+        #: Chronological record of every injection performed.
+        self.events: list[dict[str, Any]] = []
+
+    def _record(self, kind: str, **detail: Any) -> None:
+        self.events.append({"kind": kind, **detail})
+
+    # -- hooks (called by repro.serve.ServeServer) ---------------------------
+
+    def submit_delay(self, tenant: str) -> float:
+        """Stall to apply before processing ``tenant``'s job (seconds)."""
+        cfg = self.config
+        if cfg.slow_tenant is not None and tenant == cfg.slow_tenant:
+            if cfg.slow_tenant_delay_s > 0:
+                self._record("slow_tenant", tenant=tenant,
+                             delay_s=cfg.slow_tenant_delay_s)
+            return cfg.slow_tenant_delay_s
+        return 0.0
+
+    def skew_deadline(self, deadline_wall: float) -> float:
+        """Shift an absolute deadline by a seeded uniform draw."""
+        skew = self.config.deadline_skew_s
+        if skew <= 0:
+            return deadline_wall
+        shift = self._rng.uniform(-skew, skew)
+        self._record("deadline_skew", shift_s=round(shift, 6))
+        return deadline_wall + shift
+
+    def before_attempt(self, executor: Any, job_id: str, attempt: int) -> None:
+        """Maybe kill a worker just before this cold attempt dispatches.
+
+        In process mode the kill is a real SIGKILL to a pool worker, so
+        the attempt dies as ``BrokenProcessPool``.  On backends with no
+        process to kill a synthetic :class:`SweepPoolError` is raised
+        instead — same failure classification, same breaker pressure.
+        """
+        rate = self.config.kill_worker_rate
+        if rate <= 0 or self._rng.random() >= rate:
+            return
+        pid = executor.kill_worker()
+        if pid is not None:
+            self._record("kill_worker", job_id=job_id, attempt=attempt, pid=pid)
+            return
+        self._record("kill_worker", job_id=job_id, attempt=attempt,
+                     pid=None, synthetic=True)
+        raise SweepPoolError(
+            f"chaos: synthetic worker kill (job {job_id}, attempt {attempt})"
+        )
+
+    def after_store(self, store: Any, key: str) -> None:
+        """Maybe tear the object just committed under ``key``.
+
+        Truncates the file at its *final* path to half its bytes —
+        exactly the state a crashed writer without atomic rename leaves
+        behind.  Future warm reads of ``key`` must classify it torn and
+        re-execute.
+        """
+        rate = self.config.torn_write_rate
+        if rate <= 0 or self._rng.random() >= rate:
+            return
+        path = store._object_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return
+        if len(data) < 2:
+            return
+        path.write_bytes(data[: len(data) // 2])
+        self._record("torn_write", key=key, bytes_kept=len(data) // 2)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Injection counts by kind (empty dict: chaos never fired)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event["kind"]] = out.get(event["kind"], 0) + 1
+        return out

@@ -31,7 +31,13 @@ from .regression import (
     check_files,
     compare_payloads,
 )
-from .sweep import default_workers, grid_points, run_sweep
+from .sweep import (
+    PointExecutor,
+    PoolHealth,
+    default_workers,
+    grid_points,
+    run_sweep,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -47,4 +53,6 @@ __all__ = [
     "default_workers",
     "grid_points",
     "run_sweep",
+    "PointExecutor",
+    "PoolHealth",
 ]

@@ -1,0 +1,147 @@
+"""Circuit breaker guarding the cold-execution path.
+
+Classic three-state machine, deliberately boring:
+
+* **CLOSED** — cold execution allowed.  ``failure_threshold``
+  *consecutive* pool-level failures (broken pools, point crashes,
+  attempt timeouts — whatever the server classifies as breaker-worthy)
+  trip it OPEN.  Any success resets the streak.
+* **OPEN** — cold execution refused (:meth:`allow` is False); the
+  server degrades to warm-cache/stale-only answers.  After
+  ``cooldown_s`` the next :meth:`allow` call transitions HALF_OPEN and
+  admits exactly one probe.
+* **HALF_OPEN** — one in-flight probe at a time.  ``probe_successes``
+  consecutive probe successes close the breaker; any probe failure
+  re-opens it and restarts the cooldown.
+
+The clock is injectable (``clock=``) so tests and the chaos driver can
+skew time without sleeping; transitions invoke ``on_transition(state)``
+for the observability gauges.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Callable
+
+from ..util.errors import ConfigError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """Breaker position; see module docstring for the transitions."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown and half-open probes."""
+
+    __slots__ = (
+        "failure_threshold",
+        "cooldown_s",
+        "probe_successes",
+        "_clock",
+        "_on_transition",
+        "_state",
+        "_failures",
+        "_probes_ok",
+        "_probe_inflight",
+        "_opened_at",
+        "trips",
+    )
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 4,
+        cooldown_s: float = 1.0,
+        probe_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ConfigError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if probe_successes < 1:
+            raise ConfigError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.probe_successes = probe_successes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._probes_ok = 0
+        self._probe_inflight = False
+        self._opened_at = 0.0
+        #: Total CLOSED/HALF_OPEN -> OPEN transitions (forensics).
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current position (does not advance the cooldown)."""
+        return self._state
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        if state is BreakerState.OPEN:
+            self.trips += 1
+            self._opened_at = self._clock()
+        if self._on_transition is not None:
+            self._on_transition(state.value)
+
+    def allow(self) -> bool:
+        """May a cold attempt start now?  Advances OPEN → HALF_OPEN.
+
+        In HALF_OPEN, returns True for exactly one caller at a time: the
+        probe slot frees on :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if self._clock() - self._opened_at < self.cooldown_s:
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_ok = 0
+            self._probe_inflight = False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        """A cold attempt finished cleanly."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._probes_ok += 1
+            if self._probes_ok >= self.probe_successes:
+                self._failures = 0
+                self._transition(BreakerState.CLOSED)
+            return
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """A cold attempt failed at the pool/infrastructure level."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._transition(BreakerState.OPEN)
+            return
+        self._failures += 1
+        if (
+            self._state is BreakerState.CLOSED
+            and self._failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)

@@ -1,0 +1,404 @@
+"""``python -m repro serve`` — run and talk to the job server.
+
+The transport is a **file spool** under the server root rather than a
+socket: submissions are atomic request files, terminal states are
+atomic status files, and control is flag files.  That makes the server
+trivially crash-testable (SIGKILL it, restart it, the journal replays),
+works in sandboxes with no network, and leaves a complete on-disk
+audit trail::
+
+    root/
+      inbox/<ts>-<job_id>.json    pending requests (atomic rename in)
+      jobs/<job_id>.json          terminal status snapshots
+      control/drain               finish everything, then exit
+      control/stop                exit after the current batch
+      serve.journal               crash-recovery journal
+      serve.stats.json            final stats written at exit
+
+Subcommands::
+
+    start   run the server loop over the spool
+    submit  write one request (optionally --wait for its outcome)
+    status  one job's status, or a server-wide summary
+    drain   ask a running server to finish up and exit
+
+Exit codes (stable; scripts and CI gate on them):
+
+== =========================================================
+0  success (for ``start``: clean exit, breaker closed)
+1  error (unknown job, bad spool, unexpected failure)
+2  usage error (bad arguments, malformed --point JSON)
+3  still pending: ``submit --wait`` timed out, or ``status``
+   of a job that is queued/running
+4  ``start`` exited while degraded (breaker not closed)
+5  the job terminated unsuccessfully (failed/expired/rejected)
+== =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+import uuid
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from ..util.errors import ReproError, ServeError
+
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_PENDING",
+    "EXIT_DEGRADED",
+    "EXIT_JOB_FAILED",
+]
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PENDING = 3
+EXIT_DEGRADED = 4
+EXIT_JOB_FAILED = 5
+
+_FAILED_STATES = ("failed", "expired", "rejected")
+
+
+def _dirs(root: Path) -> tuple[Path, Path, Path]:
+    return root / "inbox", root / "jobs", root / "control"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+# -- start -------------------------------------------------------------------
+
+
+def _build_server(args: argparse.Namespace) -> Any:
+    from ..faults.chaos import ChaosConfig, ChaosDriver
+    from .config import ServeConfig
+    from .server import ServeServer
+
+    config = ServeConfig(
+        workers=args.workers,
+        executor_mode=args.mode,
+        max_concurrency=args.concurrency,
+        default_deadline_s=args.deadline,
+        attempt_timeout_s=args.attempt_timeout,
+        max_attempts=args.max_attempts,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
+        tenant_quota=args.quota,
+    )
+    chaos = None
+    if args.chaos_kill_rate > 0 or args.chaos_torn_rate > 0:
+        chaos = ChaosDriver(
+            ChaosConfig(
+                seed=args.chaos_seed,
+                kill_worker_rate=args.chaos_kill_rate,
+                torn_write_rate=args.chaos_torn_rate,
+            )
+        )
+    return ServeServer(args.root, config, chaos=chaos)
+
+
+def _ingest(server: Any, inbox: Path) -> int:
+    """Submit every spooled request; returns how many were ingested."""
+    from .jobs import JobRequest
+
+    count = 0
+    for path in sorted(inbox.glob("*.json")):
+        try:
+            request = JobRequest.from_json(path.read_text())
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError, ReproError):
+            # Malformed request file: park it for forensics, keep serving.
+            try:
+                path.rename(path.with_suffix(".bad"))
+            except OSError:
+                pass
+            continue
+        try:
+            server.submit(request)
+        except ServeError:
+            pass  # rejection recorded as a terminal REJECTED job
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        count += 1
+    return count
+
+
+def _snapshot(server: Any, jobs_dir: Path, written: set[str]) -> None:
+    """Write a status file for every newly terminal job."""
+    for job_id, record in server.jobs.items():
+        if job_id in written or not record.state.terminal:
+            continue
+        payload = record.status()
+        try:
+            json.dumps(record.result)
+            payload["result"] = record.result
+        except (TypeError, ValueError):
+            payload["result"] = repr(record.result)
+        _write_atomic(jobs_dir / f"{job_id}.json", json.dumps(payload))
+        written.add(job_id)
+
+
+async def _serve_loop(server: Any, args: argparse.Namespace) -> int:
+    from .breaker import BreakerState
+
+    root = Path(args.root)
+    inbox, jobs_dir, control = _dirs(root)
+    for d in (inbox, jobs_dir, control):
+        d.mkdir(parents=True, exist_ok=True)
+    written: set[str] = set()
+    started = time.monotonic()
+    idle_since: float | None = None
+    while True:
+        ingested = _ingest(server, inbox)
+        await server.run_until_idle()
+        _snapshot(server, jobs_dir, written)
+        if (control / "drain").exists():
+            server.drain()
+        if ingested or len(server.queue):
+            idle_since = None
+        elif idle_since is None:
+            idle_since = time.monotonic()
+        if (control / "stop").exists():
+            break
+        if (
+            server.admission.draining
+            and idle_since is not None
+            and not any(inbox.glob("*.json"))
+        ):
+            break
+        if (
+            args.max_seconds is not None
+            and time.monotonic() - started >= args.max_seconds
+        ):
+            break
+        if (
+            args.idle_exit is not None
+            and idle_since is not None
+            and time.monotonic() - idle_since >= args.idle_exit
+        ):
+            break
+        await asyncio.sleep(args.poll)
+    _snapshot(server, jobs_dir, written)
+    stats = server.stats()
+    if server._chaos is not None:
+        stats["chaos"] = server._chaos.summary()
+    _write_atomic(root / "serve.stats.json", json.dumps(stats, indent=2))
+    server.close()
+    if server.breaker.state is not BreakerState.CLOSED:
+        return EXIT_DEGRADED
+    return EXIT_OK
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    server = _build_server(args)
+    replay = server.recover()
+    if replay.pending:
+        print(
+            f"recovered {len(replay.pending)} uncommitted job(s) from the "
+            f"journal ({replay.skipped_lines} torn line(s) skipped)"
+        )
+    code = asyncio.run(_serve_loop(server, args))
+    stats = server.stats()
+    print(
+        f"served {stats['jobs']} job(s): states={stats['states']} "
+        f"caches={stats['caches']} breaker={stats['breaker']} "
+        f"(trips={stats['breaker_trips']})"
+    )
+    return code
+
+
+# -- submit ------------------------------------------------------------------
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .jobs import JobRequest
+
+    try:
+        point = json.loads(args.point)
+    except json.JSONDecodeError as exc:
+        print(f"error: --point is not valid JSON: {exc}")
+        return EXIT_USAGE
+    if not isinstance(point, dict):
+        print("error: --point must be a JSON object")
+        return EXIT_USAGE
+    root = Path(args.root)
+    inbox, jobs_dir, _control = _dirs(root)
+    request = JobRequest(
+        tenant=args.tenant,
+        workload=args.workload,
+        point=point,
+        priority=args.priority,
+        deadline_s=args.deadline,
+        job_id=f"{args.tenant}-{uuid.uuid4().hex[:12]}",
+    )
+    spool_name = f"{int(time.time() * 1000):013d}-{request.job_id}.json"
+    _write_atomic(inbox / spool_name, request.to_json())
+    print(request.job_id)
+    if args.wait is None:
+        return EXIT_OK
+    deadline = time.monotonic() + args.wait
+    status_path = jobs_dir / f"{request.job_id}.json"
+    while time.monotonic() < deadline:
+        if status_path.is_file():
+            return _report_terminal(status_path)
+        time.sleep(0.05)
+    print(f"timeout: job {request.job_id} still pending after {args.wait}s")
+    return EXIT_PENDING
+
+
+def _report_terminal(status_path: Path) -> int:
+    payload = json.loads(status_path.read_text())
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if payload.get("state") in _FAILED_STATES:
+        return EXIT_JOB_FAILED
+    return EXIT_OK
+
+
+# -- status ------------------------------------------------------------------
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from ..store.leases import ServeJournal
+
+    root = Path(args.root)
+    _inbox, jobs_dir, _control = _dirs(root)
+    if args.job:
+        status_path = jobs_dir / f"{args.job}.json"
+        if status_path.is_file():
+            return _report_terminal(status_path)
+        replay = ServeJournal(root / "serve.journal").replay()
+        if any(e.job_id == args.job for e in replay.pending):
+            print(f"job {args.job}: queued/running")
+            return EXIT_PENDING
+        print(f"error: unknown job {args.job!r}")
+        return EXIT_ERROR
+    replay = ServeJournal(root / "serve.journal").replay()
+    states: dict[str, int] = {}
+    for entry in replay.completed.values():
+        states[entry.state] = states.get(entry.state, 0) + 1
+    summary = {
+        "pending": len(replay.pending),
+        "completed": states,
+        "attempts_journaled": sum(replay.leases.values()),
+        "torn_journal_lines": replay.skipped_lines,
+    }
+    stats_path = root / "serve.stats.json"
+    if stats_path.is_file():
+        try:
+            summary["last_run"] = json.loads(stats_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            pass
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+# -- drain -------------------------------------------------------------------
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    _inbox, _jobs, control = _dirs(Path(args.root))
+    control.mkdir(parents=True, exist_ok=True)
+    (control / "drain").write_text("")
+    print("drain requested")
+    return EXIT_OK
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The serve sub-CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Fault-tolerant simulation-as-a-service job server.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser("start", help="run the server over the file spool")
+    start.add_argument("--root", type=Path, required=True,
+                       help="server/store root directory")
+    start.add_argument("--workers", type=int, default=2)
+    start.add_argument("--mode", default="auto",
+                       choices=("auto", "process", "thread", "inline"),
+                       help="point-executor backend")
+    start.add_argument("--concurrency", type=int, default=4,
+                       help="jobs processed concurrently")
+    start.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-job deadline, seconds")
+    start.add_argument("--attempt-timeout", dest="attempt_timeout",
+                       type=float, default=5.0)
+    start.add_argument("--max-attempts", dest="max_attempts", type=int,
+                       default=3)
+    start.add_argument("--breaker-failures", dest="breaker_failures",
+                       type=int, default=4)
+    start.add_argument("--breaker-cooldown", dest="breaker_cooldown",
+                       type=float, default=1.0)
+    start.add_argument("--quota", type=int, default=16,
+                       help="per-tenant in-flight quota")
+    start.add_argument("--poll", type=float, default=0.05,
+                       help="inbox poll interval, seconds")
+    start.add_argument("--max-seconds", dest="max_seconds", type=float,
+                       default=None, help="hard wall-clock cap on the run")
+    start.add_argument("--idle-exit", dest="idle_exit", type=float,
+                       default=None,
+                       help="exit after this many idle seconds")
+    start.add_argument("--chaos-kill-rate", dest="chaos_kill_rate",
+                       type=float, default=0.0,
+                       help="chaos: worker-kill probability per attempt")
+    start.add_argument("--chaos-torn-rate", dest="chaos_torn_rate",
+                       type=float, default=0.0,
+                       help="chaos: torn-store-write probability per commit")
+    start.add_argument("--chaos-seed", dest="chaos_seed", type=int, default=0)
+    start.set_defaults(fn=_cmd_start)
+
+    submit = sub.add_parser("submit", help="spool one request")
+    submit.add_argument("--root", type=Path, required=True)
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--workload", required=True)
+    submit.add_argument("--point", default="{}",
+                        help="JSON object of workload parameters")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="relative deadline, seconds")
+    submit.add_argument("--wait", type=float, default=None, metavar="TIMEOUT",
+                        help="block until terminal or TIMEOUT (exit 3)")
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="job status or server summary")
+    status.add_argument("--root", type=Path, required=True)
+    status.add_argument("--job", default=None, help="job id to inspect")
+    status.set_defaults(fn=_cmd_status)
+
+    drain = sub.add_parser("drain", help="ask the server to finish and exit")
+    drain.add_argument("--root", type=Path, required=True)
+    drain.set_defaults(fn=_cmd_drain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a documented exit code."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_OK
+    try:
+        return int(args.fn(args))
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return EXIT_ERROR

@@ -1,0 +1,131 @@
+"""Tuning knobs for the job server (:class:`repro.serve.ServeServer`).
+
+Everything that decides how the server behaves under stress lives here,
+validated up front, so a misconfigured deployment fails at construction
+— not at 3am when the breaker math divides by zero.
+
+The units convention: wall-clock quantities are seconds (``*_s``).  The
+retry backoff reuses :class:`repro.faults.RetryPolicy` — the same capped
+exponential (+ deterministic seeded jitter, the PR-6 satellite) that
+paces CRC retransmission epochs — with its integer "cycles" interpreted
+as **milliseconds** here (``backoff_unit_s``), keeping one backoff
+implementation for both the photonic recovery layer and the serving
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..faults.recovery import RetryPolicy
+from ..util.errors import ConfigError
+
+__all__ = ["ServeConfig"]
+
+_EXECUTOR_MODES = ("auto", "process", "thread", "inline")
+
+
+def _default_retry() -> RetryPolicy:
+    # ~40ms, ~80ms between attempts (ms units via backoff_unit_s), half
+    # of it jittered away deterministically per job so synchronized
+    # tenants don't retry in lockstep.
+    return RetryPolicy(
+        max_retries=8,
+        backoff_cycles=40,
+        backoff_factor=2.0,
+        max_backoff_cycles=2000,
+        jitter_fraction=0.5,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Validated job-server configuration; see field comments.
+
+    The defaults are sized for the test/CI scale (seconds-long runs,
+    in-process workers); production deployments mostly raise
+    ``default_deadline_s`` / ``attempt_timeout_s`` and the quotas.
+    """
+
+    #: Worker processes/threads for cold point execution.
+    workers: int = 2
+    #: Backend for :class:`repro.perf.sweep.PointExecutor`:
+    #: auto | process | thread | inline.
+    executor_mode: str = "auto"
+    #: Jobs processed concurrently by the scheduler (>=1).
+    max_concurrency: int = 4
+    #: Deadline applied when a request does not carry one.
+    default_deadline_s: float = 30.0
+    #: Per-attempt execution timeout (also capped by the deadline).
+    attempt_timeout_s: float = 5.0
+    #: Cold execution attempts per request (>=1).
+    max_attempts: int = 3
+    #: Backoff schedule between attempts; "cycles" are milliseconds.
+    retry: RetryPolicy = field(default_factory=_default_retry)
+    #: Seconds per retry-policy backoff cycle (default: 1ms).
+    backoff_unit_s: float = 1e-3
+    #: Consecutive cold-path failures that trip the breaker open.
+    breaker_failures: int = 4
+    #: Seconds the breaker stays open before half-opening.
+    breaker_cooldown_s: float = 1.0
+    #: Successful half-open probes required to close again.
+    breaker_probes: int = 1
+    #: Max queued+active jobs per tenant (admission control).
+    tenant_quota: int = 16
+    #: Max total queued jobs across tenants.
+    max_queue: int = 512
+    #: Effective-priority points gained per second waited (aging).
+    aging_rate: float = 1.0
+    #: Max age of a degraded-mode stale answer (None: any age).
+    stale_ttl_s: float | None = None
+    #: Scheduler bookkeeping tick (aging/queue sampling granularity).
+    tick_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.executor_mode not in _EXECUTOR_MODES:
+            raise ConfigError(
+                f"executor_mode must be one of {_EXECUTOR_MODES}, "
+                f"got {self.executor_mode!r}"
+            )
+        if self.max_concurrency < 1:
+            raise ConfigError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        for name in (
+            "default_deadline_s",
+            "attempt_timeout_s",
+            "backoff_unit_s",
+            "breaker_cooldown_s",
+            "tick_s",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be > 0, got {value}")
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.breaker_failures < 1:
+            raise ConfigError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_probes < 1:
+            raise ConfigError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}"
+            )
+        if self.tenant_quota < 1:
+            raise ConfigError(
+                f"tenant_quota must be >= 1, got {self.tenant_quota}"
+            )
+        if self.max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.aging_rate < 0:
+            raise ConfigError(
+                f"aging_rate must be >= 0, got {self.aging_rate}"
+            )
+        if self.stale_ttl_s is not None and self.stale_ttl_s <= 0:
+            raise ConfigError(
+                f"stale_ttl_s must be > 0 or None, got {self.stale_ttl_s}"
+            )

@@ -171,3 +171,30 @@ class Histogram:
         """The ``bins + 1`` edges of the histogram."""
         width = (self.hi - self.lo) / self.bins
         return [self.lo + i * width for i in range(self.bins + 1)]
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (0 <= q <= 1) from the binned counts.
+
+        The answer is the *upper edge* of the bin where the cumulative
+        count crosses ``ceil(q * total)`` — a conservative (never
+        underestimating) bound with one-bin-width resolution, which is
+        what the serving layer's P50/P95/P99 latency gauges want: a
+        reported P99 is guaranteed to cover at least 99% of samples.
+        Underflow samples resolve to ``lo``, overflow samples to ``hi``
+        (the histogram cannot know how far past the range they fell).
+        Raises ``ValueError`` outside [0, 1] or with no samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            raise ValueError("quantile of an empty histogram")
+        target = math.ceil(q * self.total)
+        if target <= self.underflow:
+            return self.lo
+        seen = self.underflow
+        width = (self.hi - self.lo) / self.bins
+        for idx, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return self.lo + (idx + 1) * width
+        return self.hi

@@ -1,0 +1,340 @@
+"""Serve-layer journal, lease records, and the stale-result index.
+
+Three crash-recovery primitives the :mod:`repro.serve` job server builds
+on, all rooted in the same store directory the sweep runtime already
+uses (so one checkpoint directory carries both subsystems):
+
+**Serve journal** (``serve.journal``)
+    An append-only JSON-lines log of the server's externally visible
+    decisions: one ``submit`` line when a request is admitted, one
+    ``lease`` line each time a cold execution attempt is dispatched, one
+    ``commit`` line when the job reaches a terminal state.  Lines use
+    the same ``O_APPEND`` whole-line-or-nothing discipline as the sweep
+    journal (:mod:`repro.store.manifest`), so a SIGKILLed server leaves
+    at worst one torn trailing line, which replay skips.
+
+**Journal replay** (:meth:`ServeJournal.replay`)
+    Folds the journal into a :class:`ServeReplay`: jobs submitted but
+    never committed are the in-flight set a restarted server must
+    resume.  Exactly-once execution falls out of the content-addressed
+    object store, not the journal — a resumed job whose worker finished
+    before the crash finds its result under its store key (warm hit) and
+    never re-executes; a job whose attempt died with the server left
+    nothing behind and re-executes exactly once.  Lease lines are
+    forensic: ``leases`` counts attempts that were dispatched, so a
+    post-mortem can distinguish "never started" from "died mid-attempt".
+
+**Stale index** (:class:`StaleIndex`)
+    A tiny fingerprint-agnostic map from *point identity* (workload name
+    + canonical point payload, no code fingerprint) to the most recent
+    committed store key.  This is what degraded warm-cache-only mode
+    serves from: when the worker-pool circuit breaker is open, a cold
+    miss whose identity has *ever* completed is answered with that last
+    known result (marked stale) instead of failing closed —
+    stale-while-revalidate, with the revalidation enqueued for when the
+    breaker closes again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "ServeJournalEntry",
+    "ServeJournal",
+    "ServeReplay",
+    "StaleIndex",
+    "point_identity",
+]
+
+#: Journal line schema; bump when fields change incompatibly.
+SERVE_JOURNAL_SCHEMA = 1
+
+_OPS = ("submit", "lease", "commit")
+
+
+def point_identity(workload: str, point: Any) -> str:
+    """Fingerprint-agnostic identity of ``workload`` evaluated at ``point``.
+
+    Unlike :func:`repro.store.keys.point_key` this deliberately omits
+    the worker's code fingerprint: the stale index must keep answering
+    across code revisions (a stale answer from last week's worker is
+    exactly what degraded mode wants to serve), so identity is the
+    workload *name* plus the canonical point payload only.
+    """
+    from .keys import canonical_json
+
+    payload = json.dumps(
+        {"workload": workload, "point": json.loads(canonical_json(point))},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class ServeJournalEntry:
+    """One serve-journal line (``submit`` / ``lease`` / ``commit``)."""
+
+    op: str
+    job_id: str
+    ts: float
+    tenant: str = ""
+    workload: str = ""
+    point_json: str = ""
+    key: str = ""
+    priority: int = 0
+    deadline_wall: float = 0.0
+    attempt: int = 0
+    state: str = ""
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigError(f"unknown serve journal op {self.op!r}")
+        if not self.job_id:
+            raise ConfigError("serve journal entries need a job_id")
+
+    def point(self) -> dict[str, Any]:
+        """The submitted point payload (``{}`` for non-submit lines)."""
+        if not self.point_json:
+            return {}
+        loaded = json.loads(self.point_json)
+        if not isinstance(loaded, dict):
+            raise ConfigError(
+                f"serve journal point for {self.job_id} is not an object"
+            )
+        return loaded
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": SERVE_JOURNAL_SCHEMA,
+            "op": self.op,
+            "job_id": self.job_id,
+            "ts": self.ts,
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "point": self.point_json,
+            "key": self.key,
+            "priority": self.priority,
+            "deadline_wall": self.deadline_wall,
+            "attempt": self.attempt,
+            "state": self.state,
+            "detail": self.detail,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "ServeJournalEntry":
+        payload = json.loads(line)
+        if payload.get("schema") != SERVE_JOURNAL_SCHEMA:
+            raise ConfigError(
+                f"unsupported serve journal schema {payload.get('schema')!r}"
+            )
+        return cls(
+            op=str(payload["op"]),
+            job_id=str(payload["job_id"]),
+            ts=float(payload["ts"]),
+            tenant=str(payload.get("tenant", "")),
+            workload=str(payload.get("workload", "")),
+            point_json=str(payload.get("point", "")),
+            key=str(payload.get("key", "")),
+            priority=int(payload.get("priority", 0)),
+            deadline_wall=float(payload.get("deadline_wall", 0.0)),
+            attempt=int(payload.get("attempt", 0)),
+            state=str(payload.get("state", "")),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+@dataclass(slots=True)
+class ServeReplay:
+    """What a journal replay recovered (see module docstring)."""
+
+    #: ``submit`` entries with no matching ``commit``, in submit order —
+    #: the in-flight jobs a restarted server re-enqueues.
+    pending: list[ServeJournalEntry] = field(default_factory=list)
+    #: Terminal jobs: job_id -> the commit entry.
+    completed: dict[str, ServeJournalEntry] = field(default_factory=dict)
+    #: Dispatched-attempt counts per job_id (forensic; see module docstring).
+    leases: dict[str, int] = field(default_factory=dict)
+    #: Journal lines skipped as torn/foreign.
+    skipped_lines: int = 0
+
+    @property
+    def max_sequence(self) -> int:
+        """Largest numeric suffix over ``*-NNN`` job ids (0 when none).
+
+        Restarted servers continue their job-id sequence from here so
+        replayed and fresh submissions can never collide.
+        """
+        best = 0
+        for job_id in self.leases.keys() | self.completed.keys() | {
+            e.job_id for e in self.pending
+        }:
+            tail = job_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                best = max(best, int(tail))
+        return best
+
+
+class ServeJournal:
+    """Append-only serve journal at ``path`` (see module docstring)."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def append(self, entry: ServeJournalEntry) -> None:
+        """Append one line (``O_APPEND``: lands whole or not at all)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = entry.to_json() + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def submit(
+        self,
+        job_id: str,
+        *,
+        tenant: str,
+        workload: str,
+        point_json: str,
+        key: str,
+        priority: int,
+        deadline_wall: float,
+    ) -> None:
+        """Record an admitted request (the replay unit of recovery)."""
+        self.append(
+            ServeJournalEntry(
+                op="submit",
+                job_id=job_id,
+                ts=time.time(),
+                tenant=tenant,
+                workload=workload,
+                point_json=point_json,
+                key=key,
+                priority=priority,
+                deadline_wall=deadline_wall,
+            )
+        )
+
+    def lease(self, job_id: str, *, key: str, attempt: int) -> None:
+        """Record one dispatched cold-execution attempt."""
+        self.append(
+            ServeJournalEntry(
+                op="lease",
+                job_id=job_id,
+                ts=time.time(),
+                key=key,
+                attempt=attempt,
+            )
+        )
+
+    def commit(self, job_id: str, *, state: str, detail: str = "") -> None:
+        """Record a terminal state; the job leaves the replay set."""
+        self.append(
+            ServeJournalEntry(
+                op="commit",
+                job_id=job_id,
+                ts=time.time(),
+                state=state,
+                detail=detail,
+            )
+        )
+
+    def entries(self) -> tuple[list[ServeJournalEntry], int]:
+        """All parseable lines plus the torn/foreign-line count."""
+        out: list[ServeJournalEntry] = []
+        skipped = 0
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return out, skipped
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(ServeJournalEntry.from_json(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    ConfigError):
+                skipped += 1  # torn trailing line from a kill; skip
+        return out, skipped
+
+    def replay(self) -> ServeReplay:
+        """Fold the journal into the restart state (see :class:`ServeReplay`)."""
+        replay = ServeReplay()
+        submitted: dict[str, ServeJournalEntry] = {}
+        entries, replay.skipped_lines = self.entries()
+        for entry in entries:
+            if entry.op == "submit":
+                # Last submit wins if a job_id was ever re-journaled
+                # (idempotent re-ingest of a spool file).
+                submitted[entry.job_id] = entry
+            elif entry.op == "lease":
+                replay.leases[entry.job_id] = (
+                    replay.leases.get(entry.job_id, 0) + 1
+                )
+            elif entry.op == "commit":
+                replay.completed[entry.job_id] = entry
+        replay.pending = [
+            e for e in submitted.values() if e.job_id not in replay.completed
+        ]
+        return replay
+
+
+class StaleIndex:
+    """Last committed store key per point identity (degraded-mode source).
+
+    One tiny JSON file per identity under ``root/stale/`` — written with
+    the same tmp-then-``os.replace`` discipline as store objects, so a
+    lookup never sees a torn record.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root) / "stale"
+
+    def _path(self, identity: str) -> Path:
+        if not identity or any(c not in "0123456789abcdef" for c in identity):
+            raise ConfigError(f"malformed stale identity: {identity!r}")
+        return self.root / f"{identity}.json"
+
+    def record(self, identity: str, key: str, ts: float | None = None) -> None:
+        """Point ``identity`` most recently committed under ``key``."""
+        path = self._path(identity)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "ts": time.time() if ts is None else ts},
+            sort_keys=True,
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    def lookup(
+        self, identity: str, *, max_age_s: float | None = None
+    ) -> str | None:
+        """The last committed key for ``identity``, or ``None``.
+
+        ``max_age_s`` bounds how stale an answer may be (measured from
+        the record's commit timestamp); ``None`` accepts any age.
+        """
+        try:
+            payload = json.loads(self._path(identity).read_text())
+            key = str(payload["key"])
+            ts = float(payload["ts"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        if max_age_s is not None and time.time() - ts > max_age_s:
+            return None
+        return key

@@ -107,16 +107,23 @@ class ResultStore:
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:12]}.", suffix=".tmp"
         )
+        # try/finally rather than ``except BaseException: ... raise``:
+        # nothing is caught, so a KeyboardInterrupt/SystemExit landing
+        # mid-pickle cannot be absorbed by the cleanup path — it unlinks
+        # the temp file and keeps propagating (tests/test_store.py pins
+        # this).  Only a *committed* write skips the unlink.
+        committed = False
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=PICKLE_PROTOCOL)
             os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            committed = True
+        finally:
+            if not committed:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         return path
 
     def load(self, key: str) -> Any:

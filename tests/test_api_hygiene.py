@@ -22,11 +22,18 @@ PACKAGES = [
     "repro.analysis",
     "repro.llmore",
     "repro.util",
+    "repro.store",
+    "repro.serve",
+    "repro.faults",
 ]
 
 MODULES = [
     "repro.viz",
     "repro.cli",
+    "repro.serve.cli",
+    "repro.serve.server",
+    "repro.store.leases",
+    "repro.faults.chaos",
     "repro.report",
     "repro.sim.engine",
     "repro.core.pscan",

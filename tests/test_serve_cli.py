@@ -1,0 +1,196 @@
+"""In-process tests for ``python -m repro serve`` (repro.serve.cli).
+
+The CLI speaks a file spool, so every subcommand can be exercised
+in-process by calling :func:`repro.serve.cli.main` with a tmp root —
+the same code path the console entry uses, minus the interpreter spawn.
+The documented exit codes are the contract under test.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve import cli
+from repro.store.leases import ServeJournal
+
+
+def serve(*argv: str) -> int:
+    return cli.main(list(argv))
+
+
+def start_args(root, *extra: str) -> list[str]:
+    return [
+        "start", "--root", str(root), "--mode", "thread",
+        "--workers", "2", "--attempt-timeout", "2",
+        "--idle-exit", "0.1", "--poll", "0.02", *extra,
+    ]
+
+
+class TestSubmit:
+    def test_submit_spools_and_prints_job_id(self, tmp_path, capsys):
+        assert serve("submit", "--root", str(tmp_path), "--tenant", "a",
+                     "--workload", "noop", "--point", '{"x": 1}') == cli.EXIT_OK
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("a-")
+        spooled = list((tmp_path / "inbox").glob("*.json"))
+        assert len(spooled) == 1
+        payload = json.loads(spooled[0].read_text())
+        assert payload["workload"] == "noop"
+        assert payload["point"] == {"x": 1}
+        assert payload["job_id"] == job_id
+
+    def test_malformed_point_is_usage_error(self, tmp_path):
+        assert serve("submit", "--root", str(tmp_path), "--tenant", "a",
+                     "--workload", "noop", "--point", "{nope") == cli.EXIT_USAGE
+        assert serve("submit", "--root", str(tmp_path), "--tenant", "a",
+                     "--workload", "noop", "--point", "[1,2]") == cli.EXIT_USAGE
+        assert not list((tmp_path / "inbox").glob("*.json"))
+
+    def test_missing_subcommand_is_usage_error(self, tmp_path):
+        assert serve() == cli.EXIT_USAGE
+        assert serve("bogus", "--root", str(tmp_path)) == cli.EXIT_USAGE
+
+    def test_wait_times_out_pending(self, tmp_path):
+        # No server running: --wait can never observe a terminal file.
+        assert serve("submit", "--root", str(tmp_path), "--tenant", "a",
+                     "--workload", "noop", "--wait", "0.2") == cli.EXIT_PENDING
+
+
+class TestStartAndStatus:
+    def test_start_processes_spool_and_exits_clean(self, tmp_path, capsys):
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop", "--point", '{"x": 1}')
+        serve("submit", "--root", str(tmp_path), "--tenant", "b",
+              "--workload", "noop", "--point", '{"x": 2}')
+        job_ids = capsys.readouterr().out.split()
+        assert serve(*start_args(tmp_path)) == cli.EXIT_OK
+        assert "served 2 job(s)" in capsys.readouterr().out
+        # Inbox drained; terminal snapshots written for both jobs.
+        assert not list((tmp_path / "inbox").glob("*.json"))
+        for job_id in job_ids:
+            snapshot = json.loads(
+                (tmp_path / "jobs" / f"{job_id}.json").read_text())
+            assert snapshot["state"] == "done"
+            assert snapshot["result"]["ok"] is True
+
+    def test_status_of_terminal_job(self, tmp_path, capsys):
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop")
+        job_id = capsys.readouterr().out.strip()
+        serve(*start_args(tmp_path))
+        capsys.readouterr()
+        assert serve("status", "--root", str(tmp_path),
+                     "--job", job_id) == cli.EXIT_OK
+        assert json.loads(capsys.readouterr().out)["state"] == "done"
+
+    def test_status_of_failed_job_exits_5(self, tmp_path, capsys):
+        marker = tmp_path / "marker"
+        point = json.dumps({"marker": str(marker), "fail_times": 99,
+                            "tag": "t"})
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "flaky", "--point", point)
+        job_id = capsys.readouterr().out.strip()
+        serve(*start_args(tmp_path, "--max-attempts", "2",
+                          "--breaker-failures", "50"))
+        capsys.readouterr()
+        assert serve("status", "--root", str(tmp_path),
+                     "--job", job_id) == cli.EXIT_JOB_FAILED
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["state"] == "failed"
+        assert payload["error"] == "ServeRetryExhaustedError"
+        assert payload["attempts"] == 2
+
+    def test_status_of_journaled_pending_job(self, tmp_path, capsys):
+        journal = ServeJournal(tmp_path / "serve.journal")
+        journal.submit(
+            job_id="j-pending", tenant="a", workload="noop",
+            point_json="{}", key="ab" * 32, priority=0,
+            deadline_wall=10.0**10,
+        )
+        assert serve("status", "--root", str(tmp_path),
+                     "--job", "j-pending") == cli.EXIT_PENDING
+        assert "queued/running" in capsys.readouterr().out
+
+    def test_status_of_unknown_job(self, tmp_path, capsys):
+        assert serve("status", "--root", str(tmp_path),
+                     "--job", "ghost") == cli.EXIT_ERROR
+        assert "unknown job" in capsys.readouterr().out
+
+    def test_status_summary(self, tmp_path, capsys):
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop")
+        serve(*start_args(tmp_path))
+        capsys.readouterr()
+        assert serve("status", "--root", str(tmp_path)) == cli.EXIT_OK
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["pending"] == 0
+        assert summary["completed"] == {"done": 1}
+        assert summary["torn_journal_lines"] == 0
+        assert summary["last_run"]["jobs"] == 1
+
+    def test_submit_wait_against_prior_run(self, tmp_path, capsys):
+        """--wait returns immediately once the terminal file exists."""
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop", "--point", '{"k": 3}')
+        capsys.readouterr()
+        serve(*start_args(tmp_path))
+        capsys.readouterr()
+        # Same point, new job: the restarted server answers it warm.
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop", "--point", '{"k": 3}')
+        capsys.readouterr()
+        serve(*start_args(tmp_path))
+        out = capsys.readouterr().out
+        assert "caches={'cold': 1}" not in out  # answered from the store
+        status = json.loads(
+            max((tmp_path / "jobs").glob("*.json"),
+                key=lambda p: p.stat().st_mtime).read_text())
+        assert status["cache"] == "warm"
+
+
+class TestControlFiles:
+    def test_drain_flag_makes_start_exit(self, tmp_path, capsys):
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop")
+        capsys.readouterr()
+        assert serve("drain", "--root", str(tmp_path)) == cli.EXIT_OK
+        assert (tmp_path / "control" / "drain").exists()
+        # No --idle-exit and no --max-seconds: only the drain flag can
+        # end this run, and it must still serve the spooled job first.
+        code = serve("start", "--root", str(tmp_path), "--mode", "thread",
+                     "--poll", "0.02", "--attempt-timeout", "2")
+        assert code == cli.EXIT_OK
+        assert "served 1 job(s)" in capsys.readouterr().out
+
+    def test_malformed_spool_file_parked_not_fatal(self, tmp_path, capsys):
+        inbox = tmp_path / "inbox"
+        inbox.mkdir(parents=True)
+        (inbox / "000-bad.json").write_text("{torn")
+        serve("submit", "--root", str(tmp_path), "--tenant", "a",
+              "--workload", "noop")
+        capsys.readouterr()
+        assert serve(*start_args(tmp_path)) == cli.EXIT_OK
+        assert "served 1 job(s)" in capsys.readouterr().out
+        assert (inbox / "000-bad.bad").exists()
+
+    def test_degraded_exit_code(self, tmp_path, capsys):
+        marker = tmp_path / "marker"
+        point = json.dumps({"marker": str(marker), "fail_times": 99,
+                            "tag": "t"})
+        for i in range(3):
+            serve("submit", "--root", str(tmp_path), "--tenant", f"t{i}",
+                  "--workload", "flaky", "--point", point)
+        capsys.readouterr()
+        code = serve(*start_args(tmp_path, "--max-attempts", "1",
+                                 "--breaker-failures", "2",
+                                 "--breaker-cooldown", "60"))
+        assert code == cli.EXIT_DEGRADED
+
+
+class TestTopLevelWiring:
+    def test_repro_cli_dispatches_serve(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(["serve", "status", "--root", str(tmp_path)])
+        assert code == cli.EXIT_OK
+        assert json.loads(capsys.readouterr().out)["pending"] == 0

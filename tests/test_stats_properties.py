@@ -179,6 +179,60 @@ class TestHistogram:
             hist.add(x)
         assert hist.underflow + hist.overflow + sum(hist.counts) == hist.total
 
+    @given(
+        st.lists(st.floats(-2.0, 3.0, allow_nan=False), min_size=1,
+                 max_size=200),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100)
+    def test_quantile_is_conservative(self, samples, q, bins):
+        """``quantile(q)`` never under-covers: at least ``ceil(q*total)``
+        samples are <= the reported value (the P99 latency-gate contract
+        — a reported P99 must actually cover 99% of samples)."""
+        hist = Histogram(0.0, 1.0, bins)
+        for x in samples:
+            hist.add(x)
+        value = hist.quantile(q)
+        assert hist.lo <= value <= hist.hi
+        # An answer of hi means the target fell into the overflow mass,
+        # which hi covers by definition.  Any interior answer must have
+        # at least ceil(q * total) samples strictly below it (samples on
+        # an edge belong to the bin *above* that edge).
+        if value < hist.hi:
+            covered = sum(1 for x in samples if x < value)
+            assert covered >= math.ceil(q * hist.total)
+
+    @given(
+        st.lists(st.floats(0.0, 0.999, allow_nan=False), min_size=1,
+                 max_size=100),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60)
+    def test_quantile_monotone_in_q(self, samples, bins):
+        hist = Histogram(0.0, 1.0, bins)
+        for x in samples:
+            hist.add(x)
+        values = [hist.quantile(q) for q in (0.0, 0.25, 0.5, 0.95, 1.0)]
+        assert values == sorted(values)
+
+    def test_quantile_resolves_under_and_overflow_to_range_ends(self):
+        hist = Histogram(0.0, 1.0, 4)
+        for x in (-5.0, -4.0, 0.3, 7.0):
+            hist.add(x)
+        assert hist.quantile(0.25) == hist.lo  # underflow mass
+        assert hist.quantile(1.0) == hist.hi  # overflow mass
+
+    def test_quantile_validates(self):
+        hist = Histogram(0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            hist.quantile(0.5)  # empty
+        hist.add(0.5)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
 
 # -- TimeWeightedStat --------------------------------------------------------
 

@@ -360,3 +360,175 @@ class TestGc:
     def test_negative_age_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
             ResultStore(tmp_path).gc(max_age_days=-1)
+
+
+# ---------------------------------------------------------------------------
+# interrupt safety
+# ---------------------------------------------------------------------------
+
+
+class TestStoreInterrupt:
+    def test_keyboard_interrupt_mid_pickle_propagates_cleanly(
+            self, tmp_path, monkeypatch):
+        """Ctrl-C during ``store()`` must not be absorbed (PR-6 satellite).
+
+        The write path uses try/finally rather than a blanket except, so
+        KeyboardInterrupt propagates, the temp file is unlinked, and no
+        object is committed.
+        """
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 11)
+
+        def interrupted_dump(value, fh, protocol=None):
+            fh.write(b"par")  # some bytes already on disk
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.store.result_store.pickle.dump", interrupted_dump)
+        with pytest.raises(KeyboardInterrupt):
+            store.store(key, {"x": 1})
+        assert not store.has(key)
+        shard = store._object_path(key).parent
+        assert not list(shard.glob("*.tmp")), "temp residue left behind"
+
+    def test_oserror_mid_write_unlinks_temp_and_propagates(
+            self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        key = point_key(_worker_a, 12)
+        monkeypatch.setattr(
+            "repro.store.result_store.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            store.store(key, "v")
+        assert not store.has(key)
+        assert not list(store._object_path(key).parent.glob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# serve journal + stale index (repro.store.leases)
+# ---------------------------------------------------------------------------
+
+
+class TestServeJournal:
+    def _journal(self, tmp_path):
+        from repro.store.leases import ServeJournal
+
+        return ServeJournal(tmp_path / "serve.journal")
+
+    def _submit(self, journal, job_id, **kw):
+        defaults = dict(tenant="a", workload="noop", point_json="{}",
+                        key="ab" * 32, priority=0, deadline_wall=1e10)
+        defaults.update(kw)
+        journal.submit(job_id, **defaults)
+
+    def test_replay_pending_excludes_committed(self, tmp_path):
+        journal = self._journal(tmp_path)
+        self._submit(journal, "j-1")
+        self._submit(journal, "j-2", tenant="b", priority=3)
+        journal.lease("j-1", key="ab" * 32, attempt=1)
+        journal.lease("j-1", key="ab" * 32, attempt=2)
+        journal.commit("j-1", state="done", detail="cold")
+        replay = journal.replay()
+        assert [e.job_id for e in replay.pending] == ["j-2"]
+        assert replay.pending[0].priority == 3
+        assert replay.completed["j-1"].state == "done"
+        assert replay.leases == {"j-1": 2}
+        assert replay.skipped_lines == 0
+
+    def test_last_submit_wins_on_reingest(self, tmp_path):
+        journal = self._journal(tmp_path)
+        self._submit(journal, "j-1", point_json='{"x": 1}')
+        self._submit(journal, "j-1", point_json='{"x": 1}', priority=5)
+        replay = journal.replay()
+        assert len(replay.pending) == 1
+        assert replay.pending[0].priority == 5
+        assert replay.pending[0].point() == {"x": 1}
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        self._submit(journal, "j-1")
+        with journal.path.open("a") as fh:
+            fh.write('{"schema": 1, "op": "comm')  # SIGKILL mid-append
+        replay = journal.replay()
+        assert replay.skipped_lines == 1
+        assert [e.job_id for e in replay.pending] == ["j-1"]
+
+    def test_foreign_schema_skipped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with journal.path.open("a") as fh:
+            fh.write('{"schema": 99, "op": "submit", "job_id": "x"}\n')
+        self._submit(journal, "j-1")
+        replay = journal.replay()
+        assert replay.skipped_lines == 1
+        assert [e.job_id for e in replay.pending] == ["j-1"]
+
+    def test_missing_journal_is_empty_replay(self, tmp_path):
+        replay = self._journal(tmp_path).replay()
+        assert replay.pending == [] and replay.completed == {}
+
+    def test_max_sequence_over_numeric_suffixes(self, tmp_path):
+        journal = self._journal(tmp_path)
+        self._submit(journal, "srv-7")
+        self._submit(journal, "tenant-abc123")  # non-numeric tail ignored
+        journal.commit("srv-12", state="done")
+        assert journal.replay().max_sequence == 12
+
+    def test_entry_validation(self):
+        from repro.store.leases import ServeJournalEntry
+
+        with pytest.raises(ConfigError):
+            ServeJournalEntry(op="banana", job_id="j", ts=0.0)
+        with pytest.raises(ConfigError):
+            ServeJournalEntry(op="submit", job_id="", ts=0.0)
+
+
+class TestStaleIndex:
+    def test_record_and_lookup(self, tmp_path):
+        from repro.store.leases import StaleIndex
+
+        index = StaleIndex(tmp_path)
+        identity = "ab" * 32
+        assert index.lookup(identity) is None
+        index.record(identity, "cd" * 32)
+        assert index.lookup(identity) == "cd" * 32
+        index.record(identity, "ef" * 32)  # newer commit supersedes
+        assert index.lookup(identity) == "ef" * 32
+
+    def test_ttl_expires_old_records(self, tmp_path):
+        from repro.store.leases import StaleIndex
+
+        index = StaleIndex(tmp_path)
+        identity = "ab" * 32
+        index.record(identity, "cd" * 32, ts=1000.0)  # long ago
+        assert index.lookup(identity, max_age_s=60.0) is None
+        assert index.lookup(identity) == "cd" * 32  # unbounded accepts it
+
+    def test_malformed_identity_rejected(self, tmp_path):
+        from repro.store.leases import StaleIndex
+
+        with pytest.raises(ConfigError):
+            StaleIndex(tmp_path).record("../escape", "cd" * 32)
+
+    def test_corrupt_record_reads_as_missing(self, tmp_path):
+        from repro.store.leases import StaleIndex
+
+        index = StaleIndex(tmp_path)
+        identity = "ab" * 32
+        index.record(identity, "cd" * 32)
+        index._path(identity).write_text("{torn")
+        assert index.lookup(identity) is None
+
+
+class TestPointIdentity:
+    def test_fingerprint_agnostic_and_point_sensitive(self):
+        from repro.store.leases import point_identity
+
+        a = point_identity("noop", {"x": 1, "y": 2})
+        assert a == point_identity("noop", {"y": 2, "x": 1})  # order-free
+        assert a != point_identity("noop", {"x": 1, "y": 3})
+        assert a != point_identity("other", {"x": 1, "y": 2})
+        # No code fingerprint in the identity: it is a pure function of
+        # (workload name, point) — unlike point_key, which folds in the
+        # worker source so edits invalidate the cache.
+        assert a == point_identity("noop", {"x": 1, "y": 2})

@@ -237,6 +237,61 @@ class TestCrashResume:
         assert out == [p["x"] ** 2 for p in grid]
         assert _executions(logs) == {str(x): 1 for x in range(6)}
 
+    def test_torn_checkpoint_object_reexecuted_exactly_once(self, tmp_path):
+        """A truncated pickle in the store reads as *missing*, not fatal.
+
+        A crash can tear a committed object (e.g. the disk filled after
+        ``os.replace``).  On resume the torn point is re-executed exactly
+        once; intact neighbours stay warm and execute zero times.
+        """
+        logs = tmp_path / "logs"
+        logs.mkdir()
+        grid = _grid(logs, n=5)
+        ckpt = tmp_path / "store"
+        first = run_sweep(
+            _counted_square, grid, parallel=False, checkpoint=ckpt
+        )
+
+        from repro.store import code_fingerprint, point_key
+
+        store = ResultStore(ckpt)
+        fp = code_fingerprint(_counted_square)
+        torn_key = point_key(_counted_square, grid[2], fingerprint=fp)
+        path = store._object_path(torn_key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        resumed = run_sweep(
+            _counted_square, grid, parallel=False, checkpoint=ckpt
+        )
+        assert resumed == first == [p["x"] ** 2 for p in grid]
+        counts = _executions(logs)
+        assert counts.pop("2") == 2  # torn point: first run + recovery
+        assert all(c == 1 for c in counts.values())
+
+    def test_foreign_object_in_store_reexecuted(self, tmp_path):
+        """An object that unpickles to garbage from a different writer is
+        also treated as missing rather than returned as a result."""
+        logs = tmp_path / "logs"
+        logs.mkdir()
+        grid = _grid(logs, n=3)
+        ckpt = tmp_path / "store"
+
+        from repro.store import code_fingerprint, point_key
+
+        store = ResultStore(ckpt)
+        store.ensure_dirs()
+        fp = code_fingerprint(_counted_square)
+        key = point_key(_counted_square, grid[1], fingerprint=fp)
+        path = store._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x80\x05not really a pickle stream")
+
+        out = run_sweep(
+            _counted_square, grid, parallel=False, checkpoint=ckpt
+        )
+        assert out == [p["x"] ** 2 for p in grid]
+        assert _executions(logs) == {str(x): 1 for x in range(3)}
+
     def test_stop_after_validates(self, tmp_path):
         with pytest.raises(ConfigError):
             run_sweep(_counted_square, _grid(tmp_path, 2), stop_after=0)
