@@ -122,6 +122,25 @@ class CircuitBreaker:
         self._probe_inflight = True
         return True
 
+    def cancel_probe(self) -> None:
+        """Release a claimed probe slot that will produce no outcome.
+
+        A caller that got ``True`` from :meth:`allow` while HALF_OPEN
+        owns the probe slot and normally frees it via
+        :meth:`record_success` / :meth:`record_failure`.  If it exits
+        without either (deadline expired before the attempt started,
+        task cancelled), it must call this instead — otherwise the slot
+        leaks, :meth:`allow` refuses every future caller, and the
+        breaker is wedged in HALF_OPEN for the server's lifetime.
+
+        Cancelling counts as neither success nor failure: the state and
+        the probe-success streak are untouched, the slot is simply free
+        for the next prober.  No-op outside HALF_OPEN (the slot was
+        already resolved by an outcome that moved the state).
+        """
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+
     def record_success(self) -> None:
         """A cold attempt finished cleanly."""
         if self._state is BreakerState.HALF_OPEN:

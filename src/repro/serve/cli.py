@@ -126,6 +126,15 @@ def _ingest(server: Any, inbox: Path) -> int:
             except OSError:
                 pass
             continue
+        if server.knows(request.job_id):
+            # A crash between journaling the submit and unlinking the
+            # spool file leaves both; the journal replay already carries
+            # this job, so re-ingesting would mint a duplicate record.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            continue
         try:
             server.submit(request)
         except ServeError:
@@ -138,11 +147,20 @@ def _ingest(server: Any, inbox: Path) -> int:
     return count
 
 
-def _snapshot(server: Any, jobs_dir: Path, written: set[str]) -> None:
-    """Write a status file for every newly terminal job."""
-    for job_id, record in server.jobs.items():
-        if job_id in written or not record.state.terminal:
-            continue
+def _snapshot(server: Any, jobs_dir: Path) -> None:
+    """Write a status file for every newly terminal job, then evict it.
+
+    Eviction after the durable snapshot is what bounds a long-running
+    server's memory: without it every served result payload would live
+    in ``server.jobs`` forever.  Stats are unaffected (the server
+    aggregates terminal outcomes at finish time).
+    """
+    terminal = [
+        (job_id, record)
+        for job_id, record in server.jobs.items()
+        if record.state.terminal
+    ]
+    for job_id, record in terminal:
         payload = record.status()
         try:
             json.dumps(record.result)
@@ -150,7 +168,7 @@ def _snapshot(server: Any, jobs_dir: Path, written: set[str]) -> None:
         except (TypeError, ValueError):
             payload["result"] = repr(record.result)
         _write_atomic(jobs_dir / f"{job_id}.json", json.dumps(payload))
-        written.add(job_id)
+        server.evict_terminal(job_id)
 
 
 async def _serve_loop(server: Any, args: argparse.Namespace) -> int:
@@ -160,13 +178,12 @@ async def _serve_loop(server: Any, args: argparse.Namespace) -> int:
     inbox, jobs_dir, control = _dirs(root)
     for d in (inbox, jobs_dir, control):
         d.mkdir(parents=True, exist_ok=True)
-    written: set[str] = set()
     started = time.monotonic()
     idle_since: float | None = None
     while True:
         ingested = _ingest(server, inbox)
         await server.run_until_idle()
-        _snapshot(server, jobs_dir, written)
+        _snapshot(server, jobs_dir)
         if (control / "drain").exists():
             server.drain()
         if ingested or len(server.queue):
@@ -193,7 +210,7 @@ async def _serve_loop(server: Any, args: argparse.Namespace) -> int:
         ):
             break
         await asyncio.sleep(args.poll)
-    _snapshot(server, jobs_dir, written)
+    _snapshot(server, jobs_dir)
     stats = server.stats()
     if server._chaos is not None:
         stats["chaos"] = server._chaos.summary()

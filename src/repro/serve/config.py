@@ -80,6 +80,9 @@ class ServeConfig:
     stale_ttl_s: float | None = None
     #: Scheduler bookkeeping tick (aging/queue sampling granularity).
     tick_s: float = 0.02
+    #: Latency samples retained per terminal state for the percentile
+    #: stats (sliding window; bounds long-running-server memory).
+    latency_window: int = 2048
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -121,6 +124,10 @@ class ServeConfig:
             )
         if self.max_queue < 1:
             raise ConfigError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.latency_window < 1:
+            raise ConfigError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )
         if self.aging_rate < 0:
             raise ConfigError(
                 f"aging_rate must be >= 0, got {self.aging_rate}"

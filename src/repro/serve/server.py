@@ -40,6 +40,7 @@ import json
 import math
 import pickle
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any
 
@@ -65,6 +66,9 @@ __all__ = ["ServeServer"]
 
 #: Exception families that mean "the stored object is torn/foreign",
 #: mirroring the sweep checkpoint loader's treat-as-missing semantics.
+#: Deliberately excludes resource-pressure errors such as MemoryError:
+#: failing to *fit* a perfectly valid object is not evidence the object
+#: is damaged, and the torn path deletes what it classifies.
 _TORN_ERRORS = (
     pickle.UnpicklingError,
     EOFError,
@@ -73,8 +77,12 @@ _TORN_ERRORS = (
     AttributeError,
     ImportError,
     IndexError,
-    MemoryError,
 )
+
+#: Retained entries in the per-key cold-execution audit map.  Keys that
+#: executed exactly once (the invariant holding) are pruned beyond this
+#: cap; anomalies (count > 1) are kept forever — they are the finding.
+_COLD_AUDIT_MAX = 4096
 
 #: Tenant name carried by server-internal revalidation jobs.
 REVALIDATE_TENANT = "_revalidate"
@@ -112,14 +120,23 @@ class ServeServer:
             max_queue=self.config.max_queue,
         )
         self.queue = AgingQueue(aging_rate=self.config.aging_rate)
-        #: Every job this server life has seen, by job_id.
+        #: Live job records by job_id.  Terminal records linger here for
+        #: library/test inspection until :meth:`evict_terminal` forgets
+        #: them (the spool CLI evicts after snapshotting, so a
+        #: long-running server does not retain every result payload).
         self.jobs: dict[str, JobRecord] = {}
-        #: Cold executions committed per store key (exactly-once audit).
+        #: Cold executions committed per store key (exactly-once audit;
+        #: singleton entries are pruned beyond ``_COLD_AUDIT_MAX``).
         self.cold_executions: dict[str, int] = {}
+        #: Total cold executions / distinct cold keys (monotone; survive
+        #: audit-map pruning and feed :meth:`stats`).
+        self.cold_total = 0
+        self.cold_keys_total = 0
         #: Torn store objects detected (and deleted) by warm reads.
         self.torn_detected = 0
-        #: Raw end-to-end latencies per terminal state value.
-        self.latencies: dict[str, list[float]] = {}
+        #: Recent end-to-end latencies per terminal state value, capped
+        #: at ``config.latency_window`` samples (sliding window).
+        self.latencies: dict[str, deque[float]] = {}
         self._inflight: dict[str, asyncio.Future[tuple[str, Any]]] = {}
         self._admitted: set[str] = set()
         self._journaled: set[str] = set()
@@ -127,6 +144,14 @@ class ServeServer:
         self._revalidate: dict[str, JobRequest] = {}
         self._fingerprints: dict[str, str] = {}
         self._sequence = 0
+        #: Every job id this server life has registered or replayed
+        #: (including journal-completed ones) — the idempotence check
+        #: for spool re-ingest after a crash.
+        self._seen: set[str] = set()
+        self._jobs_total = 0
+        #: Terminal-outcome aggregates; stay correct across eviction.
+        self._state_counts: dict[str, int] = {}
+        self._cache_counts: dict[str, int] = {}
 
     # -- wiring --------------------------------------------------------------
 
@@ -158,6 +183,24 @@ class ServeServer:
 
     # -- submission / recovery ----------------------------------------------
 
+    def knows(self, job_id: str) -> bool:
+        """Has this job id ever been registered here or in the journal?
+
+        True for live records, evicted-but-served records, and jobs the
+        startup replay saw as already committed.  The spool CLI uses
+        this to make re-ingest idempotent: a crash between journaling a
+        submit and unlinking its spool file must not mint a second
+        record for the same id on restart.
+        """
+        return job_id in self.jobs or job_id in self._seen
+
+    def _register(self, record: JobRecord) -> None:
+        job_id = record.request.job_id
+        if job_id not in self._seen:
+            self._seen.add(job_id)
+            self._jobs_total += 1
+        self.jobs[job_id] = record
+
     def submit(self, request: JobRequest) -> JobRecord:
         """Admit one request; returns its record or raises ``Serve*``.
 
@@ -171,7 +214,7 @@ class ServeServer:
             # Unknown workload: refuse, but still answer — a spooled
             # client holds a job id and must be able to resolve it.
             record = JobRecord(request=request, deadline_at=time.time())
-            self.jobs[request.job_id] = record
+            self._register(record)
             if self._obs is not None:
                 self._obs.serve_submitted(
                     request.tenant, request.workload, request.job_id
@@ -181,7 +224,7 @@ class ServeServer:
         try:
             self.admission.admit(request.tenant)
         except ServeError as exc:
-            self.jobs[request.job_id] = record
+            self._register(record)
             if self._obs is not None:
                 self._obs.serve_submitted(
                     request.tenant, request.workload, request.job_id
@@ -217,7 +260,7 @@ class ServeServer:
                 deadline_wall=record.deadline_at,
             )
             self._journaled.add(request.job_id)
-        self.jobs[request.job_id] = record
+        self._register(record)
         self.queue.push(record)
         if self._obs is not None:
             self._obs.serve_submitted(
@@ -235,6 +278,10 @@ class ServeServer:
         """
         replay = self.journal.replay()
         self._sequence = max(self._sequence, replay.max_sequence)
+        # Committed jobs are answered history: remember their ids so a
+        # spool file that survived the crash window (journaled but not
+        # yet unlinked) is skipped instead of re-ingested.
+        self._seen.update(replay.completed)
         for entry in replay.pending:
             request = JobRequest(
                 tenant=entry.tenant,
@@ -305,9 +352,11 @@ class ServeServer:
         except Exception as exc:
             # Anything unclassified still terminates the job, loudly
             # labelled — the chaos gate's "no unlabelled deaths" clause.
-            self._finish(
-                record, JobState.FAILED, error=ServeWorkerError(str(exc))
-            )
+            # The original exception rides along as __cause__ (the
+            # ServeWorkerError contract) so triage keeps its traceback.
+            error = ServeWorkerError(f"{type(exc).__name__}: {exc}")
+            error.__cause__ = exc
+            self._finish(record, JobState.FAILED, error=error)
 
     def _remaining(self, record: JobRecord) -> float:
         return record.deadline_at - time.time()
@@ -364,14 +413,20 @@ class ServeServer:
                     f"cold path circuit-broken and no stale result for "
                     f"{request.workload} (job {request.job_id})"
                 )
-            # We are the cold-execution leader for this key.
+            # We are the cold-execution leader for this key.  If that
+            # allow() half-opened the breaker, we now own its one probe
+            # slot and must resolve it (outcome or cancellation) no
+            # matter how the cold path exits — _execute_cold tracks it.
+            probe_held = self.breaker.state is BreakerState.HALF_OPEN
             future: asyncio.Future[tuple[str, Any]] = (
                 asyncio.get_running_loop().create_future()
             )
             self._inflight[key] = future
             try:
                 try:
-                    value = await self._execute_cold(record, key)
+                    value = await self._execute_cold(
+                        record, key, probe_held=probe_held
+                    )
                 except ServeCircuitOpenError:
                     # Breaker opened mid-retries: release followers and
                     # fall back through the ladder (stale path next).
@@ -435,56 +490,88 @@ class ServeServer:
 
     # -- cold execution ------------------------------------------------------
 
-    async def _execute_cold(self, record: JobRecord, key: str) -> Any:
+    async def _execute_cold(
+        self, record: JobRecord, key: str, *, probe_held: bool = False
+    ) -> Any:
         cfg = self.config
         request = record.request
         fn = resolve_workload(request.workload)
         last_exc: BaseException | None = None
-        for attempt in range(1, cfg.max_attempts + 1):
-            if attempt > 1:
-                backoff = (
-                    cfg.retry.backoff_for(attempt - 1, seed=request.job_id)
-                    * cfg.backoff_unit_s
-                )
-                await asyncio.sleep(
-                    min(backoff, max(0.0, self._remaining(record)))
-                )
-                if not self.breaker.allow():
-                    raise ServeCircuitOpenError(
-                        f"breaker opened between attempts (job {request.job_id})"
-                    )
-            remaining = self._remaining(record)
-            if remaining <= 0:
-                raise ServeDeadlineError(
-                    f"deadline exceeded after {record.attempts} attempt(s) "
-                    f"(job {request.job_id})"
-                )
-            record.attempts += 1
-            self.journal.lease(request.job_id, key=key, attempt=record.attempts)
-            started = time.monotonic()
-            outcome = "ok"
-            try:
-                value = await self._attempt(
-                    record, fn, key, min(cfg.attempt_timeout_s, remaining)
-                )
-            except ServeAttemptTimeout as exc:
-                outcome, last_exc = "timeout", exc
-                self.breaker.record_failure()
-            except SweepPoolError as exc:
-                outcome, last_exc = "pool", exc
-                self.breaker.record_failure()
-            except (asyncio.CancelledError, KeyboardInterrupt, SystemExit):
-                raise
-            except BaseException as exc:
-                if PointExecutor._is_broken_pool(exc):
-                    outcome = "pool"
-                    self.executor.restart()
-                else:
-                    outcome = "error"
-                last_exc = exc
-                self.breaker.record_failure()
-            else:
+        # ``probe_held`` tracks ownership of the breaker's HALF_OPEN
+        # probe slot.  Every recorded outcome resolves it; every exit
+        # that records none (deadline expiry, cancellation) must cancel
+        # it in the finally below, or the slot leaks and the breaker
+        # refuses cold execution for the rest of the server's life.
+
+        def record_outcome(ok: bool) -> None:
+            nonlocal probe_held
+            probe_held = False
+            if ok:
                 self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+
+        try:
+            for attempt in range(1, cfg.max_attempts + 1):
+                if attempt > 1:
+                    backoff = (
+                        cfg.retry.backoff_for(attempt - 1, seed=request.job_id)
+                        * cfg.backoff_unit_s
+                    )
+                    await asyncio.sleep(
+                        min(backoff, max(0.0, self._remaining(record)))
+                    )
+                    if not self.breaker.allow():
+                        raise ServeCircuitOpenError(
+                            f"breaker opened between attempts "
+                            f"(job {request.job_id})"
+                        )
+                    probe_held = (
+                        self.breaker.state is BreakerState.HALF_OPEN
+                    )
+                remaining = self._remaining(record)
+                if remaining <= 0:
+                    raise ServeDeadlineError(
+                        f"deadline exceeded after {record.attempts} "
+                        f"attempt(s) (job {request.job_id})"
+                    )
+                record.attempts += 1
+                self.journal.lease(
+                    request.job_id, key=key, attempt=record.attempts
+                )
+                started = time.monotonic()
+                outcome = "ok"
+                try:
+                    value = await self._attempt(
+                        record, fn, key, min(cfg.attempt_timeout_s, remaining)
+                    )
+                except ServeAttemptTimeout as exc:
+                    outcome, last_exc = "timeout", exc
+                    record_outcome(False)
+                except SweepPoolError as exc:
+                    outcome, last_exc = "pool", exc
+                    record_outcome(False)
+                except (asyncio.CancelledError, KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    if PointExecutor._is_broken_pool(exc):
+                        outcome = "pool"
+                        self.executor.restart()
+                    else:
+                        outcome = "error"
+                    last_exc = exc
+                    record_outcome(False)
+                else:
+                    record_outcome(True)
+                    if self._obs is not None:
+                        self._obs.serve_attempt(
+                            request.job_id,
+                            record.attempts,
+                            outcome,
+                            time.monotonic() - started,
+                        )
+                    self._commit_result(request, key, value)
+                    return value
                 if self._obs is not None:
                     self._obs.serve_attempt(
                         request.job_id,
@@ -492,19 +579,14 @@ class ServeServer:
                         outcome,
                         time.monotonic() - started,
                     )
-                self._commit_result(request, key, value)
-                return value
-            if self._obs is not None:
-                self._obs.serve_attempt(
-                    request.job_id,
-                    record.attempts,
-                    outcome,
-                    time.monotonic() - started,
-                )
-        raise ServeRetryExhaustedError(
-            f"{record.attempts} attempt(s) failed for job {request.job_id}; "
-            f"last: {type(last_exc).__name__}: {last_exc}"
-        ) from last_exc
+            raise ServeRetryExhaustedError(
+                f"{record.attempts} attempt(s) failed for job "
+                f"{request.job_id}; "
+                f"last: {type(last_exc).__name__}: {last_exc}"
+            ) from last_exc
+        finally:
+            if probe_held:
+                self.breaker.cancel_probe()
 
     async def _attempt(
         self, record: JobRecord, fn: Any, key: str, timeout: float
@@ -529,7 +611,18 @@ class ServeServer:
 
     def _commit_result(self, request: JobRequest, key: str, value: Any) -> None:
         self.store.store(key, value)
+        self.cold_total += 1
+        if key not in self.cold_executions:
+            self.cold_keys_total += 1
         self.cold_executions[key] = self.cold_executions.get(key, 0) + 1
+        if len(self.cold_executions) > _COLD_AUDIT_MAX:
+            # Bound the audit map: drop oldest exactly-once entries
+            # (the invariant holding); keep every anomaly (count > 1).
+            excess = len(self.cold_executions) - _COLD_AUDIT_MAX
+            for old_key in [
+                k for k, n in self.cold_executions.items() if n == 1
+            ][:excess]:
+                del self.cold_executions[old_key]
         if self._chaos is not None:
             self._chaos.after_store(self.store, key)
         self.stale_index.record(
@@ -553,10 +646,23 @@ class ServeServer:
             self.journal.commit(
                 request.job_id, state=state.value, detail=record.error or ""
             )
+            self._journaled.discard(request.job_id)
         if request.job_id in self._admitted:
             self._admitted.discard(request.job_id)
             self.admission.release(request.tenant)
-        self.latencies.setdefault(state.value, []).append(record.latency_s)
+        # Terminal bookkeeping is aggregated here (not derived from
+        # self.jobs) so evicting a snapshotted record never skews stats.
+        self._no_stale.discard(request.job_id)
+        self._state_counts[state.value] = (
+            self._state_counts.get(state.value, 0) + 1
+        )
+        if record.cache:
+            self._cache_counts[record.cache] = (
+                self._cache_counts.get(record.cache, 0) + 1
+            )
+        self.latencies.setdefault(
+            state.value, deque(maxlen=self.config.latency_window)
+        ).append(record.latency_s)
         if self._obs is not None:
             self._obs.serve_done(
                 request.tenant,
@@ -566,27 +672,49 @@ class ServeServer:
                 record.latency_s,
             )
 
+    def evict_terminal(self, job_id: str) -> bool:
+        """Forget a terminal job's in-memory record; True if evicted.
+
+        The journal commit line (and, under the spool CLI, the status
+        snapshot file) remain the durable answer; :meth:`stats` is
+        unaffected because terminal outcomes were aggregated at
+        :meth:`_finish` time.  This is how a long-running server avoids
+        retaining every served result payload.  In-flight records are
+        never evicted (returns False).
+        """
+        record = self.jobs.get(job_id)
+        if record is None or not record.state.terminal:
+            return False
+        del self.jobs[job_id]
+        return True
+
     # -- reporting -----------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """JSON-safe operational snapshot (states, caches, percentiles)."""
-        states: dict[str, int] = {}
-        caches: dict[str, int] = {}
+        """JSON-safe operational snapshot (states, caches, percentiles).
+
+        Counts cover the whole server life: terminal outcomes come from
+        the :meth:`_finish` aggregates (eviction-proof), non-terminal
+        states from the live records.  Latency percentiles are over the
+        most recent ``config.latency_window`` DONE samples.
+        """
+        states = dict(self._state_counts)
         for record in self.jobs.values():
-            states[record.state.value] = states.get(record.state.value, 0) + 1
-            if record.cache:
-                caches[record.cache] = caches.get(record.cache, 0) + 1
-        done = sorted(self.latencies.get(JobState.DONE.value, []))
+            if not record.state.terminal:
+                states[record.state.value] = (
+                    states.get(record.state.value, 0) + 1
+                )
+        done = sorted(self.latencies.get(JobState.DONE.value, ()))
         health = self.executor.health()
         return {
-            "jobs": len(self.jobs),
+            "jobs": self._jobs_total,
             "states": states,
-            "caches": caches,
+            "caches": dict(self._cache_counts),
             "queue_depth": len(self.queue),
             "breaker": self.breaker.state.value,
             "breaker_trips": self.breaker.trips,
-            "cold_executions": sum(self.cold_executions.values()),
-            "cold_keys": len(self.cold_executions),
+            "cold_executions": self.cold_total,
+            "cold_keys": self.cold_keys_total,
             "torn_detected": self.torn_detected,
             "executor": {
                 "mode": health.mode,

@@ -448,6 +448,130 @@ class TestCrashRecovery:
         assert server.cold_executions[key] == 2
 
 
+class TestWarmLoadClassification:
+    def test_memory_error_does_not_destroy_stored_object(self, tmp_path,
+                                                         monkeypatch):
+        """Resource pressure is not a torn object.
+
+        A transient MemoryError while unpickling a perfectly valid
+        committed result must NOT delete the stored object (the torn
+        path's remedy); it fails the one job, classified, with the
+        original exception chained for triage — and the data survives
+        for the next request.
+        """
+        server = make_server(tmp_path)
+        point = {"x": 1}
+        server.submit(JobRequest(tenant="a", workload="noop", point=point))
+        run(server)
+        key, = server.cold_executions
+
+        def oom(_key):
+            raise MemoryError("transient OOM while unpickling")
+
+        monkeypatch.setattr(server.store, "load", oom)
+        captured = {}
+        orig_finish = server._finish
+
+        def spy(record, state, **kw):
+            captured["error"] = kw.get("error")
+            return orig_finish(record, state, **kw)
+
+        monkeypatch.setattr(server, "_finish", spy)
+        record = server.submit(JobRequest(tenant="b", workload="noop",
+                                          point=point))
+        run(server)
+        server.close()
+        assert record.state is JobState.FAILED
+        assert record.error == "ServeWorkerError"
+        assert record.detail.startswith("MemoryError")
+        # The worker's original exception is chained as __cause__
+        # (the ServeWorkerError contract).
+        assert isinstance(captured["error"].__cause__, MemoryError)
+        assert server.torn_detected == 0  # never classified as torn...
+        assert ResultStore(tmp_path / "root").has(key)  # ...never deleted
+
+
+class TestServerMemoryBounds:
+    """A long-running server must not retain every job forever."""
+
+    def test_latency_window_bounds_samples(self, tmp_path):
+        server = make_server(tmp_path, latency_window=4)
+        for i in range(7):
+            server.submit(JobRequest(tenant="a", workload="noop",
+                                     point={"i": i}))
+        run(server)
+        server.close()
+        assert len(server.latencies["done"]) == 4  # window, not history
+        stats = server.stats()
+        assert stats["jobs"] == 7
+        assert stats["states"] == {"done": 7}
+        assert stats["latency"]["count"] == 4
+        assert stats["latency"]["p99"] is not None
+
+    def test_evict_terminal_preserves_stats_and_dedup(self, tmp_path):
+        marker = tmp_path / "marks"
+        server = make_server(tmp_path)
+        point = {"marker": str(marker), "tag": "evicted"}
+        first = server.submit(JobRequest(tenant="a", workload="count",
+                                         point=point))
+        run(server)
+        job_id = first.request.job_id
+        assert server.evict_terminal(job_id)
+        assert job_id not in server.jobs
+        assert not server.evict_terminal(job_id)  # already gone
+        assert server.knows(job_id)  # evicted, not forgotten
+        stats = server.stats()  # aggregates survive the eviction
+        assert stats["jobs"] == 1
+        assert stats["states"] == {"done": 1}
+        assert stats["caches"] == {"cold": 1}
+        # The answer itself lives in the store, not the record:
+        second = server.submit(JobRequest(tenant="b", workload="count",
+                                          point=point))
+        run(server)
+        server.close()
+        assert second.cache == "warm"
+        assert marker_lines(marker) == 1
+
+    def test_evict_refuses_non_terminal_jobs(self, tmp_path):
+        server = make_server(tmp_path)
+        record = server.submit(JobRequest(tenant="a", workload="noop",
+                                          point={}))
+        assert not server.evict_terminal(record.request.job_id)  # queued
+        assert record.request.job_id in server.jobs
+        run(server)
+        server.close()
+
+    def test_finish_prunes_bookkeeping_sets(self, tmp_path):
+        server = make_server(tmp_path)
+        for i in range(3):
+            server.submit(JobRequest(tenant="a", workload="noop",
+                                     point={"i": i}))
+        run(server)
+        server.close()
+        assert not server._journaled
+        assert not server._no_stale
+        assert not server._admitted
+
+    def test_cold_audit_map_pruned_totals_survive(self, tmp_path,
+                                                  monkeypatch):
+        from repro.serve import server as server_mod
+
+        monkeypatch.setattr(server_mod, "_COLD_AUDIT_MAX", 2)
+        server = make_server(tmp_path)
+        for i in range(5):
+            server.submit(JobRequest(tenant="a", workload="noop",
+                                     point={"i": i}))
+        run(server)
+        server.close()
+        # Exactly-once entries beyond the cap are pruned; the monotone
+        # totals that feed stats() are not.
+        assert len(server.cold_executions) <= 2
+        assert all(n == 1 for n in server.cold_executions.values())
+        stats = server.stats()
+        assert stats["cold_executions"] == 5
+        assert stats["cold_keys"] == 5
+
+
 class TestServeConfigValidation:
     def test_rejects_bad_knobs(self):
         for bad in (
@@ -462,6 +586,7 @@ class TestServeConfigValidation:
             dict(max_queue=0),
             dict(aging_rate=-1),
             dict(stale_ttl_s=0),
+            dict(latency_window=0),
         ):
             with pytest.raises(ConfigError):
                 ServeConfig(**bad)

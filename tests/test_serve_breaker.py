@@ -20,6 +20,7 @@ import pytest
 from repro.serve import (
     BreakerState,
     CircuitBreaker,
+    JobRecord,
     JobRequest,
     JobState,
     ServeConfig,
@@ -121,6 +122,51 @@ class TestCircuitBreaker:
         assert breaker.state is BreakerState.HALF_OPEN
         assert breaker.allow()
         breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cancel_probe_releases_the_slot(self):
+        """A claimed probe that produces no outcome must be returnable.
+
+        Regression: a prober that exited without record_success /
+        record_failure (deadline expiry before its attempt) used to
+        leave _probe_inflight set forever — allow() then refused every
+        future caller and the breaker was wedged in HALF_OPEN.
+        """
+        breaker, clock, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()  # claim the probe slot...
+        assert not breaker.allow()
+        breaker.cancel_probe()  # ...and hand it back, outcome-free
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # next prober gets the slot
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cancel_probe_is_no_op_outside_half_open(self):
+        breaker, clock, _ = self.make()
+        breaker.cancel_probe()  # CLOSED: nothing to release
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.cancel_probe()  # OPEN: nothing to release
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_cancel_probe_does_not_count_toward_closing(self):
+        breaker, clock, _ = self.make(probe_successes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()  # 1/2
+        assert breaker.allow()
+        breaker.cancel_probe()  # not an outcome: still 1/2
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()  # 2/2
         assert breaker.state is BreakerState.CLOSED
 
     def test_validation(self):
@@ -257,6 +303,46 @@ class TestDegradedMode(object):
         run(fresh)
         fresh.close()
         assert warm.cache == "warm" and warm.result["rev"] == 2
+
+    def test_expired_probe_releases_slot_for_next_job(self, tmp_path,
+                                                      unstable_registry):
+        """Reviewer repro: deadline expiry while holding the probe slot.
+
+        A cold leader whose allow() half-opened the breaker owns its one
+        probe slot.  If its deadline expires before the first attempt,
+        no outcome is ever recorded; the slot must be cancelled, not
+        leaked — a leak wedges the breaker in HALF_OPEN and refuses all
+        cold execution for the rest of the server's life.
+        """
+        import time
+
+        from repro.util.errors import ServeDeadlineError
+
+        server = degraded_server(tmp_path)
+        trip_breaker(server)
+        time.sleep(server.config.breaker_cooldown_s + 0.02)
+        # Claim the HALF_OPEN probe slot exactly as _resolve's allow()
+        # does for a cold-execution leader.
+        assert server.breaker.allow()
+        assert server.breaker.state is BreakerState.HALF_OPEN
+        record = JobRecord(
+            request=JobRequest(tenant="a", workload="unstable",
+                               point={"x": 9}),
+            deadline_at=time.time() - 1.0,  # already expired
+        )
+        with pytest.raises(ServeDeadlineError):
+            asyncio.run(
+                server._execute_cold(record, "ab" * 32, probe_held=True)
+            )
+        # The slot is free again: a healthy job probes and closes the
+        # breaker instead of dying with ServeCircuitOpenError.
+        healthy = server.submit(JobRequest(tenant="b", workload="unstable",
+                                           point={"x": 10}))
+        run(server)
+        server.close()
+        assert healthy.state is JobState.DONE
+        assert healthy.cache == "cold"
+        assert server.breaker.state is BreakerState.CLOSED
 
     def test_breaker_transitions_exported_to_obs(self, tmp_path,
                                                  unstable_registry):

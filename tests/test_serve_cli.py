@@ -187,6 +187,70 @@ class TestControlFiles:
         assert code == cli.EXIT_DEGRADED
 
 
+class TestCrashWindowIdempotence:
+    """A spool file that survives its journal line must not double-run.
+
+    The server unlinks a spool file only after journaling its submit; a
+    crash in between leaves both.  On restart the journal replay already
+    carries the job, so re-ingesting the file would mint a second
+    JobRecord with the same id (double journal commit, double stats).
+    """
+
+    def make(self, tmp_path):
+        from repro.serve import ServeConfig, ServeServer
+
+        return ServeServer(tmp_path, ServeConfig(executor_mode="thread"))
+
+    def spool(self, tmp_path, request) -> None:
+        inbox = tmp_path / "inbox"
+        inbox.mkdir(parents=True, exist_ok=True)
+        (inbox / f"000-{request.job_id}.json").write_text(request.to_json())
+
+    def test_respooled_pending_job_ingested_once(self, tmp_path):
+        import asyncio
+
+        from repro.serve import JobRequest
+
+        crashed = self.make(tmp_path)
+        request = JobRequest(tenant="a", workload="noop", point={"x": 1},
+                             job_id="a-000001")
+        crashed.submit(request)  # journal submit line lands...
+        crashed.close()
+        self.spool(tmp_path, request)  # ...but the spool unlink never ran
+        restarted = self.make(tmp_path)
+        replay = restarted.recover()
+        assert len(replay.pending) == 1
+        assert cli._ingest(restarted, tmp_path / "inbox") == 0
+        assert not list((tmp_path / "inbox").glob("*.json"))  # consumed
+        asyncio.run(restarted.run_until_idle())
+        restarted.close()
+        records = [r for r in restarted.jobs.values()
+                   if r.request.job_id == request.job_id]
+        assert len(records) == 1  # one record, not a replayed + ingested pair
+        entries, _skipped = restarted.journal.entries()
+        assert sum(1 for e in entries if e.op == "submit") == 1
+        assert sum(1 for e in entries if e.op == "commit") == 1
+
+    def test_respooled_completed_job_skipped(self, tmp_path):
+        import asyncio
+
+        from repro.serve import JobRequest
+
+        first = self.make(tmp_path)
+        request = JobRequest(tenant="a", workload="noop", point={"x": 2},
+                             job_id="a-000002")
+        first.submit(request)
+        asyncio.run(first.run_until_idle())  # job commits pre-crash
+        first.close()
+        self.spool(tmp_path, request)  # unlink lost to the crash
+        restarted = self.make(tmp_path)
+        assert not restarted.recover().pending
+        assert cli._ingest(restarted, tmp_path / "inbox") == 0
+        restarted.close()
+        assert not list((tmp_path / "inbox").glob("*.json"))
+        assert request.job_id not in restarted.jobs  # no ghost record
+
+
 class TestTopLevelWiring:
     def test_repro_cli_dispatches_serve(self, tmp_path, capsys):
         from repro.cli import main as repro_main
