@@ -108,18 +108,27 @@ def measure_mesh_transpose(
     row_samples: int,
     reorder_cycles: int = 1,
     header_flits: int = 1,
+    engine: str = "reference",
 ) -> MeasuredTranspose:
     """Run the transpose gather on the flit simulator at the given scale.
 
     The PSCAN reference at the same scale is one bus cycle per element
     plus the per-DRAM-row header overhead — i.e. Eqs. 23-24 applied to the
     scaled matrix.
+
+    ``engine`` selects the mesh backend: ``"reference"`` (default),
+    ``"fast"``, or ``"compiled"`` — the schedule-compiled closed forms,
+    which make paper-scale (1024-processor) measurement feasible but
+    refuse configurations outside their domain
+    (:class:`~repro.util.errors.EngineUnsupportedError`; notably
+    ``reorder_cycles=1``).
     """
     if processors < 4:
         raise ConfigError("need >= 4 processors for a meaningful mesh")
     topo = MeshTopology.square(processors)
     net = MeshNetwork(
-        topo, MeshConfig(memory_reorder_cycles=reorder_cycles)
+        topo,
+        MeshConfig(engine=engine, memory_reorder_cycles=reorder_cycles),
     )
     net.add_memory_interface((0, 0))
     workload = make_transpose_gather(

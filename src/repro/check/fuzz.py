@@ -51,6 +51,20 @@ Case kinds
     shifted slot, corrupted word offset) must produce at least one
     ERROR diagnostic.
 
+``compiled``
+    The schedule-compiled analytic backends against their event-driven
+    references.  ``Pscan(engine="compiled")`` gather/scatter executions
+    must be bit-identical to the event engine — arrivals, modulation
+    times, delivered words, clock window, moved bits, final simulator
+    time, and (when ``trace`` is set) the semantic ``sca`` obs trace —
+    including back-to-back transactions sharing one clock epoch chain.
+    ``MeshConfig(engine="compiled")`` transpose runs must reproduce the
+    reference engine's full stats signature (``sunk`` records excluded:
+    the compiled mesh documents them as unpopulated).  Out-of-domain
+    parameters (``reorder=1``) must refuse with a structured
+    :class:`~repro.util.errors.EngineUnsupportedError` naming the
+    unsupported feature — never silently fall back or mis-answer.
+
 Every case is reconstructible from ``(kind, seed, params)`` — the JSON
 form committed under ``tests/corpus/`` by :mod:`repro.check.shrink`.
 """
@@ -79,7 +93,9 @@ __all__ = [
 #: processors; see docs/correctness.md for the derivation sweep).
 ANALYTIC_BAND = (0.65, 1.00)
 
-CASE_KINDS = ("mesh", "queue", "crc", "analytic", "gather", "schedule")
+CASE_KINDS = (
+    "mesh", "queue", "crc", "analytic", "gather", "schedule", "compiled",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -271,6 +287,40 @@ def _gen_schedule(rng: random.Random) -> dict[str, Any]:
     return params
 
 
+def _gen_compiled(rng: random.Random) -> dict[str, Any]:
+    target = rng.choice(["sca", "sca", "mesh"])
+    if target == "mesh":
+        cols = rng.choice([1, 2, 4])
+        return {
+            "target": "mesh",
+            "processors": rng.choice([4, 16, 25]),
+            "cols": cols,
+            # reorder=1 is outside the compiled domain: must refuse.
+            "reorder": rng.choice([1, 2, 4]),
+            # elements_per_packet must divide cols.
+            "elements_per_packet": rng.choice(
+                [e for e in (1, 2) if cols % e == 0]
+            ),
+            "header_flits": rng.choice([1, 2]),
+        }
+    family = rng.choice(["transpose", "round_robin", "block", "permuted"])
+    words = rng.choice([1, 2, 3, 5])
+    params: dict[str, Any] = {
+        "target": "sca",
+        "family": family,
+        "op": rng.choice(["gather", "scatter"]),
+        "nodes": rng.choice([2, 4, 8]),
+        "words": words,
+        "repeat": rng.random() < 0.4,
+        "trace": rng.random() < 0.5,
+    }
+    if family == "round_robin":
+        params["block"] = rng.choice([1, words])
+    elif family == "permuted":
+        params["pseed"] = rng.randrange(1000)
+    return params
+
+
 _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "mesh": _gen_mesh,
     "queue": _gen_queue,
@@ -278,6 +328,7 @@ _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "analytic": _gen_analytic,
     "gather": _gen_gather,
     "schedule": _gen_schedule,
+    "compiled": _gen_compiled,
 }
 
 
@@ -860,6 +911,187 @@ def _diff_repr(a: Any, b: Any, limit: int = 300) -> str:
     )[:limit]
 
 
+# ---------------------------------------------------------------------------
+# compiled-engine oracle
+# ---------------------------------------------------------------------------
+
+
+def _compiled_sca_order(params: dict[str, Any]) -> list[tuple[int, int]]:
+    from ..core.schedule import (
+        block_interleave_order,
+        round_robin_order,
+        transpose_order,
+    )
+
+    nodes, words = params["nodes"], params["words"]
+    family = params["family"]
+    if family == "transpose":
+        return transpose_order(nodes, words)
+    if family == "round_robin":
+        return round_robin_order(nodes, words, block=params["block"])
+    if family == "block":
+        return block_interleave_order(nodes, words)
+    order = [(n, w) for n in range(nodes) for w in range(words)]
+    random.Random(params["pseed"]).shuffle(order)
+    return order
+
+
+def _compiled_sca_signature(ps, ex) -> tuple:
+    """Full observable signature of one SCA execution (bit-exact floats)."""
+    return (
+        ex.kind,
+        tuple(
+            (a.time_ns, a.cycle, a.source_node, a.word_index, a.value)
+            for a in ex.arrivals
+        ),
+        tuple(sorted((n, tuple(ts)) for n, ts in ex.modulation_times.items())),
+        ex.start_ns,
+        ex.end_ns,
+        ex.period_ns,
+        tuple(sorted((n, tuple(vs)) for n, vs in ex.delivered.items())),
+        ps.total_bits_moved,
+        ps.sim.now,
+    )
+
+
+def _run_compiled_sca(params: dict[str, Any], engine: str, session=None):
+    """Run one (or two back-to-back) SCA transactions; return signatures."""
+    from ..core import Pscan, gather_schedule, scatter_schedule
+    from ..photonics import Waveguide
+    from ..sim import Simulator
+
+    nodes, words = params["nodes"], params["words"]
+    pitch = 10.0
+    length = (nodes + 1) * pitch + 10.0
+    sim = Simulator()
+    wg = Waveguide(length_mm=length)
+    positions = {i: (i + 1) * pitch for i in range(nodes)}
+    ps = Pscan(sim, wg, positions, engine=engine)
+    if session is not None:
+        ps.attach_observer(session)
+    order = _compiled_sca_order(params)
+    sigs = []
+    for rep in range(2 if params.get("repeat") else 1):
+        if params["op"] == "gather":
+            sched = gather_schedule(order)
+            data = {
+                n: [complex(n, w + 7 * rep) for w in range(words)]
+                for n in range(nodes)
+            }
+            ex = ps.execute_gather(sched, data, receiver_mm=length)
+        else:
+            sched = scatter_schedule(order)
+            burst = [complex(rep, i) for i in range(len(order))]
+            ex = ps.execute_scatter(sched, burst, source_mm=0.0)
+        sigs.append(_compiled_sca_signature(ps, ex))
+    return tuple(sigs)
+
+
+def _canon_sca_trace(events: list[dict]) -> list[dict]:
+    """Order exactly-coincident instants canonically.
+
+    The waveguide geometry makes word flight times exact multiples of
+    the bus period, so a later modulation and an earlier word's arrival
+    can share one float timestamp; the event queue breaks that tie by
+    timeout insertion sequence, which is not part of the compiled
+    engine's contract.  Comparing canonically-sorted traces still pins
+    the exact multiset of instants at every timestamp.
+    """
+    return sorted(events, key=lambda ev: (
+        ev.get("ts", 0.0),
+        ev.get("name", ""),
+        ev.get("track", ""),
+        sorted((ev.get("args") or {}).items()),
+    ))
+
+
+def _compiled_sca_trace(params: dict[str, Any], engine: str) -> list[dict]:
+    from ..obs import ObsConfig, ObsSession, normalize_events
+
+    session = ObsSession(ObsConfig())
+    _run_compiled_sca(params, engine, session=session)
+    return _canon_sca_trace(
+        normalize_events(session.tracer.events, categories=("sca",))
+    )
+
+
+def _check_compiled_sca(case: FuzzCase) -> list[Divergence]:
+    out: list[Divergence] = []
+    p = case.params
+    event = _run_compiled_sca(p, "event")
+    compiled = _run_compiled_sca(p, "compiled")
+    if event != compiled:
+        out.append(Divergence(case, "compiled.sca", _diff_repr(event, compiled)))
+    if p.get("trace"):
+        ev_tr = _compiled_sca_trace(p, "event")
+        co_tr = _compiled_sca_trace(p, "compiled")
+        if not ev_tr:
+            out.append(
+                Divergence(case, "compiled.sca.trace", "sca trace is empty")
+            )
+        elif ev_tr != co_tr:
+            out.append(
+                Divergence(case, "compiled.sca.trace", _diff_repr(ev_tr, co_tr))
+            )
+    return out
+
+
+def _run_compiled_mesh(params: dict[str, Any], engine: str) -> tuple:
+    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..mesh.workloads import make_transpose_gather
+
+    topology = MeshTopology.square(params["processors"])
+    net = MeshNetwork(
+        topology,
+        MeshConfig(engine=engine, memory_reorder_cycles=params["reorder"]),
+    )
+    net.add_memory_interface((0, 0))
+    workload = make_transpose_gather(
+        topology,
+        cols=params["cols"],
+        elements_per_packet=params.get("elements_per_packet", 1),
+        header_flits=params.get("header_flits", 1),
+    )
+    for packet in workload.packets:
+        net.inject(packet)
+    # Drop the trailing ``sunk`` records: the compiled engine documents
+    # them as unpopulated (flit interleaving is not modelled).
+    return _mesh_signature(net, net.run())[:-1]
+
+
+def _check_compiled_mesh(case: FuzzCase) -> list[Divergence]:
+    from ..util.errors import EngineUnsupportedError
+
+    out: list[Divergence] = []
+    p = case.params
+    if p["reorder"] < 2:
+        try:
+            _run_compiled_mesh(p, "compiled")
+        except EngineUnsupportedError as exc:
+            if exc.feature != "reorder_cycles":
+                out.append(Divergence(
+                    case, "compiled.mesh.refusal",
+                    f"expected feature 'reorder_cycles', got {exc.feature!r}",
+                ))
+        else:
+            out.append(Divergence(
+                case, "compiled.mesh.refusal",
+                "reorder=1 must raise EngineUnsupportedError, ran instead",
+            ))
+        return out
+    ref = _run_compiled_mesh(p, "reference")
+    comp = _run_compiled_mesh(p, "compiled")
+    if ref != comp:
+        out.append(Divergence(case, "compiled.mesh", _diff_repr(ref, comp)))
+    return out
+
+
+def _check_compiled(case: FuzzCase) -> list[Divergence]:
+    if case.params.get("target") == "mesh":
+        return _check_compiled_mesh(case)
+    return _check_compiled_sca(case)
+
+
 _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "mesh": _check_mesh,
     "queue": _check_queue,
@@ -867,6 +1099,7 @@ _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "analytic": _check_analytic,
     "gather": _check_gather,
     "schedule": _check_schedule,
+    "compiled": _check_compiled,
 }
 
 

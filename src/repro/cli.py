@@ -238,6 +238,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.check:
         argv.append("--check")
     argv += ["--tolerance", str(args.tolerance)]
+    if args.bench is not None:
+        argv += ["--bench", args.bench]
     if args.obs_overhead_limit is not None:
         argv += ["--obs-overhead-limit", str(args.obs_overhead_limit)]
     # Default the bench/baseline dir to the repo root when running from
@@ -377,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fail on regression vs checked-in baselines")
             p.add_argument("--tolerance", type=float, default=0.30,
                            help="allowed fractional slowdown (default 0.30)")
+            p.add_argument("--bench", metavar="SUBSTR", default=None,
+                           help="run only benches whose name contains "
+                                "SUBSTR (e.g. 'compiled'); filtered runs "
+                                "never rewrite the BENCH_*.json baselines")
             p.add_argument("--obs-overhead-limit", dest="obs_overhead_limit",
                            type=float, default=None, metavar="FRAC",
                            help="fail if disabled-instrumentation overhead "
@@ -389,9 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--out-dir", dest="out_dir", type=_Path,
                            default=_Path.cwd(),
                            help="directory for trace.json / metrics.json")
-            p.add_argument("--engine", choices=("reference", "fast"),
+            p.add_argument("--engine",
+                           choices=("reference", "fast", "compiled"),
                            default="reference",
-                           help="mesh engine for the transpose workload")
+                           help="mesh engine for the transpose workload "
+                                "('compiled' emits the run-level summary "
+                                "only: no per-flit events)")
             p.add_argument("--sim-dispatch", dest="sim_dispatch",
                            action="store_true",
                            help="also record per-event kernel dispatches")

@@ -70,6 +70,7 @@ class MultiBusPscan:
         positions_mm: dict[int, float],
         wdm: WdmPlan | None = None,
         response_ns: float = 0.01,
+        engine: str = "event",
     ) -> None:
         if waveguides < 1:
             raise ConfigError(f"need >= 1 waveguide, got {waveguides}")
@@ -85,6 +86,7 @@ class MultiBusPscan:
                     self.positions_mm,
                     wdm=wdm,
                     response_ns=response_ns,
+                    engine=engine,
                 )
             )
 

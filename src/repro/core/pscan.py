@@ -36,7 +36,13 @@ from ..photonics.waveguide import Waveguide
 from ..photonics.wdm import WdmPlan, paper_pscan_plan
 from ..sim.engine import Simulator
 from ..sim.trace import Tracer
-from ..util.errors import CollisionError, LinkBudgetError, ScheduleError
+from ..util.errors import (
+    CollisionError,
+    ConfigError,
+    EngineUnsupportedError,
+    LinkBudgetError,
+    ScheduleError,
+)
 from .cp import Role
 from .schedule import GlobalSchedule
 
@@ -191,6 +197,15 @@ class Pscan:
         Optional link-budget model; when given, every transmission path is
         checked against Eq. 1 and a :class:`LinkBudgetError` is raised if
         any receiver would be below sensitivity.
+    engine:
+        ``"event"`` (default) runs the discrete-event kernel;
+        ``"compiled"`` lowers the schedule to vectorized closed-form
+        timeline evaluation (:mod:`repro.core.compiled`) producing a
+        bit-identical :class:`ScaExecution`.  The compiled engine only
+        covers the deterministic, fault-free contract: a fault hook or an
+        enabled tracer raises
+        :class:`~repro.util.errors.EngineUnsupportedError` instead of
+        silently falling back.
     """
 
     def __init__(
@@ -202,14 +217,22 @@ class Pscan:
         response_ns: float = 0.01,
         link: PhotonicLink | None = None,
         tracer: Tracer | None = None,
+        engine: str = "event",
     ) -> None:
+        if engine not in ("event", "compiled"):
+            raise ConfigError(
+                f"unknown Pscan engine {engine!r}; choose 'event' or 'compiled'"
+            )
+        self.engine = engine
         self.sim = sim
         self.waveguide = waveguide
         self.positions_mm = dict(positions_mm)
         self.wdm = wdm or paper_pscan_plan()
         self.response_ns = response_ns
         self.link = link
-        self.tracer = tracer or Tracer(sim, enabled=False)
+        # Explicit None check: Tracer has __len__, so a fresh (empty)
+        # enabled tracer is falsy and `tracer or ...` would discard it.
+        self.tracer = tracer if tracer is not None else Tracer(sim, enabled=False)
         self.clock = PhotonicClock(
             period_ns=self.wdm.bus_cycle_ns,
             origin_mm=0.0,
@@ -260,6 +283,30 @@ class Pscan:
                 f"ring passes (margin {self.link.margin_db(distance, rings):.2f} dB)"
             )
 
+    def _require_compiled_supported(self) -> None:
+        """Police the compiled engine's applicability predicate.
+
+        The analytic lowering is only valid for deterministic, fault-free
+        runs: a fault hook can rewrite any word at detection time, and a
+        tracer's records are defined in terms of event-kernel ordering.
+        Both raise — never silently degrade — so "compiled" always means
+        compiled (see :class:`~repro.util.errors.EngineUnsupportedError`).
+        """
+        if self.fault_hook is not None:
+            raise EngineUnsupportedError(
+                "compiled",
+                "fault_hook",
+                "fault injection rewrites words at detection time; "
+                "run with engine='event' (the default) instead",
+            )
+        if self.tracer.enabled:
+            raise EngineUnsupportedError(
+                "compiled",
+                "tracer",
+                "sim.trace.Tracer records are defined by event-kernel "
+                "ordering; use repro.obs or engine='event' instead",
+            )
+
     def _next_epoch_cycle(self) -> int:
         """First clock edge index usable for a transaction starting now.
 
@@ -305,6 +352,11 @@ class Pscan:
         execution record; raises :class:`CollisionError` if two words ever
         land on the same bus cycle at the receiver.
         """
+        if self.engine == "compiled":
+            self._require_compiled_supported()
+            from .compiled import compiled_gather
+
+            return compiled_gather(self, schedule, data, receiver_mm)
         if schedule.kind != "gather":
             raise ScheduleError(f"expected a gather schedule, got {schedule.kind!r}")
         result = ScaExecution(kind="gather", period_ns=self.clock.period_ns)
@@ -407,6 +459,11 @@ class Pscan:
         slots determine which node captures it.  All listeners must be
         downstream of the source.
         """
+        if self.engine == "compiled":
+            self._require_compiled_supported()
+            from .compiled import compiled_scatter
+
+            return compiled_scatter(self, schedule, burst, source_mm)
         if schedule.kind != "scatter":
             raise ScheduleError(f"expected a scatter schedule, got {schedule.kind!r}")
         if len(burst) != schedule.total_cycles:

@@ -54,6 +54,13 @@ class PsyncConfig:
     reflect the paper's arithmetic exactly.  The default (False) keeps
     the legacy one-word-per-bus-cycle timing, which preserves all
     relative results and matches Table III's 64-bit-bus cycle counting.
+
+    ``engine``: ``"event"`` (default) runs scatter/gather on the
+    discrete-event kernel; ``"compiled"`` lowers each schedule to
+    closed-form vectorized timeline evaluation with bit-identical
+    execution records (see :mod:`repro.core.compiled`).  Unsupported
+    configurations (fault hooks, enabled tracers) raise
+    :class:`~repro.util.errors.EngineUnsupportedError` at execute time.
     """
 
     processors: int = 16
@@ -61,12 +68,18 @@ class PsyncConfig:
     response_ns: float = 0.01
     word_bits: int = constants.FFT_SAMPLE_BITS
     word_granular_clock: bool = False
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.processors < 1:
             raise ConfigError(f"need >= 1 processor, got {self.processors}")
         if self.word_bits < 1:
             raise ConfigError(f"word_bits must be >= 1, got {self.word_bits}")
+        if self.engine not in ("event", "compiled"):
+            raise ConfigError(
+                f"unknown core engine {self.engine!r}; "
+                "choose 'event' or 'compiled'"
+            )
 
 
 class PsyncMachine:
@@ -139,6 +152,7 @@ class PsyncMachine:
             response_ns=self.config.response_ns,
             tracer=self.tracer,
             link=link,
+            engine=self.config.engine,
         )
         self.head = HeadNode(wdm=self.wdm, word_bits=self.config.word_bits)
         self.memory = PscanMemoryController()

@@ -1,5 +1,6 @@
 """Electronic wormhole mesh substrate (the paper's comparison network)."""
 
+from .compiled_network import CompiledMeshNetwork
 from .fast_network import FastMeshNetwork
 from .flit import Flit, Packet
 from .flowtiming import MeshFlowTiming, run_mesh_fft2d_flow
@@ -44,6 +45,7 @@ __all__ = [
     "MeshFaultReport",
     "MeshNetwork",
     "FastMeshNetwork",
+    "CompiledMeshNetwork",
     "MeshStats",
     "SinkRecord",
     "MeshOverlapResult",

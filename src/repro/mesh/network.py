@@ -61,7 +61,13 @@ class MeshConfig:
     #: :class:`~repro.mesh.fast_network.FastMeshNetwork`, which produces
     #: identical :class:`MeshStats` and delivery orderings
     #: (differentially tested in ``tests/test_fast_engine.py``) but runs
-    #: several times faster.
+    #: several times faster; ``"compiled"`` selects the closed-form
+    #: :class:`~repro.mesh.compiled_network.CompiledMeshNetwork`, which
+    #: skips flit-level simulation entirely for single-sink coalesced
+    #: gathers (identical :class:`MeshStats`, differentially tested in
+    #: ``tests/test_compiled_engine.py``) and raises
+    #: :class:`~repro.util.errors.EngineUnsupportedError` outside its
+    #: documented applicability predicate.
     engine: str = "reference"
     #: Jump the clock over quiescent intervals (no movable flit, no
     #: pending injection, no sink becoming free) instead of idling
@@ -80,9 +86,10 @@ class MeshConfig:
             raise ConfigError("memory_reorder_cycles must be >= 1")
         if self.deadlock_cycles < 10:
             raise ConfigError("deadlock_cycles must be >= 10")
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ("reference", "fast", "compiled"):
             raise ConfigError(
-                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+                f"engine must be 'reference', 'fast' or 'compiled', "
+                f"got {self.engine!r}"
             )
 
     @property
@@ -214,6 +221,10 @@ class MeshNetwork:
                 from .fast_network import FastMeshNetwork
 
                 return object.__new__(FastMeshNetwork)
+            if config is not None and config.engine == "compiled":
+                from .compiled_network import CompiledMeshNetwork
+
+                return object.__new__(CompiledMeshNetwork)
         return object.__new__(cls)
 
     def __init__(

@@ -30,6 +30,7 @@ hook methods, so the fault-free, unobserved hot paths pay exactly one
 ``is not None`` comparison per hook site.
 """
 
+from .cachestats import cache_stats, clear_caches, publish_cache_stats
 from .chrome import (
     normalize_events,
     to_chrome_trace,
@@ -54,4 +55,7 @@ __all__ = [
     "write_chrome_trace",
     "normalize_events",
     "wall_clock_us",
+    "cache_stats",
+    "publish_cache_stats",
+    "clear_caches",
 ]

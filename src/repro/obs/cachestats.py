@@ -1,0 +1,83 @@
+"""Analytic closed-form cache statistics as observability gauges.
+
+The Eq. 2-3 / laser-power closed forms are memoized with explicitly
+bounded ``lru_cache``\\ s (``maxsize=1024`` on the waveguide segment
+math, ``maxsize=4096`` on the energy-model forms) so long sweeps cannot
+grow them without bound.  Bounded caches have a failure mode unbounded
+ones do not: a working set larger than ``maxsize`` thrashes silently,
+and the only symptom is a sweep that is mysteriously slow.  This module
+publishes every registry entry's ``cache_info()`` through a
+:class:`~repro.obs.metrics.MetricsRegistry`, so ``metrics.json`` from
+any observed run answers "did the caches hold?" directly:
+
+* ``analytic_cache_hits`` / ``analytic_cache_misses`` — labeled by
+  cache name; a miss count well above ``maxsize`` with a full cache is
+  the thrash signature.
+* ``analytic_cache_size`` / ``analytic_cache_maxsize`` — occupancy
+  against the bound.
+
+Usage (wired into ``ObsSession.finish`` and ``python -m repro obs``)::
+
+    publish_cache_stats(session.metrics)
+
+New cached closed forms register themselves in ``CACHES`` (import-light:
+the registry holds the cached callables, which carry their own
+``cache_info``/``cache_clear``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..energy import photonic as _photonic
+from ..photonics import waveguide as _waveguide
+
+__all__ = ["CACHES", "cache_stats", "publish_cache_stats", "clear_caches"]
+
+#: name -> memoized callable (must expose ``cache_info()``).  The
+#: closed-form caches the performance docs promise are bounded.
+CACHES: dict[str, Callable[..., Any]] = {
+    "waveguide.segment_loss_db": _waveguide.segment_loss_db,
+    "waveguide.max_segments": _waveguide.max_segments,
+    "energy.total_loss_db": _photonic._total_loss_db,
+    "energy.segments_needed": _photonic._segments_needed,
+    "energy.laser_pj_per_bit": _photonic._laser_pj_per_bit,
+}
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Snapshot every registered cache's ``cache_info`` as plain dicts."""
+    out: dict[str, dict[str, int]] = {}
+    for name, fn in CACHES.items():
+        info = fn.cache_info()
+        out[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    return out
+
+
+def publish_cache_stats(metrics: Any) -> None:
+    """Publish every cache's counters as labeled gauges on ``metrics``.
+
+    ``metrics`` duck-types :class:`~repro.obs.metrics.MetricsRegistry`
+    (``gauge(name, **labels).set(value)``).  Gauges — not counters —
+    because ``cache_info`` is already cumulative; re-publishing after
+    more work overwrites with the newer snapshot.  A disabled registry
+    makes this a no-op, matching every other obs hook.
+    """
+    if not getattr(metrics, "enabled", True):
+        return
+    for name, info in cache_stats().items():
+        metrics.gauge("analytic_cache_hits", cache=name).set(info["hits"])
+        metrics.gauge("analytic_cache_misses", cache=name).set(info["misses"])
+        metrics.gauge("analytic_cache_size", cache=name).set(info["currsize"])
+        metrics.gauge("analytic_cache_maxsize", cache=name).set(info["maxsize"])
+
+
+def clear_caches() -> None:
+    """Reset every registered cache (tests; apples-to-apples benches)."""
+    for fn in CACHES.values():
+        fn.cache_clear()

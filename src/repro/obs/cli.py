@@ -40,8 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for trace.json / metrics.json (default: cwd)",
     )
     parser.add_argument(
-        "--engine", choices=("reference", "fast"), default="reference",
-        help="mesh engine for the transpose workload",
+        "--engine", choices=("reference", "fast", "compiled"),
+        default="reference",
+        help="mesh engine for the transpose workload ('compiled' emits "
+             "the run-level summary only: no per-flit events)",
     )
     parser.add_argument(
         "--sim-dispatch", action="store_true",

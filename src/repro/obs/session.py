@@ -534,7 +534,16 @@ class ObsSession:
         return write_chrome_trace(path, self.tracer.events, time_scale=time_scale)
 
     def write_metrics(self, path: str | Path) -> int:
-        """Write ``metrics.json``; returns the number of series written."""
+        """Write ``metrics.json``; returns the number of series written.
+
+        Snapshots the analytic closed-form cache counters
+        (:mod:`repro.obs.cachestats`) into the registry first, so every
+        exported ``metrics.json`` can answer whether the bounded
+        ``lru_cache``\\ s held their working set or thrashed.
+        """
+        from .cachestats import publish_cache_stats
+
+        publish_cache_stats(self.metrics)
         Path(path).write_text(self.metrics.to_json() + "\n")
         return len(self.metrics)
 

@@ -68,6 +68,10 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional slowdown before --check "
                              "fails (default 0.30)")
+    parser.add_argument("--bench", metavar="SUBSTR", default=None,
+                        help="run only benches whose name contains SUBSTR "
+                             "(e.g. 'compiled'); filtered runs never "
+                             "rewrite the BENCH_*.json baselines")
     parser.add_argument("--obs-overhead-limit", type=float, default=None,
                         metavar="FRAC",
                         help="fail if disabled-instrumentation overhead "
@@ -80,12 +84,21 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
     args = parser.parse_args(argv)
 
     payloads = {
-        "BENCH_mesh.json": run_mesh_benches(quick=args.quick),
-        "BENCH_engine.json": run_engine_benches(quick=args.quick),
+        "BENCH_mesh.json": run_mesh_benches(quick=args.quick, only=args.bench),
+        "BENCH_engine.json": run_engine_benches(
+            quick=args.quick, only=args.bench
+        ),
     }
+    if args.bench is not None and not any(
+        p["benches"] for p in payloads.values()
+    ):
+        print(f"no bench matches --bench {args.bench!r}")
+        return 2
 
     regressions = []
     for filename, payload in payloads.items():
+        if not payload["benches"]:
+            continue
         print(f"{filename} ({payload['mode']} mode):")
         for line in _summarize(payload):
             print(line)
@@ -98,6 +111,12 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
                 )
             else:
                 print(f"  (no baseline at {baseline}; skipping check)")
+        if args.bench is not None:
+            # A filtered payload is a subset: writing it would shrink the
+            # committed baseline files, silently weakening the CI gate.
+            print("  (filtered run; baseline file left untouched)")
+            continue
+        args.out_dir.mkdir(parents=True, exist_ok=True)
         out = args.out_dir / filename
         write_bench_file(out, payload)
         print(f"  -> wrote {out}")
@@ -112,8 +131,11 @@ def main(argv: list[str] | None = None, default_dir: Path | None = None) -> int:
     if args.obs_overhead_limit is not None:
         overheads = _obs_overheads(payloads)
         if not overheads:
-            print("\nOBS OVERHEAD: no obs-overhead bench in the payloads")
-            failed = True
+            if args.bench is not None:
+                print("\nobs overhead: bench filtered out; gate skipped")
+            else:
+                print("\nOBS OVERHEAD: no obs-overhead bench in the payloads")
+                failed = True
         for path, frac in overheads:
             if frac > args.obs_overhead_limit:
                 print(

@@ -290,11 +290,46 @@ def wl_crc_epochs(
     return {"ok": True, "words": words, "rejected": rejected}
 
 
+def wl_mesh_transpose(
+    *,
+    processors: int = 16,
+    row_samples: int = 4,
+    reorder_cycles: int = 4,
+    engine: str = "reference",
+) -> dict[str, Any]:
+    """The mesh transpose gather at one grid point, on a chosen engine.
+
+    ``engine`` is part of the point payload — and therefore of the
+    content-addressed store key — so a ``compiled`` result can never
+    alias a ``reference`` one.  ``engine="compiled"`` makes paper-scale
+    points (1024 processors) servable in milliseconds; out-of-domain
+    points fail the job with the structured
+    ``EngineUnsupportedError`` message rather than degrading silently.
+    """
+    from ..analysis.transpose_model import measure_mesh_transpose
+
+    measured = measure_mesh_transpose(
+        processors, row_samples,
+        reorder_cycles=reorder_cycles, engine=engine,
+    )
+    return {
+        "ok": True,
+        "engine": engine,
+        "processors": processors,
+        "row_samples": row_samples,
+        "reorder_cycles": reorder_cycles,
+        "mesh_cycles": measured.mesh_cycles,
+        "pscan_cycles": measured.pscan_cycles,
+        "multiplier": measured.multiplier,
+    }
+
+
 for _name, _fn in (
     ("noop", wl_noop),
     ("sleep", wl_sleep),
     ("count", wl_count),
     ("flaky", wl_flaky),
     ("crc_epochs", wl_crc_epochs),
+    ("mesh_transpose", wl_mesh_transpose),
 ):
     register_workload(_name, _fn)

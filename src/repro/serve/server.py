@@ -49,6 +49,7 @@ from ..store.keys import code_fingerprint, point_key
 from ..store.leases import ServeJournal, ServeReplay, StaleIndex, point_identity
 from ..store.result_store import ResultStore
 from ..util.errors import (
+    ConfigError,
     ServeAttemptTimeout,
     ServeCircuitOpenError,
     ServeDeadlineError,
@@ -548,6 +549,16 @@ class ServeServer:
                 except ServeAttemptTimeout as exc:
                     outcome, last_exc = "timeout", exc
                     record_outcome(False)
+                except ConfigError:
+                    # A deterministic point error (bad parameter, point
+                    # outside an engine's contract): the pool is healthy,
+                    # the *point* is not.  Retrying cannot change the
+                    # outcome, and counting it against the breaker would
+                    # let one malformed submission trip cold execution
+                    # into degraded mode for every healthy tenant.  Fail
+                    # the job on the spot; the probe slot, if held, is
+                    # cancelled by the finally below (outcome-free exit).
+                    raise
                 except SweepPoolError as exc:
                     outcome, last_exc = "pool", exc
                     record_outcome(False)

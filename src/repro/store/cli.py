@@ -1,7 +1,8 @@
 """``python -m repro sweep {run,status,gc}`` — the sweep-store CLI.
 
 ``run`` executes a named, checkpointed workload grid (the fault
-campaign or the Fig. 13/14 core sweep) against a result store,
+campaign, the Fig. 13/14 core sweep, or the engine-selectable measured
+transpose grid) against a result store,
 optionally bounded (``--stop-after N`` — the CI ``sweep-smoke`` job
 uses this to simulate a mid-flight kill) and optionally instrumented
 (``--obs-out DIR`` writes the PR-3 ``trace.json`` + ``metrics.json``
@@ -39,10 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="subcommand", required=True)
 
     run = sub.add_parser("run", help="execute a named workload grid")
-    run.add_argument("--workload", choices=("faults", "fig13"),
+    run.add_argument("--workload", choices=("faults", "fig13", "transpose"),
                      default="faults",
                      help="faults: the Monte-Carlo resilience campaign; "
-                          "fig13: the LLMORE core-count sweep")
+                          "fig13: the LLMORE core-count sweep; "
+                          "transpose: the measured mesh transpose grid "
+                          "(engine-selectable; see --engine)")
     run.add_argument("--checkpoint", type=Path, default=None,
                      help="result-store directory (omit for an "
                           "uncheckpointed in-memory run)")
@@ -66,6 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
     # fig13 workload knobs
     run.add_argument("--reorder-cycles", dest="reorder_cycles", type=int,
                      default=1)
+    # transpose workload knobs.  The engine is part of each grid point's
+    # payload, so the content-addressed point key covers it: a compiled
+    # result can never alias a reference one in the store.
+    run.add_argument("--engine", choices=("reference", "fast", "compiled"),
+                     default="reference",
+                     help="mesh backend for --workload transpose "
+                          "(compiled enables paper-scale grids)")
+    run.add_argument("--grid", dest="grid", type=int, nargs="+",
+                     default=None, metavar="P",
+                     help="processor counts for --workload transpose "
+                          "(default: 16 64; compiled engine default: "
+                          "16 64 256 1024)")
 
     status = sub.add_parser("status", help="narrate a store's manifests")
     status.add_argument("--checkpoint", type=Path, required=True)
@@ -127,7 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 stop_after=args.stop_after,
             )
             print(report.as_table())
-        else:  # fig13
+        elif args.workload == "fig13":
             from ..llmore import figure13_sweep
 
             sweep = figure13_sweep(
@@ -142,6 +157,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for p in sweep.points:
                 print(f"{p.cores:>6} {p.mesh.gflops:>8.1f} "
                       f"{p.psync.gflops:>8.1f} {p.ideal.gflops:>8.1f}")
+        else:  # transpose
+            from ..analysis.transpose_model import measure_mesh_transpose
+            from ..perf.sweep import run_sweep
+
+            grid = args.grid
+            if grid is None:
+                grid = (
+                    [16, 64, 256, 1024] if args.engine == "compiled"
+                    else [16, 64]
+                )
+            points = [
+                {
+                    "processors": p,
+                    "row_samples": args.row_samples,
+                    "reorder_cycles": args.reorder_cycles,
+                    # In the payload on purpose: the content-addressed
+                    # point key canonicalizes the whole dict, so engines
+                    # never alias each other in the store.
+                    "engine": args.engine,
+                }
+                for p in grid
+            ]
+            measured = run_sweep(
+                measure_mesh_transpose,
+                points,
+                parallel=args.parallel,
+                max_workers=args.max_workers,
+                checkpoint=checkpoint,
+                resume=args.resume,
+                obs=obs,
+                label=f"transpose[{args.engine}]",
+                stop_after=args.stop_after,
+            )
+            print(f"{'procs':>6} {'mesh cycles':>12} {'pscan':>8} "
+                  f"{'mult':>7}  (engine={args.engine})")
+            for m in measured:
+                print(f"{m.processors:>6} {m.mesh_cycles:>12} "
+                      f"{m.pscan_cycles:>8} {m.multiplier:>6.2f}x")
     except SweepInterrupted as exc:
         print(f"sweep interrupted: {exc}")
         if checkpoint is not None:

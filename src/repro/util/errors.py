@@ -44,6 +44,38 @@ class ConfigError(ReproError, ValueError):
     """A configuration object failed validation (bad parameter value)."""
 
 
+class EngineUnsupportedError(ConfigError):
+    """A fast/analytic engine was asked to simulate outside its contract.
+
+    The compiled engine (``engine="compiled"``) trades generality for
+    speed: it evaluates deterministic, fault-free schedules in closed
+    form and refuses everything else **loudly** — silently falling back
+    to an event simulation would make "compiled" mean "sometimes
+    compiled", and silently producing approximate numbers would poison
+    differential baselines.  Callers that want graceful degradation
+    catch this error and re-run with ``engine="reference"`` explicitly.
+
+    ``engine`` names the engine that refused, ``feature`` the unsupported
+    capability (machine-readable token, e.g. ``"fault_hook"`` or
+    ``"multiple_sinks"``), and ``reason`` the human explanation.
+    """
+
+    def __init__(self, engine: str, feature: str, reason: str) -> None:
+        super().__init__(
+            f"engine {engine!r} does not support {feature}: {reason}"
+        )
+        self.engine = engine
+        self.feature = feature
+        self.reason = reason
+
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which takes three positionals —
+        # so the default makes this error unpicklable and a process-pool
+        # worker raising it would break the whole pool on unpickle.
+        return (type(self), (self.engine, self.feature, self.reason))
+
+
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event kernel detected an inconsistent state."""
 

@@ -8,6 +8,8 @@ function must agree bit-for-bit with its unwrapped body, and error paths
 must keep raising on every call (lru_cache never caches exceptions).
 """
 
+import json
+
 import pytest
 
 from repro.energy.photonic import (
@@ -129,3 +131,74 @@ class TestPhotonicEnergyClosedForms:
         assert breakdown.total_loss_db == model.total_loss_db(256)
         assert breakdown.segments == model.segments_needed(256)
         assert breakdown.laser_pj_per_bit == model.laser_pj_per_bit(256)
+
+
+class TestCacheStatsObservability:
+    """The bounded caches publish their counters through repro.obs."""
+
+    def test_every_registered_cache_is_bounded(self):
+        from repro.obs.cachestats import CACHES, cache_stats
+
+        stats = cache_stats()
+        assert set(stats) == set(CACHES)
+        for name, info in stats.items():
+            assert info["maxsize"] is not None and info["maxsize"] > 0, name
+            assert set(info) == {"hits", "misses", "currsize", "maxsize"}
+
+    def test_stats_track_hits_and_clear(self):
+        from repro.obs.cachestats import cache_stats, clear_caches
+
+        clear_caches()
+        cold = cache_stats()["waveguide.segment_loss_db"]
+        assert cold["hits"] == 0 and cold["misses"] == 0 and cold["currsize"] == 0
+        segment_loss_db(0.005, 0.5, 0.03)
+        segment_loss_db(0.005, 0.5, 0.03)
+        warm = cache_stats()["waveguide.segment_loss_db"]
+        assert warm["misses"] == 1 and warm["hits"] == 1 and warm["currsize"] == 1
+        clear_caches()
+        reset = cache_stats()["waveguide.segment_loss_db"]
+        assert reset == cold
+
+    def test_publish_sets_labeled_gauges(self):
+        from repro.obs.cachestats import cache_stats, publish_cache_stats
+        from repro.obs.metrics import MetricsRegistry
+
+        segment_loss_db(0.005, 0.5, 0.03)
+        metrics = MetricsRegistry()
+        publish_cache_stats(metrics)
+        expected = cache_stats()["waveguide.segment_loss_db"]
+        label = {"cache": "waveguide.segment_loss_db"}
+        assert metrics.gauge("analytic_cache_hits", **label).value == expected["hits"]
+        assert (
+            metrics.gauge("analytic_cache_misses", **label).value
+            == expected["misses"]
+        )
+        assert (
+            metrics.gauge("analytic_cache_maxsize", **label).value
+            == expected["maxsize"]
+        )
+
+    def test_disabled_registry_is_noop(self):
+        from repro.obs.cachestats import publish_cache_stats
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=False)
+        publish_cache_stats(metrics)
+        assert len(metrics) == 0
+
+    def test_write_metrics_snapshots_cache_gauges(self, tmp_path):
+        from repro.obs import ObsConfig, ObsSession
+
+        session = ObsSession(ObsConfig())
+        path = tmp_path / "metrics.json"
+        session.write_metrics(path)
+        names = {
+            series["name"]
+            for series in json.loads(path.read_text())["metrics"]
+        }
+        assert {
+            "analytic_cache_hits",
+            "analytic_cache_misses",
+            "analytic_cache_size",
+            "analytic_cache_maxsize",
+        } <= names

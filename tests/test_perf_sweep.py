@@ -222,3 +222,43 @@ class TestZeroBaseline:
         with pytest.warns(ZeroBaselineWarning):
             regs = compare_payloads(cur, base)
         assert [r.path for r in regs] == ["benches.storm.speedup"]
+
+
+# ---------------------------------------------------------------------------
+# bench selection (--bench)
+# ---------------------------------------------------------------------------
+
+
+class TestBenchSelection:
+    """``--bench SUBSTR`` runs a subset without weakening the baselines."""
+
+    def test_unmatched_filter_runs_nothing(self):
+        from repro.perf.harness import run_engine_benches, run_mesh_benches
+
+        # No bench name contains "nomatch": both payloads must come back
+        # empty, and because selection happens before execution this
+        # returns in milliseconds rather than running the full suite.
+        assert run_engine_benches(quick=True, only="nomatch")["benches"] == {}
+        assert run_mesh_benches(quick=True, only="nomatch")["benches"] == {}
+
+    def test_filter_selects_by_substring(self):
+        from repro.perf.harness import run_engine_benches
+
+        payload = run_engine_benches(quick=True, only="compiled_transpose_1024")
+        assert set(payload["benches"]) == {"compiled_transpose_1024"}
+
+    def test_cli_filtered_run_leaves_baselines_untouched(self, tmp_path):
+        from repro.perf.cli import BENCH_FILES, main
+
+        code = main(
+            ["--quick", "--bench", "compiled_transpose_1024"],
+            default_dir=tmp_path,
+        )
+        assert code == 0
+        for name in BENCH_FILES:
+            assert not (tmp_path / name).exists()
+
+    def test_cli_unmatched_filter_exits_2(self, tmp_path):
+        from repro.perf.cli import main
+
+        assert main(["--quick", "--bench", "nomatch"], default_dir=tmp_path) == 2

@@ -368,6 +368,63 @@ class TestServeBasics:
         assert all(e.state == "done" for e in replay.completed.values())
 
 
+class TestDeterministicPointErrors:
+    """A bad *point* is not a bad *pool*: fail fast, spare the breaker."""
+
+    _BAD = {"processors": 16, "row_samples": 4,
+            "reorder_cycles": 1, "engine": "compiled"}
+    _GOOD = {"processors": 16, "row_samples": 4,
+             "reorder_cycles": 4, "engine": "compiled"}
+
+    def test_config_error_fails_in_one_attempt(self, tmp_path):
+        server = make_server(tmp_path, max_attempts=5)
+        record = server.submit(JobRequest(
+            tenant="a", workload="mesh_transpose", point=dict(self._BAD),
+        ))
+        run(server)
+        server.close()
+        assert record.state is JobState.FAILED
+        assert record.attempts == 1  # retrying a ConfigError is futile
+        assert "EngineUnsupportedError" in (record.detail or "")
+
+    def test_config_error_does_not_trip_breaker_or_poison_tenants(
+        self, tmp_path
+    ):
+        from repro.serve.breaker import BreakerState
+
+        # breaker_failures=1: a single breaker-counted failure would
+        # open it — the regression this guards against is a malformed
+        # submission degrading cold execution for every healthy tenant.
+        server = make_server(tmp_path, max_attempts=5, breaker_failures=1)
+        bad = server.submit(JobRequest(
+            tenant="a", workload="mesh_transpose", point=dict(self._BAD),
+        ))
+        good = server.submit(JobRequest(
+            tenant="b", workload="mesh_transpose", point=dict(self._GOOD),
+        ))
+        run(server)
+        server.close()
+        assert bad.state is JobState.FAILED
+        assert good.state is JobState.DONE
+        assert good.result["mesh_cycles"] > 0
+        assert server.breaker.state is BreakerState.CLOSED
+
+    def test_engine_unsupported_error_survives_pickling(self):
+        # Process-pool workers ship exceptions back by pickle; before
+        # __reduce__ was added, unpickling this error raised TypeError
+        # inside the pool machinery and broke every in-flight future.
+        import pickle
+
+        from repro.util.errors import EngineUnsupportedError
+
+        err = EngineUnsupportedError("compiled", "reorder_cycles",
+                                     "needs reorder_cycles >= 2")
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is EngineUnsupportedError
+        assert (clone.engine, clone.feature) == ("compiled", "reorder_cycles")
+        assert str(clone) == str(err)
+
+
 class TestCrashRecovery:
     def test_uncommitted_jobs_replay_and_execute_exactly_once(self, tmp_path):
         marker = tmp_path / "marks"
