@@ -14,9 +14,16 @@ Asserts the recovery-story claims: bit-exact delivery through BER
 <= 1e-3, 100 % packet delivery with one dead link, monotone (non-
 negative) retransmission overhead, and bit-for-bit campaign
 reproducibility under the same seed.
+
+A second bench pits the SIMD-lockstep batched campaign engine
+(``run_campaign(batch=)``) against the process-pool per-seed path on a
+dense low-BER grid and enforces the acceptance floor: byte-identical
+reports (asserted inside the bench before any speedup is reported) and
+>= 5x campaign throughput.
 """
 
 from repro.faults import CampaignConfig, run_campaign
+from repro.perf.harness import bench_batched_campaign
 
 from conftest import emit, once
 
@@ -60,3 +67,26 @@ def test_resilience_campaign(benchmark):
 
     # Same seed => same report, bit for bit.
     assert run_campaign(CONFIG).as_table() == report.as_table()
+
+
+def test_batched_campaign_speedup(benchmark):
+    # bench_batched_campaign raises AssertionError itself if the batched
+    # report is not byte-identical to the process-pool one, so reaching
+    # the speedup check already certifies parity.
+    result = once(benchmark, lambda: bench_batched_campaign(repeats=2))
+    emit(
+        "Resilience: SIMD-lockstep batched campaign vs process pool",
+        [
+            f"lanes                 {result['lanes']}",
+            f"process-pool lanes/s  {result['process_pool']['lanes_per_s']:,.0f}",
+            f"batched lanes/s       {result['batched']['lanes_per_s']:,.0f}",
+            f"speedup               {result['speedup']:.1f}x",
+        ],
+    )
+    assert result["batched"]["lanes_per_s"] > 0
+    # Acceptance floor: the lockstep engine must beat the process-pool
+    # path by at least 5x on its home-turf dense low-BER grid.
+    assert result["speedup"] >= 5.0, (
+        f"batched campaign speedup {result['speedup']:.2f}x fell below "
+        f"the 5x acceptance floor"
+    )

@@ -65,6 +65,16 @@ Case kinds
     :class:`~repro.util.errors.EngineUnsupportedError` naming the
     unsupported feature — never silently fall back or mis-answer.
 
+``batched``
+    The SIMD-lockstep campaign engine (:mod:`repro.faults.batched`) vs
+    the per-seed scalar path, across all three batched injector
+    families — CRC-protected gathers under BER / thermal drift, mesh
+    transposes under permanent dead links, dual-clock FIFOs under
+    seeded write drops.  Batched rows must be byte-identical to a
+    scalar loop over the same lanes, the clean/replayed lane accounting
+    must balance, and a disabled injector (BER or drop probability 0)
+    must never trigger a scalar replay.
+
 Every case is reconstructible from ``(kind, seed, params)`` — the JSON
 form committed under ``tests/corpus/`` by :mod:`repro.check.shrink`.
 """
@@ -95,6 +105,7 @@ ANALYTIC_BAND = (0.65, 1.00)
 
 CASE_KINDS = (
     "mesh", "queue", "crc", "analytic", "gather", "schedule", "compiled",
+    "batched",
 )
 
 
@@ -321,6 +332,37 @@ def _gen_compiled(rng: random.Random) -> dict[str, Any]:
     return params
 
 
+def _gen_batched(rng: random.Random) -> dict[str, Any]:
+    target = rng.choice(["gather", "gather", "mesh", "fifo"])
+    params: dict[str, Any] = {
+        "target": target,
+        "lanes": rng.randrange(2, 13),
+        "sseed": rng.randrange(1000),
+    }
+    if target == "gather":
+        params.update({
+            "processors": rng.choice([4, 16]),
+            "row_samples": rng.choice([2, 4]),
+            # BER exponent: 0 disables the injector (all lanes clean).
+            "ber_exp": rng.choice([0, 6, 4, 3]),
+            "drift": rng.random() < 0.3,
+        })
+    elif target == "mesh":
+        params["lanes"] = rng.randrange(2, 7)
+        params.update({
+            "processors": rng.choice([4, 16]),
+            "max_dead": rng.choice([1, 2]),
+        })
+    else:  # fifo
+        params.update({
+            "words": rng.choice([16, 48]),
+            "depth": rng.choice([4, 8]),
+            # Drop-probability exponent: 0 disables the injector.
+            "prob_exp": rng.choice([0, 3, 2, 1]),
+        })
+    return params
+
+
 _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "mesh": _gen_mesh,
     "queue": _gen_queue,
@@ -329,6 +371,7 @@ _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "gather": _gen_gather,
     "schedule": _gen_schedule,
     "compiled": _gen_compiled,
+    "batched": _gen_batched,
 }
 
 
@@ -1092,6 +1135,107 @@ def _check_compiled(case: FuzzCase) -> list[Divergence]:
     return _check_compiled_sca(case)
 
 
+# ---------------------------------------------------------------------------
+# batched-campaign oracle
+# ---------------------------------------------------------------------------
+
+
+def _check_batched(case: FuzzCase) -> list[Divergence]:
+    """Cross-execute the SIMD-lockstep engine against the scalar loop.
+
+    One batched call per case; the scalar reference replays exactly the
+    same lanes one seed at a time.  Any row-level difference — result
+    payload, stats, timing — is a divergence, as is unbalanced
+    clean/replayed accounting or a scalar replay with the injector off.
+    """
+    from ..faults.batched import (
+        FifoBatchSpec,
+        run_fifo_batch,
+        run_fifo_trial,
+        run_gather_campaign_batch,
+        run_mesh_campaign_batch,
+    )
+    from ..faults.campaign import (
+        CampaignConfig,
+        _run_gather_trial,
+        _run_mesh_trial,
+    )
+    from ..faults.models import DriftEpisode
+
+    out: list[Divergence] = []
+    p = case.params
+    rng = random.Random(p["sseed"])
+    seeds = [rng.randrange(2 ** 32) for _ in range(p["lanes"])]
+    target = p["target"]
+    injector_off = False
+
+    if target == "gather":
+        episodes = ()
+        if p.get("drift"):
+            # Two part-coverage windows: some words see a raised BER,
+            # others the base rate — the draw-lockstep accounting must
+            # stay exact either way.
+            episodes = (
+                DriftEpisode(start_ns=0.0, end_ns=60.0, drift_nm=0.03),
+                DriftEpisode(
+                    start_ns=80.0, end_ns=200.0, drift_nm=0.05, node=1
+                ),
+            )
+        config = CampaignConfig(
+            processors=p["processors"],
+            row_samples=p["row_samples"],
+            trials=1,
+            seed=0,
+            drift_episodes=episodes,
+        )
+        ber = 10.0 ** -p["ber_exp"] if p["ber_exp"] else 0.0
+        injector_off = ber == 0.0
+        batch = run_gather_campaign_batch(config, ber, seeds)
+        scalar = [_run_gather_trial(config, ber, s) for s in seeds]
+    elif target == "mesh":
+        config = CampaignConfig(
+            processors=p["processors"], row_samples=2, trials=1, seed=0
+        )
+        lanes = [(rng.randrange(p["max_dead"] + 1), s) for s in seeds]
+        injector_off = all(dead == 0 for dead, _ in lanes)
+        batch = run_mesh_campaign_batch(config, lanes)
+        scalar = [_run_mesh_trial(config, dead, s) for dead, s in lanes]
+    elif target == "fifo":
+        probability = 10.0 ** -p["prob_exp"] if p["prob_exp"] else 0.0
+        injector_off = probability == 0.0
+        spec = FifoBatchSpec(
+            words=p["words"], depth=p["depth"], probability=probability
+        )
+        batch = run_fifo_batch(spec, seeds)
+        scalar = [run_fifo_trial(spec, s) for s in seeds]
+    else:
+        raise ValueError(f"unknown batched target {target!r}")
+
+    if batch.rows != scalar:
+        lane = next(
+            (i for i, (b, s) in enumerate(zip(batch.rows, scalar)) if b != s),
+            None,
+        )
+        out.append(Divergence(
+            case, f"batched.{target}",
+            f"lane {lane} (seed {seeds[lane] if lane is not None else '?'}): "
+            + _diff_repr(batch.rows, scalar),
+        ))
+    if batch.lanes_clean + batch.lanes_replayed != len(seeds):
+        out.append(Divergence(
+            case, "batched.accounting",
+            f"{batch.lanes_clean} clean + {batch.lanes_replayed} replayed "
+            f"!= {len(seeds)} lanes",
+        ))
+    if injector_off and batch.lanes_replayed:
+        out.append(Divergence(
+            case, "batched.zero_replay",
+            f"injector disabled yet {batch.lanes_replayed} lane(s) fell "
+            f"back to scalar replay",
+        ))
+    return out
+
+
 _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "mesh": _check_mesh,
     "queue": _check_queue,
@@ -1100,6 +1244,7 @@ _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "gather": _check_gather,
     "schedule": _check_schedule,
     "compiled": _check_compiled,
+    "batched": _check_batched,
 }
 
 

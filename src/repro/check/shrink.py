@@ -34,7 +34,9 @@ __all__ = ["shrink_case", "write_seed", "load_seed", "iter_corpus"]
 
 #: Parameters the shrinker must never touch: structural selectors whose
 #: "smaller" values change the case's meaning rather than its size.
-_FROZEN_PARAMS = {"workload", "family", "mutation", "fault", "trace", "drift"}
+_FROZEN_PARAMS = {
+    "workload", "family", "mutation", "fault", "trace", "drift", "target",
+}
 
 #: Divisibility couplings: (dividend, divisor) pairs that must hold for
 #: the case to stay constructible.
@@ -49,7 +51,7 @@ def _candidate_values(name: str, value: Any) -> list[Any]:
     """Smaller candidate values for one parameter, best first."""
     if isinstance(value, bool) or not isinstance(value, int):
         return []
-    if name in ("seed", "wseed", "fseed", "pseed"):
+    if name in ("seed", "wseed", "fseed", "pseed", "sseed"):
         # RNG seeds shrink toward 0 — not "smaller" semantically, but a
         # canonical value makes the committed seed easier to reason about.
         return [0] if value != 0 else []
@@ -75,6 +77,11 @@ def _candidate_values(name: str, value: Any) -> list[Any]:
         "data_words": 1,
         "words_per_processor": 1,
         "packets_per_node": 1,
+        "lanes": 1,
+        "row_samples": 1,
+        "prob_exp": 0,
+        "max_dead": 0,
+        "depth": 1,
     }
     floor = floors.get(name, 0)
     if value <= floor:

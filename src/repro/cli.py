@@ -223,6 +223,7 @@ def _cmd_faults(args: argparse.Namespace) -> None:
                 str(args.checkpoint) if args.checkpoint is not None else None
             ),
             resume=args.resume,
+            batch=args.batch,
         ).as_table()
     )
 
@@ -365,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--parallel", action="store_true",
                            help="fan trials out over a process pool "
                                 "(identical report, seeded merge)")
+            p.add_argument("--batch", type=int, default=None, metavar="N",
+                           help="advance N seed lanes in SIMD lockstep per "
+                                "grid point (identical report, byte-for-"
+                                "byte; see docs/resilience.md)")
             from pathlib import Path as _P
             p.add_argument("--checkpoint", type=_P, default=None,
                            help="persist/resume per-trial results through "

@@ -19,6 +19,13 @@ P-sync architecture does when the physics misbehaves, in three layers:
     workload: delivered-correct %, retransmission overhead in cycles
     and energy, degradation curves vs fault rate.  CLI:
     ``python -m repro faults``.
+``repro.faults.lanes`` / ``repro.faults.batched``
+    The SIMD-lockstep campaign engine: a vectorized CPython-compatible
+    MT19937 replays every lane's injector draw stream at once, lanes
+    where no fault fires share one fault-free timeline, divergent lanes
+    fall back to scalar replay — batched results are byte-identical to
+    per-seed sequential (``run_campaign(batch=N)``,
+    ``python -m repro faults --batch N``).
 ``repro.faults.chaos``
     Seeded infrastructure chaos for the :mod:`repro.serve` job server:
     worker kills, torn store writes, slow tenants, clock-skewed
@@ -29,6 +36,14 @@ Dependency direction: this package builds on ``repro.core``,
 reverse.  Core components expose only neutral hooks.
 """
 
+from .batched import (
+    FifoBatchSpec,
+    LaneBatchResult,
+    run_fifo_batch,
+    run_fifo_trial,
+    run_gather_campaign_batch,
+    run_mesh_campaign_batch,
+)
 from .campaign import (
     CampaignConfig,
     CampaignReport,
@@ -37,6 +52,7 @@ from .campaign import (
     run_campaign,
 )
 from .chaos import ChaosConfig, ChaosDriver
+from .lanes import LaneRng, compact_indices, merge_masks, scatter_lanes
 from .crc import check_frame, flip_bits, frame_bits, pack_word, unpack_word
 from .models import DriftEpisode, FifoDropFault, MeshFaultPlan, PscanFaultModel
 from .recovery import ReliableGather, ReliableGatherResult, RetryPolicy
@@ -62,6 +78,16 @@ __all__ = [
     "GatherCampaignRow",
     "MeshCampaignRow",
     "run_campaign",
+    "LaneRng",
+    "merge_masks",
+    "compact_indices",
+    "scatter_lanes",
+    "LaneBatchResult",
+    "FifoBatchSpec",
+    "run_gather_campaign_batch",
+    "run_mesh_campaign_batch",
+    "run_fifo_trial",
+    "run_fifo_batch",
     "ChaosConfig",
     "ChaosDriver",
 ]

@@ -1,0 +1,381 @@
+"""Struct-of-arrays Monte-Carlo campaign engine (SIMD-lockstep lanes).
+
+``run_campaign`` pays one full seeded event simulation per (seed, BER,
+drift) grid point, which makes the sensitivity surfaces in
+EXPERIMENTS.md process-bound.  This engine advances *hundreds* of lanes
+at once by exploiting the injector contract of
+:mod:`repro.faults.models`:
+
+* a component whose fault hook never fires runs the **exact fault-free
+  code path** — no timing or result perturbation — so every lane whose
+  injector draws produce zero faults is observationally identical to
+  one shared fault-free probe run;
+* each injector owns a ``random.Random(seed)`` and consumes a *fixed,
+  data-independent* number of draws per hook call on the no-fault path
+  (``bits_per_word + CRC_BITS`` uniforms per gather word, one uniform
+  per FIFO write), so "would lane *i* fire a fault?" is answerable by
+  replaying the draw streams of all lanes in lockstep with
+  :class:`repro.faults.lanes.LaneRng` (bit-identical to CPython's
+  Mersenne Twister) against the probe's hook-call timeline.
+
+The control flow per batch is therefore:
+
+1. **probe** — one fault-free run records the hook-call timeline
+   (count, and per-call ``(time_ns, node)`` for drift-dependent BER)
+   and the shared clean result;
+2. **classify** — a ``(lanes, draws)`` matrix of lockstep uniforms is
+   compared against the per-call effective BER; the divergence mask
+   marks every lane where a fault fires;
+3. **replay** — divergent lanes (CRC corruption → NACK → retransmission
+   epochs, mesh quarantine detours) fall back to the *scalar* per-seed
+   trial, so recovery semantics never fork from the reference;
+4. **scatter** — clean lanes share the probe result, replayed lanes get
+   their scalar result, all back in seed order
+   (:func:`repro.faults.lanes.scatter_lanes`).
+
+Scalar-replay fallback predicate (documented in docs/resilience.md):
+a lane leaves lockstep iff (a) any of its classification draws fires a
+fault, or (b) its injector shape is outside the lockstep contract —
+for the mesh that is *any* dead link (permanent faults perturb routing
+from cycle 0), for the gather a fault rate of exactly 0 never installs
+an injector and is trivially clean.  Hook calls whose effective BER is
+``<= 0`` consume no draws (the injector early-returns) and are excluded
+from the draw matrix, keeping consumption lockstep even under partial
+drift coverage.
+
+Byte-identity of every batched result against the per-seed scalar path
+is the module's contract, pinned by ``tests/test_batched_campaign.py``
+and the ``batched`` oracle kind in ``repro check fuzz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from ..sim.fifo import DualClockFifo
+from ..util.errors import ConfigError, SweepPointError
+from .campaign import (
+    CampaignConfig,
+    MeshCampaignRow,
+    _execute_gather,
+    _run_gather_trial,
+    _run_mesh_trial,
+)
+from .crc import CRC_BITS
+from .lanes import LaneRng, compact_indices, merge_masks, scatter_lanes
+from .models import FifoDropFault, PscanFaultModel
+
+__all__ = [
+    "LaneBatchResult",
+    "FifoBatchSpec",
+    "run_gather_campaign_batch",
+    "run_mesh_campaign_batch",
+    "run_fifo_trial",
+    "run_fifo_batch",
+]
+
+
+@dataclass
+class LaneBatchResult:
+    """One batch point's outcome: per-lane rows in seed order.
+
+    ``rows[i]`` is byte-identical to the scalar trial of lane ``i``'s
+    seed.  ``lanes_clean`` lanes shared the fault-free probe timeline;
+    ``lanes_replayed`` fell back to scalar replay.  All fields are
+    deterministic (no wall-clock), so batch results stored by a
+    checkpointed sweep are content-stable.
+    """
+
+    rows: list
+    lanes_clean: int
+    lanes_replayed: int
+
+
+# ---------------------------------------------------------------------------
+# gather batches (BER + thermal-drift injector)
+# ---------------------------------------------------------------------------
+
+
+def _probe_gather(config: CampaignConfig, data_seed: int):
+    """Fault-free gather with a recording hook.
+
+    Returns ``(calls, clean_row)`` where ``calls`` is the exact
+    ``(time_ns, node)`` sequence of fault-hook invocations an installed
+    injector would see in the first epoch (the hook transforms values
+    only, so recording does not perturb the timeline), and ``clean_row``
+    is the result tuple every clean lane shares.
+    """
+    calls: list[tuple[float, int]] = []
+
+    def recording_hook(time_ns, node, word_index, value):
+        calls.append((time_ns, node))
+        return value
+
+    clean_row = _execute_gather(config, recording_hook, data_seed)
+    return calls, clean_row
+
+
+def run_gather_campaign_batch(
+    config: CampaignConfig, ber: float, seeds: Sequence[int]
+) -> LaneBatchResult:
+    """Advance ``len(seeds)`` gather trials at one BER in lockstep.
+
+    Byte-identical to ``[_run_gather_trial(config, ber, s) for s in
+    seeds]``: clean lanes share the fault-free probe, lanes where any
+    word flips replay scalar.  Drift episodes (``config.drift_episodes``)
+    are folded into the per-word effective BER exactly as the scalar
+    injector computes it (same :meth:`PscanFaultModel.ber_at` code).
+    """
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ConfigError("gather batch needs at least one seed")
+    calls, clean_row = _probe_gather(config, seeds[0])
+    if ber <= 0.0:
+        # The scalar path installs no injector at rate 0: every lane is
+        # the fault-free run (the row is seed-independent).
+        return LaneBatchResult(
+            rows=[clean_row for _ in seeds],
+            lanes_clean=len(seeds),
+            lanes_replayed=0,
+        )
+
+    # Per-call effective BER, computed by the injector's own code path
+    # (seed-independent, so one prototype covers every lane).
+    proto = PscanFaultModel(
+        ber=ber, seed=0, drift_episodes=config.drift_episodes
+    )
+    ber_per_call = np.asarray(
+        [proto.ber_at(t, node) for t, node in calls], dtype=np.float64
+    )
+    # Calls at BER <= 0 early-return without consuming draws; exclude
+    # them so the lockstep streams match the scalar consumption exactly.
+    drawing = ber_per_call > 0.0
+    exposed = proto.bits_per_word + CRC_BITS
+    if not np.any(drawing):
+        divergent = np.zeros(len(seeds), dtype=bool)
+    else:
+        active_ber = ber_per_call[drawing]
+        draws = LaneRng(seeds).random(active_ber.size * exposed)
+        draws = draws.reshape(len(seeds), active_ber.size, exposed)
+        flips = draws < active_ber[None, :, None]
+        divergent = merge_masks(flips.any(axis=(1, 2)))
+
+    replay = compact_indices(divergent)
+    replayed_rows = []
+    for lane in replay:
+        lane = int(lane)
+        try:
+            replayed_rows.append(_run_gather_trial(config, ber, seeds[lane]))
+        except Exception as exc:
+            raise SweepPointError(
+                f"batched gather lane {lane} (seed {seeds[lane]}) failed "
+                f"during scalar fault replay: {type(exc).__name__}: {exc}",
+                index=lane,
+                point=(config, ber, seeds[lane]),
+            ) from exc
+    return LaneBatchResult(
+        rows=scatter_lanes(len(seeds), replay, replayed_rows, clean_row),
+        lanes_clean=len(seeds) - len(replay),
+        lanes_replayed=len(replay),
+    )
+
+
+# ---------------------------------------------------------------------------
+# mesh batches (permanent dead-link injector)
+# ---------------------------------------------------------------------------
+
+
+def run_mesh_campaign_batch(
+    config: CampaignConfig, lanes: Sequence[tuple[int, int]]
+) -> LaneBatchResult:
+    """Advance ``len(lanes)`` mesh trials, lanes = ``(dead_links, seed)``.
+
+    Permanent faults perturb routing from the first cycle (quarantine
+    detours), so the scalar-replay predicate is simply ``dead_links >
+    0``; the fault-free lanes share one probe run (its row is
+    seed-independent — no injector is ever installed at 0 dead links).
+    """
+    lanes = [(int(dead), int(seed)) for dead, seed in lanes]
+    if not lanes:
+        raise ConfigError("mesh batch needs at least one lane")
+    divergent = merge_masks(
+        np.asarray([dead > 0 for dead, _ in lanes], dtype=bool)
+    )
+    clean_row: MeshCampaignRow | None = None
+    if not divergent.all():
+        first_clean = lanes[int(np.flatnonzero(~divergent)[0])]
+        clean_row = _run_mesh_trial(config, 0, first_clean[1])
+    replay = compact_indices(divergent)
+    replayed_rows = []
+    for lane in replay:
+        lane = int(lane)
+        dead, seed = lanes[lane]
+        try:
+            replayed_rows.append(_run_mesh_trial(config, dead, seed))
+        except Exception as exc:
+            raise SweepPointError(
+                f"batched mesh lane {lane} (seed {seed}, {dead} dead links) "
+                f"failed during scalar fault replay: "
+                f"{type(exc).__name__}: {exc}",
+                index=lane,
+                point=(config, dead, seed),
+            ) from exc
+    rows = scatter_lanes(len(lanes), replay, replayed_rows, clean_row)
+    # Each clean lane gets its own row instance: callers mutate rows
+    # (report assembly), and aliased dataclasses would couple lanes.
+    rows = [
+        replace(row) if (row is clean_row and clean_row is not None) else row
+        for row in rows
+    ]
+    return LaneBatchResult(
+        rows=rows,
+        lanes_clean=len(lanes) - len(replay),
+        lanes_replayed=len(replay),
+    )
+
+
+# ---------------------------------------------------------------------------
+# FIFO batches (write-path drop injector)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FifoBatchSpec:
+    """Shape of one dual-clock-FIFO drop trial (canonical payload)."""
+
+    #: Words the producer writes, one per write-clock edge.
+    words: int = 64
+    #: FIFO capacity (reads are waiter-driven, so this rarely binds).
+    depth: int = 8
+    write_period_ns: float = 1.0
+    read_period_ns: float = 0.8
+    sync_stages: int = 2
+    #: Per-write silent-drop probability (the injector's knob).
+    probability: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ConfigError(f"words must be >= 1, got {self.words!r}")
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigError(
+                f"probability must be in [0, 1], got {self.probability!r}"
+            )
+
+
+def _execute_fifo(spec: FifoBatchSpec, fault_hook) -> tuple:
+    """One FIFO stream trial against ``fault_hook`` (``None`` = clean)."""
+    sim = Simulator()
+    fifo = DualClockFifo(
+        sim,
+        depth=spec.depth,
+        write_period_ns=spec.write_period_ns,
+        read_period_ns=spec.read_period_ns,
+        sync_stages=spec.sync_stages,
+    )
+    if fault_hook is not None:
+        fifo.fault_hook = fault_hook
+    delivered: list[int] = []
+    for k in range(spec.words):
+        tmo = sim.timeout(k * spec.write_period_ns, k)
+        tmo.callbacks.append(lambda ev: fifo.write(ev.value))
+    for _ in range(spec.words):
+        fifo.read_event().callbacks.append(
+            lambda ev: delivered.append(ev.value)
+        )
+    sim.run()
+    stats = fifo.stats
+    return (
+        tuple(delivered),
+        stats.writes,
+        stats.reads,
+        stats.dropped_items,
+        stats.max_occupancy,
+        sim.now,
+    )
+
+
+def run_fifo_trial(spec: FifoBatchSpec, seed: int) -> tuple:
+    """Scalar reference: one seeded FIFO drop trial."""
+    hook = None
+    if spec.probability > 0.0:
+        hook = FifoDropFault(spec.probability, seed=seed).__call__
+    return _execute_fifo(spec, hook)
+
+
+def run_fifo_batch(
+    spec: FifoBatchSpec, seeds: Sequence[int]
+) -> LaneBatchResult:
+    """Advance ``len(seeds)`` FIFO drop trials in lockstep.
+
+    The injector consumes exactly one uniform per accepted write, so the
+    classification matrix is ``(lanes, writes)``; a lane with any draw
+    below ``probability`` drops a word (diverging the occupancy
+    timeline) and replays scalar.
+    """
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ConfigError("fifo batch needs at least one seed")
+    probe_calls = [0]
+
+    def counting_hook(_item) -> bool:
+        probe_calls[0] += 1
+        return False
+
+    clean_row = _execute_fifo(spec, counting_hook)
+    if spec.probability <= 0.0 or probe_calls[0] == 0:
+        return LaneBatchResult(
+            rows=[clean_row for _ in seeds],
+            lanes_clean=len(seeds),
+            lanes_replayed=0,
+        )
+    draws = LaneRng(seeds).random(probe_calls[0])
+    divergent = merge_masks((draws < spec.probability).any(axis=1))
+    replay = compact_indices(divergent)
+    replayed_rows = []
+    for lane in replay:
+        lane = int(lane)
+        try:
+            replayed_rows.append(run_fifo_trial(spec, seeds[lane]))
+        except Exception as exc:
+            raise SweepPointError(
+                f"batched fifo lane {lane} (seed {seeds[lane]}) failed "
+                f"during scalar fault replay: {type(exc).__name__}: {exc}",
+                index=lane,
+                point=(spec, seeds[lane]),
+            ) from exc
+    return LaneBatchResult(
+        rows=scatter_lanes(len(seeds), replay, replayed_rows, clean_row),
+        lanes_clean=len(seeds) - len(replay),
+        lanes_replayed=len(replay),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sweep workers (canonical batch points; keys never alias scalar points)
+# ---------------------------------------------------------------------------
+
+
+def _gather_batch_point(point: tuple) -> LaneBatchResult:
+    """Picklable sweep worker: one lockstep gather batch.
+
+    The payload ``(CampaignConfig, ber, (seed, …))`` carries the batch
+    shape — the seed *tuple* — so its content-addressed store key
+    (:func:`repro.store.keys.point_key`) can never alias a scalar
+    ``(config, ber, seed)`` point (different worker qualname *and*
+    different canonical payload).
+    """
+    config, ber, seeds = point
+    return run_gather_campaign_batch(config, ber, seeds)
+
+
+def _mesh_batch_point(point: tuple) -> LaneBatchResult:
+    """Picklable sweep worker: one lockstep mesh batch.
+
+    Canonical payload ``(CampaignConfig, ((dead_links, seed), …))``.
+    """
+    config, lanes = point
+    return run_mesh_campaign_batch(config, lanes)

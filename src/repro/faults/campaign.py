@@ -27,7 +27,9 @@ report, bit for bit.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -38,8 +40,8 @@ from ..fft import fft
 from ..mesh import MeshNetwork, MeshTopology, make_transpose_gather
 from ..photonics.waveguide import Waveguide
 from ..sim.engine import Simulator
-from ..util.errors import ConfigError
-from .models import MeshFaultPlan, PscanFaultModel
+from ..util.errors import ConfigError, SweepPointError
+from .models import DriftEpisode, MeshFaultPlan, PscanFaultModel
 from .recovery import ReliableGather, RetryPolicy
 
 __all__ = [
@@ -72,8 +74,14 @@ class CampaignConfig:
     mesh_link_failures: int = 2
     #: Node pitch along the PSCAN waveguide, mm.
     node_pitch_mm: float = 2.0
+    #: Thermal drift windows applied to every gather trial's injector —
+    #: the campaign's drift axis (``()`` = no drift).  Only meaningful
+    #: at fault rates > 0 (a rate of exactly 0 installs no injector,
+    #: mirroring the fault-free baseline).
+    drift_episodes: tuple[DriftEpisode, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "drift_episodes", tuple(self.drift_episodes))
         if self.processors < 2:
             raise ConfigError("processors must be >= 2")
         if self.row_samples < 1:
@@ -187,18 +195,23 @@ def _fft_row_data(config: CampaignConfig, seed: int) -> dict[int, list[complex]]
     return data
 
 
-def _run_gather_trial(
-    config: CampaignConfig, ber: float, trial_seed: int
+def _execute_gather(
+    config: CampaignConfig, fault_hook, data_seed: int
 ) -> tuple[float, int, int, int, int, bool, int, float]:
-    """One seeded protected gather; returns the row's raw ingredients."""
+    """One protected gather against ``fault_hook`` (``None`` = fault-free).
+
+    Shared by the scalar trial below and the batched engine's fault-free
+    probe (:mod:`repro.faults.batched`), so both observe the exact same
+    timeline construction.
+    """
     sim = Simulator()
     length = config.node_pitch_mm * (config.processors + 1)
     positions = {
         i: config.node_pitch_mm * (i + 1) for i in range(config.processors)
     }
     pscan = Pscan(sim, Waveguide(length_mm=length), positions)
-    if ber > 0.0:
-        PscanFaultModel(ber=ber, seed=trial_seed).install(pscan)
+    if fault_hook is not None:
+        pscan.fault_hook = fault_hook
     reliable = ReliableGather(
         pscan,
         RetryPolicy(
@@ -206,7 +219,7 @@ def _run_gather_trial(
             backoff_cycles=config.backoff_cycles,
         ),
     )
-    data = _fft_row_data(config, trial_seed)
+    data = _fft_row_data(config, data_seed)
     order = transpose_order(rows=config.processors, cols=config.row_samples)
     result = reliable.gather(
         order, data, receiver_mm=length, raise_on_exhaust=False
@@ -222,6 +235,18 @@ def _run_gather_trial(
         stats.overhead_cycles,
         stats.overhead_fraction,
     )
+
+
+def _run_gather_trial(
+    config: CampaignConfig, ber: float, trial_seed: int
+) -> tuple[float, int, int, int, int, bool, int, float]:
+    """One seeded protected gather; returns the row's raw ingredients."""
+    hook = None
+    if ber > 0.0:
+        hook = PscanFaultModel(
+            ber=ber, seed=trial_seed, drift_episodes=config.drift_episodes
+        ).__call__
+    return _execute_gather(config, hook, trial_seed)
 
 
 def _run_mesh_trial(config: CampaignConfig, dead_links: int, seed: int) -> MeshCampaignRow:
@@ -248,6 +273,49 @@ def _run_mesh_trial(config: CampaignConfig, dead_links: int, seed: int) -> MeshC
     )
 
 
+def _chunked(items: Sequence, size: int) -> list:
+    """Split ``items`` into consecutive runs of ``size`` (last may be short)."""
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def _raise_lane_error(err: SweepPointError, lane_counts: list[int]):
+    """Re-raise a batch-level sweep failure as its failing *lane*.
+
+    A batched worker that fails during per-lane fault replay raises a
+    lane-scoped :class:`SweepPointError` — ``index`` = lane position in
+    the batch, ``point`` = the scalar ``(config, …, seed)`` payload.
+    ``run_sweep`` then wraps it again with the *batch* grid index, which
+    is useless for triage; this translates back to the campaign's flat
+    seed-order index and the (seed, point) pair, mirroring the scalar
+    path's PR-5 contract.
+    """
+    cause = err.__cause__
+    if not isinstance(cause, SweepPointError) or cause.point is None:
+        raise err
+    index = sum(lane_counts[: err.index]) + cause.index
+    raise SweepPointError(
+        f"campaign trial failed at seed-order index {index}: "
+        f"{cause.args[0] if cause.args else cause!r}",
+        index=index,
+        point=cause.point,
+        key=err.key,
+    ) from (cause.__cause__ or cause)
+
+
+def _emit_batch_obs(obs, label: str, results, wall_s: float) -> None:
+    """Forward a batched section's lane counters to the obs session."""
+    if obs is None:
+        return
+    lanes = sum(len(r.rows) for r in results)
+    obs.campaign_batch(
+        label,
+        lanes=lanes,
+        clean=sum(r.lanes_clean for r in results),
+        replayed=sum(r.lanes_replayed for r in results),
+        wall_s=wall_s,
+    )
+
+
 def run_campaign(
     config: CampaignConfig | None = None,
     *,
@@ -257,6 +325,7 @@ def run_campaign(
     resume: bool = True,
     obs: object = None,
     stop_after: int | None = None,
+    batch: int | None = None,
 ) -> CampaignReport:
     """Run the full campaign; same config (incl. seed) ⇒ same report.
 
@@ -266,6 +335,16 @@ def run_campaign(
     draws them, and results merge back in grid order — so the report is
     bit-for-bit identical either way (differentially tested).
 
+    With ``batch=N`` the grid is regrouped into lanes-of-N points and
+    executed by the SIMD-lockstep engine (:mod:`repro.faults.batched`):
+    lanes whose injector draws fire no fault share one fault-free
+    timeline, the rest replay scalar — the report stays bit-for-bit
+    identical to the per-seed path (differentially tested in
+    ``tests/test_batched_campaign.py``).  Batch points carry the batch
+    shape in their payload (``(config, ber, (seed, …))``) and run under
+    a different worker, so their content-addressed store keys never
+    alias scalar results.
+
     ``checkpoint``/``resume`` enable the content-addressed result store
     (see ``docs/sweeps.md``): every trial is persisted as it completes,
     an interrupted campaign resumes by re-executing only the missing
@@ -274,15 +353,18 @@ def run_campaign(
     construction — ``(CampaignConfig, ber, trial_seed)`` tuples of a
     frozen dataclass and plain numbers — so their store keys are stable
     across processes and pickle protocols.  ``obs`` (an
-    :class:`repro.obs.ObsSession`) receives per-point spans/metrics;
-    ``stop_after`` bounds how many *pending* points each of the two
-    sweeps may execute before raising
+    :class:`repro.obs.ObsSession`) receives per-point spans/metrics
+    (plus per-section lane counters and a lanes/sec gauge in batched
+    mode); ``stop_after`` bounds how many *pending* points each of the
+    two sweeps may execute before raising
     :class:`~repro.util.errors.SweepInterrupted` (completed points stay
     checkpointed).
     """
     from ..perf.sweep import run_sweep
 
     config = config or CampaignConfig()
+    if batch is not None and batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch!r}")
     report = CampaignReport(config=config)
     seeder = random.Random(config.seed)
     energy_model = PhotonicEnergyModel()
@@ -298,24 +380,57 @@ def run_campaign(
         for _ in range(config.mesh_link_failures + 1)
     ]
 
-    gather_grid = [
+    if batch is None:
+        gather_grid = [
+            (config, ber, trial_seed)
+            for ber in config.fault_rates
+            for trial_seed in seeds_by_ber[ber]
+        ]
+        gather_results = run_sweep(
+            _gather_point,
+            gather_grid,
+            parallel=parallel,
+            max_workers=max_workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            obs=obs,
+            label="faults-gather",
+            stop_after=stop_after,
+        )
+    else:
+        from .batched import _gather_batch_point
+
+        batch_grid = [
+            (config, ber, tuple(chunk))
+            for ber in config.fault_rates
+            for chunk in _chunked(seeds_by_ber[ber], batch)
+        ]
+        t0 = time.perf_counter()
+        try:
+            batch_results = run_sweep(
+                _gather_batch_point,
+                batch_grid,
+                parallel=parallel,
+                max_workers=max_workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                obs=obs,
+                label="faults-gather-batched",
+                stop_after=stop_after,
+            )
+        except SweepPointError as err:
+            _raise_lane_error(err, [len(p[2]) for p in batch_grid])
+        _emit_batch_obs(
+            obs, "faults-gather", batch_results, time.perf_counter() - t0
+        )
+        gather_results = [row for res in batch_results for row in res.rows]
+    by_ber: dict[float, list[tuple]] = {}
+    flat_gather_grid = [
         (config, ber, trial_seed)
         for ber in config.fault_rates
         for trial_seed in seeds_by_ber[ber]
     ]
-    gather_results = run_sweep(
-        _gather_point,
-        gather_grid,
-        parallel=parallel,
-        max_workers=max_workers,
-        checkpoint=checkpoint,
-        resume=resume,
-        obs=obs,
-        label="faults-gather",
-        stop_after=stop_after,
-    )
-    by_ber: dict[float, list[tuple]] = {}
-    for (cfg_, ber, _seed), row in zip(gather_grid, gather_results):
+    for (cfg_, ber, _seed), row in zip(flat_gather_grid, gather_results):
         by_ber.setdefault(ber, []).append(row)
 
     for ber in config.fault_rates:
@@ -352,23 +467,55 @@ def run_campaign(
             )
         )
 
-    mesh_grid = [
-        (config, dead, mesh_seeds[dead])
-        for dead in range(config.mesh_link_failures + 1)
-    ]
-    report.mesh_rows.extend(
-        run_sweep(
-            _mesh_point,
-            mesh_grid,
-            parallel=parallel,
-            max_workers=max_workers,
-            checkpoint=checkpoint,
-            resume=resume,
-            obs=obs,
-            label="faults-mesh",
-            stop_after=stop_after,
+    if batch is None:
+        mesh_grid = [
+            (config, dead, mesh_seeds[dead])
+            for dead in range(config.mesh_link_failures + 1)
+        ]
+        report.mesh_rows.extend(
+            run_sweep(
+                _mesh_point,
+                mesh_grid,
+                parallel=parallel,
+                max_workers=max_workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                obs=obs,
+                label="faults-mesh",
+                stop_after=stop_after,
+            )
         )
-    )
+    else:
+        from .batched import _mesh_batch_point
+
+        mesh_lanes = [
+            (dead, mesh_seeds[dead])
+            for dead in range(config.mesh_link_failures + 1)
+        ]
+        mesh_grid_b = [
+            (config, tuple(chunk)) for chunk in _chunked(mesh_lanes, batch)
+        ]
+        t0 = time.perf_counter()
+        try:
+            mesh_results = run_sweep(
+                _mesh_batch_point,
+                mesh_grid_b,
+                parallel=parallel,
+                max_workers=max_workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                obs=obs,
+                label="faults-mesh-batched",
+                stop_after=stop_after,
+            )
+        except SweepPointError as err:
+            _raise_lane_error(err, [len(p[1]) for p in mesh_grid_b])
+        _emit_batch_obs(
+            obs, "faults-mesh", mesh_results, time.perf_counter() - t0
+        )
+        report.mesh_rows.extend(
+            row for res in mesh_results for row in res.rows
+        )
     return report
 
 

@@ -1,0 +1,247 @@
+"""SIMD-lockstep seed lanes: a vectorized CPython-compatible MT19937.
+
+The batched campaign engine (:mod:`repro.faults.batched`) classifies
+hundreds of Monte-Carlo lanes at once by replaying each injector's RNG
+draw stream in lockstep.  The injectors (:mod:`repro.faults.models`)
+draw from :class:`random.Random`, so the lane generator here must be
+*bit-identical* to CPython's Mersenne Twister — numpy's own
+``RandomState`` seeds MT19937 differently for integer seeds
+(``init_genrand`` vs CPython's ``init_by_array``) and cannot be used.
+
+:class:`LaneRng` keeps one ``(lanes, 624)`` ``uint32`` state matrix and
+advances every lane with the same vectorized twist/temper, so lane
+``i``'s draws are exactly ``random.Random(seeds[i]).random()`` no
+matter how many other lanes share the batch or in what order they
+appear (property-tested in ``tests/test_lane_properties.py``).
+
+The module also hosts the small lane-mask primitives the engine uses
+to split a batch into lockstep (clean) and scalar-replay (divergent)
+populations: :func:`merge_masks`, :func:`compact_indices`,
+:func:`scatter_lanes`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "LaneRng",
+    "merge_masks",
+    "compact_indices",
+    "scatter_lanes",
+]
+
+_N = 624  # MT19937 state words
+_M = 397  # twist offset
+_MATRIX_A = np.uint32(0x9908B0DF)
+_UPPER = np.uint32(0x80000000)
+_LOWER = np.uint32(0x7FFFFFFF)
+_MASK32 = 0xFFFFFFFF
+
+
+def _seed_key(seed: int) -> tuple[int, ...]:
+    """CPython's ``random_seed``: abs(seed) as little-endian 32-bit words."""
+    n = abs(int(seed))
+    if n == 0:
+        return (0,)
+    words = []
+    while n:
+        words.append(n & _MASK32)
+        n >>= 32
+    return tuple(words)
+
+
+def _init_genrand_row() -> np.ndarray:
+    """The lane-independent ``init_genrand(19650218)`` base state."""
+    base = np.empty(_N, dtype=np.uint64)
+    base[0] = 19650218
+    for i in range(1, _N):
+        prev = base[i - 1]
+        base[i] = (1812433253 * (prev ^ (prev >> np.uint64(30))) + i) & _MASK32
+    return base.astype(np.uint32)
+
+
+# init_genrand(19650218) never changes; compute it once at import.
+_BASE_STATE = _init_genrand_row()
+
+
+def _mag(y: np.ndarray) -> np.ndarray:
+    """``mag01[y & 1]`` vectorized."""
+    return np.where((y & np.uint32(1)).astype(bool), _MATRIX_A, np.uint32(0))
+
+
+class LaneRng:
+    """``len(seeds)`` CPython-seeded MT19937 streams advanced in lockstep.
+
+    Parameters
+    ----------
+    seeds:
+        One integer seed per lane, exactly as it would be passed to
+        ``random.Random(seed)``.  Arbitrary magnitude (multi-word keys)
+        and negative values (CPython takes ``abs``) are supported.
+
+    Only ``random()`` draws are exposed — that is the only primitive
+    the fault injectors consume on their classification-relevant paths
+    (``rng.sample`` is reached *after* a lane has already diverged, at
+    which point the lane is replayed scalar anyway).
+    """
+
+    __slots__ = ("lanes", "_state", "_block", "_cursor")
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        if len(seeds) < 1:
+            raise ConfigError("LaneRng needs at least one lane seed")
+        self.lanes = len(seeds)
+        self._state = self._seed_states([int(s) for s in seeds])
+        self._block: np.ndarray | None = None  # tempered uint32 (lanes, 624)
+        self._cursor = _N  # force a refill on first draw
+
+    @staticmethod
+    def _seed_states(seeds: list[int]) -> np.ndarray:
+        """Vectorized ``init_by_array`` over the per-lane seed keys.
+
+        Lanes are grouped by key length so each group's reseeding loop
+        stays a fixed-shape vector op; the per-lane stream is identical
+        to seeding that lane alone (the groups never mix state).
+        """
+        keys = [_seed_key(s) for s in seeds]
+        state = np.empty((len(seeds), _N), dtype=np.uint32)
+        state[:] = _BASE_STATE[None, :]
+        by_len: dict[int, list[int]] = {}
+        for lane, key in enumerate(keys):
+            by_len.setdefault(len(key), []).append(lane)
+        for klen, lanes in by_len.items():
+            idx = np.asarray(lanes)
+            mt = state[idx].astype(np.uint64)
+            kmat = np.asarray([keys[lane] for lane in lanes], dtype=np.uint64)
+            i, j = 1, 0
+            for _ in range(max(_N, klen)):
+                mixed = (mt[:, i - 1] ^ (mt[:, i - 1] >> np.uint64(30))) * 1664525
+                mt[:, i] = ((mt[:, i] ^ mixed) + kmat[:, j] + j) & _MASK32
+                i += 1
+                j += 1
+                if i >= _N:
+                    mt[:, 0] = mt[:, _N - 1]
+                    i = 1
+                if j >= klen:
+                    j = 0
+            for _ in range(_N - 1):
+                mixed = (mt[:, i - 1] ^ (mt[:, i - 1] >> np.uint64(30))) * 1566083941
+                mt[:, i] = ((mt[:, i] ^ mixed) - i) & _MASK32
+                i += 1
+                if i >= _N:
+                    mt[:, 0] = mt[:, _N - 1]
+                    i = 1
+            mt[:, 0] = 0x80000000
+            state[idx] = mt.astype(np.uint32)
+        return state
+
+    def _twist(self) -> None:
+        """One vectorized MT19937 state transition (all lanes at once).
+
+        The reference loop writes ``mt[kk]`` from ``mt[kk+1]`` (always
+        still untwisted when read) and ``mt[(kk+397) % 624]`` (already
+        twisted for ``kk >= 227``), so the vectorized form runs in
+        dependency-respecting chunks: 0..226, 227..453, 454..622, 623.
+        """
+        st = self._state
+        y = (st[:, 0:227] & _UPPER) | (st[:, 1:228] & _LOWER)
+        st[:, 0:227] = st[:, 397:624] ^ (y >> np.uint32(1)) ^ _mag(y)
+        y = (st[:, 227:454] & _UPPER) | (st[:, 228:455] & _LOWER)
+        st[:, 227:454] = st[:, 0:227] ^ (y >> np.uint32(1)) ^ _mag(y)
+        y = (st[:, 454:623] & _UPPER) | (st[:, 455:624] & _LOWER)
+        st[:, 454:623] = st[:, 227:396] ^ (y >> np.uint32(1)) ^ _mag(y)
+        y = (st[:, 623] & _UPPER) | (st[:, 0] & _LOWER)
+        st[:, 623] = st[:, 396] ^ (y >> np.uint32(1)) ^ _mag(y)
+
+    def _refill(self) -> None:
+        self._twist()
+        y = self._state.copy()
+        y ^= y >> np.uint32(11)
+        y ^= (y << np.uint32(7)) & np.uint32(0x9D2C5680)
+        y ^= (y << np.uint32(15)) & np.uint32(0xEFC60000)
+        y ^= y >> np.uint32(18)
+        self._block = y
+        self._cursor = 0
+
+    def _raw(self, count: int) -> np.ndarray:
+        """``(lanes, count)`` tempered 32-bit outputs, in stream order."""
+        parts: list[np.ndarray] = []
+        need = count
+        while need:
+            if self._cursor >= _N:
+                self._refill()
+            take = min(need, _N - self._cursor)
+            assert self._block is not None
+            parts.append(self._block[:, self._cursor : self._cursor + take])
+            self._cursor += take
+            need -= take
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=1)
+
+    def random(self, count: int) -> np.ndarray:
+        """``(lanes, count)`` float64 draws, bit-identical per lane to
+        ``random.Random(seed).random()`` (``genrand_res53``)."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        raw = self._raw(2 * count).astype(np.uint64)
+        a = raw[:, 0::2] >> np.uint64(5)
+        b = raw[:, 1::2] >> np.uint64(6)
+        return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
+
+
+def merge_masks(*masks: np.ndarray) -> np.ndarray:
+    """OR together same-length boolean lane masks (empty input rejected).
+
+    The engine's divergence predicate is a union of independent causes
+    (bit flips, degenerate draw counts, unsupported injector shapes);
+    merging is how those causes compose.
+    """
+    if not masks:
+        raise ConfigError("merge_masks needs at least one mask")
+    out = np.asarray(masks[0], dtype=bool).copy()
+    for m in masks[1:]:
+        arr = np.asarray(m, dtype=bool)
+        if arr.shape != out.shape:
+            raise ConfigError(
+                f"mask shapes differ: {arr.shape} vs {out.shape}"
+            )
+        out |= arr
+    return out
+
+
+def compact_indices(mask: np.ndarray) -> np.ndarray:
+    """Stable (ascending) lane indices where ``mask`` is set.
+
+    Compaction is what turns a divergence mask into the scalar-replay
+    worklist; stability keeps replay order == seed order, which the
+    byte-identity contract depends on.
+    """
+    return np.flatnonzero(np.asarray(mask, dtype=bool))
+
+
+def scatter_lanes(total: int, indices: np.ndarray, values: list, fill) -> list:
+    """Inverse of :func:`compact_indices`: place ``values[k]`` at lane
+    ``indices[k]``, every other lane gets ``fill``.
+
+    ``fill`` is typically the shared fault-free result, so scatter is
+    literally "clean lanes share one timeline, divergent lanes get
+    their replayed result back in seed order".
+    """
+    if len(indices) != len(values):
+        raise ConfigError(
+            f"scatter arity mismatch: {len(indices)} indices, "
+            f"{len(values)} values"
+        )
+    out = [fill] * total
+    for k, lane in enumerate(indices):
+        lane = int(lane)
+        if not 0 <= lane < total:
+            raise ConfigError(f"lane index {lane} outside batch of {total}")
+        out[lane] = values[k]
+    return out

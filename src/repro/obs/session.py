@@ -30,7 +30,8 @@ mesh       mesh         inject/deliver instants, run B/E spans
 mesh.fault mesh         quarantine/drop/reroute/stall_break
 mesh.sample mesh        sampled in-flight counters (engine-dependent)
 sca        sca          modulate/arrival/deliver instants
-faults     faults       epoch B/E, nack instants, backoff X spans
+faults     faults       epoch B/E, nack instants, backoff X spans,
+                        batched-campaign lane instants (lanes/sec gauge)
 llmore     llmore       phase X spans per machine
 perf       perf         harness phase spans (wall-clock µs)
 sweep      sweep        run B/E spans, per-point / cache-hit instants
@@ -336,6 +337,44 @@ class ObsSession:
             )
         if self.metrics.enabled:
             self.metrics.counter("fault_backoff_cycles").inc(cycles)
+
+    def campaign_batch(
+        self,
+        label: str,
+        *,
+        lanes: int,
+        clean: int,
+        replayed: int,
+        wall_s: float,
+    ) -> None:
+        """A batched campaign section finished its lockstep fan-out.
+
+        ``lanes`` Monte-Carlo lanes were advanced; ``clean`` shared the
+        fault-free probe timeline, ``replayed`` diverged and fell back
+        to scalar replay.  Emits per-lane divergence counters and a
+        lanes/sec throughput gauge.
+        """
+        if not self._faults:
+            return
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "faults", "batch", track="batch",
+                args={
+                    "label": label,
+                    "lanes": lanes,
+                    "clean": clean,
+                    "replayed": replayed,
+                    "wall_s": round(wall_s, 6),
+                },
+            )
+        m = self.metrics
+        if m.enabled:
+            m.counter("campaign_lanes", outcome="clean").inc(clean)
+            m.counter("campaign_lanes", outcome="replayed").inc(replayed)
+            if wall_s > 0.0:
+                m.gauge("campaign_lanes_per_s", label=label).set(
+                    lanes / wall_s
+                )
 
     # -- llmore phases -------------------------------------------------------
 

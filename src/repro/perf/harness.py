@@ -14,7 +14,11 @@ implementations, on the workloads that dominate the paper's evaluation:
   clocks; plus the schedule-compiled mesh backend
   (``engine="compiled"``) against the reference on the same transpose
   workload — including the 1024-processor run that only the compiled
-  engine can complete in budget.
+  engine can complete in budget; plus the SIMD-lockstep batched
+  Monte-Carlo campaign (``run_campaign(batch=)``) against the
+  process-pool per-seed path on a dense low-BER grid, asserting
+  byte-identical reports before reporting lanes/second and the
+  batched-over-pool speedup.
 
 Every bench records wall seconds and simulated cycles (or events) per
 wall second; :mod:`repro.perf.regression` compares those numbers
@@ -36,6 +40,7 @@ from ..util.errors import ConfigError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "bench_batched_campaign",
     "bench_compiled_transpose",
     "bench_compiled_transpose_scale",
     "bench_engine_timeout_storm",
@@ -427,6 +432,80 @@ def bench_engine_timeout_storm(
     }
 
 
+def bench_batched_campaign(
+    trials: int = 192,
+    batch: int | None = None,
+    repeats: int = 2,
+    max_workers: int = 4,
+) -> dict[str, Any]:
+    """SIMD-lockstep batched campaign vs the process-pool per-seed path.
+
+    A dense low-BER grid is the batched engine's home turf: almost every
+    lane stays fault-free, so whole batches share one probe timeline and
+    the injector draw streams advance as numpy blocks instead of
+    per-seed Python loops.  Both paths must produce *byte-identical*
+    reports before any speedup is reported; the gated metrics are
+    ``lanes_per_s`` on each path and the batched-over-pool ``speedup``
+    (the CI acceptance floor is 5x — see ``benchmarks/bench_resilience.py``).
+
+    ``mesh_link_failures=0`` keeps the mesh section to its fault-free
+    baseline: permanent dead links force scalar replay by design, which
+    would bench the fallback path rather than the lockstep one.
+    """
+    from ..faults.campaign import CampaignConfig, run_campaign
+
+    if batch is None:
+        batch = trials  # one lockstep chunk per fault rate
+    config = CampaignConfig(
+        processors=16,
+        row_samples=8,
+        trials=trials,
+        seed=20130901,
+        fault_rates=(1e-6, 2e-6),
+        mesh_link_failures=0,
+    )
+    lanes = trials * len(config.fault_rates)
+
+    def pool_run() -> tuple[float, str]:
+        t0 = time.perf_counter()
+        report = run_campaign(config, parallel=True, max_workers=max_workers)
+        return time.perf_counter() - t0, report.as_table()
+
+    def batched_run() -> tuple[float, str]:
+        t0 = time.perf_counter()
+        report = run_campaign(config, batch=batch)
+        return time.perf_counter() - t0, report.as_table()
+
+    pool_wall, pool_table = _best_of(pool_run, repeats)
+    batched_wall, batched_table = _best_of(batched_run, repeats)
+    if pool_table != batched_table:
+        raise AssertionError(
+            "batched campaign diverged from the process-pool path on the "
+            "bench grid — refusing to report a speedup for a wrong answer"
+        )
+    return {
+        "workload": {
+            "kind": "fault_campaign",
+            "processors": config.processors,
+            "row_samples": config.row_samples,
+            "trials": trials,
+            "fault_rates": list(config.fault_rates),
+            "batch": batch,
+            "max_workers": max_workers,
+        },
+        "lanes": lanes,
+        "process_pool": {
+            "wall_s": pool_wall,
+            "lanes_per_s": lanes / pool_wall if pool_wall > 0 else 0.0,
+        },
+        "batched": {
+            "wall_s": batched_wall,
+            "lanes_per_s": lanes / batched_wall if batched_wall > 0 else 0.0,
+        },
+        "speedup": pool_wall / batched_wall if batched_wall > 0 else 0.0,
+    }
+
+
 def run_engine_benches(
     quick: bool = False, repeats: int | None = None, only: str | None = None
 ) -> dict[str, Any]:
@@ -442,6 +521,9 @@ def run_engine_benches(
         ),
         "compiled_transpose_1024": lambda: bench_compiled_transpose_scale(
             repeats=reps
+        ),
+        "batched_campaign": lambda: bench_batched_campaign(
+            trials=96 if quick else 192, repeats=min(reps, 2)
         ),
     }
     return _payload("engine", quick, _select(makers, only))

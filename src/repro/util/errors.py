@@ -194,6 +194,29 @@ class SweepPointError(SweepError):
         self.point = point
         self.key = key
 
+    def __reduce__(self):
+        # The ctor is keyword-only, so Exception's default reduce (which
+        # replays ``args`` positionally) cannot rebuild this error.  The
+        # batched campaign workers raise it *inside* pool processes to
+        # name the failing (seed, point) lane, so it must survive the
+        # executor's pickle round-trip (same precedent as
+        # :class:`EngineUnsupportedError`).
+        return (
+            _rebuild_sweep_point_error,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                self.index,
+                self.point,
+                self.key,
+            ),
+        )
+
+
+def _rebuild_sweep_point_error(cls, message, index, point, key):
+    """Unpickle helper for :class:`SweepPointError` (kw-only ctor)."""
+    return cls(message, index=index, point=point, key=key)
+
 
 class SweepPoolError(SweepError):
     """The process pool broke repeatedly (workers dying, not raising).

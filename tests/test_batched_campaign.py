@@ -1,0 +1,261 @@
+"""Differential wall: batched campaigns == per-seed scalar, byte for byte.
+
+The SIMD-lockstep engine (:mod:`repro.faults.batched`) promises results
+*bit-identical* to the per-seed sequential path across every injector.
+This suite pins that contract:
+
+* all four injectors — transient BER, thermal drift episodes, permanent
+  dead mesh links, FIFO write drops — each batched vs a scalar loop;
+* gather + mesh workloads through ``run_campaign(batch=)`` at batch
+  sizes 1, 7, 64 and a non-divisor remainder split;
+* the crashed-then-resumed checkpoint path and the warm-cache path;
+* the store-key no-aliasing guarantee (batch shape in the canonical
+  payload, distinct worker);
+* the PR-5-style failure contract: a worker raising inside fault
+  replay reports the failing ``(seed, point)`` pair, not the bare
+  campaign/batch index.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.faults.batched import (
+    FifoBatchSpec,
+    _gather_batch_point,
+    run_fifo_batch,
+    run_fifo_trial,
+    run_gather_campaign_batch,
+    run_mesh_campaign_batch,
+)
+from repro.faults.campaign import (
+    CampaignConfig,
+    _gather_point,
+    _run_gather_trial,
+    _run_mesh_trial,
+    run_campaign,
+)
+from repro.faults.models import DriftEpisode
+from repro.store import code_fingerprint, point_key
+from repro.util.errors import ConfigError, SweepInterrupted, SweepPointError
+
+
+def _seeds(count: int, master: int = 20130901) -> list[int]:
+    rng = random.Random(master)
+    return [rng.randrange(2**32) for _ in range(count)]
+
+
+SMALL = CampaignConfig(
+    processors=4, row_samples=4, trials=3, seed=11, mesh_link_failures=2
+)
+
+
+# -- injector-by-injector byte identity --------------------------------------
+
+
+class TestInjectorParity:
+    @pytest.mark.parametrize("ber", [0.0, 1e-5, 1e-4, 1e-3])
+    def test_gather_ber(self, ber):
+        seeds = _seeds(12)
+        batch = run_gather_campaign_batch(SMALL, ber, seeds)
+        assert batch.rows == [
+            _run_gather_trial(SMALL, ber, s) for s in seeds
+        ]
+        assert batch.lanes_clean + batch.lanes_replayed == len(seeds)
+
+    @pytest.mark.parametrize("ber", [1e-6, 1e-4])
+    def test_gather_thermal_drift(self, ber):
+        config = CampaignConfig(
+            processors=4,
+            row_samples=4,
+            trials=3,
+            seed=11,
+            drift_episodes=(
+                DriftEpisode(start_ns=0.0, end_ns=30.0, drift_nm=0.03),
+                DriftEpisode(
+                    start_ns=40.0, end_ns=120.0, drift_nm=0.05, node=1
+                ),
+            ),
+        )
+        seeds = _seeds(10)
+        batch = run_gather_campaign_batch(config, ber, seeds)
+        assert batch.rows == [
+            _run_gather_trial(config, ber, s) for s in seeds
+        ]
+
+    def test_mesh_dead_links(self):
+        lanes = [(dead, seed) for dead in (0, 1, 2) for seed in _seeds(4)]
+        batch = run_mesh_campaign_batch(SMALL, lanes)
+        assert batch.rows == [
+            _run_mesh_trial(SMALL, dead, seed) for dead, seed in lanes
+        ]
+        # dead-link lanes always replay scalar; fault-free lanes never do.
+        assert batch.lanes_replayed == sum(1 for d, _ in lanes if d > 0)
+
+    @pytest.mark.parametrize("probability", [0.0, 5e-3, 0.2])
+    def test_fifo_drops(self, probability):
+        spec = FifoBatchSpec(words=48, probability=probability)
+        seeds = _seeds(16)
+        batch = run_fifo_batch(spec, seeds)
+        assert batch.rows == [run_fifo_trial(spec, s) for s in seeds]
+        if probability == 0.0:
+            assert batch.lanes_replayed == 0
+
+    def test_clean_lanes_share_probe_result(self):
+        # At a tiny BER almost every lane is clean: the shared row must
+        # still equal each lane's own scalar trial.
+        seeds = _seeds(32)
+        batch = run_gather_campaign_batch(SMALL, 1e-7, seeds)
+        assert batch.lanes_clean > 0
+        assert batch.rows == [
+            _run_gather_trial(SMALL, 1e-7, s) for s in seeds
+        ]
+
+
+# -- run_campaign(batch=) -----------------------------------------------------
+
+
+class TestCampaignBatchSizes:
+    # trials=10 makes batch=7 a non-divisor split (chunks of 7 + 3) and
+    # batch=64 a single oversized chunk per rate.
+    CONFIG = CampaignConfig(
+        processors=4, row_samples=4, trials=10, seed=5, mesh_link_failures=2
+    )
+
+    @pytest.fixture(scope="class")
+    def scalar_report(self):
+        return run_campaign(self.CONFIG)
+
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_report_byte_identical(self, scalar_report, batch):
+        report = run_campaign(self.CONFIG, batch=batch)
+        assert report.gather_rows == scalar_report.gather_rows
+        assert report.mesh_rows == scalar_report.mesh_rows
+        assert report.as_table() == scalar_report.as_table()
+
+    def test_parallel_batched_identical(self, scalar_report):
+        report = run_campaign(
+            self.CONFIG, batch=7, parallel=True, max_workers=2
+        )
+        assert report.as_table() == scalar_report.as_table()
+
+    def test_batch_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            run_campaign(self.CONFIG, batch=0)
+
+
+class TestCheckpointResume:
+    CONFIG = CampaignConfig(
+        processors=4, row_samples=4, trials=6, seed=31, mesh_link_failures=1
+    )
+
+    def test_crashed_then_resumed(self, tmp_path):
+        scalar = run_campaign(self.CONFIG)
+        store = str(tmp_path / "store")
+        with pytest.raises(SweepInterrupted):
+            run_campaign(self.CONFIG, batch=4, checkpoint=store, stop_after=1)
+        resumed = run_campaign(self.CONFIG, batch=4, checkpoint=store)
+        assert resumed.as_table() == scalar.as_table()
+        # Warm cache: a third run is pure reads, still identical.
+        warm = run_campaign(self.CONFIG, batch=4, checkpoint=store)
+        assert warm.as_table() == scalar.as_table()
+
+
+# -- store keys ---------------------------------------------------------------
+
+
+class TestStoreKeys:
+    def test_batch_points_never_alias_scalar(self):
+        seed = _seeds(1)[0]
+        scalar_key = point_key(
+            _gather_point,
+            (SMALL, 1e-4, seed),
+            fingerprint=code_fingerprint(_gather_point),
+        )
+        batch_key = point_key(
+            _gather_batch_point,
+            (SMALL, 1e-4, (seed,)),
+            fingerprint=code_fingerprint(_gather_batch_point),
+        )
+        assert scalar_key != batch_key
+
+    def test_batch_shape_in_key(self):
+        seeds = tuple(_seeds(4))
+        fingerprint = code_fingerprint(_gather_batch_point)
+        whole = point_key(
+            _gather_batch_point, (SMALL, 1e-4, seeds), fingerprint=fingerprint
+        )
+        split = point_key(
+            _gather_batch_point,
+            (SMALL, 1e-4, seeds[:2]),
+            fingerprint=fingerprint,
+        )
+        assert whole != split
+
+
+# -- failure contract (PR-5 mirror) ------------------------------------------
+
+
+class TestReplayFailureContract:
+    CONFIG = CampaignConfig(
+        processors=4, row_samples=4, trials=4, seed=5, fault_rates=(1e-3,),
+        mesh_link_failures=0,
+    )
+
+    def _failing_seed(self):
+        # With BER 1e-3 every trial replays scalar; pick the campaign's
+        # second drawn seed so index mapping is non-trivial.
+        seeder = random.Random(self.CONFIG.seed)
+        seeds = [seeder.randrange(2**32) for _ in range(self.CONFIG.trials)]
+        return seeds[1], 1
+
+    def test_batched_worker_failure_names_seed_and_point(self, monkeypatch):
+        failing_seed, flat_index = self._failing_seed()
+        import repro.faults.batched as batched_mod
+
+        real = _run_gather_trial
+
+        def boom(config, ber, trial_seed):
+            if trial_seed == failing_seed:
+                raise OSError("simulated replay crash")
+            return real(config, ber, trial_seed)
+
+        monkeypatch.setattr(batched_mod, "_run_gather_trial", boom)
+        with pytest.raises(SweepPointError) as excinfo:
+            run_campaign(self.CONFIG, batch=4)
+        err = excinfo.value
+        assert err.index == flat_index
+        assert err.point == (self.CONFIG, 1e-3, failing_seed)
+        assert str(failing_seed) in str(err)
+
+    def test_scalar_worker_failure_names_seed_and_point(self, monkeypatch):
+        failing_seed, flat_index = self._failing_seed()
+        import repro.faults.campaign as campaign_mod
+
+        real = _run_gather_trial
+
+        def boom(config, ber, trial_seed):
+            if trial_seed == failing_seed:
+                raise OSError("simulated replay crash")
+            return real(config, ber, trial_seed)
+
+        monkeypatch.setattr(campaign_mod, "_run_gather_trial", boom)
+        with pytest.raises(SweepPointError) as excinfo:
+            run_campaign(self.CONFIG)
+        err = excinfo.value
+        assert err.index == flat_index
+        assert err.point == (self.CONFIG, 1e-3, failing_seed)
+
+    def test_sweep_point_error_pickles(self):
+        err = SweepPointError(
+            "lane failed", index=7, point=(SMALL, 1e-4, 42), key="abc"
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, SweepPointError)
+        assert clone.index == 7
+        assert clone.point == (SMALL, 1e-4, 42)
+        assert clone.key == "abc"
+        assert str(clone) == str(err)

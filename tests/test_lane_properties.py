@@ -1,0 +1,144 @@
+"""Property-based tests for the SIMD lane primitives (:mod:`repro.faults.lanes`).
+
+The batched campaign engine's byte-identity contract reduces to two
+properties checked here against brute-force references:
+
+* **per-lane RNG stream independence** — lane ``i`` of a
+  :class:`LaneRng` produces draws bit-identical to
+  ``random.Random(seeds[i])`` regardless of the batch width, the other
+  lanes' seeds, the lane order, or how the draws are chunked;
+* **mask algebra** — :func:`merge_masks` is the boolean union,
+  :func:`compact_indices` / :func:`scatter_lanes` are stable inverses.
+
+Skipped cleanly when ``hypothesis`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.faults.lanes import (  # noqa: E402
+    LaneRng,
+    compact_indices,
+    merge_masks,
+    scatter_lanes,
+)
+from repro.util.errors import ConfigError  # noqa: E402
+
+# Seeds cover the interesting ctor shapes: 0 (key [0]), single 32-bit
+# words (the campaign's randrange(2**32) seeds), multi-word keys, and
+# negative values (CPython seeds with abs()).
+lane_seeds = st.integers(min_value=-(2**96), max_value=2**96)
+masks = st.lists(st.booleans(), min_size=1, max_size=64)
+
+
+def _scalar_draws(seed: int, count: int) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]
+
+
+class TestLaneRngStreams:
+    @given(st.lists(lane_seeds, min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=700))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_identical_to_cpython(self, seeds, count):
+        draws = LaneRng(seeds).random(count)
+        for lane, seed in enumerate(seeds):
+            assert np.array_equal(
+                draws[lane], np.asarray(_scalar_draws(seed, count))
+            )
+
+    @given(st.lists(lane_seeds, min_size=2, max_size=12),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_independent_of_batch_width(self, seeds, count):
+        wide = LaneRng(seeds).random(count)
+        for lane, seed in enumerate(seeds):
+            narrow = LaneRng([seed]).random(count)
+            assert np.array_equal(wide[lane], narrow[0])
+
+    @given(st.lists(lane_seeds, min_size=2, max_size=10),
+           st.randoms(use_true_random=False),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_independent_of_lane_order(self, seeds, shuffler, count):
+        order = list(range(len(seeds)))
+        shuffler.shuffle(order)
+        base = LaneRng(seeds).random(count)
+        permuted = LaneRng([seeds[i] for i in order]).random(count)
+        for new_pos, old_pos in enumerate(order):
+            assert np.array_equal(permuted[new_pos], base[old_pos])
+
+    @given(lane_seeds,
+           st.lists(st.integers(min_value=1, max_value=400),
+                    min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_chunked_draws_equal_one_shot(self, seed, chunks):
+        total = sum(chunks)
+        one_shot = LaneRng([seed]).random(total)[0]
+        rng = LaneRng([seed])
+        parts = np.concatenate([rng.random(n)[0] for n in chunks])
+        assert np.array_equal(parts, one_shot)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            LaneRng([])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            LaneRng([1]).random(-1)
+
+
+class TestMaskAlgebra:
+    @given(masks, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_boolean_union(self, first, data):
+        second = data.draw(
+            st.lists(st.booleans(), min_size=len(first), max_size=len(first))
+        )
+        a = np.asarray(first, dtype=bool)
+        b = np.asarray(second, dtype=bool)
+        merged = merge_masks(a, b)
+        assert np.array_equal(merged, a | b)
+        assert np.array_equal(merge_masks(a, b), merge_masks(b, a))
+        assert np.array_equal(merge_masks(a, a), a)
+        # merge never mutates its inputs
+        assert np.array_equal(a, np.asarray(first, dtype=bool))
+
+    @given(masks)
+    @settings(max_examples=50, deadline=None)
+    def test_compact_indices_stable_and_complete(self, mask):
+        arr = np.asarray(mask, dtype=bool)
+        idx = compact_indices(arr)
+        assert list(idx) == [i for i, flag in enumerate(mask) if flag]
+        assert all(idx[k] < idx[k + 1] for k in range(len(idx) - 1))
+
+    @given(masks)
+    @settings(max_examples=50, deadline=None)
+    def test_scatter_inverts_compact(self, mask):
+        arr = np.asarray(mask, dtype=bool)
+        idx = compact_indices(arr)
+        values = [f"replayed-{int(i)}" for i in idx]
+        out = scatter_lanes(len(mask), idx, values, "clean")
+        for lane, flag in enumerate(mask):
+            expected = f"replayed-{lane}" if flag else "clean"
+            assert out[lane] == expected
+
+    def test_merge_rejects_empty_and_mismatched(self):
+        with pytest.raises(ConfigError):
+            merge_masks()
+        with pytest.raises(ConfigError):
+            merge_masks(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    def test_scatter_rejects_arity_and_range(self):
+        with pytest.raises(ConfigError):
+            scatter_lanes(3, np.asarray([0, 1]), ["a"], None)
+        with pytest.raises(ConfigError):
+            scatter_lanes(2, np.asarray([5]), ["a"], None)
