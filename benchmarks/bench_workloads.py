@@ -1,0 +1,52 @@
+"""Workload-zoo throughput benchmarks (pytest-benchmark, multi-round).
+
+Measures the :mod:`repro.workloads` registry families through the shared
+:func:`~repro.workloads.runner.run_on_mesh` driver — i.e. including the
+SLO metrics path every consumer pays — and asserts the reference and
+fast engines agree before any timing is trusted.  The one-shot artifact
+numbers live in ``BENCH_mesh.json`` (``workload_all_to_all`` /
+``workload_halo2d`` via ``benchmarks/perf_harness.py``); this module is
+the statistical counterpart.
+"""
+
+from repro.workloads import build_workload, run_on_mesh
+
+
+def _run(name, **params):
+    return run_on_mesh(build_workload(name, **params), engine="fast")
+
+
+def test_all_to_all_throughput(benchmark):
+    """Full pairwise exchange, 16 nodes, on the fast engine."""
+    result = benchmark(_run, "all_to_all", processors=16, words_per_pair=2)
+    assert result.stats.packets_delivered == 16 * 15
+
+
+def test_halo2d_throughput(benchmark):
+    """Near-neighbour halo exchange, 64 nodes, on the fast engine."""
+    result = benchmark(_run, "halo2d", processors=64, halo=8)
+    assert result.stats.packets_delivered > 0
+    assert result.slo is not None
+
+
+def test_dnn_layer_throughput(benchmark):
+    """Tensor-parallel DNN layer step (all-to-all + gradient gather)."""
+    result = benchmark(_run, "dnn_layer", processors=16)
+    assert result.stats.packets_delivered > 0
+
+
+def test_engines_agree_on_zoo(benchmark):
+    """Reference vs fast byte-identity, timed on the reference side."""
+
+    def run():
+        ref = run_on_mesh(build_workload("allreduce", processors=16),
+                          engine="reference")
+        fast = run_on_mesh(build_workload("allreduce", processors=16),
+                           engine="fast")
+        assert ref.mesh_signature == fast.mesh_signature
+        assert ref.slo == fast.slo
+        assert ref.pairs == fast.pairs
+        return ref
+
+    result = benchmark(run)
+    assert result.stats.packets_delivered == 2 * 15

@@ -18,7 +18,11 @@ Three analysis entry points:
   for mesh configurations (raw dicts or live config objects);
 * :func:`analyze_workload` — flit/word conservation for transpose
   gathers (payload addresses must tile the matrix exactly once) and
-  endpoint validity.
+  endpoint validity;
+* :func:`analyze_traffic` — the generic form for any
+  :class:`repro.workloads.TrafficDescription`: endpoint validity,
+  memory-interface placement, unintended self-traffic, and a full
+  schedule lint of every CP phase of the photonic lowering.
 
 :func:`lint_all` runs the whole canned registry of shipped workloads —
 every schedule/config family the ``examples/`` and ``benchmarks/``
@@ -42,6 +46,7 @@ __all__ = [
     "analyze_schedule",
     "analyze_mesh_config",
     "analyze_workload",
+    "analyze_traffic",
     "lint_target",
     "lint_targets",
     "lint_all",
@@ -559,6 +564,122 @@ def analyze_workload(
     return report
 
 
+def analyze_traffic(description: Any, name: str | None = None) -> LintReport:
+    """Lint any :class:`repro.workloads.TrafficDescription`.
+
+    The generic sibling of :func:`analyze_workload` — payloads need not
+    be linear addresses, so conservation is checked structurally:
+
+    ``TRF001`` (error): a packet endpoint outside the topology.
+    ``TRF002`` (error): a self-addressed packet whose destination has no
+    memory interface — it never enters the network (zero hops, zero
+    contention) and silently dilutes every congestion statistic, unless
+    the description opted in via an ``allow_self`` param.
+    ``TRF003`` (error/warning): an empty packet set (error), or a
+    packet carrying no payload words (warning — headers only).
+    ``TRF004`` (error): a declared memory node outside the topology or
+    listed twice.
+    Every CP phase of the photonic lowering is additionally compiled
+    and run through :func:`analyze_schedule` with per-node conservation
+    derived from the phase order, so ``SCH00x``/``SLOT00x`` findings
+    surface here too.
+    """
+    from ..util.errors import ReproError
+
+    report = LintReport(target=name or f"workload {description.name}")
+    topology = description.topology
+    nodes = set(topology.nodes())
+    memory = set(description.memory_nodes)
+    allow_self = bool(description.params.get("allow_self", False))
+
+    seen_memory: set[tuple[int, int]] = set()
+    for node in description.memory_nodes:
+        if tuple(node) not in nodes:
+            report.diagnostics.append(Diagnostic(
+                code="TRF004",
+                severity=ERROR,
+                message=(
+                    f"memory node {node} is outside the "
+                    f"{topology.width}x{topology.height} mesh"
+                ),
+                span=SourceSpan("memory_nodes"),
+            ))
+        if tuple(node) in seen_memory:
+            report.diagnostics.append(Diagnostic(
+                code="TRF004",
+                severity=ERROR,
+                message=f"memory node {node} listed more than once",
+                span=SourceSpan("memory_nodes"),
+            ))
+        seen_memory.add(tuple(node))
+
+    if not description.packets:
+        report.diagnostics.append(Diagnostic(
+            code="TRF003",
+            severity=ERROR,
+            message="description carries no packets — nothing to inject",
+            span=SourceSpan("packets"),
+        ))
+    for idx, packet in enumerate(description.packets):
+        for endpoint, label in ((packet.source, "source"),
+                                (packet.dest, "dest")):
+            if tuple(endpoint) not in nodes:
+                report.diagnostics.append(Diagnostic(
+                    code="TRF001",
+                    severity=ERROR,
+                    message=(
+                        f"packet {idx} {label} {endpoint} is outside the "
+                        f"{topology.width}x{topology.height} mesh"
+                    ),
+                    span=SourceSpan(f"packet {idx}"),
+                ))
+        if (
+            packet.source == packet.dest
+            and tuple(packet.dest) not in memory
+            and not allow_self
+        ):
+            report.diagnostics.append(Diagnostic(
+                code="TRF002",
+                severity=ERROR,
+                message=(
+                    f"packet {idx} is self-addressed ({packet.source} -> "
+                    f"{packet.dest}) with no memory interface there — it "
+                    "never enters the network and dilutes congestion stats"
+                ),
+                span=SourceSpan(f"packet {idx}"),
+            ))
+        if not packet.payloads:
+            report.diagnostics.append(Diagnostic(
+                code="TRF003",
+                severity=WARNING,
+                message=f"packet {idx} carries no payload words",
+                span=SourceSpan(f"packet {idx}"),
+            ))
+
+    for pi, phase in enumerate(description.cp_phases):
+        try:
+            schedule = phase.schedule()
+        except ReproError as exc:
+            report.diagnostics.append(Diagnostic(
+                code="TRF005",
+                severity=ERROR,
+                message=f"CP phase {pi} ({phase.kind}) fails to compile: {exc}",
+                span=SourceSpan(f"cp_phase {pi}"),
+            ))
+            continue
+        expected: dict[int, set[int]] = {}
+        for node, word in phase.order:
+            expected.setdefault(node, set()).add(word)
+        spec = ScheduleSpec.from_schedule(
+            schedule,
+            expected_words={n: tuple(sorted(ws)) for n, ws in expected.items()},
+        )
+        spec.order = list(phase.order)
+        sub = analyze_schedule(spec)
+        report.diagnostics.extend(sub.diagnostics)
+    return report
+
+
 # ---------------------------------------------------------------------------
 # canned lint registry: every schedule/config family shipped in
 # examples/ and benchmarks/
@@ -692,12 +813,26 @@ def _lint_mesh_workloads() -> LintReport:
     )
     topo64 = MeshTopology.square(64)
     wl64 = make_transpose_gather_multi_mc(topo64, cols=4)
+    # The workload itself reports its interface set now; trusting it
+    # (rather than re-deriving corners here) means a maker that drops an
+    # interface from ``memory_nodes`` fails this lint via WKL003.
     merged.diagnostics.extend(
         analyze_workload(
-            wl64, topo64, memory_nodes=topo64.corners(),
+            wl64, topo64, memory_nodes=wl64.memory_nodes,
             name="multi-MC transpose 64x4",
         ).diagnostics
     )
+    return merged
+
+
+def _lint_workload_zoo() -> LintReport:
+    from ..workloads import build_workload, list_workloads
+
+    merged = LintReport(target="workload zoo (every registered family)")
+    for name in list_workloads():
+        description = build_workload(name)
+        sub = analyze_traffic(description, name=f"workload {name}")
+        merged.diagnostics.extend(sub.diagnostics)
     return merged
 
 
@@ -712,6 +847,7 @@ LINT_TARGETS: dict[str, Callable[[], LintReport]] = {
     "retransmission": _lint_retransmission,
     "mesh-configs": _lint_mesh_configs,
     "mesh-workloads": _lint_mesh_workloads,
+    "workload-zoo": _lint_workload_zoo,
 }
 
 

@@ -75,6 +75,16 @@ Case kinds
     must balance, and a disabled injector (BER or drop probability 0)
     must never trigger a scalar replay.
 
+``workload``
+    The :mod:`repro.workloads` registry, per family: the same
+    name+params built twice and run on the reference vs fast mesh
+    engines must agree on the *full* run result — mesh signature, the
+    shared :mod:`repro.obs.slo` latency block (P50/P95/P99), and the
+    per-pair bandwidth/latency table.  Families with a photonic
+    lowering additionally replay their CP phases on the event vs
+    compiled SCA engines (bit-exact executions), and every description
+    must lint clean under :func:`repro.check.analyzer.analyze_traffic`.
+
 Every case is reconstructible from ``(kind, seed, params)`` — the JSON
 form committed under ``tests/corpus/`` by :mod:`repro.check.shrink`.
 """
@@ -105,7 +115,7 @@ ANALYTIC_BAND = (0.65, 1.00)
 
 CASE_KINDS = (
     "mesh", "queue", "crc", "analytic", "gather", "schedule", "compiled",
-    "batched",
+    "batched", "workload",
 )
 
 
@@ -363,6 +373,34 @@ def _gen_batched(rng: random.Random) -> dict[str, Any]:
     return params
 
 
+def _gen_workload(rng: random.Random) -> dict[str, Any]:
+    name = rng.choice([
+        "all_to_all", "allreduce", "allgather", "halo2d", "dnn_layer",
+        "uniform_random", "transpose_multi_mc",
+    ])
+    params: dict[str, Any] = {
+        "name": name,
+        "processors": rng.choice([4, 9, 16]),
+        "reorder": rng.choice([1, 2, 4]),
+    }
+    if name == "all_to_all":
+        params["words_per_pair"] = rng.choice([1, 2, 3])
+    elif name in ("allreduce", "allgather"):
+        params["words"] = rng.choice([1, 2, 4])
+    elif name == "halo2d":
+        params["halo"] = rng.choice([1, 2, 4])
+    elif name == "dnn_layer":
+        params["batch"] = rng.choice([2, 4, 8])
+        params["features_in"] = rng.choice([4, 8])
+        params["features_out"] = rng.choice([4, 8])
+    elif name == "uniform_random":
+        params["packets_per_node"] = rng.choice([2, 4])
+        params["seed"] = rng.randrange(1000)
+    else:  # transpose_multi_mc
+        params["cols"] = rng.choice([2, 4])
+    return params
+
+
 _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "mesh": _gen_mesh,
     "queue": _gen_queue,
@@ -372,6 +410,7 @@ _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "schedule": _gen_schedule,
     "compiled": _gen_compiled,
     "batched": _gen_batched,
+    "workload": _gen_workload,
 }
 
 
@@ -1236,6 +1275,76 @@ def _check_batched(case: FuzzCase) -> list[Divergence]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# workload-registry oracle
+# ---------------------------------------------------------------------------
+
+
+def _cp_signature(executions) -> tuple:
+    """Bit-exact observable signature of a CP-phase replay sequence."""
+    return tuple(
+        (
+            ex.kind,
+            tuple(
+                (a.time_ns, a.cycle, a.source_node, a.word_index, a.value)
+                for a in ex.arrivals
+            ),
+            tuple(
+                sorted((n, tuple(ts)) for n, ts in ex.modulation_times.items())
+            ),
+            ex.start_ns,
+            ex.end_ns,
+            ex.period_ns,
+            tuple(sorted((n, tuple(vs)) for n, vs in ex.delivered.items())),
+        )
+        for ex in executions
+    )
+
+
+def _check_workload(case: FuzzCase) -> list[Divergence]:
+    from ..workloads import build_workload, run_cp_phases, run_on_mesh
+    from .analyzer import analyze_traffic
+
+    out: list[Divergence] = []
+    params = dict(case.params)
+    name = params.pop("name")
+    reorder = params.pop("reorder")
+
+    # Descriptions are single-shot; build one per run so each network
+    # gets fresh packet objects.
+    ref = run_on_mesh(build_workload(name, **params), "reference",
+                      reorder=reorder)
+    fast = run_on_mesh(build_workload(name, **params), "fast",
+                       reorder=reorder)
+    for aspect in ("mesh_signature", "slo", "pairs"):
+        a, b = getattr(ref, aspect), getattr(fast, aspect)
+        if a != b:
+            out.append(Divergence(
+                case, f"workload.{aspect}", _diff_repr(a, b)
+            ))
+
+    description = build_workload(name, **params)
+    report = analyze_traffic(description)
+    if not report.ok:
+        out.append(Divergence(
+            case, "workload.lint",
+            "; ".join(str(d) for d in report.errors[:4]),
+        ))
+
+    if description.cp_phases:
+        event = _cp_signature(
+            run_cp_phases(build_workload(name, **params), "event")
+        )
+        compiled = _cp_signature(
+            run_cp_phases(build_workload(name, **params), "compiled")
+        )
+        if event != compiled:
+            out.append(Divergence(
+                case, "workload.cp", _diff_repr(event, compiled)
+            ))
+    return out
+
+
 _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "mesh": _check_mesh,
     "queue": _check_queue,
@@ -1245,6 +1354,7 @@ _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "schedule": _check_schedule,
     "compiled": _check_compiled,
     "batched": _check_batched,
+    "workload": _check_workload,
 }
 
 

@@ -71,6 +71,29 @@ _TAG_LIST = 0x09
 _TAG_PICKLE = 0x7F
 _PICKLE_PROTOCOL = 4
 
+#: The concrete exception types a corrupted-but-CRC-colliding payload can
+#: raise out of :func:`decode_value`: the structural codec itself raises
+#: ``ValueError`` (truncations, unknown tags, bad UTF-8 via
+#: ``UnicodeDecodeError``), and the pinned-protocol pickle escape hatch
+#: can surface ``UnpicklingError``/``EOFError``/``AttributeError``/
+#: ``ImportError``/``IndexError``/``KeyError``/``TypeError``/
+#: ``struct.error`` on garbage blobs.  Anything outside this tuple —
+#: ``KeyboardInterrupt``, ``RecursionError``, ``MemoryError``, a broken
+#: ``__reduce__`` raising something exotic — is a programming or resource
+#: error, not corruption, and must propagate with its original traceback
+#: (the same contract as ``recovery._values_equal``).
+_DECODE_FAILURES = (
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    struct.error,
+    pickle.UnpicklingError,
+)
+
 
 def _encode_uvarint(value: int, out: bytearray) -> None:
     """Unsigned LEB128."""
@@ -246,7 +269,7 @@ def unpack_word(frame: bytes) -> Any:
         )
     try:
         return decode_value(frame[:-2])
-    except Exception as exc:  # corrupted payload that slipped past the CRC
+    except _DECODE_FAILURES as exc:  # corruption that slipped past the CRC
         raise TransientFaultError(
             f"SCA frame CRC passed but payload is undecodable: {exc}"
         ) from exc

@@ -32,12 +32,22 @@ class TransposeWorkload:
     ``packets[i]`` carries one element; ``payload`` is the linear target
     address in column-major memory order, so a correctness check is simply
     that the set of delivered addresses equals ``range(rows * cols)``.
+
+    ``memory_nodes`` lists *every* memory interface the traffic sinks at
+    (one entry for the single-MC makers, the full stripe set for
+    :func:`make_transpose_gather_multi_mc`); ``memory_node`` remains the
+    first of them for single-sink consumers.
     """
 
     packets: tuple[Packet, ...]
     rows: int
     cols: int
     memory_node: tuple[int, int]
+    memory_nodes: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.memory_nodes:
+            object.__setattr__(self, "memory_nodes", (self.memory_node,))
 
     @property
     def total_elements(self) -> int:
@@ -173,7 +183,11 @@ def make_transpose_gather_multi_mc(
                 )
             )
     return TransposeWorkload(
-        packets=tuple(packets), rows=rows, cols=cols, memory_node=nodes[0]
+        packets=tuple(packets),
+        rows=rows,
+        cols=cols,
+        memory_node=nodes[0],
+        memory_nodes=tuple(nodes),
     )
 
 
@@ -183,16 +197,32 @@ def make_uniform_random(
     payload_flits: int = 1,
     seed: int = 0,
     header_flits: int = 1,
+    allow_self: bool = False,
 ) -> list[Packet]:
-    """Uniform random traffic (ablation baseline for routing policies)."""
+    """Uniform random traffic (ablation baseline for routing policies).
+
+    Destinations are drawn uniformly over the *other* nodes: a routing
+    ablation wants network traffic, and a self-addressed packet never
+    leaves its router's local port (zero hops, zero contention), which
+    silently dilutes every congestion statistic.  Pass
+    ``allow_self=True`` for the historical draw over all nodes
+    (including ``src`` itself).  Packet count is unchanged either way:
+    exactly ``packets_per_node`` per source.
+    """
     if packets_per_node < 1 or payload_flits < 1:
         raise ConfigError("packets_per_node and payload_flits must be >= 1")
+    if not allow_self and topology.node_count < 2:
+        raise ConfigError(
+            "uniform random traffic without self-addressed packets needs "
+            "at least 2 nodes"
+        )
     rng = np.random.default_rng(seed)
     nodes = topology.nodes()
     packets: list[Packet] = []
     for src in nodes:
+        others = nodes if allow_self else [n for n in nodes if n != src]
         for i in range(packets_per_node):
-            dest = nodes[int(rng.integers(len(nodes)))]
+            dest = others[int(rng.integers(len(others)))]
             packets.append(
                 Packet(
                     source=src,

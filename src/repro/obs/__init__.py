@@ -20,6 +20,10 @@ The substrate every simulator in this repo reports through:
     :class:`~repro.mesh.vc_network.VcMeshNetwork`,
     :class:`~repro.core.pscan.Pscan` and
     :class:`~repro.faults.recovery.ReliableGather` accept.
+``repro.obs.slo``
+    The shared latency-SLO block (P50/P95/P99 via conservative
+    histogram quantiles + per-pair delivered-traffic counters) every
+    workload family reports through.
 ``repro.obs.workloads`` / ``repro.obs.cli``
     Canned instrumented workloads and the ``python -m repro obs``
     entry point emitting ``trace.json`` + ``metrics.json``.
@@ -40,6 +44,14 @@ from .chrome import (
 from .config import ObsConfig
 from .metrics import MetricsRegistry, registry_from_dict, registry_from_json
 from .session import ObsSession
+from .slo import (
+    SLO_LATENCY_BINS,
+    SLO_LATENCY_HI,
+    SLO_LATENCY_LO,
+    SLO_QUANTILES,
+    latency_slo_block,
+    pair_latency_stats,
+)
 from .tracing import SpanTracer, TraceEvent, wall_clock_us
 
 __all__ = [
@@ -50,6 +62,12 @@ __all__ = [
     "MetricsRegistry",
     "registry_from_dict",
     "registry_from_json",
+    "SLO_LATENCY_LO",
+    "SLO_LATENCY_HI",
+    "SLO_LATENCY_BINS",
+    "SLO_QUANTILES",
+    "latency_slo_block",
+    "pair_latency_stats",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

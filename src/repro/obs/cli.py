@@ -42,7 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=("reference", "fast", "compiled"),
         default="reference",
-        help="mesh engine for the transpose workload ('compiled' emits "
+        help="mesh engine for mesh-driven workloads ('compiled' emits "
              "the run-level summary only: no per-flit events)",
     )
     parser.add_argument(
@@ -69,8 +69,11 @@ def main(argv: list[str] | None = None) -> int:
         max_trace_events=args.max_trace_events,
     )
     session = ObsSession(config)
-    kwargs = {"engine": args.engine} if args.workload == "transpose" else {}
-    run_workload(args.workload, session, **kwargs)
+    # Every mesh-driven workload (the canned transpose plus all registry
+    # families) takes an engine; the photonic/analytic ones do not.
+    engine_free = {"fig4", "faults", "fft2d"}
+    kwargs = {} if args.workload in engine_free else {"engine": args.engine}
+    result = run_workload(args.workload, session, **kwargs)
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
     trace_path = args.out_dir / "trace.json"
@@ -88,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
     for cat, count in summary["events_by_category"].items():
         print(f"           {cat:>12s}: {count}")
     print(f"metrics  : {metrics_path} ({series} series)")
+    slo = getattr(result, "slo", None)
+    if slo:
+        print(
+            "latency  : "
+            f"p50={slo['p50']:g} p95={slo['p95']:g} p99={slo['p99']:g} "
+            f"mean={slo['mean']:.2f} over {slo['count']} packets"
+        )
     print("open the trace in chrome://tracing or https://ui.perfetto.dev")
     return 0
 

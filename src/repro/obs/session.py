@@ -48,6 +48,7 @@ from typing import Any
 from .chrome import to_chrome_trace, validate_chrome_trace, write_chrome_trace
 from .config import ObsConfig
 from .metrics import MetricsRegistry
+from .slo import SLO_LATENCY_BINS, SLO_LATENCY_HI, SLO_LATENCY_LO
 from .tracing import SpanTracer
 
 __all__ = ["ObsSession"]
@@ -155,8 +156,16 @@ class ObsSession:
             if is_tail and latency is not None:
                 m.series("mesh_packet_latency").add(latency)
                 m.histogram(
-                    "mesh_packet_latency_hist", lo=0.0, hi=512.0, bins=32
+                    "mesh_packet_latency_hist",
+                    lo=SLO_LATENCY_LO, hi=SLO_LATENCY_HI, bins=SLO_LATENCY_BINS,
                 ).add(float(latency))
+                # Per-pair SLO accounting (src -> dst), the FM16-style
+                # delivered-traffic breakdown every workload family in
+                # repro.workloads reports through (see repro.obs.slo).
+                m.counter("mesh_pair_packets", src=source, dst=node).inc()
+                m.series(
+                    "mesh_pair_latency", src=source, dst=node
+                ).add(latency)
 
     def mesh_fault(self, cycle: int, kind: str, **details: Any) -> None:
         """A recovery event: quarantine / drop / reroute / stall_break."""

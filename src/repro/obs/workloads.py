@@ -22,6 +22,7 @@ __all__ = [
     "run_transpose_workload",
     "run_faults_workload",
     "run_fft2d_workload",
+    "run_zoo_workload",
     "run_workload",
 ]
 
@@ -149,6 +150,25 @@ def run_fft2d_workload(session: ObsSession, *, n: int = 1024) -> Any:
     return results
 
 
+def run_zoo_workload(
+    session: ObsSession,
+    *,
+    name: str,
+    engine: str = "reference",
+    reorder: int = 4,
+) -> Any:
+    """One :mod:`repro.workloads` registry family at its default params.
+
+    Returns the :class:`~repro.workloads.runner.WorkloadRunResult`, so the
+    CLI can print the shared SLO latency block alongside the artifacts.
+    """
+    from ..workloads import build_workload, run_on_mesh
+
+    return run_on_mesh(
+        build_workload(name), engine=engine, reorder=reorder, session=session
+    )
+
+
 #: name -> (description, runner) for the CLI.
 WORKLOADS = {
     "transpose": (
@@ -162,6 +182,39 @@ WORKLOADS = {
     ),
     "fft2d": ("LLMORE five-phase 2D FFT phase timeline", run_fft2d_workload),
 }
+
+
+def _zoo_entry(name: str, description: str):
+    def _run(
+        session: ObsSession,
+        *,
+        engine: str = "reference",
+        reorder: int = 4,
+    ) -> Any:
+        return run_zoo_workload(
+            session, name=name, engine=engine, reorder=reorder
+        )
+
+    _run.__name__ = f"run_{name}_workload"
+    return (f"registry family: {description}", _run)
+
+
+def _register_zoo() -> None:
+    """Expose every registry family on the CLI under its own name.
+
+    The canned ``transpose`` entry keeps its golden-trace runner (the
+    committed golden file depends on its exact construction), so the
+    registry's ``transpose`` family does not shadow it here.
+    """
+    from ..workloads import get_workload, list_workloads
+
+    for name in list_workloads():
+        if name in WORKLOADS:
+            continue
+        WORKLOADS[name] = _zoo_entry(name, get_workload(name).description)
+
+
+_register_zoo()
 
 
 def run_workload(name: str, session: ObsSession, **kwargs: Any) -> Any:

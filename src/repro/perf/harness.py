@@ -7,7 +7,11 @@ implementations, on the workloads that dominate the paper's evaluation:
   Table III / Fig. 11, run on the reference cycle-by-cycle
   :class:`~repro.mesh.MeshNetwork` and on the change-driven
   :class:`~repro.mesh.FastMeshNetwork` (``engine="fast"``), asserting
-  *identical* stats before reporting the speedup;
+  *identical* stats before reporting the speedup; plus two
+  :mod:`repro.workloads` registry families (all-to-all and 2D halo)
+  run through the shared SLO-reporting driver, again reference vs
+  fast with byte-identical results (signature, latency percentiles,
+  per-pair table) required before any number is reported;
 * **engine** — a fixed-granularity Timeout storm (the PSCAN executor's
   dominant event shape) on the seed binary-heap event queue versus the
   calendar/bucket queue, asserting identical event counts and final
@@ -46,6 +50,7 @@ __all__ = [
     "bench_engine_timeout_storm",
     "bench_mesh_transpose",
     "bench_obs_overhead",
+    "bench_workload_zoo",
     "run_engine_benches",
     "run_mesh_benches",
     "write_bench_file",
@@ -236,6 +241,72 @@ def bench_obs_overhead(
     }
 
 
+def _run_workload_once(
+    name: str, engine: str, reorder: int, params: dict[str, Any]
+) -> tuple[float, Any]:
+    from ..workloads import build_workload, run_on_mesh
+
+    description = build_workload(name, **params)
+    t0 = time.perf_counter()
+    result = run_on_mesh(description, engine=engine, reorder=reorder)
+    wall = time.perf_counter() - t0
+    return wall, result
+
+
+def bench_workload_zoo(
+    name: str = "all_to_all",
+    reorder: int = 4,
+    repeats: int = 2,
+    **params: Any,
+) -> dict[str, Any]:
+    """Reference vs fast engine on one registry family; asserts equality.
+
+    Runs the named :mod:`repro.workloads` family through the shared
+    :func:`~repro.workloads.runner.run_on_mesh` driver on both mesh
+    engines, asserts the full observable result (signature, SLO block,
+    per-pair table) is byte-identical, and reports throughput plus the
+    workload's delivered bandwidth and tail latency — so a perf
+    regression in the metrics path shows up here, not just in raw
+    cycle stepping.
+    """
+    ref_wall, ref = _best_of(
+        lambda: _run_workload_once(name, "reference", reorder, params),
+        repeats,
+    )
+    fast_wall, fast = _best_of(
+        lambda: _run_workload_once(name, "fast", reorder, params), repeats
+    )
+    for aspect in ("mesh_signature", "slo", "pairs"):
+        if getattr(ref, aspect) != getattr(fast, aspect):
+            raise AssertionError(
+                f"fast mesh engine diverged from the reference on "
+                f"workload {name!r} ({aspect}) — refusing to report a "
+                "speedup for a wrong answer"
+            )
+    cycles = ref.stats.cycles
+    return {
+        "workload": {
+            "kind": "registry",
+            "name": name,
+            "memory_reorder_cycles": reorder,
+            **ref.params,
+        },
+        "simulated_cycles": cycles,
+        "delivered_bandwidth": ref.delivered_bandwidth,
+        "latency_p50": ref.slo["p50"],
+        "latency_p99": ref.slo["p99"],
+        "reference": {
+            "wall_s": ref_wall,
+            "cycles_per_s": cycles / ref_wall if ref_wall > 0 else 0.0,
+        },
+        "fast": {
+            "wall_s": fast_wall,
+            "cycles_per_s": cycles / fast_wall if fast_wall > 0 else 0.0,
+        },
+        "speedup": ref_wall / fast_wall if fast_wall > 0 else 0.0,
+    }
+
+
 def _select(
     makers: dict[str, Callable[[], dict[str, Any]]], only: str | None
 ) -> dict[str, Any]:
@@ -263,6 +334,18 @@ def run_mesh_benches(
         ),
         "obs_overhead": lambda: bench_obs_overhead(
             processors=64, cols=cols, repeats=max(reps, 3)
+        ),
+        "workload_all_to_all": lambda: bench_workload_zoo(
+            name="all_to_all",
+            processors=16 if quick else 64,
+            words_per_pair=2 if quick else 4,
+            repeats=reps,
+        ),
+        "workload_halo2d": lambda: bench_workload_zoo(
+            name="halo2d",
+            processors=16 if quick else 64,
+            halo=4 if quick else 16,
+            repeats=reps,
         ),
     }
     return _payload("mesh", quick, _select(makers, only))

@@ -40,12 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="subcommand", required=True)
 
     run = sub.add_parser("run", help="execute a named workload grid")
-    run.add_argument("--workload", choices=("faults", "fig13", "transpose"),
+    run.add_argument("--workload",
+                     choices=("faults", "fig13", "transpose", "zoo"),
                      default="faults",
                      help="faults: the Monte-Carlo resilience campaign; "
                           "fig13: the LLMORE core-count sweep; "
                           "transpose: the measured mesh transpose grid "
-                          "(engine-selectable; see --engine)")
+                          "(engine-selectable; see --engine); "
+                          "zoo: repro.workloads registry families over a "
+                          "processor grid (see --family)")
     run.add_argument("--checkpoint", type=Path, default=None,
                      help="result-store directory (omit for an "
                           "uncheckpointed in-memory run)")
@@ -78,9 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "(compiled enables paper-scale grids)")
     run.add_argument("--grid", dest="grid", type=int, nargs="+",
                      default=None, metavar="P",
-                     help="processor counts for --workload transpose "
-                          "(default: 16 64; compiled engine default: "
-                          "16 64 256 1024)")
+                     help="processor counts for --workload transpose/zoo "
+                          "(transpose default: 16 64, or 16 64 256 1024 "
+                          "compiled; zoo default: 16)")
+    # zoo workload knobs.  Points are the canonical registry payloads:
+    # name + engine + reorder + family params, nothing else — the same
+    # dict `repro.workloads.evaluate_workload_point` takes, so sweep
+    # results and serve results share store keys.
+    run.add_argument("--family", dest="families", nargs="+", default=None,
+                     metavar="NAME",
+                     help="registry families for --workload zoo (default: "
+                          "all_to_all allreduce allgather halo2d dnn_layer)")
 
     status = sub.add_parser("status", help="narrate a store's manifests")
     status.add_argument("--checkpoint", type=Path, required=True)
@@ -157,6 +168,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for p in sweep.points:
                 print(f"{p.cores:>6} {p.mesh.gflops:>8.1f} "
                       f"{p.psync.gflops:>8.1f} {p.ideal.gflops:>8.1f}")
+        elif args.workload == "zoo":
+            from ..perf.sweep import run_sweep
+            from ..util.errors import ConfigError
+            from ..workloads import evaluate_workload_point, list_workloads
+
+            families = args.families or [
+                "all_to_all", "allreduce", "allgather", "halo2d", "dnn_layer"
+            ]
+            unknown = sorted(set(families) - set(list_workloads()))
+            if unknown:
+                raise ConfigError(
+                    f"unknown workload families {unknown}; "
+                    f"registered: {list_workloads()}"
+                )
+            grid = args.grid or [16]
+            points = [
+                {
+                    "name": family,
+                    "processors": p,
+                    # In the payload on purpose (same rationale as the
+                    # transpose grid): engine and reorder cost are part
+                    # of the content-addressed point key.
+                    "engine": args.engine,
+                    "reorder": args.reorder_cycles,
+                }
+                for family in families
+                for p in grid
+            ]
+            results = run_sweep(
+                evaluate_workload_point,
+                points,
+                parallel=args.parallel,
+                max_workers=args.max_workers,
+                checkpoint=checkpoint,
+                resume=args.resume,
+                obs=obs,
+                label=f"zoo[{args.engine}]",
+                stop_after=args.stop_after,
+            )
+            print(f"{'family':>16} {'procs':>6} {'cycles':>8} "
+                  f"{'bw f/c':>8} {'p50':>5} {'p99':>5}  "
+                  f"(engine={args.engine})")
+            for r in results:
+                slo = r["slo"] or {}
+                print(f"{r['workload']:>16} "
+                      f"{r['params']['processors']:>6} "
+                      f"{r['cycles']:>8} {r['delivered_bandwidth']:>8.3f} "
+                      f"{slo.get('p50', 0):>5g} {slo.get('p99', 0):>5g}")
         else:  # transpose
             from ..analysis.transpose_model import measure_mesh_transpose
             from ..perf.sweep import run_sweep

@@ -1,0 +1,384 @@
+"""Built-in workload families: the absorbed makers plus the zoo.
+
+Each builder returns ``(topology, packets, memory_nodes, cp_phases)``
+for :func:`repro.workloads.registry.build_workload` to wrap.  The four
+legacy :mod:`repro.mesh.workloads` makers are registered as families
+(same traffic, now addressable by name + params), joined by:
+
+``all_to_all``
+    Full pairwise exchange — the FM16 full-mesh NPU pattern.  Every
+    node sends ``words_per_pair`` words to every other node; the runner
+    reports per-pair delivered bandwidth and latency.  Photonic
+    lowering: one gather epoch per receiver.
+``allreduce``
+    Reduce-to-root + broadcast.  Mesh lowering sends contributions to
+    the root memory interface and results back; the CP lowering is a
+    word-interleaved gather epoch (the reduce unit at the head node
+    consumes contributions in reduction order) followed by a scatter
+    epoch delivering the result vector to every rank.
+``allgather``
+    Everyone ends with everyone's shard.  Mesh lowering is the direct
+    algorithm (each rank sends its shard to every other rank); the CP
+    lowering gathers all shards to the head node, then scatters the
+    concatenated vector to every rank.
+``halo2d``
+    2D stencil halo exchange: every node trades ``halo`` words with
+    each N/S/E/W neighbour that exists.  Pure near-neighbour traffic —
+    the electronic mesh's best case, the anti-transpose — so it has no
+    bus lowering.
+``dnn_layer``
+    One tensor-parallel DNN layer step: an activation all-to-all
+    (re-sharding the layer output across ranks) plus a weight-gradient
+    gather striped over the corner memory interfaces (the many-to-few,
+    non-local P-sync pattern).  Word counts derive from
+    ``batch``/``features_in``/``features_out`` by integer ceiling
+    division, so tiny layers still move at least one word per pair.
+"""
+
+from __future__ import annotations
+
+from ..mesh.flit import Packet
+from ..mesh.topology import MeshTopology
+from ..mesh.workloads import (
+    make_scatter_delivery,
+    make_transpose_gather,
+    make_transpose_gather_multi_mc,
+    make_uniform_random,
+)
+from ..util.errors import ConfigError
+from .registry import CpPhase, register_workload
+
+__all__ = ["builtin_workload_names"]
+
+#: One 2048-bit DRAM row of 64-bit words — the striping unit shared with
+#: :func:`repro.mesh.workloads.make_transpose_gather_multi_mc`.
+_STRIPE_WORDS = 32
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _require_positive(**values: int) -> None:
+    for key, value in values.items():
+        if value < 1:
+            raise ConfigError(f"{key} must be >= 1, got {value}")
+
+
+# -- absorbed mesh.workloads makers ------------------------------------------
+
+
+def _build_transpose(processors: int, cols: int, elements_per_packet: int):
+    topo = MeshTopology.square(processors)
+    wl = make_transpose_gather(
+        topo, cols=cols, elements_per_packet=elements_per_packet
+    )
+    from ..core.schedule import transpose_order
+
+    phase = CpPhase("gather", tuple(transpose_order(topo.node_count, cols)))
+    return topo, wl.packets, wl.memory_nodes, (phase,)
+
+
+def _build_transpose_multi_mc(processors: int, cols: int):
+    topo = MeshTopology.square(processors)
+    wl = make_transpose_gather_multi_mc(topo, cols=cols)
+    from ..core.schedule import transpose_order
+
+    phase = CpPhase("gather", tuple(transpose_order(topo.node_count, cols)))
+    return topo, wl.packets, wl.memory_nodes, (phase,)
+
+
+def _build_scatter(processors: int, words_per_processor: int, k: int):
+    topo = MeshTopology.square(processors)
+    packets = make_scatter_delivery(
+        topo, words_per_processor=words_per_processor, k=k
+    )
+    from ..core.schedule import round_robin_order
+
+    phase = CpPhase(
+        "scatter",
+        tuple(
+            round_robin_order(
+                topo.node_count, words_per_processor, words_per_processor // k
+            )
+        ),
+    )
+    return topo, packets, ((0, 0),), (phase,)
+
+
+def _build_uniform_random(
+    processors: int,
+    packets_per_node: int,
+    payload_flits: int,
+    seed: int,
+    allow_self: bool,
+):
+    topo = MeshTopology.square(processors)
+    packets = make_uniform_random(
+        topo,
+        packets_per_node=packets_per_node,
+        payload_flits=payload_flits,
+        seed=seed,
+        allow_self=allow_self,
+    )
+    return topo, packets, (), ()
+
+
+# -- the zoo ------------------------------------------------------------------
+
+
+def _build_all_to_all(processors: int, words_per_pair: int):
+    _require_positive(words_per_pair=words_per_pair)
+    topo = MeshTopology.square(processors)
+    if topo.node_count < 2:
+        raise ConfigError("all_to_all needs at least 2 nodes")
+    nodes = topo.nodes()
+    packets: list[Packet] = []
+    for src in nodes:
+        si = topo.node_index(src)
+        for dst in nodes:
+            if dst == src:
+                continue
+            di = topo.node_index(dst)
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=dst,
+                    payloads=[(si, di, j) for j in range(words_per_pair)],
+                )
+            )
+    # Photonic lowering: one gather epoch per receiver; within receiver
+    # d's epoch, sender s drives its d-bound words (node-local indices
+    # d*W .. d*W+W-1), senders interleaved word-major so the receiver
+    # sees contributions round-robin.
+    phases = []
+    for d in range(topo.node_count):
+        order = [
+            (s, d * words_per_pair + j)
+            for j in range(words_per_pair)
+            for s in range(topo.node_count)
+            if s != d
+        ]
+        phases.append(CpPhase("gather", tuple(order)))
+    return topo, packets, (), tuple(phases)
+
+
+def _build_allreduce(processors: int, words: int):
+    _require_positive(words=words)
+    topo = MeshTopology.square(processors)
+    if topo.node_count < 2:
+        raise ConfigError("allreduce needs at least 2 nodes")
+    root = (0, 0)
+    packets: list[Packet] = []
+    for node in topo.nodes():
+        if node == root:
+            continue
+        ni = topo.node_index(node)
+        packets.append(
+            Packet(
+                source=node,
+                dest=root,
+                payloads=[(0, ni, j) for j in range(words)],
+            )
+        )
+    for node in topo.nodes():
+        if node == root:
+            continue
+        ni = topo.node_index(node)
+        packets.append(
+            Packet(
+                source=root,
+                dest=node,
+                payloads=[(1, ni, j) for j in range(words)],
+            )
+        )
+    n = topo.node_count
+    reduce_phase = CpPhase(
+        "gather", tuple((i, w) for w in range(words) for i in range(n))
+    )
+    bcast_phase = CpPhase(
+        "scatter", tuple((i, w) for i in range(n) for w in range(words))
+    )
+    return topo, packets, (root,), (reduce_phase, bcast_phase)
+
+
+def _build_allgather(processors: int, words: int):
+    _require_positive(words=words)
+    topo = MeshTopology.square(processors)
+    if topo.node_count < 2:
+        raise ConfigError("allgather needs at least 2 nodes")
+    nodes = topo.nodes()
+    packets: list[Packet] = []
+    for src in nodes:
+        si = topo.node_index(src)
+        for dst in nodes:
+            if dst == src:
+                continue
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=dst,
+                    payloads=[(si, j) for j in range(words)],
+                )
+            )
+    n = topo.node_count
+    gather_phase = CpPhase(
+        "gather", tuple((i, w) for i in range(n) for w in range(words))
+    )
+    redist_phase = CpPhase(
+        "scatter", tuple((i, w) for i in range(n) for w in range(n * words))
+    )
+    return topo, packets, (), (gather_phase, redist_phase)
+
+
+def _build_halo2d(processors: int, halo: int):
+    _require_positive(halo=halo)
+    topo = MeshTopology.square(processors)
+    if topo.node_count < 2:
+        raise ConfigError("halo2d needs at least 2 nodes")
+    packets: list[Packet] = []
+    for node in topo.nodes():
+        ni = topo.node_index(node)
+        for port in topo.mesh_ports(node):
+            dst = topo.neighbor(node, port)
+            packets.append(
+                Packet(
+                    source=node,
+                    dest=dst,
+                    payloads=[(ni, int(port), j) for j in range(halo)],
+                )
+            )
+    return topo, packets, (), ()
+
+
+def _build_dnn_layer(
+    processors: int, batch: int, features_in: int, features_out: int
+):
+    _require_positive(
+        batch=batch, features_in=features_in, features_out=features_out
+    )
+    topo = MeshTopology.square(processors)
+    if topo.node_count < 2:
+        raise ConfigError("dnn_layer needs at least 2 nodes")
+    n = topo.node_count
+    nodes = topo.nodes()
+    packets: list[Packet] = []
+    # Activation re-shard: the layer output (batch x features_out) moves
+    # from feature-parallel to sample-parallel layout, one slice per
+    # (producer, consumer) pair.
+    act_words = max(1, _ceil_div(batch * features_out, n * n))
+    for src in nodes:
+        si = topo.node_index(src)
+        for dst in nodes:
+            if dst == src:
+                continue
+            di = topo.node_index(dst)
+            packets.append(
+                Packet(
+                    source=src,
+                    dest=dst,
+                    payloads=[(0, si, di, j) for j in range(act_words)],
+                )
+            )
+    # Weight-gradient writeback: each rank's (features_in x features_out)/n
+    # gradient shard streams to the corner memory interfaces, striped in
+    # DRAM-row chunks — many sources, few sinks, the P-sync pattern.
+    corners = tuple(topo.corners())
+    grad_words = _ceil_div(features_in * features_out, n)
+    for src in nodes:
+        si = topo.node_index(src)
+        by_owner: dict[tuple[int, int], list[int]] = {}
+        for j in range(grad_words):
+            address = si * grad_words + j
+            owner = corners[(address // _STRIPE_WORDS) % len(corners)]
+            by_owner.setdefault(owner, []).append(address)
+        for owner, addresses in by_owner.items():
+            packets.append(
+                Packet(source=src, dest=owner, payloads=list(addresses))
+            )
+    grad_phase = CpPhase(
+        "gather", tuple((i, w) for w in range(grad_words) for i in range(n))
+    )
+    return topo, packets, corners, (grad_phase,)
+
+
+_BUILTINS = (
+    register_workload(
+        "transpose",
+        _build_transpose,
+        description="2D-FFT transpose gather to one memory interface "
+        "(the paper's Table III workload)",
+        defaults={"processors": 64, "cols": 8, "elements_per_packet": 1},
+    ),
+    register_workload(
+        "transpose_multi_mc",
+        _build_transpose_multi_mc,
+        description="transpose gather striped over the corner memory "
+        "interfaces (Fig. 12 energy-study mesh)",
+        defaults={"processors": 64, "cols": 8},
+    ),
+    register_workload(
+        "scatter",
+        _build_scatter,
+        description="Model I/II data delivery from one memory interface "
+        "to all processors",
+        defaults={"processors": 64, "words_per_processor": 8, "k": 1},
+    ),
+    register_workload(
+        "uniform_random",
+        _build_uniform_random,
+        description="uniform random traffic over distinct nodes "
+        "(routing-policy ablation baseline)",
+        defaults={
+            "processors": 16,
+            "packets_per_node": 4,
+            "payload_flits": 1,
+            "seed": 0,
+            "allow_self": False,
+        },
+    ),
+    register_workload(
+        "all_to_all",
+        _build_all_to_all,
+        description="full pairwise exchange with per-pair bandwidth and "
+        "latency statistics (FM16-style)",
+        defaults={"processors": 16, "words_per_pair": 2},
+    ),
+    register_workload(
+        "allreduce",
+        _build_allreduce,
+        description="reduce-to-root + broadcast collective, CP-lowered "
+        "to a gather epoch and a scatter epoch",
+        defaults={"processors": 16, "words": 4},
+    ),
+    register_workload(
+        "allgather",
+        _build_allgather,
+        description="all-gather collective: direct exchange on the mesh, "
+        "gather + redistribute epochs on the bus",
+        defaults={"processors": 9, "words": 2},
+    ),
+    register_workload(
+        "halo2d",
+        _build_halo2d,
+        description="2D stencil halo exchange with N/S/E/W neighbours",
+        defaults={"processors": 16, "halo": 2},
+    ),
+    register_workload(
+        "dnn_layer",
+        _build_dnn_layer,
+        description="tensor-parallel DNN layer: activation all-to-all + "
+        "weight-gradient gather to corner memory interfaces",
+        defaults={
+            "processors": 16,
+            "batch": 8,
+            "features_in": 16,
+            "features_out": 16,
+        },
+    ),
+)
+
+
+def builtin_workload_names() -> tuple[str, ...]:
+    """Names of the families this module registers, registration order."""
+    return tuple(family.name for family in _BUILTINS)

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.store",
     "repro.serve",
     "repro.faults",
+    "repro.workloads",
 ]
 
 MODULES = [
@@ -40,6 +41,9 @@ MODULES = [
     "repro.core.schedule",
     "repro.mesh.network",
     "repro.mesh.vc_network",
+    "repro.workloads.registry",
+    "repro.workloads.runner",
+    "repro.obs.slo",
     "repro.memory.layout",
     "repro.analysis.perf_model",
 ]

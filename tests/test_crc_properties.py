@@ -183,3 +183,54 @@ class TestCorruption:
         frame = pack_word(1)
         with pytest.raises(Exception):
             flip_bits(frame, [frame_bits(frame)])
+
+
+class TestDecodeFailureNarrowing:
+    """The ``except Exception`` bugfix pin: :func:`unpack_word` converts
+    only genuine decode failures (:data:`_DECODE_FAILURES`) into
+    ``TransientFaultError``; anything else — a bug in the codec, a
+    ``KeyboardInterrupt``-adjacent control-flow exception — must escape
+    rather than masquerade as recoverable wire corruption and trigger an
+    infinite NACK/retransmit loop."""
+
+    def _crc_valid(self, payload: bytes) -> bytes:
+        crc = crc16_ccitt(payload)
+        return payload + bytes([crc >> 8, crc & 0xFF])
+
+    def test_undecodable_payload_is_transient(self):
+        # An unknown tag byte with a freshly computed (valid) CRC: the
+        # checksum collides by construction, the decoder rejects it.
+        frame = self._crc_valid(b"\xff\x00")
+        assert check_frame(frame)
+        with pytest.raises(TransientFaultError):
+            unpack_word(frame)
+
+    def test_truncated_payload_is_transient(self):
+        inner = encode_value((1, 2, 3))
+        frame = self._crc_valid(inner[: len(inner) // 2])
+        assert check_frame(frame)
+        with pytest.raises(TransientFaultError):
+            unpack_word(frame)
+
+    def test_unrelated_exceptions_propagate(self, monkeypatch):
+        import repro.faults.crc as crc_mod
+
+        def explode(_payload):
+            raise RuntimeError("codec bug, not corruption")
+
+        monkeypatch.setattr(crc_mod, "decode_value", explode)
+        with pytest.raises(RuntimeError, match="codec bug"):
+            unpack_word(pack_word(42))
+
+    def test_decode_failure_tuple_is_pinned(self):
+        import pickle
+        import struct
+
+        from repro.faults.crc import _DECODE_FAILURES
+
+        assert Exception not in _DECODE_FAILURES
+        assert BaseException not in _DECODE_FAILURES
+        for exc in (ValueError, TypeError, KeyError, IndexError, EOFError,
+                    AttributeError, ImportError, struct.error,
+                    pickle.UnpicklingError):
+            assert exc in _DECODE_FAILURES

@@ -110,6 +110,71 @@ class TestUniformRandom:
         with pytest.raises(ConfigError):
             make_uniform_random(topo, packets_per_node=0)
 
+    def test_no_self_traffic_by_default(self):
+        # The bugfix pin: self-addressed packets never enter the network
+        # (zero hops), so a "uniform random" load quietly carried ~1/N
+        # dead packets that diluted every congestion statistic.
+        topo = MeshTopology.square(16)
+        pkts = make_uniform_random(topo, packets_per_node=8, seed=3)
+        assert all(p.source != p.dest for p in pkts)
+
+    def test_allow_self_opt_in(self):
+        topo = MeshTopology.square(4)
+        hit_self = False
+        for seed in range(50):
+            pkts = make_uniform_random(
+                topo, packets_per_node=8, seed=seed, allow_self=True
+            )
+            if any(p.source == p.dest for p in pkts):
+                hit_self = True
+                break
+        assert hit_self  # with 4 nodes x 32 draws this is near-certain
+
+    def test_single_node_mesh_needs_allow_self(self):
+        topo = MeshTopology.square(1)
+        with pytest.raises(ConfigError):
+            make_uniform_random(topo, packets_per_node=1)
+        pkts = make_uniform_random(topo, packets_per_node=1, allow_self=True)
+        assert len(pkts) == 1
+
+    def test_same_seed_same_destinations_across_modes(self):
+        # allow_self must not perturb the draw sequence for meshes where
+        # no self-draw occurs: the selection set differs, so we only pin
+        # determinism within each mode (already covered above) and that
+        # the default mode is reproducible against itself.
+        topo = MeshTopology.square(9)
+        a = make_uniform_random(topo, packets_per_node=4, seed=11)
+        b = make_uniform_random(topo, packets_per_node=4, seed=11)
+        assert [(p.source, p.dest) for p in a] == \
+            [(p.source, p.dest) for p in b]
+
+
+class TestMultiMcMemoryNodes:
+    def test_workload_records_every_interface(self):
+        # The bugfix pin: TransposeWorkload used to report only the
+        # single `memory_node`, so consumers attaching interfaces from
+        # the workload record left three of the four corners without
+        # reorder cost.
+        topo = MeshTopology.square(16)
+        from repro.mesh import make_transpose_gather_multi_mc
+
+        wl = make_transpose_gather_multi_mc(topo, cols=4)
+        assert wl.memory_nodes == tuple(topo.corners())
+        assert set(p.dest for p in wl.packets) <= set(wl.memory_nodes)
+
+    def test_single_mc_default_is_singleton_tuple(self):
+        topo = MeshTopology.square(4)
+        wl = make_transpose_gather(topo, cols=2, memory_node=(1, 1))
+        assert wl.memory_nodes == ((1, 1),)
+
+    def test_explicit_interface_list_preserved(self):
+        topo = MeshTopology.square(16)
+        from repro.mesh import make_transpose_gather_multi_mc
+
+        nodes = [(0, 0), (3, 3)]
+        wl = make_transpose_gather_multi_mc(topo, cols=4, memory_nodes=nodes)
+        assert wl.memory_nodes == ((0, 0), (3, 3))
+
 
 class TestPacketFlits:
     def test_flit_train_structure(self):

@@ -233,6 +233,42 @@ class TestHistogram:
         with pytest.raises(ValueError):
             hist.quantile(-0.1)
 
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(-100.0, -1e-3, allow_nan=False),  # underflow mass
+                st.floats(0.0, 1.0, allow_nan=False),       # in range
+                st.floats(1.001, 100.0, allow_nan=False),   # overflow mass
+            ),
+            min_size=1, max_size=200,
+        ),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=150)
+    def test_quantile_conservative_under_out_of_range_mass(
+        self, samples, q, bins
+    ):
+        """The SLO-block contract under heavy under/overflow: latency
+        histograms clip at ``SLO_LATENCY_HI``, so a reported P99 must
+        stay a never-underestimating bound even when most of the mass
+        sits outside ``[lo, hi)``.  ``lo`` may only be reported while
+        the target rank is still inside the underflow mass, and any
+        interior answer must cover ``ceil(q * total)`` samples."""
+        hist = Histogram(0.0, 1.0, bins)
+        for x in samples:
+            hist.add(x)
+        value = hist.quantile(q)
+        assert hist.lo <= value <= hist.hi
+        target = math.ceil(q * hist.total)
+        if value == hist.lo:
+            assert target <= hist.underflow
+        if value < hist.hi:
+            covered = sum(1 for x in samples if x < value)
+            # Samples below lo are < any interior answer, so they count
+            # toward coverage; overflow mass can only push the answer up.
+            assert covered >= target
+
 
 # -- TimeWeightedStat --------------------------------------------------------
 
