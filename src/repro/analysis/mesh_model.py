@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import sqrt
 
-from ..mesh.network import MeshConfig, MeshNetwork
-from ..mesh.topology import MeshTopology
 from ..mesh.workloads import make_scatter_delivery
 from ..util import constants
 from ..util.errors import ConfigError
@@ -98,11 +96,16 @@ def measure_scatter(
     growing header overhead exactly as Section V-B2 describes.
     """
     _check(processors, words_per_processor)
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(
-        topo,
-        MeshConfig(buffer_flits=buffer_flits, header_route_cycles=t_r),
+    from ..build import build_mesh_network, mesh_spec
+
+    # Scatter sinks are plain processors: no memory interface attached.
+    net = build_mesh_network(
+        mesh_spec(
+            processors, buffer_flits=buffer_flits, header_route_cycles=t_r
+        ),
+        memory_nodes=(),
     )
+    topo = net.topology
     packets = make_scatter_delivery(topo, words_per_processor, k=k)
     for pkt in packets:
         net.inject(pkt)

@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..memory.controller import PscanMemoryController
-from ..mesh.network import MeshConfig, MeshNetwork
-from ..mesh.topology import MeshTopology
 from ..mesh.workloads import make_transpose_gather
 from ..util import constants
 from ..util.errors import ConfigError
@@ -125,12 +123,12 @@ def measure_mesh_transpose(
     """
     if processors < 4:
         raise ConfigError("need >= 4 processors for a meaningful mesh")
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(
-        topo,
-        MeshConfig(engine=engine, memory_reorder_cycles=reorder_cycles),
+    from ..build import build_mesh_network, mesh_spec
+
+    net = build_mesh_network(
+        mesh_spec(processors, engine=engine, reorder=reorder_cycles)
     )
-    net.add_memory_interface((0, 0))
+    topo = net.topology
     workload = make_transpose_gather(
         topo, row_samples, (0, 0), header_flits=header_flits
     )

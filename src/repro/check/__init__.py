@@ -27,6 +27,7 @@ from .analyzer import (
     LintReport,
     ScheduleSpec,
     SourceSpan,
+    analyze_machine_spec,
     analyze_mesh_config,
     analyze_schedule,
     analyze_workload,
@@ -42,6 +43,7 @@ __all__ = [
     "LintReport",
     "ScheduleSpec",
     "SourceSpan",
+    "analyze_machine_spec",
     "analyze_mesh_config",
     "analyze_schedule",
     "analyze_workload",

@@ -47,6 +47,7 @@ __all__ = [
     "analyze_mesh_config",
     "analyze_workload",
     "analyze_traffic",
+    "analyze_machine_spec",
     "lint_target",
     "lint_targets",
     "lint_all",
@@ -836,6 +837,50 @@ def _lint_workload_zoo() -> LintReport:
     return merged
 
 
+def analyze_machine_spec(spec: Any, name: str = "machine-spec") -> LintReport:
+    """Lint one :class:`repro.build.MachineSpec`.
+
+    Converts the spec layer's own :class:`~repro.build.spec.SpecIssue`
+    records (collected by ``MachineSpec.validate``, never raised) into
+    span-carrying :class:`Diagnostic` findings, so a bad spec reads like
+    any other lint failure.  The issue's spec-field path becomes the
+    span target.
+    """
+    report = LintReport(target=name)
+    for issue in spec.validate():
+        report.diagnostics.append(
+            Diagnostic(
+                code=issue.code,
+                severity=issue.severity,
+                message=issue.message,
+                span=SourceSpan(target=f"{name}.{issue.path}"),
+            )
+        )
+    return report
+
+
+def _lint_machine_specs() -> LintReport:
+    from ..build import BusSpec, FabricSpec, MachineSpec, mesh_spec
+
+    merged = LintReport(target="shipped machine specs")
+    shipped = (
+        ("MachineSpec()", MachineSpec()),
+        ("mesh_spec(64, reorder=4)", mesh_spec(64, reorder=4)),
+        ("mesh_spec(64, engine='fast', reorder=4)",
+         mesh_spec(64, engine="fast", reorder=4)),
+        ("mesh_spec(1024, engine='compiled', reorder=4)",
+         mesh_spec(1024, engine="compiled", reorder=4)),
+        ("torus", mesh_spec(16, kind="torus", reorder=4)),
+        ("pam4", MachineSpec(banks=(BusSpec(signaling="pam4"),))),
+        ("striped", MachineSpec(banks=(BusSpec(waveguides=4),))),
+        ("vc-fabric", MachineSpec(fabric=FabricSpec(virtual_channels=2))),
+    )
+    for label, spec in shipped:
+        sub = analyze_machine_spec(spec, name=label)
+        merged.diagnostics.extend(sub.diagnostics)
+    return merged
+
+
 #: name -> zero-arg builder returning a LintReport.
 LINT_TARGETS: dict[str, Callable[[], LintReport]] = {
     "fig4": _lint_fig4,
@@ -848,6 +893,7 @@ LINT_TARGETS: dict[str, Callable[[], LintReport]] = {
     "mesh-configs": _lint_mesh_configs,
     "mesh-workloads": _lint_mesh_workloads,
     "workload-zoo": _lint_workload_zoo,
+    "machine-spec": _lint_machine_specs,
 }
 
 

@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser("lint", help="lint canned schedules/configs")
     lint.add_argument("targets", nargs="*", help="registry names (default all)")
+    lint.add_argument("--target", action="append", dest="named_targets",
+                      metavar="NAME", default=None,
+                      help="add one registry name (repeatable; equivalent "
+                           "to a positional target)")
     lint.add_argument("--list", action="store_true", dest="list_targets",
                       help="print the target registry and exit")
     lint.add_argument("--json", action="store_true",
@@ -78,8 +82,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for name in lint_targets():
             print(name)
         return 0
-    names = args.targets or None
-    reports = lint_all(names)
+    names = list(args.targets) + list(args.named_targets or [])
+    reports = lint_all(names or None)
     errors = 0
     if args.json:
         payload = [

@@ -85,6 +85,20 @@ Case kinds
     compiled SCA engines (bit-exact executions), and every description
     must lint clean under :func:`repro.check.analyzer.analyze_traffic`.
 
+``build``
+    The declarative builder (:mod:`repro.build`) vs literal hand
+    assembly.  A randomized :class:`~repro.build.MachineSpec` is
+    instantiated through ``build_machine`` / ``build_mesh_network`` /
+    ``build_multibus`` and cross-executed against the same machine
+    constructed by hand from ``PsyncConfig`` / ``MeshConfig`` /
+    ``MultiBusPscan`` keyword arguments — SCA execution signatures,
+    mesh stats signatures, and striped multibus streams must be
+    byte-identical.  Torus cases instead pin reference ↔ fast engine
+    agreement on the spec-built wrap-around fabric and require the
+    compiled engine to refuse in the *spec* layer (lint BLD027).
+    Every spec also round-trips through JSON and the canonical
+    :func:`repro.store.keys.canonicalize` form.
+
 Every case is reconstructible from ``(kind, seed, params)`` — the JSON
 form committed under ``tests/corpus/`` by :mod:`repro.check.shrink`.
 """
@@ -115,7 +129,7 @@ ANALYTIC_BAND = (0.65, 1.00)
 
 CASE_KINDS = (
     "mesh", "queue", "crc", "analytic", "gather", "schedule", "compiled",
-    "batched", "workload",
+    "batched", "workload", "build",
 )
 
 
@@ -401,6 +415,39 @@ def _gen_workload(rng: random.Random) -> dict[str, Any]:
     return params
 
 
+def _gen_build(rng: random.Random) -> dict[str, Any]:
+    target = rng.choice(["psync", "mesh", "torus", "multibus"])
+    params: dict[str, Any] = {"target": target}
+    if target == "psync":
+        params.update(
+            processors=rng.choice([4, 9, 16]),
+            words=rng.choice([2, 3, 4]),
+            signaling=rng.choice(["nrz", "pam4"]),
+            word_granular=rng.random() < 0.5,
+            engine=rng.choice(["event", "compiled"]),
+        )
+    elif target == "mesh":
+        params.update(
+            processors=rng.choice([4, 9, 16]),
+            cols=rng.choice([2, 4]),
+            reorder=rng.choice([2, 4]),
+            engine=rng.choice(["reference", "fast", "compiled"]),
+        )
+    elif target == "torus":
+        params.update(
+            processors=rng.choice([4, 9, 16]),
+            cols=rng.choice([2, 4]),
+            reorder=rng.choice([1, 2, 4]),
+        )
+    else:  # multibus
+        params.update(
+            processors=rng.choice([4, 9]),
+            words=rng.choice([2, 4]),
+            waveguides=rng.choice([1, 2, 3]),
+        )
+    return params
+
+
 _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "mesh": _gen_mesh,
     "queue": _gen_queue,
@@ -411,6 +458,7 @@ _GENERATORS: dict[str, Callable[[random.Random], dict[str, Any]]] = {
     "compiled": _gen_compiled,
     "batched": _gen_batched,
     "workload": _gen_workload,
+    "build": _gen_build,
 }
 
 
@@ -1345,6 +1393,202 @@ def _check_workload(case: FuzzCase) -> list[Divergence]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# build oracle
+# ---------------------------------------------------------------------------
+
+
+def _build_spec_for(params: dict[str, Any]):
+    from ..build import BusSpec, FabricSpec, MachineSpec
+
+    target = params["target"]
+    if target == "psync":
+        return MachineSpec(
+            processors=params["processors"],
+            word_granular_clock=params["word_granular"],
+            engine=params["engine"],
+            banks=(BusSpec(signaling=params["signaling"]),),
+        )
+    if target in ("mesh", "torus"):
+        return MachineSpec(
+            processors=params["processors"],
+            fabric=FabricSpec(
+                kind="torus" if target == "torus" else "mesh",
+                engine=params.get("engine", "reference"),
+                memory_reorder_cycles=params["reorder"],
+            ),
+        )
+    return MachineSpec(
+        processors=params["processors"],
+        banks=(BusSpec(waveguides=params["waveguides"]),),
+    )
+
+
+def _check_build_roundtrip(case: FuzzCase, spec, out: list[Divergence]) -> None:
+    import json as _json
+
+    from ..build import MachineSpec
+    from ..store.keys import canonicalize
+
+    rt = MachineSpec.from_json(_json.loads(_json.dumps(spec.to_json())))
+    if rt != spec:
+        out.append(Divergence(case, "build.roundtrip", _diff_repr(spec, rt)))
+    elif canonicalize(rt) != canonicalize(spec):
+        out.append(Divergence(
+            case, "build.canonical",
+            "JSON round-trip changed the canonical form",
+        ))
+
+
+def _psync_gather_signature(machine, words: int) -> tuple:
+    for pid in range(machine.config.processors):
+        machine.local_memory[pid] = [f"p{pid}w{w}" for w in range(words)]
+    ex = machine.gather(machine.transpose_gather_schedule(words))
+    return _compiled_sca_signature(machine.pscan, ex)
+
+
+def _check_build_psync(case: FuzzCase, spec, out: list[Divergence]) -> None:
+    from ..build import build_machine
+    from ..core.psync import PsyncConfig, PsyncMachine
+    from ..photonics.wdm import WdmPlan
+
+    p = case.params
+    built = build_machine(spec)
+    hand = PsyncMachine(
+        PsyncConfig(
+            processors=p["processors"],
+            word_granular_clock=p["word_granular"],
+            engine=p["engine"],
+        ),
+        wdm=WdmPlan(bits_per_symbol=2 if p["signaling"] == "pam4" else 1),
+    )
+    a = _psync_gather_signature(built, p["words"])
+    b = _psync_gather_signature(hand, p["words"])
+    if a != b:
+        out.append(Divergence(case, "build.psync", _diff_repr(a, b)))
+
+
+def _check_build_mesh(case: FuzzCase, spec, out: list[Divergence]) -> None:
+    import dataclasses
+
+    from ..build import build_mesh_network
+    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..mesh.workloads import make_transpose_gather
+    from ..util.errors import ConfigError
+
+    p = case.params
+
+    def run(net) -> tuple:
+        for pkt in make_transpose_gather(net.topology, cols=p["cols"]).packets:
+            net.inject(pkt)
+        sig = _mesh_signature(net, net.run())
+        # The compiled mesh documents its ``sunk`` log as unpopulated.
+        return sig[:-1] if p.get("engine") == "compiled" else sig
+
+    if p["target"] == "torus":
+        # Spec-built torus: the two flit-level engines must agree...
+        fast = dataclasses.replace(
+            spec, fabric=dataclasses.replace(spec.fabric, engine="fast")
+        )
+        a = run(build_mesh_network(spec))
+        b = run(build_mesh_network(fast))
+        if a != b:
+            out.append(Divergence(case, "build.torus", _diff_repr(a, b)))
+        # ...and the compiled engine must be refused in the spec layer.
+        comp = dataclasses.replace(
+            spec, fabric=dataclasses.replace(spec.fabric, engine="compiled")
+        )
+        try:
+            build_mesh_network(comp)
+        except ConfigError as exc:
+            if "BLD027" not in str(exc):
+                out.append(Divergence(
+                    case, "build.torus.refusal",
+                    f"expected BLD027 in the ConfigError, got: {exc}",
+                ))
+        else:
+            out.append(Divergence(
+                case, "build.torus.refusal",
+                "a compiled torus spec must raise ConfigError, ran instead",
+            ))
+        return
+
+    hand_topo = MeshTopology.square(p["processors"])
+    hand = MeshNetwork(
+        hand_topo,
+        MeshConfig(engine=p["engine"], memory_reorder_cycles=p["reorder"]),
+    )
+    hand.add_memory_interface((0, 0))
+    a = run(build_mesh_network(spec))
+    b = run(hand)
+    if a != b:
+        out.append(Divergence(case, "build.mesh", _diff_repr(a, b)))
+
+
+def _check_build_multibus(case: FuzzCase, spec, out: list[Divergence]) -> None:
+    from ..build import build_machine, build_multibus
+    from ..core.multibus import MultiBusPscan
+
+    p = case.params
+    machine = build_machine(spec)  # geometry reference
+    data = {
+        pid: [f"p{pid}w{w}" for w in range(p["words"])]
+        for pid in machine.positions_mm
+    }
+
+    def sig(ex) -> tuple:
+        return (
+            ex.waveguides,
+            tuple(ex.stream),
+            ex.duration_ns,
+            ex.all_gapless,
+            ex.total_cycles,
+        )
+
+    striped = build_multibus(spec)
+    a = sig(striped.execute_gather(
+        machine.transpose_gather_schedule(p["words"]),
+        data,
+        receiver_mm=machine.memory_position_mm,
+    ))
+    hand = MultiBusPscan(
+        waveguides=p["waveguides"],
+        waveguide_length_mm=machine.waveguide.length_mm,
+        positions_mm=machine.positions_mm,
+        wdm=machine.pscan.wdm,
+    )
+    b = sig(hand.execute_gather(
+        machine.transpose_gather_schedule(p["words"]),
+        data,
+        receiver_mm=machine.memory_position_mm,
+    ))
+    if a != b:
+        out.append(Divergence(case, "build.multibus", _diff_repr(a, b)))
+
+
+def _check_build(case: FuzzCase) -> list[Divergence]:
+    """Cross-execute spec-built machines against hand-built ones.
+
+    Every case also round-trips its spec through JSON and the canonical
+    store form; the per-target differentials then pin the builder's
+    output to a literal hand assembly of the same machine (psync SCA
+    signatures, mesh stats signatures, striped multibus streams), and
+    torus cases double as an engine-agreement and spec-layer-refusal
+    check.
+    """
+    out: list[Divergence] = []
+    spec = _build_spec_for(case.params)
+    _check_build_roundtrip(case, spec, out)
+    target = case.params["target"]
+    if target == "psync":
+        _check_build_psync(case, spec, out)
+    elif target in ("mesh", "torus"):
+        _check_build_mesh(case, spec, out)
+    else:
+        _check_build_multibus(case, spec, out)
+    return out
+
+
 _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "mesh": _check_mesh,
     "queue": _check_queue,
@@ -1355,6 +1599,7 @@ _ORACLES: dict[str, Callable[[FuzzCase], list[Divergence]]] = {
     "compiled": _check_compiled,
     "batched": _check_batched,
     "workload": _check_workload,
+    "build": _check_build,
 }
 
 

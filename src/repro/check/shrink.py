@@ -110,6 +110,11 @@ def _constructible(case: FuzzCase) -> bool:
         # pscan reference: whole DRAM rows (64-bit words, 2048-bit rows).
         if (p["processors"] * p["cols"]) % 32 != 0:
             return False
+    if case.kind == "build":
+        # The compiled mesh engine refuses reorder windows below 2, so a
+        # shrunk trial must not cross that floor (spec lint BLD030).
+        if p.get("engine") == "compiled" and p.get("reorder", 2) < 2:
+            return False
     return True
 
 

@@ -122,9 +122,9 @@ def _cmd_fig14(_args: argparse.Namespace) -> None:
 
 
 def _cmd_machine(args: argparse.Namespace) -> None:
-    from .core import PsyncConfig, PsyncMachine
+    from .build import MachineSpec, build_machine
 
-    machine = PsyncMachine(PsyncConfig(processors=args.processors))
+    machine = build_machine(MachineSpec(processors=args.processors))
     for key, value in machine.describe().items():
         print(f"{key:>26}: {value}")
 
@@ -161,17 +161,12 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_heatmap(args: argparse.Namespace) -> None:
-    from .mesh import (
-        MeshConfig,
-        MeshNetwork,
-        MeshTopology,
-        make_transpose_gather,
-    )
+    from .build import build_mesh_network, mesh_spec
+    from .mesh import make_transpose_gather
     from .viz import render_mesh_heatmap
 
-    topo = MeshTopology.square(args.processors)
-    net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1))
-    net.add_memory_interface((0, 0))
+    net = build_mesh_network(mesh_spec(args.processors, reorder=1))
+    topo = net.topology
     wl = make_transpose_gather(topo, cols=args.row_samples)
     for p in wl.packets:
         net.inject(p)

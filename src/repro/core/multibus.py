@@ -74,6 +74,22 @@ class MultiBusPscan:
     ) -> None:
         if waveguides < 1:
             raise ConfigError(f"need >= 1 waveguide, got {waveguides}")
+        if not positions_mm:
+            raise ConfigError("need >= 1 node position on the striped bus")
+        if waveguide_length_mm <= 0:
+            raise ConfigError(
+                f"waveguide_length_mm must be > 0, got {waveguide_length_mm}"
+            )
+        beyond = [
+            node
+            for node, pos in positions_mm.items()
+            if pos < 0 or pos > waveguide_length_mm
+        ]
+        if beyond:
+            raise ConfigError(
+                f"node positions {sorted(beyond)} fall outside the "
+                f"{waveguide_length_mm} mm waveguide"
+            )
         self.waveguides = waveguides
         self.positions_mm = dict(positions_mm)
         self.buses: list[Pscan] = []
@@ -109,7 +125,22 @@ class MultiBusPscan:
         data: dict[int, list[Any]],
         receiver_mm: float,
     ) -> StripedExecution:
-        """Run the striped collective; merge arrival streams in order."""
+        """Run the striped collective; merge arrival streams in order.
+
+        Every node the schedule names must sit on the bus: an unknown
+        node would otherwise surface as a ``KeyError`` deep inside one
+        bus's event loop (or, worse, a silent truncation on the compiled
+        backend), so the shape mismatch is rejected here as a structured
+        :class:`ConfigError` before any bus runs.
+        """
+        unknown = sorted(
+            {node for node, _ in schedule.order} - set(self.positions_mm)
+        )
+        if unknown:
+            raise ConfigError(
+                f"schedule names nodes {unknown} that are not on the "
+                f"striped bus (known: {sorted(self.positions_mm)})"
+            )
         subs = self._stripe(schedule)
         result = StripedExecution(waveguides=self.waveguides)
         for bus, sub in zip(self.buses, subs):

@@ -61,6 +61,12 @@ class PsyncConfig:
     execution records (see :mod:`repro.core.compiled`).  Unsupported
     configurations (fault hooks, enabled tracers) raise
     :class:`~repro.util.errors.EngineUnsupportedError` at execute time.
+
+    ``layout``: serpentine variant.  ``"auto"`` (default, the seed
+    behaviour) snakes square processor counts over the chip and falls
+    back to one row otherwise; ``"square"`` demands a perfect square
+    (raising :class:`ConfigError` otherwise); ``"single-row"`` forces
+    the one-row layout — the longest-bus worst case — at any count.
     """
 
     processors: int = 16
@@ -69,6 +75,7 @@ class PsyncConfig:
     word_bits: int = constants.FFT_SAMPLE_BITS
     word_granular_clock: bool = False
     engine: str = "event"
+    layout: str = "auto"
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -80,6 +87,20 @@ class PsyncConfig:
                 f"unknown core engine {self.engine!r}; "
                 "choose 'event' or 'compiled'"
             )
+        if self.layout not in ("auto", "square", "single-row"):
+            raise ConfigError(
+                f"unknown layout {self.layout!r}; "
+                "choose 'auto', 'square' or 'single-row'"
+            )
+        if self.layout == "square":
+            side = int(self.processors ** 0.5)
+            while side * side < self.processors:
+                side += 1
+            if side * side != self.processors:
+                raise ConfigError(
+                    f"layout 'square' needs a perfect-square processor "
+                    f"count, got {self.processors}"
+                )
 
 
 class PsyncMachine:
@@ -105,8 +126,9 @@ class PsyncMachine:
         side = 1
         while side * side < self.config.processors:
             side += 1
-        if side * side != self.config.processors:
-            # Non-square counts get a single-row layout.
+        if self.config.layout == "single-row" or side * side != self.config.processors:
+            # Non-square counts (and the explicit single-row variant)
+            # get a one-row layout.
             self.layout = SerpentineLayout(
                 rows=1,
                 cols=self.config.processors,
@@ -141,6 +163,7 @@ class PsyncMachine:
                     self.wdm.rate_per_wavelength_gbps / self.cycles_per_word
                 ),
                 clock_wavelengths=self.wdm.clock_wavelengths,
+                bits_per_symbol=self.wdm.bits_per_symbol,
             )
         else:
             effective = self.wdm

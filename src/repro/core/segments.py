@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from ..photonics.waveguide import SegmentLossModel
 from ..util import constants
-from ..util.errors import LinkBudgetError
+from ..util.errors import ConfigError, LinkBudgetError
 from ..util.validation import require_non_negative, require_positive
 
 __all__ = ["RepeaterModel", "PscanSegment", "SegmentedBusPlan", "plan_segments"]
@@ -47,6 +47,19 @@ class PscanSegment:
     node_count: int
     loss_db: float
 
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigError(f"segment index must be >= 0, got {self.index}")
+        if self.first_node < 0:
+            raise ConfigError(
+                f"segment first_node must be >= 0, got {self.first_node}"
+            )
+        if self.node_count < 1:
+            raise ConfigError(
+                f"segment {self.index} needs >= 1 node, got {self.node_count}"
+            )
+        require_non_negative("loss_db", self.loss_db)
+
     @property
     def last_node(self) -> int:
         """Index one past the final node of the segment."""
@@ -61,6 +74,30 @@ class SegmentedBusPlan:
     repeater: RepeaterModel = field(default_factory=RepeaterModel)
     node_pitch_mm: float = 0.5
     velocity_mm_per_ns: float = constants.LIGHT_SPEED_SI_MM_PER_NS
+
+    def validate(self) -> None:
+        """Reject malformed chains with a structured :class:`ConfigError`.
+
+        The chain must be gapless and ordered: segment ``i`` carries
+        index ``i`` and starts exactly where segment ``i - 1`` ended.
+        Anything else would let ``segment_of`` / ``added_skew_ns``
+        silently mis-attribute nodes (or raise an opaque downstream
+        error), so the shape is checked up front.
+        """
+        expected_first = 0
+        for i, seg in enumerate(self.segments):
+            if seg.index != i:
+                raise ConfigError(
+                    f"segment at position {i} carries index {seg.index}; "
+                    "indices must be sequential from 0"
+                )
+            if seg.first_node != expected_first:
+                raise ConfigError(
+                    f"segment {i} starts at node {seg.first_node}, "
+                    f"expected {expected_first}: segments must tile the "
+                    "bus without gaps or overlaps"
+                )
+            expected_first = seg.last_node
 
     @property
     def repeater_count(self) -> int:

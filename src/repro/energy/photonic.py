@@ -30,6 +30,7 @@ from ..util.validation import (
     require_in_range,
     require_non_negative,
     require_positive,
+    require_positive_int,
 )
 
 __all__ = ["PhotonicEnergyModel", "PscanEnergyBreakdown"]
@@ -70,7 +71,9 @@ def _segments_needed(model: "PhotonicEnergyModel", nodes: int) -> int:
 def _laser_pj_per_bit(model: "PhotonicEnergyModel", nodes: int) -> float:
     segments = _segments_needed(model, nodes)
     seg_loss = _total_loss_db(model, nodes) / segments
-    launch_dbm = model.pd_sensitivity_dbm + seg_loss + model.loss_margin_db
+    launch_dbm = (
+        model.effective_sensitivity_dbm + seg_loss + model.loss_margin_db
+    )
     launch_mw = 10.0 ** (launch_dbm / 10.0)
     optical_mw = launch_mw * model.wavelengths * segments
     electrical_mw = optical_mw / model.wall_plug_efficiency
@@ -120,6 +123,13 @@ class PhotonicEnergyModel:
     wavelengths: int = constants.PSCAN_WAVELENGTH_COUNT
     rate_per_wavelength_gbps: float = constants.PSCAN_WAVELENGTH_RATE_GBPS
     chip_edge_mm: float = constants.CHIP_EDGE_MM
+    #: Bits per symbol slot: 1 = NRZ (the paper), 2 = PAM4.  Multilevel
+    #: signaling multiplies the aggregate bandwidth but squeezes the eye:
+    #: PAM4's three stacked eyes need ~10*log10(3) ≈ 4.8 dB more received
+    #: power for the same error rate, charged below as a sensitivity
+    #: penalty that shrinks the per-segment link budget.
+    bits_per_symbol: int = 1
+    multilevel_penalty_db: float = 4.8
 
     def __post_init__(self) -> None:
         require_non_negative("modulator_pj_per_bit", self.modulator_pj_per_bit)
@@ -131,18 +141,31 @@ class PhotonicEnergyModel:
         require_non_negative("loss_margin_db", self.loss_margin_db)
         require_in_range("wall_plug_efficiency", self.wall_plug_efficiency, 1e-6, 1.0)
         require_positive("rate_per_wavelength_gbps", self.rate_per_wavelength_gbps)
+        require_positive_int("bits_per_symbol", self.bits_per_symbol)
+        require_non_negative("multilevel_penalty_db", self.multilevel_penalty_db)
 
     @property
     def aggregate_gbps(self) -> float:
-        """Total link bandwidth."""
-        return self.wavelengths * self.rate_per_wavelength_gbps
+        """Total link bandwidth (symbol rate x bits per symbol)."""
+        return (
+            self.wavelengths
+            * self.rate_per_wavelength_gbps
+            * self.bits_per_symbol
+        )
+
+    @property
+    def effective_sensitivity_dbm(self) -> float:
+        """Receiver sensitivity including the multilevel eye penalty."""
+        if self.bits_per_symbol == 1:
+            return self.pd_sensitivity_dbm
+        return self.pd_sensitivity_dbm + self.multilevel_penalty_db
 
     @property
     def segment_budget_db(self) -> float:
         """Loss one segment may accumulate before needing a repeater."""
         return (
             self.max_launch_dbm_per_wavelength
-            - self.pd_sensitivity_dbm
+            - self.effective_sensitivity_dbm
             - self.loss_margin_db
         )
 

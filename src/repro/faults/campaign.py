@@ -37,7 +37,7 @@ from ..core.pscan import Pscan
 from ..core.schedule import transpose_order
 from ..energy.photonic import PhotonicEnergyModel
 from ..fft import fft
-from ..mesh import MeshNetwork, MeshTopology, make_transpose_gather
+from ..mesh import make_transpose_gather
 from ..photonics.waveguide import Waveguide
 from ..sim.engine import Simulator
 from ..util.errors import ConfigError, SweepPointError
@@ -251,9 +251,10 @@ def _run_gather_trial(
 
 def _run_mesh_trial(config: CampaignConfig, dead_links: int, seed: int) -> MeshCampaignRow:
     """Transpose workload on the mesh with ``dead_links`` random failures."""
-    topology = MeshTopology.square(config.processors)
-    network = MeshNetwork(topology)
-    network.add_memory_interface((0, 0))
+    from ..build import build_mesh_network, mesh_spec
+
+    network = build_mesh_network(mesh_spec(config.processors, reorder=1))
+    topology = network.topology
     if dead_links:
         MeshFaultPlan.random_links(topology, dead_links, seed=seed).install(network)
     workload = make_transpose_gather(topology, cols=config.row_samples)

@@ -15,7 +15,6 @@ import numpy as np
 
 from ..core.psync import PsyncMachine
 from ..core.schedule import gather_schedule, transpose_order
-from ..mesh.network import MeshConfig, MeshNetwork
 from ..mesh.topology import MeshTopology
 from ..mesh.workloads import make_transpose_gather
 from ..util.errors import ConfigError
@@ -82,9 +81,9 @@ class PsyncTranspose:
 
 
 def _fresh_machine(processors: int) -> PsyncMachine:
-    from ..core.psync import PsyncConfig
+    from ..build import MachineSpec, build_machine
 
-    return PsyncMachine(PsyncConfig(processors=processors))
+    return build_machine(MachineSpec(processors=processors))
 
 
 class MeshBlockTranspose:
@@ -119,10 +118,13 @@ class MeshBlockTranspose:
         while h > 1 and rows % h != 0:
             h -= 1
         topo = MeshTopology(width=rows // h, height=h)
-        net = MeshNetwork(
-            topo, MeshConfig(memory_reorder_cycles=self.reorder_cycles)
+        from ..build import build_mesh_network, mesh_spec
+
+        net = build_mesh_network(
+            mesh_spec(topo.node_count, reorder=self.reorder_cycles),
+            topology=topo,
+            memory_nodes=(self.memory_node,),
         )
-        net.add_memory_interface(self.memory_node)
         workload = make_transpose_gather(topo, cols, self.memory_node)
         for pkt in workload.packets:
             net.inject(pkt)

@@ -22,8 +22,8 @@ from typing import Any
 
 import numpy as np
 
+from ..build import MachineSpec, build_machine
 from ..core.encoding import ChainEntryKind, CpChain
-from ..core.psync import PsyncConfig, PsyncMachine
 from ..core.schedule import (
     GlobalSchedule,
     gather_schedule,
@@ -139,7 +139,7 @@ def execute_generated_flow(
     if matrix.shape != (rows, cols):
         raise ConfigError(f"matrix shape {matrix.shape} != ({rows}, {cols})")
 
-    machine = PsyncMachine(PsyncConfig(processors=rows))
+    machine = build_machine(MachineSpec(processors=rows))
     burst = [matrix[r, c] for r in range(rows) for c in range(cols)]
     load_exec = machine.scatter(program.load_schedule, burst)
 

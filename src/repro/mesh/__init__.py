@@ -16,11 +16,12 @@ from .overlap import MeshOverlapResult, run_mesh_model2_overlap
 from .routing import (
     MinimalAdaptiveRouting,
     RoutingPolicy,
+    TorusShortestRouting,
     XYRouting,
     fault_aware_route,
     productive_ports,
 )
-from .topology import MeshTopology, Port
+from .topology import MeshTopology, Port, TorusTopology
 from .vc_network import VcMeshConfig, VcMeshNetwork, VcMeshStats
 from .workloads import (
     TransposeWorkload,
@@ -34,9 +35,11 @@ __all__ = [
     "Flit",
     "Packet",
     "MeshTopology",
+    "TorusTopology",
     "Port",
     "XYRouting",
     "MinimalAdaptiveRouting",
+    "TorusShortestRouting",
     "RoutingPolicy",
     "productive_ports",
     "fault_aware_route",

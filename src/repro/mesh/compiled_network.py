@@ -63,6 +63,7 @@ from ..util.errors import EngineUnsupportedError, NetworkError
 from .flit import Packet
 from .network import MeshNetwork, MeshStats
 from .routing import MinimalAdaptiveRouting
+from .topology import MeshTopology
 
 __all__ = ["CompiledMeshNetwork"]
 
@@ -131,6 +132,13 @@ class CompiledMeshNetwork(MeshNetwork):
             return EngineUnsupportedError("compiled", feature, reason)
 
         cfg = self.config
+        if type(self.topology) is not MeshTopology:
+            raise refuse(
+                "topology",
+                f"{type(self.topology).__name__}: the closed forms model "
+                "west-first paths on a plain rectangular mesh; torus and "
+                "other fabrics need engine='reference' or 'fast'",
+            )
         if cfg.memory_reorder_cycles < 2:
             raise refuse(
                 "reorder_cycles",

@@ -4,6 +4,13 @@ A ``width x height`` 2-D mesh of routers, each co-located with a
 processor.  Memory interfaces attach at the periphery — the corners, per
 the paper's energy study (Section III-C) and LLMORE machine model
 (Fig. 12) — through the local port of their corner router.
+
+:class:`TorusTopology` generalizes the rectangle with wrap-around links
+in both dimensions (Section VIII's scalability question asks what a
+richer electronic fabric buys; the cross-layer photonic-NoC literature
+evaluates tori as the natural next step).  The flit simulators are
+topology-generic — they read adjacency through :meth:`neighbor` — so the
+same wormhole machinery runs on either fabric.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from dataclasses import dataclass
 from ..util.errors import ConfigError
 from ..util.validation import require_positive_int
 
-__all__ = ["Port", "MeshTopology"]
+__all__ = ["Port", "MeshTopology", "TorusTopology"]
 
 
 class Port(enum.IntEnum):
@@ -143,3 +150,46 @@ class MeshTopology:
         if chip_edge_mm <= 0:
             raise ConfigError("chip_edge_mm must be > 0")
         return chip_edge_mm / max(self.width, self.height)
+
+
+@dataclass(frozen=True, slots=True)
+class TorusTopology(MeshTopology):
+    """A ``width x height`` torus: the mesh plus wrap-around links.
+
+    Every router keeps its four mesh ports; edge routers additionally
+    connect through the wrap link, so a flit leaving EAST from
+    ``(width-1, y)`` arrives on the WEST port of ``(0, y)``.  Distances
+    are wrap-aware (per-dimension minimum of the direct and wrapped
+    walk).  Dimensions of size 1 have no wrap neighbour (a self-loop
+    moves nothing); dimensions of size 2 have both ports reaching the
+    same neighbour — both are modelled as the physical links they are.
+
+    ``link_length_mm`` is inherited from the mesh: the standard folded
+    -torus layout interleaves nodes so every link, wrap included, spans
+    two node pitches — the same O(edge/side) scaling, kept identical
+    here so energy comparisons isolate the topology effect.
+    """
+
+    def neighbor(self, node: tuple[int, int], port: Port) -> tuple[int, int] | None:
+        """Coordinate one hop through ``port``, wrapping at the edges."""
+        self.require_node(node)
+        x, y = node
+        if port is Port.NORTH:
+            nxt = (x, (y + 1) % self.height)
+        elif port is Port.SOUTH:
+            nxt = (x, (y - 1) % self.height)
+        elif port is Port.EAST:
+            nxt = ((x + 1) % self.width, y)
+        elif port is Port.WEST:
+            nxt = ((x - 1) % self.width, y)
+        else:
+            raise ConfigError("LOCAL port has no neighbour")
+        return None if nxt == node else nxt
+
+    def hop_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Wrap-aware distance: per-dimension min of direct and wrapped."""
+        self.require_node(a)
+        self.require_node(b)
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        return min(dx, self.width - dx) + min(dy, self.height - dy)

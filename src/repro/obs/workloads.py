@@ -36,15 +36,14 @@ def run_transpose_workload(
     reorder: int = 4,
 ) -> Any:
     """The 8×8 2D-FFT transpose gather (Table III) on the mesh."""
-    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..build import build_mesh_network, mesh_spec
     from ..mesh.workloads import make_transpose_gather
 
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(
-        topo, MeshConfig(engine=engine, memory_reorder_cycles=reorder)
+    net = build_mesh_network(
+        mesh_spec(processors, engine=engine, reorder=reorder),
+        session=session,
     )
-    net.attach_observer(session)
-    net.add_memory_interface((0, 0))
+    topo = net.topology
     for packet in make_transpose_gather(topo, cols=cols).packets:
         net.inject(packet)
     return net.run()
@@ -101,9 +100,9 @@ def run_faults_workload(
     mesh's quarantine-and-reroute path via ``run_resilient`` on a mesh
     with one failed link.
     """
+    from ..build import build_mesh_network, mesh_spec
     from ..core import Pscan
     from ..faults import PscanFaultModel, ReliableGather, RetryPolicy
-    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
     from ..mesh.workloads import make_transpose_gather
     from ..photonics import Waveguide
     from ..sim import Simulator
@@ -126,10 +125,8 @@ def run_faults_workload(
     result = gather.gather(order, data, receiver_mm=140.0, raise_on_exhaust=False)
 
     # 2. Mesh with a failed link, recovered via run_resilient.
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(topo, MeshConfig(memory_reorder_cycles=1))
-    net.attach_observer(session)
-    net.add_memory_interface((0, 0))
+    net = build_mesh_network(mesh_spec(processors, reorder=1), session=session)
+    topo = net.topology
     net.fail_link((1, 0), (1, 1))
     for packet in make_transpose_gather(topo, cols=4).packets:
         net.inject(packet)

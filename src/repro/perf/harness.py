@@ -103,14 +103,11 @@ def _mesh_signature(net: Any, stats: Any) -> tuple:
 
 
 def _run_mesh_once(engine: str, processors: int, cols: int, reorder: int) -> tuple[float, tuple]:
-    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..build import build_mesh_network, mesh_spec
     from ..mesh.workloads import make_transpose_gather
 
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(
-        topo, MeshConfig(engine=engine, memory_reorder_cycles=reorder)
-    )
-    net.add_memory_interface((0, 0))
+    net = build_mesh_network(mesh_spec(processors, engine=engine, reorder=reorder))
+    topo = net.topology
     for packet in make_transpose_gather(topo, cols=cols).packets:
         net.inject(packet)
     t0 = time.perf_counter()
@@ -172,16 +169,15 @@ def _run_mesh_obs_once(
     :class:`~repro.obs.ObsSession` whose config disables every layer,
     so each hook site costs one attribute load and one branch.
     """
-    from ..mesh import MeshConfig, MeshNetwork, MeshTopology
+    from ..build import build_mesh_network, mesh_spec
     from ..mesh.workloads import make_transpose_gather
     from ..obs import ObsConfig, ObsSession
 
-    topo = MeshTopology.square(processors)
-    net = MeshNetwork(
-        topo, MeshConfig(engine=engine, memory_reorder_cycles=reorder)
+    net = build_mesh_network(
+        mesh_spec(processors, engine=engine, reorder=reorder),
+        session=ObsSession(ObsConfig.disabled()),
     )
-    net.attach_observer(ObsSession(ObsConfig.disabled()))
-    net.add_memory_interface((0, 0))
+    topo = net.topology
     for packet in make_transpose_gather(topo, cols=cols).packets:
         net.inject(packet)
     t0 = time.perf_counter()

@@ -24,7 +24,7 @@ from .waveguide import (
     max_segments,
     segment_loss_db,
 )
-from .wdm import WdmPlan, paper_pscan_plan
+from .wdm import WdmPlan, pam4_pscan_plan, paper_pscan_plan
 
 __all__ = [
     "Waveguide",
@@ -40,6 +40,7 @@ __all__ = [
     "ber_from_margin_db",
     "WdmPlan",
     "paper_pscan_plan",
+    "pam4_pscan_plan",
     "PhotonicClock",
     "SerpentineLayout",
     "SpectralPlan",

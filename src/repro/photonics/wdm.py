@@ -4,6 +4,16 @@ The paper's PSCAN data bus is 32 wavelengths at 10 Gb/s each (320 Gb/s
 aggregate) plus one clock wavelength.  A :class:`WdmPlan` captures that
 structure and converts between bit counts, word counts and waveguide
 cycles.
+
+``bits_per_symbol`` generalizes the channel to multilevel signaling per
+the cross-layer photonic-NoC studies: NRZ (the paper's implicit choice)
+carries 1 bit per symbol, PAM4 carries 2 bits in the same symbol slot,
+doubling ``bits_per_cycle`` and the aggregate bandwidth at an unchanged
+symbol clock.  ``rate_per_wavelength_gbps`` is therefore the *symbol*
+rate (Gbaud); the bus-cycle duration — and with it every flight-time
+and clock-distribution argument — is signaling-independent.  The link
+-budget cost of the denser constellation lives in
+:class:`repro.energy.photonic.PhotonicEnergyModel`.
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from dataclasses import dataclass
 from ..util import constants
 from ..util.validation import require_positive, require_positive_int
 
-__all__ = ["WdmPlan", "paper_pscan_plan"]
+__all__ = ["WdmPlan", "paper_pscan_plan", "pam4_pscan_plan"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,20 +32,23 @@ class WdmPlan:
     """A set of parallel data wavelengths with a common symbol clock.
 
     All data wavelengths are modulated in lock-step (the SCA schedule is
-    per *bus cycle*: one cycle moves ``data_wavelengths`` bits).  The clock
-    wavelength carries the distributed photonic clock and is excluded from
-    the data count.
+    per *bus cycle*: one cycle moves ``data_wavelengths`` symbols of
+    ``bits_per_symbol`` bits each).  The clock wavelength carries the
+    distributed photonic clock and is excluded from the data count.
     """
 
     data_wavelengths: int = constants.PSCAN_WAVELENGTH_COUNT
     rate_per_wavelength_gbps: float = constants.PSCAN_WAVELENGTH_RATE_GBPS
     clock_wavelengths: int = 1
+    #: Bits encoded in one symbol slot: 1 = NRZ (the paper), 2 = PAM4.
+    bits_per_symbol: int = 1
 
     def __post_init__(self) -> None:
         require_positive_int("data_wavelengths", self.data_wavelengths)
         require_positive("rate_per_wavelength_gbps", self.rate_per_wavelength_gbps)
         if self.clock_wavelengths < 0:
             raise ValueError("clock_wavelengths must be >= 0")
+        require_positive_int("bits_per_symbol", self.bits_per_symbol)
 
     @property
     def total_wavelengths(self) -> int:
@@ -45,7 +58,11 @@ class WdmPlan:
     @property
     def aggregate_bandwidth_gbps(self) -> float:
         """Aggregate data bandwidth in Gb/s."""
-        return self.data_wavelengths * self.rate_per_wavelength_gbps
+        return (
+            self.data_wavelengths
+            * self.rate_per_wavelength_gbps
+            * self.bits_per_symbol
+        )
 
     @property
     def bus_cycle_ns(self) -> float:
@@ -55,7 +72,7 @@ class WdmPlan:
     @property
     def bits_per_cycle(self) -> int:
         """Bits moved per bus cycle across all data wavelengths."""
-        return self.data_wavelengths
+        return self.data_wavelengths * self.bits_per_symbol
 
     def cycles_for_bits(self, bits: int) -> int:
         """Bus cycles needed to move ``bits`` bits (ceiling)."""
@@ -81,4 +98,14 @@ def paper_pscan_plan() -> WdmPlan:
         data_wavelengths=constants.PSCAN_WAVELENGTH_COUNT,
         rate_per_wavelength_gbps=constants.PSCAN_WAVELENGTH_RATE_GBPS,
         clock_wavelengths=1,
+    )
+
+
+def pam4_pscan_plan() -> WdmPlan:
+    """The paper's plan at PAM4: same 10 Gbaud clock, 2 bits/symbol."""
+    return WdmPlan(
+        data_wavelengths=constants.PSCAN_WAVELENGTH_COUNT,
+        rate_per_wavelength_gbps=constants.PSCAN_WAVELENGTH_RATE_GBPS,
+        clock_wavelengths=1,
+        bits_per_symbol=2,
     )

@@ -114,18 +114,17 @@ def run_on_mesh(
     call :func:`~repro.workloads.registry.build_workload` again for a
     second run.
     """
-    from ..mesh import MeshConfig, MeshNetwork
+    from ..build import build_mesh_network, mesh_spec
     from ..obs import ObsConfig, ObsSession, latency_slo_block, pair_latency_stats
 
-    net = MeshNetwork(
-        description.topology,
-        MeshConfig(engine=engine, memory_reorder_cycles=reorder),
-    )
     if session is None:
         session = ObsSession(ObsConfig(trace=False))
-    net.attach_observer(session)
-    for node in description.memory_nodes:
-        net.add_memory_interface(node)
+    net = build_mesh_network(
+        mesh_spec(description.topology.node_count, engine=engine, reorder=reorder),
+        topology=description.topology,
+        memory_nodes=description.memory_nodes,
+        session=session,
+    )
     for packet in description.packets:
         net.inject(packet)
     stats = net.run(max_cycles)

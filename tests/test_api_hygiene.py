@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.serve",
     "repro.faults",
     "repro.workloads",
+    "repro.build",
 ]
 
 MODULES = [
@@ -46,6 +47,8 @@ MODULES = [
     "repro.obs.slo",
     "repro.memory.layout",
     "repro.analysis.perf_model",
+    "repro.build.spec",
+    "repro.build.builder",
 ]
 
 
@@ -91,3 +94,38 @@ def test_version_string():
     import repro
 
     assert repro.__version__.count(".") == 2
+
+
+def test_drivers_assemble_machines_through_the_builder():
+    """No driver module hand-assembles a machine outside repro.build.
+
+    Every ``PsyncMachine(...)`` / ``MeshNetwork(...)`` construction in a
+    driver must route through :mod:`repro.build`, so one validated
+    ``MachineSpec`` stays the single source of truth.  The machine
+    subsystems themselves (``core``, ``mesh``), the builder, and the
+    check fuzzer (which deliberately hand-assembles one side of its
+    differentials) are exempt.
+    """
+    import pathlib
+    import re
+
+    root = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    exempt_parts = {"core", "mesh", "build", "check"}
+    pattern = re.compile(
+        r"\b(PsyncMachine|MeshNetwork|VcMeshNetwork|MultiBusPscan)\s*\("
+    )
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts[0] in exempt_parts:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            if (">>>" in line) or ('"""' in line):
+                continue  # doctest / docstring examples
+            if pattern.search(stripped):
+                offenders.append(f"src/repro/{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "hand-assembled machines outside repro.build "
+        "(use build_machine/build_mesh_network):\n" + "\n".join(offenders)
+    )

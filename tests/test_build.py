@@ -1,0 +1,814 @@
+"""Differential suite: builder-instantiated machines ≡ hand-assembled ones.
+
+``repro.build`` exists so every driver measures *the same machine*; the
+tests here pin that claim three ways:
+
+* **Builder equivalence** — each ``build_*`` output is byte-identical
+  (stats, arrival tuples, energy numbers) to a literal hand assembly of
+  the seed machine, across the event/compiled core engines and the
+  reference/fast/compiled mesh engines.
+* **Driver pins** — every call site rewired through the builder (CLI,
+  obs workloads, perf harness, workload runner, analytic models, FFT
+  blocks, LLMORE codegen, fault campaigns) reproduces the hand-built
+  result exactly.
+* **Spec contracts** — malformed shapes fail in the spec layer with
+  structured :class:`ConfigError` records (never a downstream
+  ``IndexError``), unsupported engine combinations refuse loudly, and
+  the JSON/canonical serialization is an injective round-trip
+  (hypothesis property, mirroring the sweep grid's unknown-parameter
+  rejection).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.build import (
+    BusSpec,
+    FabricSpec,
+    MachineSpec,
+    build_electronic_energy_model,
+    build_machine,
+    build_mesh_config,
+    build_mesh_network,
+    build_mesh_topology,
+    build_multibus,
+    build_photonic_energy_model,
+    build_psync_config,
+    build_routing,
+    build_vc_mesh_config,
+    build_wdm_plan,
+    mesh_spec,
+    require_valid,
+    transpose_cycle_models,
+)
+from repro.core.multibus import MultiBusPscan
+from repro.core.psync import PsyncConfig, PsyncMachine
+from repro.core.schedule import gather_schedule
+from repro.core.segments import PscanSegment, SegmentedBusPlan
+from repro.energy.electronic import ElectronicEnergyModel
+from repro.energy.photonic import PhotonicEnergyModel
+from repro.mesh import (
+    MeshConfig,
+    MeshNetwork,
+    MeshTopology,
+    TorusTopology,
+    make_transpose_gather,
+)
+from repro.mesh.routing import TorusShortestRouting
+from repro.mesh.vc_network import VcMeshConfig
+from repro.mesh.workloads import make_scatter_delivery
+from repro.photonics.wdm import WdmPlan, paper_pscan_plan
+from repro.store.keys import canonicalize, point_key
+from repro.util.errors import ConfigError, EngineUnsupportedError
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _gather_signature(machine, words=3):
+    """Full observable SCA signature: arrival tuples + wall clock."""
+    for pid in range(machine.config.processors):
+        machine.local_memory[pid] = [f"p{pid}w{w}" for w in range(words)]
+    ex = machine.gather(machine.transpose_gather_schedule(words))
+    return (
+        tuple(
+            (a.time_ns, a.cycle, a.source_node, a.word_index, a.value)
+            for a in ex.arrivals
+        ),
+        ex.duration_ns,
+        ex.is_gapless,
+    )
+
+
+def _mesh_signature(net, stats):
+    """Observable mesh signature with process-global packet ids normalized."""
+    base = min(net._packet_meta) if net._packet_meta else 0
+    return (
+        stats.cycles,
+        stats.packets_delivered,
+        stats.flits_delivered,
+        stats.flit_hops,
+        tuple(stats.packet_latencies),
+        stats.memory_busy_cycles,
+        tuple(sorted(stats.flits_through_node.items())),
+        tuple(
+            (r.cycle, r.node, r.packet_id - base, r.payload, r.source)
+            for r in net.sunk
+        ),
+    )
+
+
+def _run_transpose(net, cols):
+    for pkt in make_transpose_gather(net.topology, cols=cols).packets:
+        net.inject(pkt)
+    return net.run()
+
+
+def _hand_mesh(processors, *, engine="reference", reorder=1, session=None):
+    net = MeshNetwork(
+        MeshTopology.square(processors),
+        MeshConfig(engine=engine, memory_reorder_cycles=reorder),
+    )
+    if session is not None:
+        net.attach_observer(session)
+    net.add_memory_interface((0, 0))
+    return net
+
+
+# -- builder ≡ hand assembly ------------------------------------------------
+
+
+class TestBuilderEquivalence:
+    @pytest.mark.parametrize("engine", ["event", "compiled"])
+    def test_psync_machine_matches_hand_assembly(self, engine):
+        built = build_machine(MachineSpec(processors=16, engine=engine))
+        hand = PsyncMachine(PsyncConfig(processors=16, engine=engine))
+        assert _gather_signature(built) == _gather_signature(hand)
+
+    @pytest.mark.parametrize("engine", ["reference", "fast", "compiled"])
+    def test_mesh_network_matches_hand_assembly(self, engine):
+        built = build_mesh_network(mesh_spec(16, engine=engine, reorder=2))
+        hand = _hand_mesh(16, engine=engine, reorder=2)
+        a = _mesh_signature(built, _run_transpose(built, 4))
+        b = _mesh_signature(hand, _run_transpose(hand, 4))
+        if engine == "compiled":
+            # The compiled mesh documents its ``sunk`` log as unpopulated.
+            a, b = a[:-1], b[:-1]
+        assert a == b
+
+    def test_default_spec_reproduces_seed_configs(self):
+        spec = MachineSpec()
+        assert build_wdm_plan(spec) == paper_pscan_plan()
+        assert build_psync_config(spec) == PsyncConfig(processors=16)
+        assert build_mesh_config(spec) == MeshConfig()
+        assert build_mesh_config(mesh_spec(16, reorder=4)) == MeshConfig(
+            memory_reorder_cycles=4
+        )
+
+    def test_vc_mesh_config_matches_hand_assembly(self):
+        spec = mesh_spec(16, virtual_channels=2, reorder=3)
+        assert build_vc_mesh_config(spec) == VcMeshConfig(
+            virtual_channels=2, memory_reorder_cycles=3
+        )
+
+    def test_energy_models_match_hand_assembly(self):
+        spec = MachineSpec()
+        assert build_photonic_energy_model(spec) == PhotonicEnergyModel()
+        assert build_electronic_energy_model(spec) == ElectronicEnergyModel(
+            chip_edge_mm=spec.chip_edge_mm
+        )
+        built = build_photonic_energy_model(spec).gather_energy(16)
+        hand = PhotonicEnergyModel().gather_energy(16)
+        assert built.total_pj_per_bit == hand.total_pj_per_bit
+
+    def test_multibus_matches_hand_assembly(self):
+        spec = MachineSpec(processors=9, banks=(BusSpec(waveguides=3),))
+        machine = build_machine(spec)
+        data = {pid: [f"p{pid}w{w}" for w in range(2)] for pid in range(9)}
+        hand = MultiBusPscan(
+            waveguides=3,
+            waveguide_length_mm=machine.waveguide.length_mm,
+            positions_mm=machine.positions_mm,
+            wdm=machine.pscan.wdm,
+        )
+
+        def run(bus):
+            ex = bus.execute_gather(
+                machine.transpose_gather_schedule(2),
+                data,
+                receiver_mm=machine.memory_position_mm,
+            )
+            return (
+                ex.waveguides,
+                tuple(ex.stream),
+                ex.duration_ns,
+                ex.all_gapless,
+                ex.total_cycles,
+            )
+
+        assert run(build_multibus(spec)) == run(hand)
+
+    def test_transpose_cycle_models_match_direct_calls(self):
+        from repro.analysis.transpose_model import (
+            mesh_transpose_cycles_model,
+            pscan_transpose_cycles,
+        )
+
+        spec = mesh_spec(64, reorder=4)
+        models = transpose_cycle_models(spec, row_samples=8)
+        assert models["pscan_cycles"] == pscan_transpose_cycles(
+            row_samples=8, sample_bits=spec.word_bits, processors=64
+        )
+        assert models["mesh_cycles"] == mesh_transpose_cycles_model(
+            processors=64, row_samples=8, reorder_cycles=4
+        )
+
+    def test_build_routing_only_overrides_for_torus(self):
+        assert build_routing(mesh_spec(16)) is None
+        assert isinstance(
+            build_routing(mesh_spec(16, kind="torus")), TorusShortestRouting
+        )
+        assert isinstance(
+            build_mesh_topology(mesh_spec(16, kind="torus")), TorusTopology
+        )
+
+
+# -- topology and signaling options -----------------------------------------
+
+
+class TestTopologyAndSignaling:
+    def test_torus_runs_end_to_end_with_energy_and_slo(self):
+        """A spec-built torus: simulation + SLO block + energy numbers."""
+        from repro.obs import ObsConfig, ObsSession, latency_slo_block
+
+        spec = mesh_spec(16, kind="torus", reorder=2)
+        session = ObsSession(ObsConfig(trace=False))
+        net = build_mesh_network(spec, session=session)
+        assert isinstance(net.topology, TorusTopology)
+        stats = _run_transpose(net, 4)
+        assert stats.packets_delivered == 16 * 4
+
+        slo = latency_slo_block(session.metrics)
+        assert slo is not None and slo["count"] == stats.packets_delivered
+        assert slo["max"] >= slo["mean"] >= slo["min"] > 0
+
+        energy = build_electronic_energy_model(spec).gather_energy(net.topology)
+        assert energy.total_pj_per_bit > 0
+
+    def test_torus_wrap_links_shorten_routes(self):
+        def run(kind):
+            net = build_mesh_network(mesh_spec(16, kind=kind, reorder=2))
+            return _run_transpose(net, 4)
+
+        mesh, torus = run("mesh"), run("torus")
+        assert torus.packets_delivered == mesh.packets_delivered
+        assert torus.flit_hops < mesh.flit_hops
+
+    def test_torus_agrees_across_flit_engines(self):
+        def run(engine):
+            net = build_mesh_network(
+                mesh_spec(16, kind="torus", engine=engine, reorder=2)
+            )
+            return _mesh_signature(net, _run_transpose(net, 4))
+
+        assert run("reference") == run("fast")
+
+    def test_serpentine_layout_variants(self):
+        auto = build_machine(MachineSpec(processors=16))
+        square = build_machine(MachineSpec(processors=16, layout="square"))
+        row = build_machine(MachineSpec(processors=16, layout="single-row"))
+        assert square.positions_mm == auto.positions_mm
+        assert row.positions_mm != square.positions_mm
+        # Both layouts still sustain the gapless coalesced burst.
+        assert _gather_signature(square)[2] is True
+        assert _gather_signature(row)[2] is True
+
+    def test_pam4_doubles_bandwidth_at_same_symbol_clock(self):
+        nrz = build_wdm_plan(MachineSpec())
+        pam4 = build_wdm_plan(MachineSpec(banks=(BusSpec(signaling="pam4"),)))
+        assert pam4.bus_cycle_ns == nrz.bus_cycle_ns
+        assert pam4.bits_per_cycle == 2 * nrz.bits_per_cycle
+        assert pam4.aggregate_bandwidth_gbps == 2 * nrz.aggregate_bandwidth_gbps
+        assert pam4.cycles_for_words(16, 64) * 2 == nrz.cycles_for_words(16, 64)
+
+    def test_pam4_shortens_word_granular_gather(self):
+        def duration(signaling):
+            machine = build_machine(MachineSpec(
+                processors=16,
+                word_granular_clock=True,
+                banks=(BusSpec(signaling=signaling),),
+            ))
+            return _gather_signature(machine)[1]
+
+        assert duration("pam4") < duration("nrz")
+
+    def test_pam4_pays_a_receiver_sensitivity_penalty(self):
+        nrz = build_photonic_energy_model(MachineSpec())
+        pam4 = build_photonic_energy_model(
+            MachineSpec(banks=(BusSpec(signaling="pam4"),))
+        )
+        # The denser constellation needs more received power (a less
+        # negative sensitivity), shrinking the per-segment loss budget.
+        assert pam4.effective_sensitivity_dbm > nrz.effective_sensitivity_dbm
+        assert pam4.segment_budget_db < nrz.segment_budget_db
+        assert (
+            pam4.gather_energy(16).total_pj_per_bit
+            != nrz.gather_energy(16).total_pj_per_bit
+        )
+
+
+# -- driver pins ------------------------------------------------------------
+
+
+class TestDriverPins:
+    def test_cli_machine_pin(self, capsys):
+        from repro.cli import main
+
+        main(["machine"])
+        out = capsys.readouterr().out
+        hand = PsyncMachine(PsyncConfig(processors=16))
+        expected = "".join(
+            f"{key:>26}: {value}\n" for key, value in hand.describe().items()
+        )
+        assert out == expected
+
+    def test_cli_heatmap_pin(self, capsys):
+        from repro.cli import main
+        from repro.viz import render_mesh_heatmap
+
+        main(["heatmap", "--processors", "16", "--row-samples", "4"])
+        out = capsys.readouterr().out
+        hand = _hand_mesh(16, reorder=1)
+        stats = _run_transpose(hand, 4)
+        expected = (
+            render_mesh_heatmap(stats.flits_through_node, 4, 4)
+            + "\n"
+            + f"completion: {stats.cycles} cycles; mean packet latency "
+            + f"{stats.mean_packet_latency:.0f}\n"
+        )
+        assert out == expected
+
+    def test_obs_transpose_workload_pin(self):
+        from repro.obs import ObsConfig, ObsSession
+        from repro.obs.workloads import run_transpose_workload
+
+        stats = run_transpose_workload(
+            ObsSession(ObsConfig(trace=False)),
+            processors=16, cols=4, reorder=2,
+        )
+        hand = _hand_mesh(
+            16, reorder=2, session=ObsSession(ObsConfig(trace=False))
+        )
+        expected = _run_transpose(hand, 4)
+        assert (
+            stats.cycles,
+            stats.packets_delivered,
+            stats.flit_hops,
+            tuple(stats.packet_latencies),
+        ) == (
+            expected.cycles,
+            expected.packets_delivered,
+            expected.flit_hops,
+            tuple(expected.packet_latencies),
+        )
+
+    def test_obs_faults_workload_mesh_pin(self):
+        from repro.obs import ObsConfig, ObsSession
+        from repro.obs.workloads import run_faults_workload
+
+        result = run_faults_workload(
+            ObsSession(ObsConfig(trace=False)), processors=16
+        )
+        hand = _hand_mesh(
+            16, reorder=1, session=ObsSession(ObsConfig(trace=False))
+        )
+        hand.fail_link((1, 0), (1, 1))
+        for pkt in make_transpose_gather(hand.topology, cols=4).packets:
+            hand.inject(pkt)
+        stats, report = hand.run_resilient(max_cycles=50_000)
+        got = result["mesh_stats"]
+        assert (got.cycles, got.packets_delivered, got.flit_hops) == (
+            stats.cycles, stats.packets_delivered, stats.flit_hops
+        )
+        got_report = result["mesh_report"]
+        assert (got_report is None) == (report is None)
+        if report is not None:
+            assert got_report.kind == report.kind
+
+    def test_perf_harness_pin(self):
+        from repro.perf.harness import _run_mesh_once
+
+        _, sig = _run_mesh_once("reference", 16, 2, 2)
+        hand = _hand_mesh(16, reorder=2)
+        assert sig == _mesh_signature(hand, _run_transpose(hand, 2))
+
+    def test_workload_runner_pin(self):
+        from repro.workloads import build_workload
+        from repro.workloads.runner import run_on_mesh
+
+        result = run_on_mesh(
+            build_workload("transpose", processors=16, cols=4), reorder=2
+        )
+        # Descriptions are single-shot; the same name+params builds an
+        # identical packet list for the hand side.
+        description = build_workload("transpose", processors=16, cols=4)
+        hand = MeshNetwork(
+            description.topology, MeshConfig(memory_reorder_cycles=2)
+        )
+        for node in description.memory_nodes:
+            hand.add_memory_interface(node)
+        for pkt in description.packets:
+            hand.inject(pkt)
+        stats = hand.run()
+        assert result.mesh_signature == _mesh_signature(hand, stats)
+
+    def test_measure_mesh_transpose_pin(self):
+        from repro.analysis.transpose_model import measure_mesh_transpose
+
+        measured = measure_mesh_transpose(16, 4, reorder_cycles=2)
+        hand = _hand_mesh(16, reorder=2)
+        for pkt in make_transpose_gather(
+            hand.topology, 4, (0, 0), header_flits=1
+        ).packets:
+            hand.inject(pkt)
+        assert measured.mesh_cycles == hand.run().cycles
+
+    def test_measure_scatter_pin(self):
+        from repro.analysis.mesh_model import measure_scatter
+
+        measured = measure_scatter(16, 4)
+        # Scatter sinks are plain processors: no memory interface.
+        hand = MeshNetwork(MeshTopology.square(16), MeshConfig())
+        for pkt in make_scatter_delivery(hand.topology, 4, k=1):
+            hand.inject(pkt)
+        stats = hand.run()
+        assert measured.cycles == stats.cycles
+        assert measured.mean_packet_latency == stats.mean_packet_latency
+
+    def test_fft_psync_transpose_pin(self):
+        from repro.fft.transpose import PsyncTranspose
+
+        rng = np.random.default_rng(7)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        transpose = PsyncTranspose()
+        out = transpose([matrix])
+        assert np.array_equal(out, matrix.T)
+        hand = PsyncMachine(PsyncConfig(processors=4))
+        for pid in range(4):
+            hand.local_memory[pid] = list(matrix[pid])
+        execution = hand.gather(hand.transpose_gather_schedule(4))
+        assert transpose.last_cost.duration_ns == execution.duration_ns
+        assert np.array_equal(
+            out, np.array(execution.stream).reshape(4, 4)
+        )
+
+    def test_fft_mesh_transpose_pin(self):
+        from repro.fft.transpose import MeshBlockTranspose
+
+        rng = np.random.default_rng(11)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        transpose = MeshBlockTranspose(reorder_cycles=2)
+        out = transpose([matrix])
+        assert np.array_equal(out, matrix.T)
+        # 4 rows → the most-square factorization is a 2×2 mesh.
+        hand = MeshNetwork(
+            MeshTopology(width=2, height=2),
+            MeshConfig(memory_reorder_cycles=2),
+        )
+        hand.add_memory_interface((0, 0))
+        stats = _run_transpose(hand, 4)
+        assert transpose.last_cost.cycles == stats.cycles
+
+    def test_llmore_codegen_pin(self):
+        from repro.llmore.codegen import execute_generated_flow, generate_fft_programs
+        from repro.llmore.mapping import BlockRowMap
+        from repro.fft.radix2 import fft
+
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        result = execute_generated_flow(
+            generate_fft_programs(BlockRowMap(rows=4, cols=4, cores=4)), matrix
+        )
+        # Hand replay of the same generated schedules on a hand machine.
+        program = generate_fft_programs(BlockRowMap(rows=4, cols=4, cores=4))
+        hand = PsyncMachine(PsyncConfig(processors=4))
+        burst = [matrix[r, c] for r in range(4) for c in range(4)]
+        hand.scatter(program.load_schedule, burst)
+        for pid in range(4):
+            row = np.array(hand.local_memory[pid], dtype=np.complex128)
+            hand.local_memory[pid] = list(fft(row))
+        hand.gather_to_dram(program.transpose_schedule)
+        image = np.array(
+            hand.memory.bank.read_values(0, 16), dtype=np.complex128
+        ).reshape(4, 4)
+        assert np.array_equal(result["memory_image"], image)
+
+    def test_faults_campaign_mesh_trial_pin(self):
+        from repro.faults.campaign import CampaignConfig, _run_mesh_trial
+
+        row = _run_mesh_trial(
+            CampaignConfig(processors=16, row_samples=4), dead_links=0, seed=3
+        )
+        hand = _hand_mesh(16, reorder=1)
+        for pkt in make_transpose_gather(hand.topology, cols=4).packets:
+            hand.inject(pkt)
+        stats, _report = hand.run_resilient(max_cycles=500_000)
+        assert (row.cycles, row.packets_delivered, row.mean_latency) == (
+            stats.cycles, stats.packets_delivered, stats.mean_packet_latency
+        )
+
+
+# -- spec-layer validation --------------------------------------------------
+
+
+_REJECTED_SHAPES = [
+    (MachineSpec(processors=0), "BLD001", "processors"),
+    (MachineSpec(word_bits=0), "BLD002", "word_bits"),
+    (MachineSpec(engine="quantum"), "BLD003", "engine"),
+    (MachineSpec(layout="ring"), "BLD004", "layout"),
+    (MachineSpec(processors=12, layout="square"), "BLD005", "layout"),
+    (MachineSpec(chip_edge_mm=0.0), "BLD006", "chip_edge_mm"),
+    (MachineSpec(memory_ports=0), "BLD007", "memory_ports"),
+    (MachineSpec(memory_ports=17), "BLD008", "memory_ports"),
+    (MachineSpec(banks=()), "BLD010", "banks"),
+    (
+        MachineSpec(banks=(BusSpec(waveguides=0),)),
+        "BLD011", "banks[0].waveguides",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(), BusSpec(waveguides=32))),
+        "BLD012", "banks[1].waveguides",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(wavelengths=0),)),
+        "BLD013", "banks[0].wavelengths",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(rate_gbps=0.0),)),
+        "BLD014", "banks[0].rate_gbps",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(clock_wavelengths=-1),)),
+        "BLD015", "banks[0].clock_wavelengths",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(signaling="pam8"),)),
+        "BLD016", "banks[0].signaling",
+    ),
+    (
+        MachineSpec(banks=(BusSpec(response_ns=0.0),)),
+        "BLD017", "banks[0].response_ns",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(kind="hypercube")),
+        "BLD020", "fabric.kind",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(engine="verilog")),
+        "BLD021", "fabric.engine",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(buffer_flits=0)),
+        "BLD022", "fabric.buffer_flits",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(header_route_cycles=-1)),
+        "BLD023", "fabric.header_route_cycles",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(memory_reorder_cycles=0)),
+        "BLD024", "fabric.memory_reorder_cycles",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(deadlock_cycles=5)),
+        "BLD025", "fabric.deadlock_cycles",
+    ),
+    (
+        MachineSpec(fabric=FabricSpec(virtual_channels=0)),
+        "BLD026", "fabric.virtual_channels",
+    ),
+    (
+        mesh_spec(16, engine="compiled", kind="torus", reorder=2),
+        "BLD027", "fabric.kind",
+    ),
+    (
+        mesh_spec(16, engine="compiled", virtual_channels=2, reorder=2),
+        "BLD028", "fabric.virtual_channels",
+    ),
+    (
+        mesh_spec(16, engine="compiled", buffer_flits=3, reorder=2),
+        "BLD029", "fabric.buffer_flits",
+    ),
+    (
+        mesh_spec(16, engine="compiled", reorder=1),
+        "BLD030", "fabric.memory_reorder_cycles",
+    ),
+]
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "spec, code, path", _REJECTED_SHAPES,
+        ids=[f"{code}-{path}" for _, code, path in _REJECTED_SHAPES],
+    )
+    def test_rejected_shape(self, spec, code, path):
+        issues = spec.validate()
+        assert any(
+            i.code == code and i.path == path and i.severity == "error"
+            for i in issues
+        ), f"expected {code} at {path}, got {[str(i) for i in issues]}"
+        with pytest.raises(ConfigError) as excinfo:
+            require_valid(spec)
+        assert code in str(excinfo.value)
+        assert path in str(excinfo.value)
+
+    def test_validate_collects_every_issue_at_once(self):
+        spec = MachineSpec(
+            processors=0,
+            engine="quantum",
+            banks=(BusSpec(waveguides=0, signaling="pam8"),),
+        )
+        codes = {i.code for i in spec.validate()}
+        assert {"BLD001", "BLD003", "BLD011", "BLD016"} <= codes
+        with pytest.raises(ConfigError) as excinfo:
+            require_valid(spec)
+        for code in ("BLD001", "BLD003", "BLD011", "BLD016"):
+            assert code in str(excinfo.value)
+
+    def test_non_square_processor_count_is_a_warning(self):
+        spec = MachineSpec(processors=6)
+        issues = spec.validate()
+        assert any(
+            i.code == "BLD031" and i.severity == "warning" for i in issues
+        )
+        assert spec.ok
+        require_valid(spec)  # warnings never raise...
+        with pytest.raises(ConfigError):  # ...but the fabric needs a square
+            build_mesh_topology(spec)
+
+    def test_builder_rejects_out_of_range_bank(self):
+        with pytest.raises(ConfigError):
+            build_wdm_plan(MachineSpec(), bank=1)
+
+    def test_machine_spec_lint_target_is_registered(self):
+        from repro.check import lint_target, lint_targets
+
+        assert "machine-spec" in lint_targets()
+        report = lint_target("machine-spec")
+        assert report.ok, report.as_text()
+
+
+class TestEngineContracts:
+    def test_compiled_mesh_refuses_torus_at_runtime(self):
+        net = MeshNetwork(
+            TorusTopology(width=4, height=4),
+            MeshConfig(engine="compiled", memory_reorder_cycles=2),
+        )
+        net.add_memory_interface((0, 0))
+        for pkt in make_transpose_gather(net.topology, cols=2).packets:
+            net.inject(pkt)
+        with pytest.raises(EngineUnsupportedError) as excinfo:
+            net.run()
+        assert excinfo.value.feature == "topology"
+
+    def test_spec_layer_rejects_compiled_torus_before_the_engine(self):
+        with pytest.raises(ConfigError) as excinfo:
+            build_mesh_network(
+                mesh_spec(16, engine="compiled", kind="torus", reorder=2)
+            )
+        assert "BLD027" in str(excinfo.value)
+        # The refusal is the spec's, not a runtime engine error.
+        assert not isinstance(excinfo.value, EngineUnsupportedError)
+
+    def test_spec_layer_rejects_compiled_reorder_one(self):
+        with pytest.raises(ConfigError) as excinfo:
+            build_mesh_config(mesh_spec(16, engine="compiled", reorder=1))
+        assert "BLD030" in str(excinfo.value)
+
+
+# -- multibus and segment shape validation ----------------------------------
+
+
+class TestStructuredShapeErrors:
+    def test_multibus_rejects_zero_waveguides(self):
+        with pytest.raises(ConfigError):
+            MultiBusPscan(0, 100.0, {0: 0.0})
+
+    def test_multibus_rejects_empty_positions(self):
+        with pytest.raises(ConfigError):
+            MultiBusPscan(1, 100.0, {})
+
+    def test_multibus_rejects_positions_off_the_bus(self):
+        with pytest.raises(ConfigError) as excinfo:
+            MultiBusPscan(1, 100.0, {0: 0.0, 1: 150.0})
+        assert "outside" in str(excinfo.value)
+
+    def test_multibus_rejects_unknown_schedule_node(self):
+        spec = MachineSpec(processors=4, banks=(BusSpec(waveguides=2),))
+        bus = build_multibus(spec)
+        schedule = gather_schedule([(7, 0)])
+        with pytest.raises(ConfigError):
+            bus.execute_gather(schedule, {7: ["x"]}, receiver_mm=10.0)
+
+    def test_segment_rejects_bad_fields(self):
+        with pytest.raises(ConfigError):
+            PscanSegment(index=-1, first_node=0, node_count=4, loss_db=1.0)
+        with pytest.raises(ConfigError):
+            PscanSegment(index=0, first_node=-2, node_count=4, loss_db=1.0)
+        with pytest.raises(ConfigError):
+            PscanSegment(index=0, first_node=0, node_count=0, loss_db=1.0)
+
+    def test_segmented_plan_rejects_non_sequential_indices(self):
+        plan = SegmentedBusPlan(segments=[
+            PscanSegment(index=0, first_node=0, node_count=4, loss_db=1.0),
+            PscanSegment(index=2, first_node=4, node_count=4, loss_db=1.0),
+        ])
+        with pytest.raises(ConfigError) as excinfo:
+            plan.validate()
+        assert "sequential" in str(excinfo.value)
+
+    def test_segmented_plan_rejects_gapped_tiling(self):
+        plan = SegmentedBusPlan(segments=[
+            PscanSegment(index=0, first_node=0, node_count=4, loss_db=1.0),
+            PscanSegment(index=1, first_node=6, node_count=4, loss_db=1.0),
+        ])
+        with pytest.raises(ConfigError) as excinfo:
+            plan.validate()
+        assert "gaps" in str(excinfo.value)
+
+
+# -- serialization ----------------------------------------------------------
+
+
+bus_specs = st.builds(
+    BusSpec,
+    waveguides=st.integers(min_value=1, max_value=3),
+    wavelengths=st.sampled_from([8, 32]),
+    rate_gbps=st.sampled_from([10.0, 25.0]),
+    clock_wavelengths=st.integers(min_value=0, max_value=2),
+    signaling=st.sampled_from(["nrz", "pam4"]),
+    response_ns=st.sampled_from([0.01, 0.02]),
+)
+
+fabric_specs = st.builds(
+    FabricSpec,
+    kind=st.sampled_from(["mesh", "torus"]),
+    engine=st.sampled_from(["reference", "fast"]),
+    buffer_flits=st.integers(min_value=1, max_value=4),
+    header_route_cycles=st.integers(min_value=0, max_value=2),
+    memory_reorder_cycles=st.integers(min_value=1, max_value=4),
+    deadlock_cycles=st.sampled_from([10_000, 20_000]),
+    virtual_channels=st.integers(min_value=1, max_value=2),
+    cycle_skip=st.sampled_from([None, True, False]),
+)
+
+machine_specs = st.builds(
+    MachineSpec,
+    processors=st.sampled_from([4, 9, 16, 25]),
+    chip_edge_mm=st.sampled_from([10.0, 24.0]),
+    word_bits=st.sampled_from([32, 64]),
+    word_granular_clock=st.booleans(),
+    engine=st.sampled_from(["event", "compiled"]),
+    layout=st.sampled_from(["auto", "square", "single-row"]),
+    banks=st.lists(bus_specs, min_size=1, max_size=2).map(tuple),
+    fabric=fabric_specs,
+    memory_ports=st.integers(min_value=1, max_value=4),
+)
+
+
+class TestSerialization:
+    @given(spec=machine_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_json_round_trip_is_the_identity(self, spec):
+        restored = MachineSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert restored == spec
+        assert canonicalize(restored) == canonicalize(spec)
+
+    @given(a=machine_specs, b=machine_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_canonicalize_is_injective(self, a, b):
+        if a != b:
+            assert canonicalize(a) != canonicalize(b)
+        else:
+            assert canonicalize(a) == canonicalize(b)
+
+    def test_distinct_specs_get_distinct_point_keys(self):
+        def worker(spec):
+            return spec
+
+        a = MachineSpec()
+        b = MachineSpec(banks=(BusSpec(signaling="pam4"),))
+        fp = "pinned"
+        assert point_key(worker, {"spec": a}, fingerprint=fp) != point_key(
+            worker, {"spec": b}, fingerprint=fp
+        )
+
+    def test_from_json_rejects_unknown_top_level_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            MachineSpec.from_json({"procesors": 4})
+        assert "procesors" in str(excinfo.value)
+
+    def test_from_json_rejects_unknown_bank_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            MachineSpec.from_json({"banks": [{"waveguide": 2}]})
+        assert "banks[0]" in str(excinfo.value)
+
+    def test_from_json_rejects_unknown_fabric_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            MachineSpec.from_json({"fabric": {"engin": "fast"}})
+        assert "fabric" in str(excinfo.value)
+
+    def test_from_json_rejects_non_list_banks(self):
+        with pytest.raises(ConfigError):
+            MachineSpec.from_json({"banks": {"waveguides": 2}})
+
+    def test_replace_keeps_round_trip(self):
+        spec = dataclasses.replace(
+            mesh_spec(16, kind="torus", reorder=2),
+            banks=(BusSpec(signaling="pam4"), BusSpec()),
+        )
+        assert MachineSpec.from_json(spec.to_json()) == spec

@@ -385,7 +385,11 @@ class TestDeterministicPointErrors:
         server.close()
         assert record.state is JobState.FAILED
         assert record.attempts == 1  # retrying a ConfigError is futile
-        assert "EngineUnsupportedError" in (record.detail or "")
+        # The compiled engine's reorder>=2 domain is enforced in the
+        # spec layer now (BLD030), so the detail carries the structured
+        # ConfigError rather than a runtime EngineUnsupportedError.
+        assert "ConfigError" in (record.detail or "")
+        assert "memory_reorder_cycles" in (record.detail or "")
 
     def test_config_error_does_not_trip_breaker_or_poison_tenants(
         self, tmp_path
